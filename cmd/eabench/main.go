@@ -1,0 +1,441 @@
+// Command eabench regenerates every table and figure of the paper's
+// evaluation (Section 5) on the simulated testbed.
+//
+// Usage:
+//
+//	eabench -exp all
+//	eabench -exp fig8
+//	eabench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"eabrowse/internal/experiments"
+	"eabrowse/internal/features"
+	"eabrowse/internal/report"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(*printer) error
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "eabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("eabench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment id (fig1..fig16, table4..table7, ablation) or 'all'")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	exps := allExperiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-8s %s\n", e.name, e.desc)
+		}
+		return nil
+	}
+
+	p := &printer{w: os.Stdout}
+	if *exp == "all" {
+		for _, e := range exps {
+			p.header(e.name, e.desc)
+			if err := e.run(p); err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+		}
+		return nil
+	}
+	for _, e := range exps {
+		if e.name == *exp {
+			p.header(e.name, e.desc)
+			return e.run(p)
+		}
+	}
+	names := make([]string, 0, len(exps))
+	for _, e := range exps {
+		names = append(names, e.name)
+	}
+	sort.Strings(names)
+	return fmt.Errorf("unknown experiment %q (have: %s)", *exp, strings.Join(names, ", "))
+}
+
+func allExperiments() []experiment {
+	return []experiment{
+		{"fig1", "power level of the radio states over time", runFig1},
+		{"fig3", "original vs intuitive energy by transfer interval (crossover)", runFig3},
+		{"fig4", "traffic shape: browser load vs raw socket download", runFig4},
+		{"table4", "Pearson correlation of reading time vs features", runTable4},
+		{"table5", "power consumption per radio state", runTable5},
+		{"fig7", "cumulative distribution of reading time", runFig7},
+		{"fig8", "data transmission time, both benchmarks + named pages", runFig8},
+		{"fig9", "power trace loading espn.go.com/sports", runFig9},
+		{"fig10", "energy to open page + 20 s reading", runFig10},
+		{"fig11", "network capacity (M/G/200 session dropping)", runFig11},
+		{"fig12", "intermediate/final display timings (espn)", runFig12},
+		{"fig14", "average screen display times", runFig14},
+		{"fig15", "prediction accuracy with/without interest threshold", runFig15},
+		{"fig16", "power and delay savings of the six cases", runFig16},
+		{"table7", "prediction cost vs number of decision trees", runTable7},
+		{"ablation", "design-choice ablations (guard, timers, reordering-only)", runAblation},
+		{"ablation-pred", "predictor ablations (GBRT vs linear, M, J, alpha)", runPredictorAblation},
+		{"timers", "T1/T2 timer sweep on the original browser vs energy-aware", runTimerSweep},
+	}
+}
+
+type printer struct {
+	w *os.File
+}
+
+func (p *printer) header(name, desc string) {
+	fmt.Fprintf(p.w, "\n=== %s — %s ===\n", name, desc)
+}
+
+func (p *printer) table(write func(w *tabwriter.Writer)) {
+	tw := tabwriter.NewWriter(p.w, 0, 4, 2, ' ', 0)
+	write(tw)
+	tw.Flush()
+}
+
+func runFig1(p *printer) error {
+	res, err := experiments.Fig1()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(p.w, "samples: %d at 0.25 s, mean power %.2f W\n", len(res.Samples), res.MeanPowerW)
+	fmt.Fprintln(p.w, "time(s)  power(W)")
+	for i, s := range res.Samples {
+		if i%4 != 0 { // print at 1 s granularity
+			continue
+		}
+		fmt.Fprintf(p.w, "%6.1f  %s %.2f\n", s.At.Seconds(), bar(s.Watts, 2.0, 40), s.Watts)
+	}
+	return nil
+}
+
+func runFig3(p *printer) error {
+	res, err := experiments.Fig3()
+	if err != nil {
+		return err
+	}
+	p.table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "interval(s)\toriginal(J)\tintuitive(J)\tsaving(J)")
+		for _, pt := range res.Points {
+			fmt.Fprintf(w, "%.0f\t%.2f\t%.2f\t%+.2f\n", pt.IntervalS, pt.OriginalJ, pt.IntuitiveJ, pt.SavingJ)
+		}
+	})
+	fmt.Fprintf(p.w, "crossover: intuitive starts winning at %.0f s (paper: 9 s)\n", res.CrossoverS)
+	return nil
+}
+
+func runFig4(p *printer) error {
+	res, err := experiments.Fig4()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(p.w, "page bytes: %d KB\n", res.TotalKB)
+	fmt.Fprintf(p.w, "browser load finished at %.1f s; raw socket download at %.1f s (paper: ~47 s vs ~8 s)\n",
+		res.BrowserTotalS, res.BulkTotalS)
+	fmt.Fprintln(p.w, "browser traffic (KB per 0.5 s bin):")
+	printBins(p, res.BrowserBins)
+	fmt.Fprintln(p.w, "socket download traffic:")
+	printBins(p, res.BulkBins)
+	return nil
+}
+
+func printBins(p *printer, bins []experiments.Fig4Bin) {
+	for i, b := range bins {
+		if i%4 != 0 {
+			continue
+		}
+		// Aggregate 2 s of bins per printed row.
+		kb := 0.0
+		for j := i; j < i+4 && j < len(bins); j++ {
+			kb += bins[j].TrafficKB
+		}
+		fmt.Fprintf(p.w, "%6.1fs %s %.0f KB\n", b.StartS, bar(kb, 200, 40), kb)
+	}
+}
+
+func runTable4(p *printer) error {
+	res, err := experiments.Table4()
+	if err != nil {
+		return err
+	}
+	p.table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "feature\tPearson r\tSpearman rho")
+		for i, name := range res.Names {
+			fmt.Fprintf(w, "%s\t%+.4f\t%+.4f\n", name, res.Correlations[i], res.Spearman[i])
+		}
+	})
+	fmt.Fprintf(p.w, "max |r| = %.4f — no notable correlation (paper: all <= 0.067)\n", res.MaxAbs)
+	return nil
+}
+
+func runTable5(p *printer) error {
+	p.table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "state\tpower (W)")
+		for _, row := range experiments.Table5() {
+			fmt.Fprintf(w, "%s\t%.2f\n", row.State, row.PowerW)
+		}
+	})
+	return nil
+}
+
+func runFig7(p *printer) error {
+	res, err := experiments.Fig7()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(p.w, "visits: %d\n", res.Visits)
+	fmt.Fprintf(p.w, "P(reading < 2 s)  = %5.1f%%  (paper: 30%%)\n", res.Under2Pct)
+	fmt.Fprintf(p.w, "P(reading < 9 s)  = %5.1f%%  (paper: 53%%)\n", res.Under9Pct)
+	fmt.Fprintf(p.w, "P(reading < 20 s) = %5.1f%%  (paper: 68%%)\n", res.Under20Pct)
+	for _, pt := range res.CurvePoints {
+		if int(pt.Seconds)%4 != 0 {
+			continue
+		}
+		fmt.Fprintf(p.w, "%4.0fs %s %.0f%%\n", pt.Seconds, bar(pt.CumPct, 100, 40), pt.CumPct)
+	}
+	return nil
+}
+
+func runFig8(p *printer) error {
+	res, err := experiments.Fig8()
+	if err != nil {
+		return err
+	}
+	p.table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "benchmark\torig trans(s)\tEA trans(s)\tsaving\torig total(s)\tEA total(s)\tsaving")
+		rows := []*experiments.BenchComparison{res.Mobile, res.Full, res.MCNN, res.MotorsEbay}
+		for _, c := range rows {
+			fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f%%\t%.1f\t%.1f\t%.1f%%\n",
+				c.Label, c.Original.TransmissionS, c.Aware.TransmissionS, c.TransmissionSavingPct(),
+				c.Original.TotalS, c.Aware.TotalS, c.TotalSavingPct())
+		}
+	})
+	fmt.Fprintln(p.w, "paper: mobile -15% trans / -2.5% total; full -27% trans / -17% total; m.cnn -15%; ebay -31%")
+	return nil
+}
+
+func runFig9(p *printer) error {
+	res, err := experiments.Fig9()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(p.w, "original: transmission ends %.1f s;  energy-aware: transmission ends %.1f s, dormant at %.1f s\n",
+		res.OrigTransmissionS, res.AwareTransmissionS, res.AwareDormantS)
+	fmt.Fprintln(p.w, "time  original              energy-aware (W)")
+	n := len(res.Original)
+	if len(res.Aware) > n {
+		n = len(res.Aware)
+	}
+	for i := 0; i < n; i += 8 { // 2 s granularity
+		var po, pa float64
+		if i < len(res.Original) {
+			po = res.Original[i].Watts
+		}
+		if i < len(res.Aware) {
+			pa = res.Aware[i].Watts
+		}
+		fmt.Fprintf(p.w, "%5.1fs %s %.2f | %s %.2f\n",
+			float64(i)*0.25, bar(po, 2, 20), po, bar(pa, 2, 20), pa)
+	}
+	return nil
+}
+
+func runFig10(p *printer) error {
+	res, err := experiments.Fig10()
+	if err != nil {
+		return err
+	}
+	p.table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "benchmark\toriginal(J)\tenergy-aware(J)\tsaving")
+		rows := []*experiments.BenchComparison{res.Mobile, res.Full, res.MCNN, res.ESPN}
+		for _, c := range rows {
+			fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f%%\n",
+				c.Label, c.Original.EnergyWithReadingJ, c.Aware.EnergyWithReadingJ, c.EnergySavingPct())
+		}
+	})
+	fmt.Fprintln(p.w, "paper: mobile -35.7%, full -30.8%, m.cnn -35.5%, espn -43.6% (>30% headline)")
+	return nil
+}
+
+func runFig11(p *printer) error {
+	res, err := experiments.Fig11()
+	if err != nil {
+		return err
+	}
+	for _, b := range []*experiments.Fig11Bench{res.Mobile, res.Full} {
+		fmt.Fprintf(p.w, "%s:\n", b.Label)
+		p.table(func(w *tabwriter.Writer) {
+			fmt.Fprintln(w, "users\toriginal drop%\tenergy-aware drop%")
+			for i, u := range b.Original.Users {
+				fmt.Fprintf(w, "%d\t%.2f\t%.2f\n", u, b.Original.DropPct[i], b.Aware.DropPct[i])
+			}
+		})
+		fmt.Fprintf(p.w, "users supported at 2%% dropping: original %d, energy-aware %d (+%.1f%%)\n",
+			b.Original.SupportedAt2Pct, b.Aware.SupportedAt2Pct, b.CapacityGainPct)
+	}
+	fmt.Fprintln(p.w, "paper: +14.3% (mobile), +19.6% (full)")
+	return nil
+}
+
+func runFig12(p *printer) error {
+	res, err := experiments.Fig12()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(p.w, "intermediate display: original %.1f s vs energy-aware %.1f s (%.1f s earlier; paper: 17.6 vs 7.0)\n",
+		res.OrigFirstDisplayS, res.AwareFirstDisplayS, res.FirstDisplayGainS)
+	fmt.Fprintf(p.w, "final display:        original %.1f s vs energy-aware %.1f s (%.1f s earlier; paper: 34.5 vs 28.6)\n",
+		res.OrigFinalDisplayS, res.AwareFinalDisplayS, res.FinalDisplayGainS)
+	return nil
+}
+
+func runFig14(p *printer) error {
+	res, err := experiments.Fig14()
+	if err != nil {
+		return err
+	}
+	p.table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "benchmark\torig first(s)\tEA first(s)\tsaving\torig final(s)\tEA final(s)\tsaving")
+		for _, c := range []*experiments.BenchComparison{res.Mobile, res.Full} {
+			finalSaving := c.TotalSavingPct()
+			fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f%%\t%.1f\t%.1f\t%.1f%%\n",
+				c.Label, c.Original.FirstDisplayS, c.Aware.FirstDisplayS, c.FirstDisplaySavingPct(),
+				c.Original.TotalS, c.Aware.TotalS, finalSaving)
+		}
+	})
+	fmt.Fprintln(p.w, "paper: full benchmark first display -45.5%, final display -16.8%")
+	return nil
+}
+
+func runFig15(p *printer) error {
+	res, err := experiments.Fig15()
+	if err != nil {
+		return err
+	}
+	p.table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "threshold\twithout interest\twith interest\tgain")
+		fmt.Fprintf(w, "Tp = 9 s\t%.1f%%\t%.1f%%\t%+.1f\n", res.WithoutTp, res.WithTp, res.GainTp)
+		fmt.Fprintf(w, "Td = 20 s\t%.1f%%\t%.1f%%\t%+.1f\n", res.WithoutTd, res.WithTd, res.GainTd)
+	})
+	fmt.Fprintln(p.w, "paper: interest threshold adds at least 10 points")
+	return nil
+}
+
+func runFig16(p *printer) error {
+	res, err := experiments.Fig16()
+	if err != nil {
+		return err
+	}
+	p.table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "case\tenergy(J)\tdelay(s)\tpower saving\tdelay saving\tswitches")
+		for _, c := range res.Cases {
+			fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.2f%%\t%.2f%%\t%d\n",
+				c.Case, c.EnergyJ, c.DelayS, c.PowerSavingPct, c.DelaySavingPct, c.Switches)
+		}
+	})
+	fmt.Fprintln(p.w, "paper shape: Orig Always-off worst (delay negative), EA Always-off ~9.2% delay,")
+	fmt.Fprintln(p.w, "Accurate-9 best power, Accurate-20 best delay (~13.6%), Predict-* slightly below Accurate-*")
+	return nil
+}
+
+func runTable7(p *printer) error {
+	rows, err := experiments.Table7()
+	if err != nil {
+		return err
+	}
+	p.table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "decision trees\tphone energy (J)\tphone time (s)\tGo wall time")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%d\t%.3f\t%.3f\t%v\n", r.Trees, r.EnergyJ, r.TimeSeconds, r.GoWallTime.Round(10e3))
+		}
+	})
+	fmt.Fprintln(p.w, "paper: 10000 trees -> 0.295 s, 0.177 J")
+	return nil
+}
+
+func runAblation(p *printer) error {
+	res, err := experiments.Ablations()
+	if err != nil {
+		return err
+	}
+	p.table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "variant\tenergy+20s read (J)\tload time (s)\tvs energy-aware default")
+		for _, r := range res.Rows {
+			fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%+.1f%% energy\n", r.Name, r.EnergyJ, r.LoadS, r.EnergyDeltaPct)
+		}
+	})
+	return nil
+}
+
+func runPredictorAblation(p *printer) error {
+	res, err := experiments.PredictorAblation()
+	if err != nil {
+		return err
+	}
+	groups := []struct {
+		title string
+		rows  []experiments.PredictorAblationRow
+	}{
+		{"model comparison", res.Baselines},
+		{"forest size M", res.Trees},
+		{"leaf budget J", res.Leaves},
+		{"interest threshold alpha", res.Alpha},
+	}
+	for _, g := range groups {
+		fmt.Fprintf(p.w, "%s:\n", g.title)
+		p.table(func(w *tabwriter.Writer) {
+			fmt.Fprintln(w, "variant\taccuracy Tp=9s\taccuracy Td=20s")
+			for _, r := range g.rows {
+				fmt.Fprintf(w, "%s\t%.1f%%\t%.1f%%\n", r.Name, r.TpPct, r.TdPct)
+			}
+		})
+	}
+	fmt.Fprintf(p.w, "personal models fitted: %d\n", res.PersonalModels)
+	fmt.Fprintln(p.w, "split-gain feature importance (default model):")
+	p.table(func(w *tabwriter.Writer) {
+		for i, name := range features.Names {
+			fmt.Fprintf(w, "%s\t%.1f%%\n", name, res.Importance[i]*100)
+		}
+	})
+	fmt.Fprintln(p.w, "the linear baseline is what Table 4's near-zero correlations predict must fail")
+	return nil
+}
+
+func runTimerSweep(p *printer) error {
+	res, err := experiments.TimerSweep()
+	if err != nil {
+		return err
+	}
+	p.table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "T1\tT2\tenergy+20s read (J)\tnext-click delay (s)")
+		for _, r := range res.Rows {
+			fmt.Fprintf(w, "%v\t%v\t%.1f\t%.2f\n", r.T1, r.T2, r.EnergyJ, r.NextClickDelayS)
+		}
+	})
+	fmt.Fprintf(p.w, "energy-aware pipeline (default timers): %.1f J with zero added click delay until the release\n", res.EnergyAwareJ)
+	fmt.Fprintln(p.w, "the introduction's point: no timer setting reaches the reordered pipeline")
+	return nil
+}
+
+// bar renders a crude horizontal bar for terminal plots.
+func bar(v, maxV float64, width int) string {
+	return report.Bar(v, maxV, width)
+}

@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("run(-list): %v", err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestTable5Experiment(t *testing.T) {
+	if err := run([]string{"-exp", "table5"}); err != nil {
+		t.Fatalf("run(table5): %v", err)
+	}
+}
+
+func TestFig3Experiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig3"}); err != nil {
+		t.Fatalf("run(fig3): %v", err)
+	}
+}
+
+func TestExperimentNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, e := range allExperiments() {
+		if seen[e.name] {
+			t.Fatalf("duplicate experiment %q", e.name)
+		}
+		seen[e.name] = true
+		if e.desc == "" || e.run == nil {
+			t.Fatalf("experiment %q incomplete", e.name)
+		}
+	}
+}

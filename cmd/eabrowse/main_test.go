@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestListPages(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("run(-list): %v", err)
+	}
+}
+
+func TestUnknownPage(t *testing.T) {
+	if err := run([]string{"-page", "no.such.page"}); err == nil {
+		t.Fatal("unknown page accepted")
+	}
+}
+
+func TestUnknownMode(t *testing.T) {
+	if err := run([]string{"-mode", "warp"}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestLoadMobilePage(t *testing.T) {
+	if err := run([]string{"-page", "m.cnn.com", "-mode", "both", "-reading", "5s"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	if err := run([]string{"-page", "m.ebay.com", "-mode", "energy-aware", "-timeline"}); err != nil {
+		t.Fatalf("run(-timeline): %v", err)
+	}
+}

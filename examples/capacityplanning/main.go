@@ -1,0 +1,72 @@
+// Capacityplanning: an operator's view of the paper's Section 5.4 result —
+// how many browsing users can one cell's 200 dedicated channel pairs carry,
+// and how much capacity the energy-aware browser's shorter channel holds
+// buy back.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eabrowse"
+	"eabrowse/internal/capacity"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	pages, err := eabrowse.FullBenchmark()
+	if err != nil {
+		return err
+	}
+
+	// Measure the per-page channel-hold (data transmission) times under
+	// both pipelines.
+	service := make(map[eabrowse.Mode][]float64)
+	for _, mode := range []eabrowse.Mode{eabrowse.ModeOriginal, eabrowse.ModeEnergyAware} {
+		for _, page := range pages {
+			phone, err := eabrowse.NewPhone(mode)
+			if err != nil {
+				return err
+			}
+			res, err := phone.LoadPage(page)
+			if err != nil {
+				return err
+			}
+			service[mode] = append(service[mode], res.TransmissionTime.Seconds())
+		}
+	}
+
+	cfg := capacity.DefaultConfig()
+	fmt.Printf("M/G/%d loss system, one session per user every %v on average, %v horizon\n\n",
+		cfg.Channels, cfg.MeanSessionInterval, cfg.Duration)
+
+	fmt.Println("users  original drop%  energy-aware drop%")
+	for users := 120; users <= 220; users += 20 {
+		ro, err := capacity.Simulate(users, service[eabrowse.ModeOriginal], cfg)
+		if err != nil {
+			return err
+		}
+		ra, err := capacity.Simulate(users, service[eabrowse.ModeEnergyAware], cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%5d  %13.2f  %17.2f\n", users, ro.DropPercent, ra.DropPercent)
+	}
+
+	orig, err := capacity.SupportedUsers(service[eabrowse.ModeOriginal], 2, cfg)
+	if err != nil {
+		return err
+	}
+	aware, err := capacity.SupportedUsers(service[eabrowse.ModeEnergyAware], 2, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nusers supported at 2%% session dropping: original %d, energy-aware %d (+%.1f%%)\n",
+		orig, aware, float64(aware-orig)/float64(orig)*100)
+	return nil
+}

@@ -1,0 +1,131 @@
+// Policysession: the whole system in one browsing session. A user visits a
+// sequence of pages; after each page opens, Algorithm 2 waits the interest
+// threshold, predicts the reading time with the trained GBRT, and decides
+// whether to force the radio to IDLE. The same session replayed on the stock
+// browser shows what the policy saves.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"eabrowse"
+)
+
+// sessionStep is one page view: which page and how long the user reads it.
+type sessionStep struct {
+	page    string
+	reading time.Duration
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Train the predictor on a small synthesized trace.
+	fmt.Println("training the reading-time predictor...")
+	cfg := eabrowse.DefaultTraceConfig()
+	cfg.Users = 10
+	ds, err := eabrowse.SynthesizeTrace(cfg)
+	if err != nil {
+		return err
+	}
+	pcfg := eabrowse.DefaultPredictorConfig()
+	pcfg.GBRT.Trees = 150
+	pred, err := eabrowse.TrainPredictor(ds.Visits, pcfg)
+	if err != nil {
+		return err
+	}
+	// Power-driven mode: release whenever the predicted reading time clears
+	// the 9-second energy crossover (Tp), accepting a possible promotion
+	// delay on the next click (Section 4.3.5).
+	params := eabrowse.DefaultPolicyParams()
+	params.Mode = eabrowse.PolicyModePower
+
+	// A plausible session: skim a portal, read an article, bounce, read.
+	session := []sessionStep{
+		{"m.cnn.com", 4 * time.Second},
+		{"espn.go.com/sports", 45 * time.Second},
+		{"m.ebay.com", 2 * time.Second},
+		{"bbc.com/travel", 30 * time.Second},
+	}
+
+	type outcome struct {
+		name   string
+		energy float64
+	}
+	var outcomes []outcome
+	for _, usePolicy := range []bool{false, true} {
+		name := "original browser, timers only"
+		mode := eabrowse.ModeOriginal
+		var opts []eabrowse.EngineOption
+		if usePolicy {
+			name = "energy-aware browser + Algorithm 2"
+			mode = eabrowse.ModeEnergyAware
+			// The policy owns the release decision; disable the engine's
+			// automatic dormancy.
+			opts = append(opts, eabrowse.WithoutAutoDormancy())
+		}
+		phone, err := eabrowse.NewPhone(mode, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n--- %s ---\n", name)
+		for _, step := range session {
+			page, err := eabrowse.BenchmarkPage(step.page)
+			if err != nil {
+				return err
+			}
+			res, err := phone.LoadPage(page)
+			if err != nil {
+				return err
+			}
+			decision := "radio follows timers"
+			if usePolicy {
+				if step.reading >= params.Alpha {
+					phone.Read(params.Alpha)
+					feats, err := eabrowse.ExtractFeatures(res)
+					if err != nil {
+						return err
+					}
+					seconds, err := pred.PredictSeconds(feats)
+					if err != nil {
+						return err
+					}
+					predicted := time.Duration(seconds * float64(time.Second))
+					if eabrowse.ShouldSwitchToIdle(predicted, params) {
+						if err := phone.ForceRadioIdle(); err == nil {
+							decision = fmt.Sprintf("predicted %.0fs -> forced IDLE", seconds)
+						} else {
+							decision = fmt.Sprintf("predicted %.0fs -> release refused (%v)", seconds, err)
+						}
+					} else {
+						decision = fmt.Sprintf("predicted %.0fs -> stay on timers", seconds)
+					}
+					phone.Read(step.reading - params.Alpha)
+				} else {
+					phone.Read(step.reading)
+					decision = "clicked away before the interest threshold"
+				}
+			} else {
+				phone.Read(step.reading)
+			}
+			fmt.Printf("%-22s loaded %5.1fs, read %3.0fs, %-42s radio now %v\n",
+				step.page, res.FinalDisplayAt.Seconds(), step.reading.Seconds(),
+				decision, phone.RadioState())
+		}
+		outcomes = append(outcomes, outcome{name: name, energy: phone.EnergyJ()})
+	}
+
+	fmt.Println()
+	for _, o := range outcomes {
+		fmt.Printf("%-38s %.1f J\n", o.name, o.energy)
+	}
+	saving := (outcomes[0].energy - outcomes[1].energy) / outcomes[0].energy * 100
+	fmt.Printf("session energy saving: %.1f%%\n", saving)
+	return nil
+}

@@ -1,0 +1,91 @@
+// Radiotrace: a walkthrough of the UMTS RRC machinery the whole paper rests
+// on — promotions, the T1/T2 inactivity timers, fast dormancy, and what each
+// state costs. Prints a timeline like Fig. 1.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"eabrowse/internal/energy"
+	"eabrowse/internal/netsim"
+	"eabrowse/internal/rrc"
+	"eabrowse/internal/simtime"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	clock := simtime.NewClock()
+	radio, err := rrc.NewMachine(clock, rrc.DefaultConfig(), rrc.WithTransitionTrace())
+	if err != nil {
+		return err
+	}
+	link, err := netsim.NewLink(clock, radio, netsim.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	meter, err := energy.NewMeter(clock, energy.DefaultInterval, radio.RadioPower)
+	if err != nil {
+		return err
+	}
+	meter.Start()
+
+	// Scenario: 100 KB download, 6 s pause, a second download, then let the
+	// timers decay the radio; finally, a fast-dormancy release demo.
+	if err := link.Fetch("object-1", 100*1024, func() {
+		clock.After(6*time.Second, func() {
+			if err := link.Fetch("object-2", 50*1024, nil); err != nil {
+				log.Print(err)
+			}
+		})
+	}); err != nil {
+		return err
+	}
+	clock.RunUntil(40 * time.Second)
+
+	fmt.Println("state transitions:")
+	for _, tr := range radio.History() {
+		fmt.Printf("  %6.2fs  %-17v -> %v\n", tr.At.Seconds(), tr.From, tr.To)
+	}
+
+	fmt.Println("\npower trace (1 s resolution):")
+	for i, s := range meter.Samples() {
+		if i%4 != 0 {
+			continue
+		}
+		n := int(s.Watts / 2.0 * 40)
+		if n > 40 {
+			n = 40
+		}
+		fmt.Printf("  %5.1fs %s %.2f W\n", s.At.Seconds(), strings.Repeat("#", n), s.Watts)
+	}
+	meter.Stop()
+
+	fmt.Printf("\ncumulative energy: %.1f J; time in DCH %v, FACH %v, IDLE %v\n",
+		radio.EnergyJ(), radio.TimeIn(rrc.StateDCH).Round(time.Millisecond),
+		radio.TimeIn(rrc.StateFACH).Round(time.Millisecond),
+		radio.TimeIn(rrc.StateIdle).Round(time.Millisecond))
+
+	// Fast dormancy: what Section 4.4's RIL state switch does.
+	fmt.Println("\nfast dormancy demo: one more transfer, then force IDLE immediately")
+	before := radio.EnergyJ()
+	if err := link.Fetch("object-3", 20*1024, func() {
+		if err := radio.ForceIdle(); err != nil {
+			log.Print(err)
+		}
+	}); err != nil {
+		return err
+	}
+	clock.RunFor(20 * time.Second)
+	fmt.Printf("radio is now %v; the transfer plus 20 s window cost %.1f J "+
+		"(the timers would have burned the full DCH+FACH tail instead)\n",
+		radio.State(), radio.EnergyJ()-before)
+	return nil
+}

@@ -1,0 +1,3 @@
+module eabrowse
+
+go 1.22

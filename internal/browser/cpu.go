@@ -1,0 +1,143 @@
+package browser
+
+import (
+	"time"
+
+	"eabrowse/internal/simtime"
+)
+
+// priority selects one of the CPU's two run queues. The energy-aware
+// pipeline puts data-transmission computation (scanning, script execution)
+// on the high queue and layout computation on the low queue, which is
+// exactly the paper's reordering: discovery work always runs before deferred
+// layout work.
+type priority int
+
+const (
+	prioHigh priority = iota + 1
+	prioLow
+)
+
+// cpuTask is one unit of simulated browser computation. The cost is
+// evaluated when the task starts, so costs may depend on state built by
+// earlier tasks (e.g. styling cost depends on the final DOM size).
+type cpuTask struct {
+	cost func() time.Duration
+	fn   func()
+}
+
+// cpu is the single-threaded browser CPU: a non-preemptive two-level
+// priority queue of tasks, with busy-time energy accounting.
+type cpu struct {
+	clock *simtime.Clock
+	watts float64
+
+	high []cpuTask
+	low  []cpuTask
+
+	busy        bool
+	runningHigh bool
+	busyStart   time.Duration
+	busyTotal   time.Duration
+
+	// onIdle fires whenever the CPU drains both queues.
+	onIdle func()
+}
+
+func newCPU(clock *simtime.Clock, watts float64) *cpu {
+	return &cpu{clock: clock, watts: watts}
+}
+
+// exec enqueues a task with a fixed cost.
+func (c *cpu) exec(p priority, cost time.Duration, fn func()) {
+	c.execLazy(p, func() time.Duration { return cost }, fn)
+}
+
+// execLazy enqueues a task whose cost is computed when it starts.
+func (c *cpu) execLazy(p priority, cost func() time.Duration, fn func()) {
+	t := cpuTask{cost: cost, fn: fn}
+	if p == prioHigh {
+		c.high = append(c.high, t)
+	} else {
+		c.low = append(c.low, t)
+	}
+	c.pump()
+}
+
+func (c *cpu) pump() {
+	if c.busy {
+		return
+	}
+	var t cpuTask
+	fromHigh := false
+	switch {
+	case len(c.high) > 0:
+		t = c.high[0]
+		c.high = c.high[1:]
+		fromHigh = true
+	case len(c.low) > 0:
+		t = c.low[0]
+		c.low = c.low[1:]
+	default:
+		if c.onIdle != nil {
+			c.onIdle()
+		}
+		return
+	}
+	c.busy = true
+	c.runningHigh = fromHigh
+	c.busyStart = c.clock.Now()
+	d := t.cost()
+	if d < 0 {
+		d = 0
+	}
+	c.clock.After(d, func() {
+		c.busyTotal += c.clock.Now() - c.busyStart
+		c.busy = false
+		c.runningHigh = false
+		if t.fn != nil {
+			t.fn()
+		}
+		c.pump()
+	})
+}
+
+// idle reports whether the CPU has no running or queued work.
+func (c *cpu) idle() bool {
+	return !c.busy && len(c.high) == 0 && len(c.low) == 0
+}
+
+// highIdle reports whether no high-priority (discovery) work is running or
+// queued. A running low-priority task does not count.
+func (c *cpu) highIdle() bool {
+	if len(c.high) > 0 {
+		return false
+	}
+	return !c.busy || !c.runningHigh
+}
+
+// Power returns the CPU's instantaneous extra power draw in watts.
+func (c *cpu) Power() float64 {
+	if c.busy {
+		return c.watts
+	}
+	return 0
+}
+
+// EnergyJ returns CPU energy consumed so far, in Joules.
+func (c *cpu) EnergyJ() float64 {
+	busy := c.busyTotal
+	if c.busy {
+		busy += c.clock.Now() - c.busyStart
+	}
+	return c.watts * busy.Seconds()
+}
+
+// BusyTime returns total CPU busy time so far.
+func (c *cpu) BusyTime() time.Duration {
+	busy := c.busyTotal
+	if c.busy {
+		busy += c.clock.Now() - c.busyStart
+	}
+	return busy
+}

@@ -1,0 +1,306 @@
+package browser
+
+import (
+	"time"
+
+	"eabrowse/internal/cssscan"
+	"eabrowse/internal/ril"
+	"eabrowse/internal/rrc"
+	"eabrowse/internal/webpage"
+)
+
+// The energy-aware pipeline (Section 4.1-4.2): run every computation that
+// can generate data transmissions first — scan HTML and CSS for references,
+// execute scripts in document order — issuing fetches as early as possible
+// so transfers group together. HTML is still parsed into the DOM (scripts
+// may need it), but as lower-priority work that never delays discovery.
+// Layout computation (CSS rule extraction, image decoding, style formatting,
+// layout calculation, rendering) is deferred until the last byte arrived;
+// the radio is forced dormant right after data transmission ends. One cheap
+// text-only intermediate display is drawn after a third of the main document
+// has been scanned (full-version pages only).
+
+// eaRunDoc scans one document stream chunk by chunk; closeUnit is called
+// when the whole stream has been scanned (parse tasks may still be queued at
+// low priority — they are layout-side work and do not hold up discovery).
+func (e *Engine) eaRunDoc(ds *docStream, isMain bool, closeUnit func()) {
+	e.eaStep(ds, 0, isMain, closeUnit)
+}
+
+func (e *Engine) eaStep(ds *docStream, i int, isMain bool, closeUnit func()) {
+	if i >= len(ds.items) {
+		closeUnit()
+		return
+	}
+
+	chunkBytes := 0
+	chunkNodes := 0
+	var fetchables []item
+	var scriptURLs []string
+	var inlineBodies []string
+	anchors := 0
+	j := i
+	for ; j < len(ds.items); j++ {
+		it := ds.items[j]
+		chunkBytes += it.bytes
+		chunkNodes += it.nodes
+		switch it.kind {
+		case itemImage, itemCSS, itemSubdoc, itemFlash:
+			fetchables = append(fetchables, it)
+		case itemScript:
+			scriptURLs = append(scriptURLs, it.url)
+		case itemInlineScript:
+			inlineBodies = append(inlineBodies, it.body)
+		case itemAnchor:
+			anchors++
+		}
+		if chunkBytes >= e.cost.ChunkBytes {
+			j++
+			break
+		}
+	}
+	next := j
+
+	scanCost := perKB(e.cost.ScanHTMLPerKB, chunkBytes)
+	e.cpu.exec(prioHigh, scanCost, func() {
+		for k := 0; k < anchors; k++ {
+			e.countAnchor()
+		}
+		// Discovery first: issue every fetch found in this chunk.
+		for _, it := range fetchables {
+			e.eaFetchObject(it)
+		}
+		// Scripts are registered in document order; execution happens as
+		// soon as each is available and all earlier ones have run.
+		for _, u := range scriptURLs {
+			e.eaRegisterExternalScript(u)
+		}
+		for _, body := range inlineBodies {
+			e.eaRegisterInlineScript(body)
+		}
+		// The DOM parse of this chunk is deferred work: it must happen
+		// before scripts use the DOM and before layout, but it never blocks
+		// discovery. Low priority keeps it behind all discovery tasks.
+		e.cpu.exec(prioLow, perKB(e.cost.ParseHTMLPerKB, chunkBytes), func() {
+			e.domNodes += chunkNodes
+		})
+
+		if isMain {
+			e.scannedMainBytes += chunkBytes
+			e.eaMaybeSimpleDisplay(ds)
+		}
+		e.eaStep(ds, next, isMain, closeUnit)
+	})
+}
+
+// eaMaybeSimpleDisplay draws the low-overhead text-only intermediate display
+// once a third of the main document has been scanned (Section 4.2). Mobile
+// pages skip it: their load is short enough that only the final display is
+// drawn.
+func (e *Engine) eaMaybeSimpleDisplay(ds *docStream) {
+	if e.simpleDrawn || e.page.Mobile {
+		return
+	}
+	if e.scannedMainBytes*3 < ds.totalSize {
+		return
+	}
+	e.simpleDrawn = true
+	scanned := e.scannedMainBytes
+	e.cpu.execLazy(prioHigh, func() time.Duration {
+		// Cost scales with the content scanned so far; the display needs no
+		// CSS rules, styles or images.
+		nodes := estimateNodes(ds, scanned)
+		return perNode(e.cost.SimpleDisplayPerNode, nodes)
+	}, func() {
+		if e.res.FirstDisplayAt == 0 {
+			e.res.FirstDisplayAt = e.since(e.clock.Now())
+			e.logEvent(EventFirstDisplay, "simplified")
+		}
+	})
+}
+
+// estimateNodes counts the nodes within the first scannedBytes of a stream.
+func estimateNodes(ds *docStream, scannedBytes int) int {
+	nodes := 0
+	seen := 0
+	for _, it := range ds.items {
+		if seen >= scannedBytes {
+			break
+		}
+		seen += it.bytes
+		nodes += it.nodes
+	}
+	return nodes
+}
+
+// eaFetchObject fetches a non-script object. During the transmission phase
+// nothing but discovery work happens on arrival: CSS is scanned for more
+// references, images and flash are stored in memory undecoded, subdocuments
+// are scanned recursively.
+func (e *Engine) eaFetchObject(it item) {
+	switch it.kind {
+	case itemImage, itemFlash:
+		e.fetch(it.url, func(res *webpage.Resource, closeUnit func()) {
+			e.pendingImages = append(e.pendingImages, res)
+			closeUnit()
+		})
+	case itemCSS:
+		e.fetch(it.url, func(res *webpage.Resource, closeUnit func()) {
+			scan := perKB(e.cost.ScanCSSPerKB, res.Bytes)
+			e.cpu.exec(prioHigh, scan, func() {
+				refs, _ := cssscan.ScanRefs(res.Body)
+				for _, u := range refs {
+					e.eaFetchObject(item{kind: itemImage, url: u})
+				}
+				e.pendingCSS = append(e.pendingCSS, res)
+				closeUnit()
+			})
+		})
+	case itemSubdoc:
+		e.fetch(it.url, func(res *webpage.Resource, closeUnit func()) {
+			e.eaRunDoc(buildStream(res.Body), false, closeUnit)
+		})
+	}
+}
+
+// eaRegisterExternalScript queues a script for in-order execution and
+// fetches it.
+func (e *Engine) eaRegisterExternalScript(url string) {
+	if e.fetched[url] {
+		return
+	}
+	slot := &scriptSlot{url: url}
+	e.scripts = append(e.scripts, slot)
+	e.fetch(url, func(res *webpage.Resource, closeUnit func()) {
+		slot.body = res.Body
+		slot.ready = true
+		slot.close = closeUnit
+		e.eaPumpScripts()
+	})
+}
+
+// eaRegisterInlineScript queues an inline script (body already available).
+func (e *Engine) eaRegisterInlineScript(body string) {
+	slot := &scriptSlot{body: body, ready: true, inline: true, close: e.openUnit()}
+	e.scripts = append(e.scripts, slot)
+	e.eaPumpScripts()
+}
+
+// eaPumpScripts executes ready scripts in document order, one at a time.
+func (e *Engine) eaPumpScripts() {
+	if e.scriptRunning || e.nextScript >= len(e.scripts) {
+		return
+	}
+	slot := e.scripts[e.nextScript]
+	if !slot.ready {
+		return
+	}
+	e.scriptRunning = true
+	e.nextScript++
+	eff, cost := e.runScript(slot.body)
+	e.cpu.exec(prioHigh, cost, func() {
+		e.res.JSRunTime += cost
+		e.logEvent(EventScriptExecuted, scriptDetail(slot))
+		for _, u := range eff.Fetches {
+			e.eaFetchObject(item{kind: itemImage, url: u})
+		}
+		if eff.HTML != "" {
+			frag := buildStream(eff.HTML)
+			unit := e.openUnit()
+			e.eaRunDoc(frag, false, unit)
+		}
+		slot.close()
+		e.scriptRunning = false
+		e.eaPumpScripts()
+	})
+}
+
+// eaTransmissionDone fires when the last discovery obligation closed: every
+// object is on the device. The radio can be released and layout can start.
+func (e *Engine) eaTransmissionDone() {
+	if e.transmissionOver {
+		return
+	}
+	e.transmissionOver = true
+	e.logEvent(EventTransmissionDone, "")
+
+	if e.onTransmissionDone != nil {
+		e.onTransmissionDone()
+	} else if e.autoDormancy {
+		e.clock.After(e.dormancyGuard, func() { e.forceDormant() })
+	}
+
+	e.eaLayoutPhase()
+}
+
+// ForceDormantNow releases the radio immediately (used by policies driving
+// the engine through WithTransmissionDoneHook).
+func (e *Engine) ForceDormantNow() error {
+	return e.forceDormant()
+}
+
+func (e *Engine) forceDormant() error {
+	if e.radioIface != nil {
+		// Through the RIL: asynchronous, with retry on BUSY (a transfer may
+		// have started between the decision and the daemon executing it).
+		res := e.res
+		e.radioIface.ForceDormancyWithRetry(3, 500*time.Millisecond, func(resp ril.Response) {
+			if resp.Status == ril.StatusOK && res != nil && res.DormantAt == 0 {
+				res.DormantAt = e.since(e.clock.Now())
+				e.logEvent(EventDormant, "via RIL")
+			}
+		})
+		return nil
+	}
+	err := e.radio.ForceIdle()
+	if err != nil {
+		return err
+	}
+	if e.res != nil && e.res.DormantAt == 0 {
+		e.res.DormantAt = e.since(e.clock.Now())
+		e.logEvent(EventDormant, "")
+	}
+	return nil
+}
+
+// scriptDetail labels a script slot for the event log.
+func scriptDetail(slot *scriptSlot) string {
+	if slot.inline {
+		return "(inline script)"
+	}
+	return slot.url
+}
+
+// RadioState exposes the radio state (for policies and tests).
+func (e *Engine) RadioState() rrc.State {
+	return e.radio.State()
+}
+
+// eaLayoutPhase queues the deferred layout computation: parse all CSS,
+// decode all images, then style, lay out and render the page once. All
+// low-priority, so any remaining DOM parse tasks run first.
+func (e *Engine) eaLayoutPhase() {
+	for _, css := range e.pendingCSS {
+		res := css
+		e.cpu.exec(prioLow, perKB(e.cost.ParseCSSPerKB, res.Bytes), func() {
+			cssscan.Parse(res.Body)
+			e.cssApplied++
+		})
+	}
+	for _, img := range e.pendingImages {
+		res := img
+		e.cpu.exec(prioLow, perKB(e.cost.DecodeImagePerKB, res.Bytes), nil)
+	}
+	e.cpu.execLazy(prioLow, func() time.Duration {
+		return perNode(e.cost.StylePerNode, e.domNodes)
+	}, nil)
+	e.cpu.execLazy(prioLow, func() time.Duration {
+		return perNode(e.cost.LayoutPerNode, e.domNodes)
+	}, nil)
+	e.cpu.execLazy(prioLow, func() time.Duration {
+		return perNode(e.cost.RenderPerNode, e.domNodes)
+	}, func() {
+		e.res.Reflows++
+		e.finish()
+	})
+}

@@ -1,0 +1,366 @@
+package browser
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"eabrowse/internal/jsmini"
+	"eabrowse/internal/netsim"
+	"eabrowse/internal/ril"
+	"eabrowse/internal/rrc"
+	"eabrowse/internal/simtime"
+	"eabrowse/internal/webpage"
+)
+
+// DefaultDormancyGuard is how long after the last data transmission the
+// energy-aware pipeline waits before forcing the radio dormant. Fig. 9 shows
+// the paper's prototype dropping to IDLE ≈2.5 s after the final transfer.
+const DefaultDormancyGuard = 2500 * time.Millisecond
+
+// Engine loads webpages through one of the two pipelines. An Engine performs
+// one load at a time; construct it once per simulation scenario and reuse it
+// for sequential loads. Not safe for concurrent use.
+type Engine struct {
+	clock *simtime.Clock
+	radio *rrc.Machine
+	link  *netsim.Link
+	cost  CostModel
+	mode  Mode
+	cpu   *cpu
+
+	dormancyGuard      time.Duration
+	onTransmissionDone func()
+	autoDormancy       bool
+	radioIface         *ril.Interface
+	logEvents          bool
+
+	// Per-load state.
+	page     *webpage.Page
+	res      *Result
+	doneFn   func(*Result)
+	loading  bool
+	startAt  time.Duration
+	radioJ0  float64
+	cpuJ0    float64
+	openWork int
+
+	fetched    map[string]bool
+	cssApplied int
+	domNodes   int
+
+	// Energy-aware state.
+	scripts          []*scriptSlot
+	nextScript       int
+	scriptRunning    bool
+	pendingCSS       []*webpage.Resource
+	pendingImages    []*webpage.Resource
+	scannedMainBytes int
+	simpleDrawn      bool
+	transmissionOver bool
+}
+
+type scriptSlot struct {
+	url    string
+	body   string
+	ready  bool
+	inline bool
+	close  func()
+}
+
+// Option configures an Engine.
+type Option interface {
+	apply(*Engine)
+}
+
+type optionFunc func(*Engine)
+
+func (f optionFunc) apply(e *Engine) { f(e) }
+
+// WithDormancyGuard overrides the delay between the end of data transmission
+// and the forced radio release (energy-aware pipeline).
+func WithDormancyGuard(d time.Duration) Option {
+	return optionFunc(func(e *Engine) { e.dormancyGuard = d })
+}
+
+// WithTransmissionDoneHook replaces the engine's default dormancy behaviour:
+// fn is invoked when the data-transmission phase completes and the caller
+// (e.g. the Algorithm 2 policy) decides if and when to force dormancy.
+func WithTransmissionDoneHook(fn func()) Option {
+	return optionFunc(func(e *Engine) {
+		e.onTransmissionDone = fn
+		e.autoDormancy = false
+	})
+}
+
+// WithoutAutoDormancy keeps the energy-aware computation reordering but
+// disables the automatic radio release (used by ablation experiments).
+func WithoutAutoDormancy() Option {
+	return optionFunc(func(e *Engine) { e.autoDormancy = false })
+}
+
+// WithEventLog records the load timeline (object arrivals, script
+// executions, displays) into Result.Events.
+func WithEventLog() Option {
+	return optionFunc(func(e *Engine) { e.logEvents = true })
+}
+
+// WithRIL routes dormancy requests through a Radio Interface Layer endpoint
+// (Section 4.4) instead of touching the radio directly. The request becomes
+// an asynchronous message with hop latency and can come back BUSY, in which
+// case the engine retries briefly — the behaviour an application-layer
+// implementation on a closed firmware has to adopt.
+func WithRIL(iface *ril.Interface) Option {
+	return optionFunc(func(e *Engine) { e.radioIface = iface })
+}
+
+// NewEngine builds an engine over the given simulated radio and link.
+func NewEngine(clock *simtime.Clock, radio *rrc.Machine, link *netsim.Link,
+	cost CostModel, mode Mode, opts ...Option) (*Engine, error) {
+	if clock == nil || radio == nil || link == nil {
+		return nil, errors.New("browser: nil clock, radio or link")
+	}
+	if err := cost.Validate(); err != nil {
+		return nil, err
+	}
+	if mode != ModeOriginal && mode != ModeEnergyAware {
+		return nil, fmt.Errorf("browser: unknown mode %d", int(mode))
+	}
+	e := &Engine{
+		clock:         clock,
+		radio:         radio,
+		link:          link,
+		cost:          cost,
+		mode:          mode,
+		cpu:           newCPU(clock, cost.CPUActiveWatts),
+		dormancyGuard: DefaultDormancyGuard,
+		autoDormancy:  mode == ModeEnergyAware,
+	}
+	for _, o := range opts {
+		o.apply(e)
+	}
+	return e, nil
+}
+
+// Mode returns the engine's pipeline.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// CPUPower returns the instantaneous extra CPU power, for metering.
+func (e *Engine) CPUPower() float64 { return e.cpu.Power() }
+
+// Loading reports whether a load is in progress.
+func (e *Engine) Loading() bool { return e.loading }
+
+// Load starts loading page; done is invoked (via the clock) when the final
+// display is on screen. Drive the simulation clock to make progress.
+func (e *Engine) Load(page *webpage.Page, done func(*Result)) error {
+	if e.loading {
+		return errors.New("browser: load already in progress")
+	}
+	if page == nil || page.Main() == nil {
+		return errors.New("browser: page has no main document")
+	}
+	e.page = page
+	e.doneFn = done
+	e.loading = true
+	e.startAt = e.clock.Now()
+	e.radioJ0 = e.radio.EnergyJ()
+	e.cpuJ0 = e.cpu.EnergyJ()
+	e.openWork = 0
+	e.fetched = make(map[string]bool, page.ResourceCount())
+	e.cssApplied = 0
+	e.domNodes = 0
+	e.scripts = nil
+	e.nextScript = 0
+	e.scriptRunning = false
+	e.pendingCSS = nil
+	e.pendingImages = nil
+	e.scannedMainBytes = 0
+	e.simpleDrawn = false
+	e.transmissionOver = false
+	e.res = &Result{PageName: page.Name, Mode: e.mode, Mobile: page.Mobile}
+
+	e.fetch(page.MainURL, func(res *webpage.Resource, closeUnit func()) {
+		ds := buildStream(res.Body)
+		e.res.PageHeightPX = ds.heightPX
+		e.res.PageWidthPX = ds.widthPX
+		switch e.mode {
+		case ModeOriginal:
+			e.origRunDoc(ds, closeUnit)
+		case ModeEnergyAware:
+			e.eaRunDoc(ds, true, closeUnit)
+		}
+	})
+	return nil
+}
+
+// since converts an absolute clock time into load-relative time.
+func (e *Engine) since(at time.Duration) time.Duration {
+	return at - e.startAt
+}
+
+// fetch requests url once; onArrive runs when the object has fully arrived
+// and must eventually call its closeUnit exactly once.
+func (e *Engine) fetch(url string, onArrive func(res *webpage.Resource, closeUnit func())) {
+	if e.fetched[url] {
+		return
+	}
+	e.fetched[url] = true
+	res, ok := e.page.Resource(url)
+	if !ok {
+		e.res.Missing404++
+		return
+	}
+	e.openWork++
+	err := e.link.Fetch(url, res.Bytes, func() {
+		e.recordArrival(res)
+		onArrive(res, e.closeUnit)
+	})
+	if err != nil {
+		// Zero-size resources cannot exist in generated pages; account and
+		// fail the unit rather than wedging the load.
+		e.res.Missing404++
+		e.closeUnit()
+	}
+}
+
+// openUnit registers a unit of outstanding discovery work not tied to a
+// fetch (e.g. a pending inline script).
+func (e *Engine) openUnit() func() {
+	e.openWork++
+	return e.closeUnit
+}
+
+func (e *Engine) closeUnit() {
+	e.openWork--
+	if e.openWork < 0 {
+		panic("browser: openWork underflow (closeUnit called twice)")
+	}
+	if e.openWork == 0 {
+		e.discoveryDone()
+	}
+}
+
+// logEvent appends a timeline entry when event logging is on.
+func (e *Engine) logEvent(kind EventKind, detail string) {
+	if !e.logEvents || e.res == nil {
+		return
+	}
+	e.res.Events = append(e.res.Events, LoadEvent{
+		At:     e.since(e.clock.Now()),
+		Kind:   kind,
+		Detail: detail,
+	})
+}
+
+func (e *Engine) recordArrival(res *webpage.Resource) {
+	e.logEvent(EventObjectArrived, res.URL)
+	e.res.Objects++
+	e.res.BytesDown += res.Bytes
+	switch res.Type {
+	case webpage.TypeJS:
+		e.res.JSFiles++
+		e.res.PageSizeBytes += res.Bytes
+	case webpage.TypeImage:
+		e.res.Images++
+		e.res.ImageBytes += res.Bytes
+	case webpage.TypeCSS:
+		e.res.CSSFiles++
+		e.res.PageSizeBytes += res.Bytes
+	case webpage.TypeHTML:
+		e.res.PageSizeBytes += res.Bytes
+	case webpage.TypeFlash:
+		e.res.ImageBytes += res.Bytes
+	}
+}
+
+// discoveryDone fires when no outstanding fetches or discovery work remain.
+func (e *Engine) discoveryDone() {
+	if !e.loading {
+		return
+	}
+	switch e.mode {
+	case ModeOriginal:
+		e.logEvent(EventTransmissionDone, "")
+		// One final reflow puts the complete page on screen.
+		e.scheduleReflow(func() { e.finish() })
+	case ModeEnergyAware:
+		e.eaTransmissionDone()
+	}
+}
+
+// runScript evaluates a script body (real execution via jsmini) and returns
+// its effects plus the simulated cost. Broken scripts cost their parse time
+// but have no effects, like a browser swallowing a script error.
+func (e *Engine) runScript(body string) (*jsmini.Effects, time.Duration) {
+	cost := perKB(e.cost.ExecJSPerKB, len(body))
+	eff, err := jsmini.Run(body)
+	if err != nil {
+		return &jsmini.Effects{}, cost
+	}
+	cost += time.Duration(eff.ComputeMillis * float64(e.cost.JSComputeUnit))
+	return eff, cost
+}
+
+// countAnchor records a secondary URL (Table 1 feature).
+func (e *Engine) countAnchor() {
+	e.res.SecondURLs++
+}
+
+// scheduleReflow enqueues a reflow (layout + render over the whole DOM) and
+// runs then when it completes.
+func (e *Engine) scheduleReflow(then func()) {
+	e.cpu.execLazy(prioHigh, func() time.Duration {
+		return perNode(e.cost.LayoutPerNode+e.cost.RenderPerNode, e.domNodes)
+	}, func() {
+		e.res.Reflows++
+		e.maybeFirstDisplay()
+		if then != nil {
+			then()
+		}
+	})
+}
+
+// scheduleRedraw enqueues a redraw (search all nodes, repaint).
+func (e *Engine) scheduleRedraw(then func()) {
+	e.cpu.execLazy(prioHigh, func() time.Duration {
+		return perNode(e.cost.RedrawPerNode, e.domNodes)
+	}, func() {
+		e.res.Redraws++
+		if then != nil {
+			then()
+		}
+	})
+}
+
+// maybeFirstDisplay records the first useful intermediate display of the
+// original pipeline: a reflow that had both content and style to show.
+func (e *Engine) maybeFirstDisplay() {
+	if e.res.FirstDisplayAt == 0 && e.cssApplied > 0 && e.domNodes > 0 {
+		e.res.FirstDisplayAt = e.since(e.clock.Now())
+		e.logEvent(EventFirstDisplay, "")
+	}
+}
+
+// finish closes out the load and reports the result.
+func (e *Engine) finish() {
+	if !e.loading {
+		return
+	}
+	e.loading = false
+	now := e.clock.Now()
+	e.res.FinalDisplayAt = e.since(now)
+	e.logEvent(EventFinalDisplay, "")
+	if start, end, ok := e.link.TransmissionWindow(); ok {
+		_ = start
+		e.res.TransmissionTime = e.since(end)
+	}
+	e.res.DOMNodes = e.domNodes
+	e.res.RadioEnergyJ = e.radio.EnergyJ() - e.radioJ0
+	e.res.CPUEnergyJ = e.cpu.EnergyJ() - e.cpuJ0
+	if e.doneFn != nil {
+		done := e.doneFn
+		res := e.res
+		e.clock.After(0, func() { done(res) })
+	}
+}

@@ -1,0 +1,136 @@
+package browser
+
+import (
+	"strconv"
+	"strings"
+
+	"eabrowse/internal/htmlscan"
+)
+
+// itemKind classifies one unit of a document stream.
+type itemKind int
+
+const (
+	itemMarkup itemKind = iota + 1 // text or plain element: contributes nodes
+	itemImage
+	itemCSS
+	itemScript // external script reference
+	itemInlineScript
+	itemSubdoc
+	itemFlash
+	itemAnchor
+)
+
+// item is one unit of a parsed document stream, in source order. The
+// simulated pipelines consume items incrementally: bytes drive parse/scan
+// cost, nodes grow the DOM, refs trigger fetches, scripts suspend or enqueue
+// execution.
+type item struct {
+	kind  itemKind
+	url   string
+	body  string // inline script body
+	bytes int    // source bytes attributed to this item
+	nodes int    // DOM nodes contributed
+}
+
+// docStream is the pre-tokenized form of one HTML document.
+type docStream struct {
+	items     []item
+	totalSize int
+	// heightPX/widthPX are the page geometry advertised on the body tag
+	// (Table 1 features).
+	heightPX int
+	widthPX  int
+}
+
+// buildStream tokenizes an HTML source into a document stream. Byte
+// attribution: each item owns the source bytes from its own offset up to the
+// next event's offset, so the per-item byte counts always sum to len(src).
+func buildStream(src string) *docStream {
+	ds := &docStream{totalSize: len(src)}
+	type rawEvent struct {
+		ev  htmlscan.Event
+		off int
+	}
+	var events []rawEvent
+	htmlscan.Stream(src, func(ev htmlscan.Event) {
+		events = append(events, rawEvent{ev: ev, off: ev.Off})
+	})
+
+	for idx, re := range events {
+		end := len(src)
+		if idx+1 < len(events) {
+			end = events[idx+1].off
+		}
+		bytes := end - re.off
+		if bytes < 0 {
+			bytes = 0
+		}
+		ev := re.ev
+		switch ev.Kind {
+		case htmlscan.EventText:
+			ds.append(item{kind: itemMarkup, bytes: bytes, nodes: 1})
+		case htmlscan.EventEnd:
+			ds.append(item{kind: itemMarkup, bytes: bytes})
+		case htmlscan.EventScriptBody:
+			// Only a non-empty <script> body is an inline script; the raw
+			// text of a <script src=...></script> element is empty.
+			if ev.Tag == "script" && strings.TrimSpace(ev.Text) != "" {
+				ds.append(item{kind: itemInlineScript, body: ev.Text, bytes: bytes})
+			} else {
+				ds.append(item{kind: itemMarkup, bytes: bytes})
+			}
+		case htmlscan.EventStart:
+			if ev.Tag == "body" {
+				ds.heightPX = atoiAttr(ev.Attrs, "data-height")
+				ds.widthPX = atoiAttr(ev.Attrs, "data-width")
+			}
+			if ev.Ref == nil {
+				ds.append(item{kind: itemMarkup, bytes: bytes, nodes: 1})
+				break
+			}
+			switch ev.Ref.Kind {
+			case htmlscan.RefImage:
+				ds.append(item{kind: itemImage, url: ev.Ref.URL, bytes: bytes, nodes: 1})
+			case htmlscan.RefStylesheet:
+				ds.append(item{kind: itemCSS, url: ev.Ref.URL, bytes: bytes, nodes: 1})
+			case htmlscan.RefScript:
+				ds.append(item{kind: itemScript, url: ev.Ref.URL, bytes: bytes, nodes: 1})
+			case htmlscan.RefSubdocument:
+				ds.append(item{kind: itemSubdoc, url: ev.Ref.URL, bytes: bytes, nodes: 1})
+			case htmlscan.RefFlash:
+				ds.append(item{kind: itemFlash, url: ev.Ref.URL, bytes: bytes, nodes: 1})
+			case htmlscan.RefAnchor:
+				ds.append(item{kind: itemAnchor, url: ev.Ref.URL, bytes: bytes, nodes: 1})
+			default:
+				ds.append(item{kind: itemMarkup, bytes: bytes, nodes: 1})
+			}
+		}
+	}
+	return ds
+}
+
+func (ds *docStream) append(it item) {
+	// Merge consecutive plain-markup items so chunking stays cheap.
+	if it.kind == itemMarkup && len(ds.items) > 0 {
+		last := &ds.items[len(ds.items)-1]
+		if last.kind == itemMarkup {
+			last.bytes += it.bytes
+			last.nodes += it.nodes
+			return
+		}
+	}
+	ds.items = append(ds.items, it)
+}
+
+func atoiAttr(attrs map[string]string, key string) int {
+	v, ok := attrs[key]
+	if !ok {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0
+	}
+	return n
+}

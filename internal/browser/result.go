@@ -1,0 +1,139 @@
+package browser
+
+import (
+	"fmt"
+	"time"
+)
+
+// Mode selects a loading pipeline.
+type Mode int
+
+const (
+	// ModeOriginal is the stock pipeline: data-transmission and layout
+	// computation interleaved, intermediate displays redrawn frequently.
+	ModeOriginal Mode = iota + 1
+	// ModeEnergyAware is the paper's reordered pipeline.
+	ModeEnergyAware
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeOriginal:
+		return "original"
+	case ModeEnergyAware:
+		return "energy-aware"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Result summarizes one page load. Durations are measured from the moment
+// Load was called.
+type Result struct {
+	PageName string
+	Mode     Mode
+	Mobile   bool
+
+	// TransmissionTime is the paper's "data transmission time": the time at
+	// which the last byte of the last object arrived.
+	TransmissionTime time.Duration
+	// FirstDisplayAt is when the first intermediate display appeared
+	// (zero if the pipeline drew only the final display).
+	FirstDisplayAt time.Duration
+	// FinalDisplayAt is when the complete page was on screen (the webpage
+	// loading time).
+	FinalDisplayAt time.Duration
+	// DormantAt is when the radio was forced to IDLE (energy-aware pipeline
+	// only; zero otherwise).
+	DormantAt time.Duration
+
+	// DOM and object statistics (Table 1 features among them).
+	DOMNodes   int
+	Objects    int // downloaded objects, including the main document
+	JSFiles    int
+	Images     int
+	CSSFiles   int
+	BytesDown  int
+	ImageBytes int
+	// PageSizeBytes is the webpage size without figures (Table 1).
+	PageSizeBytes int
+	JSRunTime     time.Duration
+	SecondURLs    int
+	PageHeightPX  int
+	PageWidthPX   int
+
+	// Pipeline-behaviour counters.
+	Reflows    int
+	Redraws    int
+	Missing404 int
+
+	// Energy over the load window (start → FinalDisplayAt).
+	CPUEnergyJ   float64
+	RadioEnergyJ float64
+
+	// Events is the load timeline (object arrivals, script executions,
+	// displays, phase boundaries), in order. Populated only when the engine
+	// was built WithEventLog.
+	Events []LoadEvent
+}
+
+// LoadEvent is one entry of the load timeline.
+type LoadEvent struct {
+	At   time.Duration
+	Kind EventKind
+	// Detail names the object or script involved, when applicable.
+	Detail string
+}
+
+// EventKind classifies a load-timeline entry.
+type EventKind int
+
+const (
+	// EventObjectArrived: the last byte of an object arrived.
+	EventObjectArrived EventKind = iota + 1
+	// EventScriptExecuted: a script finished executing.
+	EventScriptExecuted
+	// EventFirstDisplay: the intermediate display appeared.
+	EventFirstDisplay
+	// EventTransmissionDone: the data-transmission phase ended.
+	EventTransmissionDone
+	// EventDormant: the radio was forced to IDLE.
+	EventDormant
+	// EventFinalDisplay: the complete page was on screen.
+	EventFinalDisplay
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventObjectArrived:
+		return "object-arrived"
+	case EventScriptExecuted:
+		return "script-executed"
+	case EventFirstDisplay:
+		return "first-display"
+	case EventTransmissionDone:
+		return "transmission-done"
+	case EventDormant:
+		return "radio-dormant"
+	case EventFinalDisplay:
+		return "final-display"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// TotalEnergyJ is radio plus CPU energy over the load.
+func (r *Result) TotalEnergyJ() float64 {
+	return r.CPUEnergyJ + r.RadioEnergyJ
+}
+
+// LayoutTime is the part of the load spent after the last byte arrived —
+// the visible "layout computation time" bar of Fig. 8.
+func (r *Result) LayoutTime() time.Duration {
+	if r.FinalDisplayAt <= r.TransmissionTime {
+		return 0
+	}
+	return r.FinalDisplayAt - r.TransmissionTime
+}

@@ -1,0 +1,176 @@
+// Package cssscan implements the two CSS operations of Section 4.1: a cheap
+// *scan* that only extracts fetchable references (url(...) values and
+// @import targets) and a full *parse* that extracts style rules.
+//
+// The energy-aware browser only scans stylesheets during the data
+// transmission phase — extracting the rules is exactly the expensive work
+// the paper defers to the layout phase ("since the CSS file is large and
+// complex, it takes a lot of processing time to extract the rules").
+package cssscan
+
+import (
+	"strings"
+)
+
+// Stylesheet is the result of fully parsing CSS source.
+type Stylesheet struct {
+	// Rules is the number of style rules (selector blocks).
+	Rules int
+	// Declarations is the total number of property declarations.
+	Declarations int
+	// Refs lists referenced URLs (images, imported sheets) in order.
+	Refs []string
+	// Imports lists @import targets (a subset of Refs).
+	Imports []string
+}
+
+// ScanRefs extracts every url(...) and @import reference from src without
+// building rules. This is the energy-aware browser's cheap pass; it must
+// find exactly the same references as Parse.
+func ScanRefs(src string) (refs, imports []string) {
+	return extractRefs(src)
+}
+
+// Parse fully parses the stylesheet: rules and declarations are counted
+// (they drive the style-formatting cost model) and references extracted.
+func Parse(src string) *Stylesheet {
+	sheet := &Stylesheet{}
+	sheet.Refs, sheet.Imports = extractRefs(src)
+
+	depth := 0
+	decls := 0
+	inComment := false
+	var quote byte
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if inComment {
+			if c == '*' && i+1 < len(src) && src[i+1] == '/' {
+				inComment = false
+				i++
+			}
+			continue
+		}
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case '/':
+			if i+1 < len(src) && src[i+1] == '*' {
+				inComment = true
+				i++
+			}
+		case '"', '\'':
+			quote = c
+		case '{':
+			if depth == 0 {
+				sheet.Rules++
+			}
+			depth++
+		case '}':
+			if depth > 0 {
+				depth--
+			}
+		case ':':
+			if depth > 0 {
+				decls++
+			}
+		}
+	}
+	sheet.Declarations = decls
+	return sheet
+}
+
+// extractRefs finds url(...) values and @import "..." / @import url(...)
+// targets, skipping comments and respecting quotes.
+func extractRefs(src string) (refs, imports []string) {
+	lower := strings.ToLower(src)
+	i := 0
+	for i < len(src) {
+		if strings.HasPrefix(lower[i:], "/*") {
+			end := strings.Index(lower[i+2:], "*/")
+			if end < 0 {
+				break
+			}
+			i += 2 + end + 2
+			continue
+		}
+		if strings.HasPrefix(lower[i:], "url(") {
+			u, next := readURLParen(src, i+4)
+			if u != "" {
+				refs = append(refs, u)
+			}
+			i = next
+			continue
+		}
+		if strings.HasPrefix(lower[i:], "@import") {
+			j := i + len("@import")
+			for j < len(src) && isCSSSpace(src[j]) {
+				j++
+			}
+			var u string
+			switch {
+			case strings.HasPrefix(lower[j:], "url("):
+				u, j = readURLParen(src, j+4)
+			case j < len(src) && (src[j] == '"' || src[j] == '\''):
+				u, j = readQuoted(src, j)
+			}
+			if u != "" {
+				refs = append(refs, u)
+				imports = append(imports, u)
+			}
+			i = j
+			continue
+		}
+		i++
+	}
+	return refs, imports
+}
+
+// readURLParen reads a url(...) body starting just past "url(".
+func readURLParen(src string, i int) (string, int) {
+	for i < len(src) && isCSSSpace(src[i]) {
+		i++
+	}
+	if i < len(src) && (src[i] == '"' || src[i] == '\'') {
+		u, next := readQuoted(src, i)
+		// Skip to the closing paren.
+		for next < len(src) && src[next] != ')' {
+			next++
+		}
+		if next < len(src) {
+			next++
+		}
+		return u, next
+	}
+	start := i
+	for i < len(src) && src[i] != ')' {
+		i++
+	}
+	u := strings.TrimSpace(src[start:i])
+	if i < len(src) {
+		i++
+	}
+	return u, i
+}
+
+// readQuoted reads a quoted string starting at the opening quote.
+func readQuoted(src string, i int) (string, int) {
+	quote := src[i]
+	i++
+	start := i
+	for i < len(src) && src[i] != quote {
+		i++
+	}
+	u := src[start:i]
+	if i < len(src) {
+		i++
+	}
+	return u, i
+}
+
+func isCSSSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r'
+}

@@ -1,0 +1,169 @@
+package cssscan
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseCountsRulesAndDeclarations(t *testing.T) {
+	src := `
+	body { margin: 0; padding: 0; }
+	.header { color: red; }
+	#main > p { font-size: 12px; line-height: 1.4; }
+	`
+	sheet := Parse(src)
+	if sheet.Rules != 3 {
+		t.Fatalf("Rules = %d, want 3", sheet.Rules)
+	}
+	if sheet.Declarations != 5 {
+		t.Fatalf("Declarations = %d, want 5", sheet.Declarations)
+	}
+}
+
+func TestNestedBlocksCountAsOneRule(t *testing.T) {
+	src := `@media screen { body { margin: 0; } p { color: red; } }`
+	sheet := Parse(src)
+	if sheet.Rules != 1 {
+		t.Fatalf("Rules = %d, want 1 (top-level @media block)", sheet.Rules)
+	}
+	if sheet.Declarations != 2 {
+		t.Fatalf("Declarations = %d, want 2", sheet.Declarations)
+	}
+}
+
+func TestURLExtraction(t *testing.T) {
+	src := `
+	body { background: url(bg.png); }
+	.a { background-image: url("quoted.png"); }
+	.b { background: url( 'spaced.png' ); }
+	`
+	refs, imports := ScanRefs(src)
+	want := []string{"bg.png", "quoted.png", "spaced.png"}
+	if len(refs) != len(want) {
+		t.Fatalf("refs = %v, want %v", refs, want)
+	}
+	for i := range want {
+		if refs[i] != want[i] {
+			t.Fatalf("refs = %v, want %v", refs, want)
+		}
+	}
+	if len(imports) != 0 {
+		t.Fatalf("imports = %v, want none", imports)
+	}
+}
+
+func TestImportForms(t *testing.T) {
+	src := `
+	@import "first.css";
+	@import url(second.css);
+	@import url("third.css");
+	body { margin: 0; }
+	`
+	refs, imports := ScanRefs(src)
+	wantImports := []string{"first.css", "second.css", "third.css"}
+	if len(imports) != len(wantImports) {
+		t.Fatalf("imports = %v, want %v", imports, wantImports)
+	}
+	for i := range wantImports {
+		if imports[i] != wantImports[i] {
+			t.Fatalf("imports = %v, want %v", imports, wantImports)
+		}
+	}
+	if len(refs) != 3 {
+		t.Fatalf("refs = %v, want 3 (imports are refs)", refs)
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	src := `/* url(hidden.png) @import "no.css" */ body { background: url(real.png); }`
+	refs, imports := ScanRefs(src)
+	if len(refs) != 1 || refs[0] != "real.png" {
+		t.Fatalf("refs = %v, want [real.png]", refs)
+	}
+	if len(imports) != 0 {
+		t.Fatalf("imports = %v, want none", imports)
+	}
+	sheet := Parse(src)
+	if sheet.Rules != 1 {
+		t.Fatalf("Rules = %d, want 1", sheet.Rules)
+	}
+}
+
+func TestQuotedBracesNotRules(t *testing.T) {
+	src := `.a { content: "{not a rule}"; }`
+	sheet := Parse(src)
+	if sheet.Rules != 1 {
+		t.Fatalf("Rules = %d, want 1", sheet.Rules)
+	}
+}
+
+func TestScanMatchesParseRefs(t *testing.T) {
+	src := `@import "a.css"; .x { background: url(b.png); } /* url(c.png) */`
+	refs, imports := ScanRefs(src)
+	sheet := Parse(src)
+	if len(refs) != len(sheet.Refs) {
+		t.Fatalf("scan refs %v != parse refs %v", refs, sheet.Refs)
+	}
+	for i := range refs {
+		if refs[i] != sheet.Refs[i] {
+			t.Fatalf("scan refs %v != parse refs %v", refs, sheet.Refs)
+		}
+	}
+	if len(imports) != len(sheet.Imports) {
+		t.Fatalf("scan imports %v != parse imports %v", imports, sheet.Imports)
+	}
+}
+
+func TestEmptyAndTruncatedInputs(t *testing.T) {
+	for _, src := range []string{"", "/*", "url(", `@import "x`, ".a {", "}"} {
+		sheet := Parse(src) // must not panic
+		if sheet == nil {
+			t.Fatalf("Parse(%q) returned nil", src)
+		}
+		ScanRefs(src)
+	}
+}
+
+func TestUppercaseURLAndImport(t *testing.T) {
+	refs, imports := ScanRefs(`@IMPORT "a.css"; .x { background: URL(b.png); }`)
+	if len(refs) != 2 {
+		t.Fatalf("refs = %v, want 2 (case-insensitive keywords)", refs)
+	}
+	if len(imports) != 1 {
+		t.Fatalf("imports = %v, want 1", imports)
+	}
+}
+
+// TestPropertyNeverPanics runs arbitrary bytes through the scanner and
+// parser.
+func TestPropertyNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		sheet := Parse(s)
+		refs, imports := ScanRefs(s)
+		return sheet != nil && sheet.Rules >= 0 && len(imports) <= len(refs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyScanParseAgree verifies the cheap scan and the full parse
+// always discover the same references.
+func TestPropertyScanParseAgree(t *testing.T) {
+	f := func(s string) bool {
+		refs, _ := ScanRefs(s)
+		sheet := Parse(s)
+		if len(refs) != len(sheet.Refs) {
+			return false
+		}
+		for i := range refs {
+			if refs[i] != sheet.Refs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

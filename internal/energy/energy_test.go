@@ -1,0 +1,172 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"eabrowse/internal/simtime"
+)
+
+func TestNewMeterValidation(t *testing.T) {
+	clock := simtime.NewClock()
+	if _, err := NewMeter(nil, 0, func() float64 { return 1 }); err == nil {
+		t.Fatal("NewMeter(nil clock) succeeded")
+	}
+	if _, err := NewMeter(clock, -time.Second, func() float64 { return 1 }); err == nil {
+		t.Fatal("NewMeter(negative interval) succeeded")
+	}
+	if _, err := NewMeter(clock, 0); err == nil {
+		t.Fatal("NewMeter(no sources) succeeded")
+	}
+}
+
+func TestDefaultInterval(t *testing.T) {
+	clock := simtime.NewClock()
+	m, err := NewMeter(clock, 0, func() float64 { return 1 })
+	if err != nil {
+		t.Fatalf("NewMeter: %v", err)
+	}
+	if m.Interval() != DefaultInterval {
+		t.Fatalf("Interval = %v, want %v", m.Interval(), DefaultInterval)
+	}
+}
+
+func TestSamplingCadence(t *testing.T) {
+	clock := simtime.NewClock()
+	m, err := NewMeter(clock, 250*time.Millisecond, func() float64 { return 2 })
+	if err != nil {
+		t.Fatalf("NewMeter: %v", err)
+	}
+	m.Start()
+	clock.RunUntil(time.Second)
+	m.Stop()
+	samples := m.Samples()
+	// Samples at 0, 0.25, 0.5, 0.75, 1.0.
+	if len(samples) != 5 {
+		t.Fatalf("got %d samples, want 5", len(samples))
+	}
+	for i, s := range samples {
+		wantAt := time.Duration(i) * 250 * time.Millisecond
+		if s.At != wantAt {
+			t.Fatalf("sample %d at %v, want %v", i, s.At, wantAt)
+		}
+		if s.Watts != 2 {
+			t.Fatalf("sample %d = %v W, want 2", i, s.Watts)
+		}
+	}
+}
+
+func TestStopPreventsFurtherSamples(t *testing.T) {
+	clock := simtime.NewClock()
+	m, err := NewMeter(clock, 100*time.Millisecond, func() float64 { return 1 })
+	if err != nil {
+		t.Fatalf("NewMeter: %v", err)
+	}
+	m.Start()
+	clock.RunUntil(300 * time.Millisecond)
+	m.Stop()
+	n := len(m.Samples())
+	clock.RunFor(time.Second)
+	if len(m.Samples()) != n {
+		t.Fatalf("samples grew after Stop: %d -> %d", n, len(m.Samples()))
+	}
+	if m.Running() {
+		t.Fatal("Running() = true after Stop")
+	}
+}
+
+func TestStartTwiceIsNoop(t *testing.T) {
+	clock := simtime.NewClock()
+	m, err := NewMeter(clock, 100*time.Millisecond, func() float64 { return 1 })
+	if err != nil {
+		t.Fatalf("NewMeter: %v", err)
+	}
+	m.Start()
+	m.Start()
+	clock.RunUntil(200 * time.Millisecond)
+	m.Stop()
+	// 0, 100ms, 200ms — not doubled.
+	if got := len(m.Samples()); got != 3 {
+		t.Fatalf("got %d samples, want 3", got)
+	}
+}
+
+func TestEnergyIntegration(t *testing.T) {
+	clock := simtime.NewClock()
+	power := 1.0
+	m, err := NewMeter(clock, 250*time.Millisecond, func() float64 { return power })
+	if err != nil {
+		t.Fatalf("NewMeter: %v", err)
+	}
+	m.Start()
+	clock.RunUntil(time.Second) // 1 W for 1 s
+	power = 3.0
+	clock.RunFor(time.Second) // 3 W for 1 s
+	m.Stop()
+	// RunUntil(1s) fires the 1.0 s sample before power changes, so samples
+	// read 1 W on [0,1.0] and 3 W on [1.25,2.0]. Rectangle rule holds each
+	// sample until the next: 1 W over [0,1.25) + 3 W over [1.25,2.0).
+	want := 1.0*1.25 + 3.0*0.75
+	if got := m.EnergyJ(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("EnergyJ = %v, want %v", got, want)
+	}
+}
+
+func TestEnergyNeedsTwoSamples(t *testing.T) {
+	clock := simtime.NewClock()
+	m, err := NewMeter(clock, 250*time.Millisecond, func() float64 { return 5 })
+	if err != nil {
+		t.Fatalf("NewMeter: %v", err)
+	}
+	if m.EnergyJ() != 0 {
+		t.Fatalf("EnergyJ with no samples = %v, want 0", m.EnergyJ())
+	}
+	m.Start()
+	m.Stop()
+	if m.EnergyJ() != 0 {
+		t.Fatalf("EnergyJ with one sample = %v, want 0", m.EnergyJ())
+	}
+}
+
+func TestMultipleSourcesSum(t *testing.T) {
+	clock := simtime.NewClock()
+	m, err := NewMeter(clock, 250*time.Millisecond,
+		func() float64 { return 0.15 },
+		func() float64 { return 0.45 },
+	)
+	if err != nil {
+		t.Fatalf("NewMeter: %v", err)
+	}
+	m.Start()
+	m.Stop()
+	samples := m.Samples()
+	if len(samples) != 1 {
+		t.Fatalf("got %d samples, want 1", len(samples))
+	}
+	if math.Abs(samples[0].Watts-0.6) > 1e-12 {
+		t.Fatalf("summed power = %v, want 0.6", samples[0].Watts)
+	}
+}
+
+func TestMeanPower(t *testing.T) {
+	clock := simtime.NewClock()
+	power := 2.0
+	m, err := NewMeter(clock, 500*time.Millisecond, func() float64 { return power })
+	if err != nil {
+		t.Fatalf("NewMeter: %v", err)
+	}
+	if m.MeanPower() != 0 {
+		t.Fatalf("MeanPower with no samples = %v, want 0", m.MeanPower())
+	}
+	m.Start()
+	clock.RunUntil(500 * time.Millisecond)
+	power = 4.0
+	clock.RunFor(time.Second)
+	m.Stop()
+	// RunUntil(0.5s) fires the 0.5 s sample before the power change, so the
+	// samples read 2 (t=0), 2 (t=0.5), 4 (t=1.0), 4 (t=1.5) -> mean 3.
+	if got := m.MeanPower(); math.Abs(got-3.0) > 1e-12 {
+		t.Fatalf("MeanPower = %v, want 3", got)
+	}
+}

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"eabrowse/internal/browser"
+	"eabrowse/internal/capacity"
+	"eabrowse/internal/gbrt"
+	"eabrowse/internal/policy"
+	"eabrowse/internal/predictor"
+	"eabrowse/internal/trace"
+	"eabrowse/internal/webpage"
+)
+
+// Fig11Curve is one pipeline's dropping-probability curve.
+type Fig11Curve struct {
+	Mode    browser.Mode
+	Users   []int
+	DropPct []float64
+	// SupportedAt2Pct is the largest population kept under 2% dropping.
+	SupportedAt2Pct int
+}
+
+// Fig11Bench is one benchmark's capacity comparison.
+type Fig11Bench struct {
+	Label           string
+	Original        Fig11Curve
+	Aware           Fig11Curve
+	CapacityGainPct float64
+}
+
+// Fig11Result holds both benchmarks (Fig. 11 a and b).
+type Fig11Result struct {
+	Mobile *Fig11Bench
+	Full   *Fig11Bench
+}
+
+// Fig11 reproduces Fig. 11: the M/G/200 Erlang-loss simulation fed with the
+// measured per-page data-transmission times of each pipeline. The paper
+// reports 14.3% more users on the mobile benchmark and 19.6% on the full
+// benchmark at equal dropping probability.
+func Fig11() (*Fig11Result, error) {
+	mobile, err := webpage.MobileBenchmark()
+	if err != nil {
+		return nil, err
+	}
+	full, err := webpage.FullBenchmark()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{}
+	if res.Mobile, err = fig11Bench("mobile benchmark", mobile,
+		[]int{300, 350, 400, 450, 500, 550, 600, 650, 700}); err != nil {
+		return nil, err
+	}
+	if res.Full, err = fig11Bench("full benchmark", full,
+		[]int{200, 220, 240, 260, 280, 300, 320, 340, 360}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func fig11Bench(label string, pages []*webpage.Page, sweep []int) (*Fig11Bench, error) {
+	bench := &Fig11Bench{Label: label}
+	cfg := capacity.DefaultConfig()
+	for _, mode := range []browser.Mode{browser.ModeOriginal, browser.ModeEnergyAware} {
+		service, err := transmissionTimes(pages, mode)
+		if err != nil {
+			return nil, err
+		}
+		curve := Fig11Curve{Mode: mode, Users: sweep}
+		results, err := capacity.Sweep(sweep, service, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range results {
+			curve.DropPct = append(curve.DropPct, r.DropPercent)
+		}
+		supported, err := capacity.SupportedUsers(service, 2, cfg)
+		if err != nil {
+			return nil, err
+		}
+		curve.SupportedAt2Pct = supported
+		if mode == browser.ModeOriginal {
+			bench.Original = curve
+		} else {
+			bench.Aware = curve
+		}
+	}
+	if bench.Original.SupportedAt2Pct > 0 {
+		bench.CapacityGainPct = float64(bench.Aware.SupportedAt2Pct-bench.Original.SupportedAt2Pct) /
+			float64(bench.Original.SupportedAt2Pct) * 100
+	}
+	return bench, nil
+}
+
+// transmissionTimes loads every page once under mode and collects the
+// per-page data-transmission times in seconds — the channel-hold times of
+// the capacity model.
+func transmissionTimes(pages []*webpage.Page, mode browser.Mode) ([]float64, error) {
+	out := make([]float64, 0, len(pages))
+	for _, p := range pages {
+		res, err := LoadPage(p, mode, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res.Result.TransmissionTime.Seconds())
+	}
+	return out, nil
+}
+
+// Fig15Result is the prediction-accuracy comparison of Fig. 15.
+type Fig15Result struct {
+	WithoutTp float64
+	WithoutTd float64
+	WithTp    float64
+	WithTd    float64
+	// Gains are the with-minus-without improvements (paper: ≥ 10 points).
+	GainTp     float64
+	GainTd     float64
+	TestVisits int
+}
+
+// Fig15 reproduces Fig. 15: GBRT accuracy at Tp = 9 s and Td = 20 s, trained
+// and evaluated with and without the interest threshold.
+func Fig15() (*Fig15Result, error) {
+	ds, err := trace.Synthesize(trace.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return Fig15From(ds)
+}
+
+// Fig15From runs the Fig. 15 evaluation on an existing dataset.
+func Fig15From(ds *trace.Dataset) (*Fig15Result, error) {
+	train, test, err := predictor.Split(ds.Visits, 0.3, 7)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig15Result{TestVisits: len(test)}
+	for _, withInterest := range []bool{false, true} {
+		cfg := predictor.DefaultConfig()
+		cfg.UseInterestThreshold = withInterest
+		p, err := predictor.Train(train, cfg)
+		if err != nil {
+			return nil, err
+		}
+		a9, err := p.Evaluate(test, 9, withInterest)
+		if err != nil {
+			return nil, err
+		}
+		a20, err := p.Evaluate(test, 20, withInterest)
+		if err != nil {
+			return nil, err
+		}
+		if withInterest {
+			res.WithTp = a9.Pct()
+			res.WithTd = a20.Pct()
+		} else {
+			res.WithoutTp = a9.Pct()
+			res.WithoutTd = a20.Pct()
+		}
+	}
+	res.GainTp = res.WithTp - res.WithoutTp
+	res.GainTd = res.WithTd - res.WithoutTd
+	return res, nil
+}
+
+// Fig16Result is the six-case comparison of Fig. 16.
+type Fig16Result struct {
+	Cases []policy.CaseResult
+}
+
+// Fig16 reproduces Fig. 16: the six Table 6 strategies replayed over the
+// synthesized trace, reporting power and delay savings against the original
+// browser with stock timers.
+func Fig16() (*Fig16Result, error) {
+	ds, err := trace.Synthesize(trace.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return Fig16From(ds)
+}
+
+// Fig16From runs Fig. 16 on an existing dataset.
+func Fig16From(ds *trace.Dataset) (*Fig16Result, error) {
+	train, _, err := predictor.Split(ds.Visits, 0.3, 7)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := predictor.Train(train, predictor.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	ev, err := policy.NewEvaluator(ds, pred, policy.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	cases, err := ev.EvaluateAll()
+	if err != nil {
+		return nil, err
+	}
+	return &Fig16Result{Cases: cases}, nil
+}
+
+// Table7Row is one prediction-cost entry.
+type Table7Row struct {
+	Trees       int
+	EnergyJ     float64
+	TimeSeconds float64
+	// GoWallTime is how long the Go implementation actually takes for the
+	// same forest size (informational; the paper's numbers are the phone's).
+	GoWallTime time.Duration
+}
+
+// Table7 reproduces Table 7: simulated on-phone prediction cost for
+// 1,000/10,000/20,000 eight-node trees, alongside the Go implementation's
+// real wall time for the same workload.
+func Table7() ([]Table7Row, error) {
+	device := gbrt.DefaultDeviceCost()
+	// A real forest to time: train on a small synthetic problem and re-walk
+	// its trees the requested number of times.
+	xs := [][]float64{{1, 2}, {2, 1}, {3, 4}, {4, 3}, {5, 6}, {6, 5}, {7, 8}, {8, 7}}
+	ys := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	model, err := gbrt.Train(xs, ys, gbrt.Config{Trees: 50, MaxLeaves: 8, Shrinkage: 0.1, MinSamplesLeaf: 1})
+	if err != nil {
+		return nil, err
+	}
+	if model.NumTrees() == 0 {
+		return nil, fmt.Errorf("table7: empty model")
+	}
+	probe := []float64{2.5, 3.5}
+	rows := make([]Table7Row, 0, 3)
+	for _, trees := range []int{1000, 10000, 20000} {
+		evals := trees / model.NumTrees()
+		start := time.Now()
+		for i := 0; i < evals; i++ {
+			if _, err := model.Predict(probe); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, Table7Row{
+			Trees:       trees,
+			EnergyJ:     device.PredictionEnergyJ(trees),
+			TimeSeconds: device.PredictionTime(trees).Seconds(),
+			GoWallTime:  time.Since(start),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+
+	"eabrowse/internal/features"
+	"eabrowse/internal/gbrt"
+	"eabrowse/internal/linreg"
+	"eabrowse/internal/predictor"
+	"eabrowse/internal/trace"
+)
+
+// PredictorAblationRow is one variant's accuracy.
+type PredictorAblationRow struct {
+	Name  string
+	TpPct float64
+	TdPct float64
+}
+
+// PredictorAblationResult sweeps the design choices behind the reading-time
+// predictor (DESIGN.md §5): GBRT vs. a linear baseline, per-user vs. global
+// models, forest size M, leaf budget J, and the interest threshold α, plus
+// the forest's split-gain feature importance.
+type PredictorAblationResult struct {
+	Baselines []PredictorAblationRow
+	Trees     []PredictorAblationRow
+	Leaves    []PredictorAblationRow
+	Alpha     []PredictorAblationRow
+	// Importance is the default model's normalized split-gain share per
+	// Table 1 feature.
+	Importance     [features.Num]float64
+	PersonalModels int
+}
+
+// PredictorAblation runs the sweep on the default trace.
+func PredictorAblation() (*PredictorAblationResult, error) {
+	ds, err := trace.Synthesize(trace.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return PredictorAblationFrom(ds)
+}
+
+// PredictorAblationFrom runs the sweep on an existing dataset.
+func PredictorAblationFrom(ds *trace.Dataset) (*PredictorAblationResult, error) {
+	train, test, err := predictor.Split(ds.Visits, 0.3, 7)
+	if err != nil {
+		return nil, err
+	}
+	res := &PredictorAblationResult{}
+
+	// GBRT vs. the linear baseline Table 4 rules out, and per-user vs.
+	// global models. All trained with the interest threshold (the stronger
+	// setting for each).
+	gbrtRow, err := gbrtAccuracy(train, test, gbrt.DefaultConfig(), 2)
+	if err != nil {
+		return nil, err
+	}
+	gbrtRow.Name = "GBRT (default: M=400, J=8)"
+	linRow, err := linearAccuracy(train, test, 2)
+	if err != nil {
+		return nil, err
+	}
+	perUserRow, personal, err := perUserAccuracy(train, test, 2)
+	if err != nil {
+		return nil, err
+	}
+	res.Baselines = []PredictorAblationRow{gbrtRow, linRow, perUserRow}
+	res.PersonalModels = personal
+
+	// Importance of the default global model.
+	defaultModel, err := predictor.Train(train, predictor.Config{
+		GBRT: gbrt.DefaultConfig(), UseInterestThreshold: true, Alpha: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	copy(res.Importance[:], defaultModel.FeatureImportance())
+
+	for _, m := range []int{25, 100, 400} {
+		cfg := gbrt.DefaultConfig()
+		cfg.Trees = m
+		row, err := gbrtAccuracy(train, test, cfg, 2)
+		if err != nil {
+			return nil, err
+		}
+		row.Name = fmt.Sprintf("M = %d trees", m)
+		res.Trees = append(res.Trees, row)
+	}
+
+	for _, j := range []int{2, 4, 8, 16} {
+		cfg := gbrt.DefaultConfig()
+		cfg.MaxLeaves = j
+		cfg.Trees = 200
+		row, err := gbrtAccuracy(train, test, cfg, 2)
+		if err != nil {
+			return nil, err
+		}
+		row.Name = fmt.Sprintf("J = %d leaves", j)
+		res.Leaves = append(res.Leaves, row)
+	}
+
+	for _, alpha := range []float64{0, 1, 2, 3, 5} {
+		cfg := gbrt.DefaultConfig()
+		cfg.Trees = 200
+		row, err := gbrtAccuracy(train, test, cfg, alpha)
+		if err != nil {
+			return nil, err
+		}
+		row.Name = fmt.Sprintf("alpha = %.0f s", alpha)
+		res.Alpha = append(res.Alpha, row)
+	}
+	return res, nil
+}
+
+func gbrtAccuracy(train, test []trace.Visit, cfg gbrt.Config, alpha float64) (PredictorAblationRow, error) {
+	pcfg := predictor.Config{GBRT: cfg, UseInterestThreshold: alpha > 0, Alpha: alpha}
+	p, err := predictor.Train(train, pcfg)
+	if err != nil {
+		return PredictorAblationRow{}, err
+	}
+	applyInterest := alpha > 0
+	a9, err := p.Evaluate(test, 9, applyInterest)
+	if err != nil {
+		return PredictorAblationRow{}, err
+	}
+	a20, err := p.Evaluate(test, 20, applyInterest)
+	if err != nil {
+		return PredictorAblationRow{}, err
+	}
+	return PredictorAblationRow{TpPct: a9.Pct(), TdPct: a20.Pct()}, nil
+}
+
+// perUserAccuracy trains one model per user (the paper's deployment) and
+// scores the routed predictions.
+func perUserAccuracy(train, test []trace.Visit, alpha float64) (PredictorAblationRow, int, error) {
+	cfg := predictor.Config{
+		GBRT:                 gbrt.Config{Trees: 150, MaxLeaves: 8, Shrinkage: 0.1, MinSamplesLeaf: 5},
+		UseInterestThreshold: alpha > 0,
+		Alpha:                alpha,
+	}
+	pu, err := predictor.TrainPerUser(train, cfg)
+	if err != nil {
+		return PredictorAblationRow{}, 0, err
+	}
+	row := PredictorAblationRow{Name: "per-user GBRT models"}
+	a9, err := pu.Evaluate(test, 9, alpha > 0)
+	if err != nil {
+		return PredictorAblationRow{}, 0, err
+	}
+	a20, err := pu.Evaluate(test, 20, alpha > 0)
+	if err != nil {
+		return PredictorAblationRow{}, 0, err
+	}
+	row.TpPct = a9.Pct()
+	row.TdPct = a20.Pct()
+	return row, pu.PersonalModels(), nil
+}
+
+// linearAccuracy fits the ordinary-least-squares baseline under the same
+// interest-threshold regime and scores it identically.
+func linearAccuracy(train, test []trace.Visit, alpha float64) (PredictorAblationRow, error) {
+	var xs [][]float64
+	var ys []float64
+	for _, v := range train {
+		if v.ReadingSeconds < alpha {
+			continue
+		}
+		xs = append(xs, v.Features.Slice())
+		ys = append(ys, v.ReadingSeconds)
+	}
+	m, err := linreg.Fit(xs, ys)
+	if err != nil {
+		return PredictorAblationRow{}, err
+	}
+	row := PredictorAblationRow{Name: "linear regression baseline"}
+	for _, threshold := range []float64{9, 20} {
+		correct, total := 0, 0
+		for _, v := range test {
+			if v.ReadingSeconds < alpha {
+				continue
+			}
+			pred, err := m.Predict(v.Features.Slice())
+			if err != nil {
+				return PredictorAblationRow{}, err
+			}
+			if (pred > threshold) == (v.ReadingSeconds > threshold) {
+				correct++
+			}
+			total++
+		}
+		pct := float64(correct) / float64(total) * 100
+		if threshold == 9 {
+			row.TpPct = pct
+		} else {
+			row.TdPct = pct
+		}
+	}
+	return row, nil
+}

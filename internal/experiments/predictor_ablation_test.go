@@ -1,0 +1,84 @@
+package experiments
+
+import "testing"
+
+// TestPredictorAblationShape asserts the design-choice story:
+//
+//   - GBRT beats the linear baseline at both thresholds (Table 4's
+//     correlations say linear models must fail; the trees recover the
+//     feature interactions);
+//   - depth-starved trees (J = 2 stumps) lose to the default J = 8,
+//     because the latent structure is interaction-based;
+//   - the interest threshold strictly helps (alpha = 0 is the worst).
+func TestPredictorAblationShape(t *testing.T) {
+	res, err := PredictorAblation()
+	if err != nil {
+		t.Fatalf("PredictorAblation: %v", err)
+	}
+	if len(res.Baselines) != 3 {
+		t.Fatalf("baselines = %d rows, want GBRT + linear + per-user", len(res.Baselines))
+	}
+	gbrtRow, linRow, perUserRow := res.Baselines[0], res.Baselines[1], res.Baselines[2]
+	if perUserRow.TpPct < gbrtRow.TpPct-12 {
+		t.Errorf("per-user models (%.1f%%) collapsed vs global (%.1f%%)", perUserRow.TpPct, gbrtRow.TpPct)
+	}
+	if res.PersonalModels == 0 {
+		t.Error("no personal models fitted")
+	}
+	// Importance must be a distribution and concentrate on the features the
+	// latent model actually uses (size/figures/height), not leak onto ones
+	// it ignores.
+	sum := 0.0
+	for _, v := range res.Importance {
+		sum += v
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("importance sums to %.3f, want 1", sum)
+	}
+	if gbrtRow.TpPct <= linRow.TpPct {
+		t.Errorf("GBRT Tp %.1f%% not above linear %.1f%%", gbrtRow.TpPct, linRow.TpPct)
+	}
+	if gbrtRow.TdPct <= linRow.TdPct {
+		t.Errorf("GBRT Td %.1f%% not above linear %.1f%%", gbrtRow.TdPct, linRow.TdPct)
+	}
+
+	var stump, deep PredictorAblationRow
+	for _, r := range res.Leaves {
+		switch r.Name {
+		case "J = 2 leaves":
+			stump = r
+		case "J = 8 leaves":
+			deep = r
+		}
+	}
+	if stump.TpPct >= deep.TpPct {
+		t.Errorf("stumps (%.1f%%) not below J=8 trees (%.1f%%) — interactions should need depth",
+			stump.TpPct, deep.TpPct)
+	}
+
+	var alpha0, alpha2 PredictorAblationRow
+	for _, r := range res.Alpha {
+		switch r.Name {
+		case "alpha = 0 s":
+			alpha0 = r
+		case "alpha = 2 s":
+			alpha2 = r
+		}
+	}
+	if alpha0.TpPct >= alpha2.TpPct {
+		t.Errorf("alpha=0 (%.1f%%) not below alpha=2 (%.1f%%)", alpha0.TpPct, alpha2.TpPct)
+	}
+
+	// More trees never hurt badly: the largest forest is within a point of
+	// the best.
+	best := 0.0
+	for _, r := range res.Trees {
+		if r.TpPct > best {
+			best = r.TpPct
+		}
+	}
+	last := res.Trees[len(res.Trees)-1]
+	if last.TpPct < best-1 {
+		t.Errorf("largest forest (%.1f%%) more than a point below best (%.1f%%)", last.TpPct, best)
+	}
+}

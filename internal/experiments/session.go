@@ -1,0 +1,142 @@
+// Package experiments wires the substrates together and regenerates every
+// table and figure of the paper's evaluation (Section 5). Each experiment is
+// a plain function returning a printable result structure, shared by the
+// eabench command and the repository's benchmark suite.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"eabrowse/internal/browser"
+	"eabrowse/internal/netsim"
+	"eabrowse/internal/rrc"
+	"eabrowse/internal/simtime"
+	"eabrowse/internal/webpage"
+)
+
+// maxSimTime bounds any single page-load simulation; a load that has not
+// finished by then indicates a wedged pipeline (bug), not a slow page.
+const maxSimTime = 30 * time.Minute
+
+// LoadOutcome is the result of loading one page on a fresh simulated phone.
+type LoadOutcome struct {
+	Result *browser.Result
+	// TotalWithReadingJ is radio+CPU energy over the window from load start
+	// to final display plus the requested reading time.
+	TotalWithReadingJ float64
+	// ReadingJ is the energy spent during the reading window alone.
+	ReadingJ float64
+}
+
+// Session is one simulated phone: clock, radio, link and a browser engine.
+type Session struct {
+	Clock  *simtime.Clock
+	Radio  *rrc.Machine
+	Link   *netsim.Link
+	Engine *browser.Engine
+}
+
+// NewSession builds a fresh phone with default radio/link parameters and a
+// browser in the given mode.
+func NewSession(mode browser.Mode, opts ...browser.Option) (*Session, error) {
+	return NewSessionWithConfig(mode, rrc.DefaultConfig(), netsim.DefaultConfig(),
+		browser.DefaultCostModel(), opts...)
+}
+
+// NewSessionWithConfig builds a phone with explicit substrate parameters.
+func NewSessionWithConfig(mode browser.Mode, radioCfg rrc.Config,
+	linkCfg netsim.Config, cost browser.CostModel, opts ...browser.Option) (*Session, error) {
+	clock := simtime.NewClock()
+	radio, err := rrc.NewMachine(clock, radioCfg)
+	if err != nil {
+		return nil, fmt.Errorf("new radio: %w", err)
+	}
+	link, err := netsim.NewLink(clock, radio, linkCfg)
+	if err != nil {
+		return nil, fmt.Errorf("new link: %w", err)
+	}
+	engine, err := browser.NewEngine(clock, radio, link, cost, mode, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("new engine: %w", err)
+	}
+	return &Session{Clock: clock, Radio: radio, Link: link, Engine: engine}, nil
+}
+
+// LoadToEnd loads one page and runs the simulation until the final display.
+func (s *Session) LoadToEnd(page *webpage.Page) (*browser.Result, error) {
+	var result *browser.Result
+	err := s.Engine.Load(page, func(r *browser.Result) { result = r })
+	if err != nil {
+		return nil, err
+	}
+	deadline := s.Clock.Now() + maxSimTime
+	for result == nil && s.Clock.Now() < deadline {
+		if !s.Clock.Step() {
+			break
+		}
+	}
+	if result == nil {
+		return nil, fmt.Errorf("load of %s did not finish within %v", page.Name, maxSimTime)
+	}
+	return result, nil
+}
+
+// LoadPage loads page on a fresh phone in the given mode and then simulates
+// reading time: the phone sits there (timers running or radio already
+// dormant) while the user reads.
+func LoadPage(page *webpage.Page, mode browser.Mode, reading time.Duration,
+	opts ...browser.Option) (*LoadOutcome, error) {
+	return LoadPageObserved(page, mode, reading, nil, opts...)
+}
+
+// LoadPageObserved is LoadPage with a hook that receives the session after
+// the reading window, for callers that want to inspect the substrate state
+// (radio residency, transfer records) beyond the load result.
+func LoadPageObserved(page *webpage.Page, mode browser.Mode, reading time.Duration,
+	observe func(*Session), opts ...browser.Option) (*LoadOutcome, error) {
+	s, err := NewSession(mode, opts...)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.LoadToEnd(page)
+	if err != nil {
+		return nil, err
+	}
+	energyAtFinal := s.Radio.EnergyJ() + res.CPUEnergyJ
+	if reading > 0 {
+		s.Clock.RunFor(reading)
+	}
+	total := s.Radio.EnergyJ() + res.CPUEnergyJ
+	if observe != nil {
+		observe(s)
+	}
+	return &LoadOutcome{
+		Result:            res,
+		TotalWithReadingJ: total,
+		ReadingJ:          total - energyAtFinal,
+	}, nil
+}
+
+// PageByName generates the named benchmark page.
+func PageByName(name string) (*webpage.Page, error) {
+	for i, n := range webpage.MobilePageNames {
+		if n == name {
+			spec, err := webpage.MobileSpec(i)
+			if err != nil {
+				return nil, err
+			}
+			return webpage.Generate(spec)
+		}
+	}
+	for i, n := range webpage.FullPageNames {
+		if n == name {
+			spec, err := webpage.FullSpec(i)
+			if err != nil {
+				return nil, err
+			}
+			return webpage.Generate(spec)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown benchmark page %q", name)
+}

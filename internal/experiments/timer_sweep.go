@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"time"
+
+	"eabrowse/internal/browser"
+	"eabrowse/internal/netsim"
+	"eabrowse/internal/rrc"
+	"eabrowse/internal/webpage"
+)
+
+// TimerSweepRow is one (T1, T2) operating point for the original browser.
+type TimerSweepRow struct {
+	T1 time.Duration
+	T2 time.Duration
+	// EnergyJ is load + 20 s reading energy on the espn-like page.
+	EnergyJ float64
+	// NextClickDelayS is the promotion delay a click 10 s into the reading
+	// window pays under these timers (0 while DCH, the FACH promotion while
+	// FACH, the full IDLE promotion after T1+T2).
+	NextClickDelayS float64
+}
+
+// TimerSweepResult quantifies the introduction's argument: shrinking the
+// operator timers saves some tail energy but charges every early click a
+// promotion delay, and even the most aggressive setting cannot reach the
+// energy-aware pipeline (which also wins the loading time itself).
+type TimerSweepResult struct {
+	Rows []TimerSweepRow
+	// EnergyAwareJ is the reference: the energy-aware pipeline with default
+	// timers on the same workload.
+	EnergyAwareJ float64
+}
+
+// TimerSweep runs the grid.
+func TimerSweep() (*TimerSweepResult, error) {
+	page, err := webpage.ESPNSports()
+	if err != nil {
+		return nil, err
+	}
+	const reading = 20 * time.Second
+
+	res := &TimerSweepResult{}
+	for _, t1 := range []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second} {
+		for _, t2 := range []time.Duration{5 * time.Second, 10 * time.Second, 15 * time.Second} {
+			cfg := rrc.DefaultConfig()
+			cfg.T1 = t1
+			cfg.T2 = t2
+			s, err := NewSessionWithConfig(browser.ModeOriginal, cfg,
+				netsim.DefaultConfig(), browser.DefaultCostModel())
+			if err != nil {
+				return nil, err
+			}
+			r, err := s.LoadToEnd(page)
+			if err != nil {
+				return nil, err
+			}
+			s.Clock.RunFor(reading)
+			row := TimerSweepRow{
+				T1:      t1,
+				T2:      t2,
+				EnergyJ: s.Radio.EnergyJ() + r.CPUEnergyJ,
+			}
+			// Where is the radio 10 s after the page opened?
+			switch {
+			case 10*time.Second < t1:
+				row.NextClickDelayS = 0
+			case 10*time.Second < t1+t2:
+				row.NextClickDelayS = cfg.PromoFACHToDCH.Seconds()
+			default:
+				row.NextClickDelayS = cfg.PromoIdleToDCH.Seconds()
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+
+	aware, err := LoadPage(page, browser.ModeEnergyAware, reading)
+	if err != nil {
+		return nil, err
+	}
+	res.EnergyAwareJ = aware.TotalWithReadingJ
+	return res, nil
+}

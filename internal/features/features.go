@@ -1,0 +1,71 @@
+// Package features defines the Table 1 feature vector: the ten cheap
+// webpage features the modified browser collects while opening a page, used
+// as predictors x = {x1..x10} for the GBRT reading-time model.
+package features
+
+import (
+	"fmt"
+
+	"eabrowse/internal/browser"
+)
+
+// Num is the number of predictor features (Table 1, excluding the target
+// "Reading Time").
+const Num = 10
+
+// Indices into a Vector, in Table 1 order.
+const (
+	TransmissionTime = iota
+	WebpageSizeKB
+	DownloadObjects
+	DownloadJSFiles
+	DownloadFigures
+	FigureSizeKB
+	JSRunningTime
+	SecondURL
+	PageHeight
+	PageWidth
+)
+
+// Names lists the Table 1 feature names, aligned with the vector indices.
+var Names = [Num]string{
+	"Transmission Time",
+	"Webpage Size",
+	"Download Objects",
+	"Download JavaScript files",
+	"Download Figures",
+	"Figure Size",
+	"JavaScript Running Time",
+	"Second URL",
+	"Page Height",
+	"Page Width",
+}
+
+// Vector is one page's feature vector.
+type Vector [Num]float64
+
+// FromResult extracts the Table 1 features from a completed page load.
+func FromResult(r *browser.Result) (Vector, error) {
+	if r == nil {
+		return Vector{}, fmt.Errorf("features: nil result")
+	}
+	return Vector{
+		TransmissionTime: r.TransmissionTime.Seconds(),
+		WebpageSizeKB:    float64(r.PageSizeBytes) / 1024,
+		DownloadObjects:  float64(r.Objects),
+		DownloadJSFiles:  float64(r.JSFiles),
+		DownloadFigures:  float64(r.Images),
+		FigureSizeKB:     float64(r.ImageBytes) / 1024,
+		JSRunningTime:    r.JSRunTime.Seconds(),
+		SecondURL:        float64(r.SecondURLs),
+		PageHeight:       float64(r.PageHeightPX),
+		PageWidth:        float64(r.PageWidthPX),
+	}, nil
+}
+
+// Slice returns the vector as a fresh []float64 (the GBRT input form).
+func (v Vector) Slice() []float64 {
+	out := make([]float64, Num)
+	copy(out, v[:])
+	return out
+}

@@ -1,0 +1,71 @@
+package features
+
+import (
+	"testing"
+	"time"
+
+	"eabrowse/internal/browser"
+)
+
+func TestFromResult(t *testing.T) {
+	r := &browser.Result{
+		TransmissionTime: 12 * time.Second,
+		PageSizeBytes:    200 * 1024,
+		Objects:          40,
+		JSFiles:          4,
+		Images:           25,
+		ImageBytes:       500 * 1024,
+		JSRunTime:        3 * time.Second,
+		SecondURLs:       30,
+		PageHeightPX:     5000,
+		PageWidthPX:      1000,
+	}
+	v, err := FromResult(r)
+	if err != nil {
+		t.Fatalf("FromResult: %v", err)
+	}
+	want := Vector{12, 200, 40, 4, 25, 500, 3, 30, 5000, 1000}
+	if v != want {
+		t.Fatalf("vector = %v, want %v", v, want)
+	}
+}
+
+func TestFromNilResult(t *testing.T) {
+	if _, err := FromResult(nil); err == nil {
+		t.Fatal("nil result accepted")
+	}
+}
+
+func TestSliceIsCopy(t *testing.T) {
+	v := Vector{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s := v.Slice()
+	if len(s) != Num {
+		t.Fatalf("slice length %d, want %d", len(s), Num)
+	}
+	s[0] = 99
+	if v[0] != 1 {
+		t.Fatal("mutating the slice mutated the vector")
+	}
+}
+
+func TestNamesAligned(t *testing.T) {
+	if len(Names) != Num {
+		t.Fatalf("%d names for %d features", len(Names), Num)
+	}
+	if Names[TransmissionTime] != "Transmission Time" {
+		t.Fatalf("Names[TransmissionTime] = %q", Names[TransmissionTime])
+	}
+	if Names[PageWidth] != "Page Width" {
+		t.Fatalf("Names[PageWidth] = %q", Names[PageWidth])
+	}
+	seen := make(map[string]bool, Num)
+	for _, n := range Names {
+		if n == "" {
+			t.Fatal("empty feature name")
+		}
+		if seen[n] {
+			t.Fatalf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+}

@@ -1,0 +1,71 @@
+package gbrt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFeatureImportanceSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 300; i++ {
+		a := rng.Float64() * 10
+		b := rng.Float64() * 10
+		xs = append(xs, []float64{a, b})
+		ys = append(ys, a*a+rng.NormFloat64())
+	}
+	m, err := Train(xs, ys, Config{Trees: 50, MaxLeaves: 6, Shrinkage: 0.2, MinSamplesLeaf: 3})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	imp := m.FeatureImportance()
+	if len(imp) != 2 {
+		t.Fatalf("importance width = %d", len(imp))
+	}
+	sum := imp[0] + imp[1]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importance sums to %v, want 1", sum)
+	}
+	// The signal lives entirely in feature 0.
+	if imp[0] < 0.9 {
+		t.Fatalf("importance = %v, want feature 0 dominant", imp)
+	}
+}
+
+func TestFeatureImportanceEmptyModel(t *testing.T) {
+	m, err := Train([][]float64{{1}, {2}, {3}}, []float64{5, 5, 5}, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	imp := m.FeatureImportance()
+	if imp[0] != 0 {
+		t.Fatalf("constant-target importance = %v, want 0", imp)
+	}
+}
+
+func TestFeatureImportanceSplitsAcrossInteraction(t *testing.T) {
+	// XOR of two features: both must carry importance.
+	rng := rand.New(rand.NewSource(9))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 500; i++ {
+		a := rng.Float64()
+		b := rng.Float64()
+		y := 1.0
+		if (a > 0.5) != (b > 0.5) {
+			y = 9.0
+		}
+		xs = append(xs, []float64{a, b})
+		ys = append(ys, y)
+	}
+	m, err := Train(xs, ys, Config{Trees: 100, MaxLeaves: 8, Shrinkage: 0.2, MinSamplesLeaf: 5})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	imp := m.FeatureImportance()
+	if imp[0] < 0.2 || imp[1] < 0.2 {
+		t.Fatalf("interaction importance = %v, want both features used", imp)
+	}
+}

@@ -1,0 +1,267 @@
+// Package gbrt implements Gradient Boosted Regression Trees from scratch
+// (Friedman's gradient boosting machine, the paper's Section 4.3 /
+// Algorithm 1): least-squares CART regression trees with a bounded number of
+// terminal nodes, grown best-first, boosted with shrinkage from a median
+// base model.
+//
+// The paper runs prediction on the phone, so the package also provides a
+// device cost model (Table 7): traversal time per tree calibrated to the
+// measured 0.295 s / 0.177 J for 10,000 eight-node trees.
+package gbrt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// treeNode is one node of a regression tree, stored in a flat slice.
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      int
+	right     int
+	value     float64
+	leaf      bool
+	// gain is the SSE reduction this split achieved at fit time (zero for
+	// leaves); it drives feature-importance accounting.
+	gain float64
+}
+
+// Tree is a binary regression tree.
+type Tree struct {
+	nodes []treeNode
+}
+
+// Leaves returns the number of terminal nodes.
+func (t *Tree) Leaves() int {
+	n := 0
+	for _, nd := range t.nodes {
+		if nd.leaf {
+			n++
+		}
+	}
+	return n
+}
+
+// Nodes returns the total node count (internal + terminal).
+func (t *Tree) Nodes() int {
+	return len(t.nodes)
+}
+
+// Predict returns the tree's output for the feature vector x.
+func (t *Tree) Predict(x []float64) float64 {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	i := 0
+	for !t.nodes[i].leaf {
+		nd := t.nodes[i]
+		if x[nd.feature] <= nd.threshold {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+	return t.nodes[i].value
+}
+
+// Depth returns the maximum depth of the tree (a root-only tree has depth 1).
+func (t *Tree) Depth() int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	var walk func(i int) int
+	walk = func(i int) int {
+		nd := t.nodes[i]
+		if nd.leaf {
+			return 1
+		}
+		l := walk(nd.left)
+		r := walk(nd.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(0)
+}
+
+// treeBuilder grows a tree best-first: at every step the leaf with the
+// largest SSE reduction is split, until the terminal-node budget J is
+// exhausted (Section 4.3.1: "each base learner is a J-terminal node
+// decision tree").
+type treeBuilder struct {
+	xs        [][]float64
+	ys        []float64
+	maxLeaves int
+	minLeaf   int
+	nodes     []treeNode
+}
+
+type splitCandidate struct {
+	node      int
+	feature   int
+	threshold float64
+	gain      float64
+	leftIdx   []int
+	rightIdx  []int
+}
+
+func buildTree(xs [][]float64, ys []float64, maxLeaves, minLeaf int) *Tree {
+	b := &treeBuilder{xs: xs, ys: ys, maxLeaves: maxLeaves, minLeaf: minLeaf}
+	all := make([]int, len(ys))
+	for i := range all {
+		all[i] = i
+	}
+	b.nodes = append(b.nodes, treeNode{leaf: true, value: mean(ys, all)})
+
+	type openLeaf struct {
+		node int
+		idxs []int
+	}
+	open := []openLeaf{{node: 0, idxs: all}}
+	leaves := 1
+	for leaves < b.maxLeaves {
+		best := splitCandidate{node: -1}
+		bestAt := -1
+		for oi, leaf := range open {
+			cand, ok := b.bestSplit(leaf.node, leaf.idxs)
+			if ok && (best.node == -1 || cand.gain > best.gain) {
+				best = cand
+				bestAt = oi
+			}
+		}
+		if best.node == -1 {
+			break
+		}
+		// Apply the split.
+		li := len(b.nodes)
+		b.nodes = append(b.nodes, treeNode{leaf: true, value: mean(b.ys, best.leftIdx)})
+		ri := len(b.nodes)
+		b.nodes = append(b.nodes, treeNode{leaf: true, value: mean(b.ys, best.rightIdx)})
+		nd := &b.nodes[best.node]
+		nd.leaf = false
+		nd.feature = best.feature
+		nd.threshold = best.threshold
+		nd.left = li
+		nd.right = ri
+		nd.gain = best.gain
+		open = append(open[:bestAt], open[bestAt+1:]...)
+		open = append(open,
+			openLeaf{node: li, idxs: best.leftIdx},
+			openLeaf{node: ri, idxs: best.rightIdx},
+		)
+		leaves++
+	}
+	return &Tree{nodes: b.nodes}
+}
+
+// bestSplit finds the SSE-optimal (feature, threshold) split of the samples
+// at a node, scanning each feature in sorted order with prefix sums.
+func (b *treeBuilder) bestSplit(node int, idxs []int) (splitCandidate, bool) {
+	n := len(idxs)
+	if n < 2*b.minLeaf {
+		return splitCandidate{}, false
+	}
+	var totalSum, totalSq float64
+	for _, i := range idxs {
+		totalSum += b.ys[i]
+		totalSq += b.ys[i] * b.ys[i]
+	}
+	parentSSE := totalSq - totalSum*totalSum/float64(n)
+
+	best := splitCandidate{node: node, gain: 1e-12}
+	found := false
+	sorted := make([]int, n)
+	numFeatures := len(b.xs[idxs[0]])
+	for f := 0; f < numFeatures; f++ {
+		copy(sorted, idxs)
+		sort.Slice(sorted, func(a, c int) bool {
+			return b.xs[sorted[a]][f] < b.xs[sorted[c]][f]
+		})
+		var leftSum, leftSq float64
+		for pos := 0; pos < n-1; pos++ {
+			y := b.ys[sorted[pos]]
+			leftSum += y
+			leftSq += y * y
+			// Cannot split between equal feature values.
+			if b.xs[sorted[pos]][f] == b.xs[sorted[pos+1]][f] {
+				continue
+			}
+			nl := pos + 1
+			nr := n - nl
+			if nl < b.minLeaf || nr < b.minLeaf {
+				continue
+			}
+			rightSum := totalSum - leftSum
+			rightSq := totalSq - leftSq
+			childSSE := (leftSq - leftSum*leftSum/float64(nl)) +
+				(rightSq - rightSum*rightSum/float64(nr))
+			gain := parentSSE - childSSE
+			if gain > best.gain {
+				best.gain = gain
+				best.feature = f
+				best.threshold = (b.xs[sorted[pos]][f] + b.xs[sorted[pos+1]][f]) / 2
+				best.leftIdx = append([]int(nil), sorted[:nl]...)
+				best.rightIdx = append([]int(nil), sorted[nl:]...)
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+func mean(ys []float64, idxs []int) float64 {
+	if len(idxs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, i := range idxs {
+		sum += ys[i]
+	}
+	return sum / float64(len(idxs))
+}
+
+func median(ys []float64) float64 {
+	if len(ys) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(ys))
+	copy(sorted, ys)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}
+
+// validateData checks a training set for shape errors.
+func validateData(xs [][]float64, ys []float64) error {
+	if len(xs) == 0 {
+		return errors.New("gbrt: empty training set")
+	}
+	if len(xs) != len(ys) {
+		return fmt.Errorf("gbrt: %d feature rows vs %d targets", len(xs), len(ys))
+	}
+	width := len(xs[0])
+	if width == 0 {
+		return errors.New("gbrt: zero-width feature vectors")
+	}
+	for i, row := range xs {
+		if len(row) != width {
+			return fmt.Errorf("gbrt: row %d has %d features, want %d", i, len(row), width)
+		}
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("gbrt: row %d contains NaN/Inf", i)
+			}
+		}
+		if math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
+			return fmt.Errorf("gbrt: target %d is NaN/Inf", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package htmlscan
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeEntities(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+		want string
+	}{
+		{"no entities", "plain text", "plain text"},
+		{"amp", "a &amp; b", "a & b"},
+		{"lt gt", "&lt;tag&gt;", "<tag>"},
+		{"quot apos", "&quot;x&apos;", `"x'`},
+		{"nbsp", "a&nbsp;b", "a b"},
+		{"decimal", "&#65;", "A"},
+		{"hex", "&#x41;", "A"},
+		{"hex upper", "&#X42;", "B"},
+		{"unicode", "&#8364;", "€"},
+		{"unknown named", "&bogus;", "&bogus;"},
+		{"unterminated", "a &amp b", "a &amp b"},
+		{"bare ampersand", "AT&T", "AT&T"},
+		{"too long", "&waytoolongentityname;", "&waytoolongentityname;"},
+		{"zero code", "&#0;", "&#0;"},
+		{"overflow code", "&#99999999;", "&#99999999;"},
+		{"adjacent", "&lt;&gt;", "<>"},
+		{"trailing amp", "x&", "x&"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := DecodeEntities(tt.give); got != tt.want {
+				t.Fatalf("DecodeEntities(%q) = %q, want %q", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEntitiesDecodedInText(t *testing.T) {
+	doc := Parse(`<p>fish &amp; chips</p>`)
+	text := doc.Root.Children[0].Children[0]
+	if text.Text != "fish & chips" {
+		t.Fatalf("text = %q", text.Text)
+	}
+}
+
+func TestEntitiesDecodedInAttributes(t *testing.T) {
+	doc := Parse(`<img src="a.png?x=1&amp;y=2">`)
+	if len(doc.Refs) != 1 || doc.Refs[0].URL != "a.png?x=1&y=2" {
+		t.Fatalf("refs = %v", doc.Refs)
+	}
+}
+
+func TestScriptBodiesNotEntityDecoded(t *testing.T) {
+	// Script content is raw text: `a &amp; b` must stay verbatim.
+	doc := Parse(`<script>write("a &amp; b");</script>`)
+	if len(doc.InlineScripts) != 1 {
+		t.Fatalf("scripts = %d", len(doc.InlineScripts))
+	}
+	if doc.InlineScripts[0] != `write("a &amp; b");` {
+		t.Fatalf("script body = %q", doc.InlineScripts[0])
+	}
+}
+
+// TestPropertyDecodeNeverPanics and never grows the string unreasonably.
+func TestPropertyDecodeNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		out := DecodeEntities(s)
+		return len(out) <= len(s)+8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDecodeIdempotentOnPlain: strings without '&' pass through
+// unchanged.
+func TestPropertyDecodeIdempotentOnPlain(t *testing.T) {
+	f := func(s string) bool {
+		clean := ""
+		for _, r := range s {
+			if r != '&' {
+				clean += string(r)
+			}
+		}
+		return DecodeEntities(clean) == clean
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

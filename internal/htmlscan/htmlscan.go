@@ -1,0 +1,526 @@
+// Package htmlscan implements the HTML processing the browser engines need:
+// a tolerant tokenizer, a DOM-tree builder, and a cheap reference scanner.
+//
+// The paper's two pipelines differ in *which* of these they run when
+// (Section 4.1): the original browser fully parses HTML into the DOM before
+// doing layout work per object, while the energy-aware browser first *scans*
+// documents just to discover fetchable references (images, scripts,
+// stylesheets, subdocuments) and defers everything it can. Both operations
+// share one tokenizer so they always agree on what a document references.
+package htmlscan
+
+import (
+	"strconv"
+	"strings"
+)
+
+// RefKind classifies a discovered reference.
+type RefKind int
+
+const (
+	// RefImage is an <img src> (or similar) image reference.
+	RefImage RefKind = iota + 1
+	// RefScript is an external <script src> reference.
+	RefScript
+	// RefStylesheet is a <link rel=stylesheet href> reference.
+	RefStylesheet
+	// RefSubdocument is an <iframe src> / <frame src> HTML reference.
+	RefSubdocument
+	// RefFlash is an <object data> / <embed src> multimedia reference.
+	RefFlash
+	// RefAnchor is an <a href> link — not fetched while loading, but counted
+	// as a "secondary URL" feature (Table 1).
+	RefAnchor
+)
+
+// String names the reference kind.
+func (k RefKind) String() string {
+	switch k {
+	case RefImage:
+		return "image"
+	case RefScript:
+		return "script"
+	case RefStylesheet:
+		return "stylesheet"
+	case RefSubdocument:
+		return "subdocument"
+	case RefFlash:
+		return "flash"
+	case RefAnchor:
+		return "anchor"
+	default:
+		return "unknown"
+	}
+}
+
+// Fetchable reports whether the reference triggers a download during page
+// load.
+func (k RefKind) Fetchable() bool {
+	return k == RefImage || k == RefScript || k == RefStylesheet ||
+		k == RefSubdocument || k == RefFlash
+}
+
+// Ref is a reference discovered in a document.
+type Ref struct {
+	Kind RefKind
+	URL  string
+}
+
+// Node is a DOM node. Element nodes carry Tag and Attrs; text nodes carry
+// Text and an empty Tag.
+type Node struct {
+	Tag      string
+	Attrs    map[string]string
+	Text     string
+	Children []*Node
+}
+
+// IsText reports whether the node is a text node.
+func (n *Node) IsText() bool {
+	return n.Tag == ""
+}
+
+// Document is the result of fully parsing an HTML source.
+type Document struct {
+	// Root is the synthetic document root; its children are the top-level
+	// nodes of the source.
+	Root *Node
+	// Refs lists every reference in document order.
+	Refs []Ref
+	// InlineScripts holds the bodies of <script> elements without src.
+	InlineScripts []string
+	// NodeCount is the total number of element and text nodes (excluding
+	// the synthetic root).
+	NodeCount int
+	// TextBytes is the total length of text content.
+	TextBytes int
+}
+
+// ScanResult is the output of the cheap reference scan.
+type ScanResult struct {
+	Refs          []Ref
+	InlineScripts []string
+}
+
+// voidElements never take end tags.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// rawTextElements swallow raw text until their matching end tag.
+var rawTextElements = map[string]bool{"script": true, "style": true}
+
+// EventKind classifies a streaming event.
+type EventKind int
+
+const (
+	// EventText is a run of character data.
+	EventText EventKind = iota + 1
+	// EventStart is an element start tag.
+	EventStart
+	// EventEnd is an element end tag.
+	EventEnd
+	// EventScriptBody is the raw body of an inline <script> element.
+	EventScriptBody
+)
+
+// Event is one item of the document stream, in source order. Off is the
+// byte offset of the event in the source, which lets incremental consumers
+// (the simulated browser pipelines) attribute parse cost to source bytes.
+type Event struct {
+	Kind        EventKind
+	Off         int
+	Tag         string
+	Attrs       map[string]string
+	Text        string
+	Ref         *Ref
+	SelfClosing bool
+}
+
+// Stream tokenizes src in document order, invoking emit for every event.
+// Start-tag events carry a non-nil Ref when the element references another
+// resource. Stream never fails; malformed markup degrades the way real
+// browsers degrade (stray '<' becomes text, unclosed constructs are dropped
+// at EOF).
+func Stream(src string, emit func(Event)) {
+	tokenize(src, func(tok token) {
+		switch tok.kind {
+		case tokenText:
+			emit(Event{Kind: EventText, Off: tok.off, Text: tok.text})
+		case tokenStart:
+			ev := Event{
+				Kind:        EventStart,
+				Off:         tok.off,
+				Tag:         tok.tag,
+				Attrs:       tok.attrs,
+				SelfClosing: tok.selfClosing,
+			}
+			if ref, ok := refFor(tok.tag, tok.attrs); ok {
+				ev.Ref = &ref
+			}
+			emit(ev)
+		case tokenEnd:
+			emit(Event{Kind: EventEnd, Off: tok.off, Tag: tok.tag})
+		case tokenRawText:
+			emit(Event{Kind: EventScriptBody, Off: tok.off, Tag: tok.tag, Text: tok.text})
+		}
+	})
+}
+
+// Parse tokenizes src and builds the DOM tree, collecting references and
+// inline scripts along the way. Parsing is tolerant: malformed markup never
+// fails, it degrades the way real browsers do (stray '<' becomes text,
+// unclosed tags are closed at EOF).
+func Parse(src string) *Document {
+	doc := &Document{Root: &Node{Tag: "#root"}}
+	stack := []*Node{doc.Root}
+	top := func() *Node { return stack[len(stack)-1] }
+
+	Stream(src, func(ev Event) {
+		switch ev.Kind {
+		case EventText:
+			if strings.TrimSpace(ev.Text) == "" {
+				return
+			}
+			n := &Node{Text: ev.Text}
+			top().Children = append(top().Children, n)
+			doc.NodeCount++
+			doc.TextBytes += len(ev.Text)
+		case EventStart:
+			n := &Node{Tag: ev.Tag, Attrs: ev.Attrs}
+			top().Children = append(top().Children, n)
+			doc.NodeCount++
+			if ev.Ref != nil {
+				doc.Refs = append(doc.Refs, *ev.Ref)
+			}
+			if !ev.SelfClosing && !voidElements[ev.Tag] {
+				stack = append(stack, n)
+			}
+		case EventEnd:
+			// Pop to the matching open tag if present; ignore stray ends.
+			for i := len(stack) - 1; i >= 1; i-- {
+				if stack[i].Tag == ev.Tag {
+					stack = stack[:i]
+					break
+				}
+			}
+		case EventScriptBody:
+			if ev.Tag == "script" {
+				if strings.TrimSpace(ev.Text) != "" {
+					doc.InlineScripts = append(doc.InlineScripts, ev.Text)
+				}
+			}
+			// <style> bodies would be inline CSS; the benchmark pages use
+			// external stylesheets, so style bodies only count as text.
+			if ev.Tag == "style" && strings.TrimSpace(ev.Text) != "" {
+				doc.TextBytes += len(ev.Text)
+			}
+		}
+	})
+	return doc
+}
+
+// Scan runs the same tokenizer but only collects references and inline
+// scripts — the energy-aware browser's cheap discovery pass.
+func Scan(src string) *ScanResult {
+	res := &ScanResult{}
+	Stream(src, func(ev Event) {
+		switch ev.Kind {
+		case EventStart:
+			if ev.Ref != nil {
+				res.Refs = append(res.Refs, *ev.Ref)
+			}
+		case EventScriptBody:
+			if ev.Tag == "script" && strings.TrimSpace(ev.Text) != "" {
+				res.InlineScripts = append(res.InlineScripts, ev.Text)
+			}
+		}
+	})
+	return res
+}
+
+// refFor returns the reference an element start tag carries, if any.
+func refFor(tag string, attrs map[string]string) (Ref, bool) {
+	get := func(key string) (string, bool) {
+		v, ok := attrs[key]
+		return v, ok && v != ""
+	}
+	switch tag {
+	case "img":
+		if u, ok := get("src"); ok {
+			return Ref{Kind: RefImage, URL: u}, true
+		}
+	case "script":
+		if u, ok := get("src"); ok {
+			return Ref{Kind: RefScript, URL: u}, true
+		}
+	case "link":
+		rel := strings.ToLower(attrs["rel"])
+		if u, ok := get("href"); ok && rel == "stylesheet" {
+			return Ref{Kind: RefStylesheet, URL: u}, true
+		}
+	case "iframe", "frame":
+		if u, ok := get("src"); ok {
+			return Ref{Kind: RefSubdocument, URL: u}, true
+		}
+	case "object":
+		if u, ok := get("data"); ok {
+			return Ref{Kind: RefFlash, URL: u}, true
+		}
+	case "embed":
+		if u, ok := get("src"); ok {
+			return Ref{Kind: RefFlash, URL: u}, true
+		}
+	case "a":
+		if u, ok := get("href"); ok {
+			return Ref{Kind: RefAnchor, URL: u}, true
+		}
+	}
+	return Ref{}, false
+}
+
+type tokenKind int
+
+const (
+	tokenText tokenKind = iota + 1
+	tokenStart
+	tokenEnd
+	tokenRawText
+)
+
+type token struct {
+	kind        tokenKind
+	off         int
+	tag         string
+	attrs       map[string]string
+	text        string
+	selfClosing bool
+}
+
+// tokenize walks src emitting tokens. It never fails.
+func tokenize(src string, emit func(token)) {
+	i := 0
+	n := len(src)
+	for i < n {
+		lt := strings.IndexByte(src[i:], '<')
+		if lt < 0 {
+			emit(token{kind: tokenText, off: i, text: DecodeEntities(src[i:])})
+			return
+		}
+		if lt > 0 {
+			emit(token{kind: tokenText, off: i, text: DecodeEntities(src[i : i+lt])})
+			i += lt
+		}
+		// src[i] == '<'
+		if strings.HasPrefix(src[i:], "<!--") {
+			end := strings.Index(src[i+4:], "-->")
+			if end < 0 {
+				return
+			}
+			i += 4 + end + 3
+			continue
+		}
+		if strings.HasPrefix(src[i:], "<!") || strings.HasPrefix(src[i:], "<?") {
+			// DOCTYPE / processing instruction: skip to '>'.
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				return
+			}
+			i += end + 1
+			continue
+		}
+		if strings.HasPrefix(src[i:], "</") {
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				return
+			}
+			name := strings.ToLower(strings.TrimSpace(src[i+2 : i+end]))
+			emit(token{kind: tokenEnd, off: i, tag: name})
+			i += end + 1
+			continue
+		}
+		// Start tag, or stray '<' treated as text.
+		tok, next, ok := parseStartTag(src, i)
+		if !ok {
+			emit(token{kind: tokenText, off: i, text: "<"})
+			i++
+			continue
+		}
+		tok.off = i
+		emit(tok)
+		bodyStart := next
+		i = next
+		if rawTextElements[tok.tag] && !tok.selfClosing {
+			body, after := rawTextUntilEnd(src, i, tok.tag)
+			emit(token{kind: tokenRawText, off: bodyStart, tag: tok.tag, text: body})
+			emit(token{kind: tokenEnd, off: after, tag: tok.tag})
+			i = after
+		}
+	}
+}
+
+// parseStartTag parses a start tag beginning at src[i] == '<'. It returns
+// ok=false when the text after '<' is not a tag name.
+func parseStartTag(src string, i int) (token, int, bool) {
+	j := i + 1
+	n := len(src)
+	start := j
+	for j < n && isNameByte(src[j]) {
+		j++
+	}
+	if j == start {
+		return token{}, 0, false
+	}
+	name := strings.ToLower(src[start:j])
+	attrs := make(map[string]string)
+	selfClosing := false
+	for j < n {
+		// Skip whitespace.
+		for j < n && isSpace(src[j]) {
+			j++
+		}
+		if j >= n {
+			return token{}, 0, false
+		}
+		if src[j] == '>' {
+			j++
+			break
+		}
+		if src[j] == '/' {
+			selfClosing = true
+			j++
+			continue
+		}
+		// Attribute name.
+		aStart := j
+		for j < n && src[j] != '=' && src[j] != '>' && src[j] != '/' && !isSpace(src[j]) {
+			j++
+		}
+		aName := strings.ToLower(src[aStart:j])
+		for j < n && isSpace(src[j]) {
+			j++
+		}
+		if j < n && src[j] == '=' {
+			j++
+			for j < n && isSpace(src[j]) {
+				j++
+			}
+			var val string
+			if j < n && (src[j] == '"' || src[j] == '\'') {
+				quote := src[j]
+				j++
+				vStart := j
+				for j < n && src[j] != quote {
+					j++
+				}
+				val = src[vStart:j]
+				if j < n {
+					j++
+				}
+			} else {
+				vStart := j
+				for j < n && !isSpace(src[j]) && src[j] != '>' {
+					j++
+				}
+				val = src[vStart:j]
+			}
+			if aName != "" {
+				attrs[aName] = DecodeEntities(val)
+			}
+		} else if aName != "" {
+			attrs[aName] = ""
+		}
+	}
+	return token{kind: tokenStart, tag: name, attrs: attrs, selfClosing: selfClosing}, j, true
+}
+
+// rawTextUntilEnd returns the raw body of a script/style element and the
+// index just past its end tag.
+func rawTextUntilEnd(src string, i int, tag string) (string, int) {
+	lower := strings.ToLower(src)
+	closer := "</" + tag
+	idx := strings.Index(lower[i:], closer)
+	if idx < 0 {
+		return src[i:], len(src)
+	}
+	bodyEnd := i + idx
+	gt := strings.IndexByte(src[bodyEnd:], '>')
+	if gt < 0 {
+		return src[i:bodyEnd], len(src)
+	}
+	return src[i:bodyEnd], bodyEnd + gt + 1
+}
+
+// namedEntities covers the entities that appear in real-world markup often
+// enough to matter for text content and URLs.
+var namedEntities = map[string]string{
+	"amp": "&", "lt": "<", "gt": ">", "quot": `"`, "apos": "'", "nbsp": "\u00a0",
+}
+
+// DecodeEntities resolves character references (&amp;, &#65;, &#x41;) in s.
+// Unknown or malformed references pass through verbatim, as browsers do.
+func DecodeEntities(s string) string {
+	amp := strings.IndexByte(s, '&')
+	if amp < 0 {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s))
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if c != '&' {
+			sb.WriteByte(c)
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i:], ';')
+		if semi < 0 || semi > 12 {
+			sb.WriteByte(c)
+			i++
+			continue
+		}
+		body := s[i+1 : i+semi]
+		if decoded, ok := decodeEntityBody(body); ok {
+			sb.WriteString(decoded)
+			i += semi + 1
+			continue
+		}
+		sb.WriteByte(c)
+		i++
+	}
+	return sb.String()
+}
+
+func decodeEntityBody(body string) (string, bool) {
+	if body == "" {
+		return "", false
+	}
+	if body[0] == '#' {
+		num := body[1:]
+		base := 10
+		if len(num) > 1 && (num[0] == 'x' || num[0] == 'X') {
+			base = 16
+			num = num[1:]
+		}
+		code, err := strconv.ParseInt(num, base, 32)
+		if err != nil || code <= 0 || code > 0x10FFFF {
+			return "", false
+		}
+		return string(rune(code)), true
+	}
+	if v, ok := namedEntities[body]; ok {
+		return v, true
+	}
+	return "", false
+}
+
+func isNameByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' || b == '-' || b == '_'
+}
+
+func isSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r'
+}

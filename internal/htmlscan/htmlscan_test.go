@@ -1,0 +1,290 @@
+package htmlscan
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSimpleTree(t *testing.T) {
+	doc := Parse(`<html><body><p>hello</p><div><span>x</span></div></body></html>`)
+	if len(doc.Root.Children) != 1 {
+		t.Fatalf("root children = %d, want 1", len(doc.Root.Children))
+	}
+	html := doc.Root.Children[0]
+	if html.Tag != "html" {
+		t.Fatalf("top tag = %q, want html", html.Tag)
+	}
+	body := html.Children[0]
+	if body.Tag != "body" || len(body.Children) != 2 {
+		t.Fatalf("body = %+v", body)
+	}
+	// Nodes: html, body, p, text(hello), div, span, text(x) = 7.
+	if doc.NodeCount != 7 {
+		t.Fatalf("NodeCount = %d, want 7", doc.NodeCount)
+	}
+	if doc.TextBytes != len("hello")+len("x") {
+		t.Fatalf("TextBytes = %d, want 6", doc.TextBytes)
+	}
+}
+
+func TestParseExtractsRefs(t *testing.T) {
+	src := `<html><head>
+		<link rel="stylesheet" href="main.css">
+		<link rel="icon" href="favicon.ico">
+		<script src="app.js"></script>
+	</head><body>
+		<img src="logo.png">
+		<iframe src="ad.html"></iframe>
+		<object data="movie.swf"></object>
+		<embed src="clip.swf">
+		<a href="/next">next</a>
+	</body></html>`
+	doc := Parse(src)
+	want := []Ref{
+		{RefStylesheet, "main.css"},
+		{RefScript, "app.js"},
+		{RefImage, "logo.png"},
+		{RefSubdocument, "ad.html"},
+		{RefFlash, "movie.swf"},
+		{RefFlash, "clip.swf"},
+		{RefAnchor, "/next"},
+	}
+	if len(doc.Refs) != len(want) {
+		t.Fatalf("refs = %v, want %v", doc.Refs, want)
+	}
+	for i, r := range want {
+		if doc.Refs[i] != r {
+			t.Fatalf("ref[%d] = %v, want %v", i, doc.Refs[i], r)
+		}
+	}
+}
+
+func TestNonStylesheetLinkIgnored(t *testing.T) {
+	doc := Parse(`<link rel="preload" href="x.woff">`)
+	if len(doc.Refs) != 0 {
+		t.Fatalf("refs = %v, want none", doc.Refs)
+	}
+}
+
+func TestInlineScriptCaptured(t *testing.T) {
+	doc := Parse(`<script>fetch("a.png");</script><p>text</p>`)
+	if len(doc.InlineScripts) != 1 {
+		t.Fatalf("inline scripts = %d, want 1", len(doc.InlineScripts))
+	}
+	if !strings.Contains(doc.InlineScripts[0], `fetch("a.png")`) {
+		t.Fatalf("inline script = %q", doc.InlineScripts[0])
+	}
+	// The script body must not leak into the DOM as text: children are the
+	// script element and the p element only.
+	if len(doc.Root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2 (script, p)", len(doc.Root.Children))
+	}
+	if doc.Root.Children[0].Tag != "script" || len(doc.Root.Children[0].Children) != 0 {
+		t.Fatalf("script element polluted: %+v", doc.Root.Children[0])
+	}
+}
+
+func TestScriptWithSrcHasNoInlineBody(t *testing.T) {
+	doc := Parse(`<script src="a.js"></script>`)
+	if len(doc.InlineScripts) != 0 {
+		t.Fatalf("inline scripts = %v, want none", doc.InlineScripts)
+	}
+	if len(doc.Refs) != 1 || doc.Refs[0].Kind != RefScript {
+		t.Fatalf("refs = %v", doc.Refs)
+	}
+}
+
+func TestScriptBodyWithAngleBrackets(t *testing.T) {
+	doc := Parse(`<script>if (a < b) { write("<b>x</b>"); }</script>`)
+	if len(doc.InlineScripts) != 1 {
+		t.Fatalf("inline scripts = %d, want 1", len(doc.InlineScripts))
+	}
+	if !strings.Contains(doc.InlineScripts[0], "a < b") {
+		t.Fatalf("script body mangled: %q", doc.InlineScripts[0])
+	}
+}
+
+func TestVoidElementsDoNotNest(t *testing.T) {
+	doc := Parse(`<div><img src="a.png"><br><p>t</p></div>`)
+	div := doc.Root.Children[0]
+	// img, br and p are siblings under div.
+	if len(div.Children) != 3 {
+		t.Fatalf("div children = %d, want 3", len(div.Children))
+	}
+}
+
+func TestSelfClosingTag(t *testing.T) {
+	doc := Parse(`<div><widget src="x"/><p>t</p></div>`)
+	div := doc.Root.Children[0]
+	if len(div.Children) != 2 {
+		t.Fatalf("div children = %d, want 2 (self-closed widget, then p)", len(div.Children))
+	}
+}
+
+func TestUnclosedTagsTolerated(t *testing.T) {
+	doc := Parse(`<div><p>one<p>two`)
+	if doc.NodeCount == 0 {
+		t.Fatal("nothing parsed from unclosed markup")
+	}
+}
+
+func TestStrayLtIsText(t *testing.T) {
+	doc := Parse(`3 < 5 is true`)
+	if doc.TextBytes == 0 {
+		t.Fatal("stray < swallowed all text")
+	}
+}
+
+func TestCommentsAndDoctypeSkipped(t *testing.T) {
+	doc := Parse(`<!DOCTYPE html><!-- a comment with <img src="no.png"> --><p>x</p>`)
+	if len(doc.Refs) != 0 {
+		t.Fatalf("refs from comment = %v", doc.Refs)
+	}
+	if doc.NodeCount != 2 { // p + text
+		t.Fatalf("NodeCount = %d, want 2", doc.NodeCount)
+	}
+}
+
+func TestAttributeForms(t *testing.T) {
+	doc := Parse(`<img src=bare.png><img src='single.png'><img src="double.png"><input disabled>`)
+	if len(doc.Refs) != 3 {
+		t.Fatalf("refs = %v, want 3 images", doc.Refs)
+	}
+	urls := []string{doc.Refs[0].URL, doc.Refs[1].URL, doc.Refs[2].URL}
+	want := []string{"bare.png", "single.png", "double.png"}
+	for i := range want {
+		if urls[i] != want[i] {
+			t.Fatalf("urls = %v, want %v", urls, want)
+		}
+	}
+}
+
+func TestUppercaseTagsNormalized(t *testing.T) {
+	doc := Parse(`<IMG SRC="a.png"><SCRIPT SRC="b.js"></SCRIPT>`)
+	if len(doc.Refs) != 2 {
+		t.Fatalf("refs = %v, want 2", doc.Refs)
+	}
+}
+
+func TestScanMatchesParseRefs(t *testing.T) {
+	src := `<html><head><link rel=stylesheet href=a.css><script>fetch("x");</script></head>
+	<body><img src=b.png><iframe src=c.html></iframe><a href=d>d</a></body></html>`
+	doc := Parse(src)
+	scan := Scan(src)
+	if len(scan.Refs) != len(doc.Refs) {
+		t.Fatalf("scan refs %v != parse refs %v", scan.Refs, doc.Refs)
+	}
+	for i := range doc.Refs {
+		if scan.Refs[i] != doc.Refs[i] {
+			t.Fatalf("scan refs %v != parse refs %v", scan.Refs, doc.Refs)
+		}
+	}
+	if len(scan.InlineScripts) != len(doc.InlineScripts) {
+		t.Fatalf("scan scripts %d != parse scripts %d", len(scan.InlineScripts), len(doc.InlineScripts))
+	}
+}
+
+func TestFetchableKinds(t *testing.T) {
+	fetchable := []RefKind{RefImage, RefScript, RefStylesheet, RefSubdocument, RefFlash}
+	for _, k := range fetchable {
+		if !k.Fetchable() {
+			t.Fatalf("%v not fetchable", k)
+		}
+	}
+	if RefAnchor.Fetchable() {
+		t.Fatal("anchor fetchable")
+	}
+}
+
+func TestRefKindString(t *testing.T) {
+	tests := []struct {
+		give RefKind
+		want string
+	}{
+		{RefImage, "image"},
+		{RefScript, "script"},
+		{RefStylesheet, "stylesheet"},
+		{RefSubdocument, "subdocument"},
+		{RefFlash, "flash"},
+		{RefAnchor, "anchor"},
+		{RefKind(0), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Fatalf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestIsText(t *testing.T) {
+	doc := Parse(`<p>hello</p>`)
+	p := doc.Root.Children[0]
+	if p.IsText() {
+		t.Fatal("element node reported as text")
+	}
+	if !p.Children[0].IsText() {
+		t.Fatal("text node not reported as text")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	doc := Parse("")
+	if doc.NodeCount != 0 || len(doc.Refs) != 0 {
+		t.Fatalf("empty parse: %+v", doc)
+	}
+}
+
+// TestPropertyParseNeverPanics feeds arbitrary strings through both Parse
+// and Scan — a browser-grade tokenizer must survive anything.
+func TestPropertyParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		doc := Parse(s)
+		scan := Scan(s)
+		return doc != nil && scan != nil && doc.NodeCount >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyScanAgreesWithParse checks the scan/parse ref agreement on
+// arbitrary input, which the energy-aware engine's correctness rests on
+// (both pipelines must fetch the same objects).
+func TestPropertyScanAgreesWithParse(t *testing.T) {
+	f := func(s string) bool {
+		doc := Parse(s)
+		scan := Scan(s)
+		if len(doc.Refs) != len(scan.Refs) {
+			return false
+		}
+		for i := range doc.Refs {
+			if doc.Refs[i] != scan.Refs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncatedInputsTolerated(t *testing.T) {
+	cases := []string{
+		"<",
+		"<img",
+		"<img src=",
+		`<img src="a`,
+		"<!--",
+		"<!doctype",
+		"</",
+		"<script>never closed",
+	}
+	for _, src := range cases {
+		doc := Parse(src) // must not panic
+		if doc == nil {
+			t.Fatalf("Parse(%q) returned nil", src)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package jsmini
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestWhileLoop(t *testing.T) {
+	eff := mustRun(t, `
+		let n = 0;
+		let total = 0;
+		while n < 5 {
+			total = total + n;
+			n = n + 1;
+		}
+		write("" + total);
+	`)
+	if eff.HTML != "10" {
+		t.Fatalf("HTML = %q, want 10", eff.HTML)
+	}
+}
+
+func TestWhileFalseNeverRuns(t *testing.T) {
+	eff := mustRun(t, `while 0 { write("no"); }`)
+	if eff.HTML != "" {
+		t.Fatalf("HTML = %q, want empty", eff.HTML)
+	}
+}
+
+func TestWhileHitsStepBudget(t *testing.T) {
+	_, err := RunBounded(`let x = 1; while x { x = 1; }`, 500)
+	if !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("err = %v, want ErrStepBudget", err)
+	}
+}
+
+func TestWhileDrivenFetches(t *testing.T) {
+	eff := mustRun(t, `
+		let i = 0;
+		while i < 3 {
+			fetch("w" + i + ".png");
+			i = i + 1;
+		}
+	`)
+	if len(eff.Fetches) != 3 || eff.Fetches[2] != "w2.png" {
+		t.Fatalf("Fetches = %v", eff.Fetches)
+	}
+}
+
+func TestLen(t *testing.T) {
+	eff := mustRun(t, `write("" + len("hello"));`)
+	if eff.HTML != "5" {
+		t.Fatalf("HTML = %q, want 5", eff.HTML)
+	}
+}
+
+func TestLenNeedsString(t *testing.T) {
+	_, err := Run(`let x = len(5);`)
+	var rte *RuntimeError
+	if !errors.As(err, &rte) {
+		t.Fatalf("err = %v, want RuntimeError", err)
+	}
+}
+
+func TestFloor(t *testing.T) {
+	eff := mustRun(t, `write("" + floor(3.9) + "," + floor(0 - 1.2));`)
+	if eff.HTML != "3,-2" {
+		t.Fatalf("HTML = %q, want 3,-2", eff.HTML)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	eff := mustRun(t, `write("" + min(3, 7) + "," + max(3, 7));`)
+	if eff.HTML != "3,7" {
+		t.Fatalf("HTML = %q, want 3,7", eff.HTML)
+	}
+}
+
+func TestBuiltinArityErrors(t *testing.T) {
+	for _, src := range []string{
+		`let x = len("a", "b");`,
+		`let x = floor(1, 2);`,
+		`let x = min(1);`,
+		`let x = max(1, 2, 3);`,
+		`let x = min("a", 2);`,
+	} {
+		_, err := Run(src)
+		var rte *RuntimeError
+		if !errors.As(err, &rte) {
+			t.Fatalf("Run(%q) err = %v, want RuntimeError", src, err)
+		}
+	}
+}
+
+func TestBuiltinsCompose(t *testing.T) {
+	eff := mustRun(t, `
+		let url = "background.png";
+		if len(url) > 10 {
+			fetch(url);
+		}
+		let budget = min(len(url) * 2, 30);
+		compute(budget);
+	`)
+	if len(eff.Fetches) != 1 {
+		t.Fatalf("Fetches = %v", eff.Fetches)
+	}
+	if eff.ComputeMillis != 28 {
+		t.Fatalf("ComputeMillis = %v, want 28 (min(28, 30))", eff.ComputeMillis)
+	}
+}
+
+func TestBuiltinNamesReservedAsVariables(t *testing.T) {
+	for _, src := range []string{`let len = 1;`, `let while = 2;`, `let min = 3;`} {
+		_, err := Run(src)
+		var se *SyntaxError
+		if !errors.As(err, &se) {
+			t.Fatalf("Run(%q) err = %v, want SyntaxError", src, err)
+		}
+	}
+}

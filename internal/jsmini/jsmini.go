@@ -1,0 +1,879 @@
+// Package jsmini implements a small script language standing in for the
+// JavaScript embedded in the benchmark webpages.
+//
+// Section 4.1 of the paper observes that scripts are the hard case for
+// computation reordering: "there is no simple approach to find out if they
+// will generate new data transmission without executing them". Both browser
+// pipelines therefore *execute* scripts during the data-transmission phase;
+// what a script does — fetch objects, write markup into the document, or
+// just burn CPU — is only known after evaluation. jsmini gives the benchmark
+// pages scripts with exactly those three observable effects.
+//
+// The language: let bindings, assignment, arithmetic on numbers and string
+// concatenation with +, comparisons, if/else, bounded for loops, and the
+// three effectful builtins fetch(expr), write(expr) and compute(expr).
+package jsmini
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Effects is everything a script did that the browser can observe.
+type Effects struct {
+	// Fetches lists URLs requested with fetch(), in order.
+	Fetches []string
+	// HTML is the concatenation of all write() output, to be parsed into
+	// the document.
+	HTML string
+	// ComputeMillis is the extra CPU work requested via compute(), in
+	// simulated milliseconds.
+	ComputeMillis float64
+	// Steps is the number of interpreter steps executed.
+	Steps int
+}
+
+// DefaultMaxSteps bounds script execution (scripts in the corpus are tiny;
+// the bound exists so corrupted input cannot hang a simulation).
+const DefaultMaxSteps = 1_000_000
+
+// ErrStepBudget is returned when a script exceeds its step budget.
+var ErrStepBudget = errors.New("jsmini: step budget exceeded")
+
+// SyntaxError describes a parse failure.
+type SyntaxError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("jsmini: syntax error at offset %d: %s", e.Offset, e.Msg)
+}
+
+// RuntimeError describes an evaluation failure.
+type RuntimeError struct {
+	Msg string
+}
+
+func (e *RuntimeError) Error() string {
+	return "jsmini: runtime error: " + e.Msg
+}
+
+// Run parses and executes src with the default step budget.
+func Run(src string) (*Effects, error) {
+	return RunBounded(src, DefaultMaxSteps)
+}
+
+// RunBounded parses and executes src with an explicit step budget.
+func RunBounded(src string, maxSteps int) (*Effects, error) {
+	prog, err := ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Run(maxSteps)
+}
+
+// Program is a parsed script, reusable across runs.
+type Program struct {
+	stmts []stmt
+}
+
+// ParseProgram parses src into an executable Program.
+func ParseProgram(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmts, err := p.parseStmts(false)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{stmts: stmts}, nil
+}
+
+// Run executes the program.
+func (p *Program) Run(maxSteps int) (*Effects, error) {
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	ev := &evaluator{
+		vars:     make(map[string]value),
+		maxSteps: maxSteps,
+		effects:  &Effects{},
+	}
+	var html strings.Builder
+	ev.html = &html
+	if err := ev.execBlock(p.stmts); err != nil {
+		return nil, err
+	}
+	ev.effects.HTML = html.String()
+	ev.effects.Steps = ev.steps
+	return ev.effects, nil
+}
+
+// ---- lexer ----
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota + 1
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct
+)
+
+type tok struct {
+	kind tokKind
+	text string
+	num  float64
+	off  int
+}
+
+var keywords = map[string]bool{
+	"let": true, "for": true, "to": true, "if": true, "else": true,
+	"while": true, "fetch": true, "write": true, "compute": true,
+	"len": true, "floor": true, "min": true, "max": true,
+}
+
+func lex(src string) ([]tok, error) {
+	var toks []tok
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentByte(src[i]) {
+				i++
+			}
+			toks = append(toks, tok{kind: tokIdent, text: src[start:i], off: start})
+		case c >= '0' && c <= '9':
+			start := i
+			for i < n && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+				i++
+			}
+			f, err := strconv.ParseFloat(src[start:i], 64)
+			if err != nil {
+				return nil, &SyntaxError{Offset: start, Msg: "bad number " + src[start:i]}
+			}
+			toks = append(toks, tok{kind: tokNumber, num: f, off: start})
+		case c == '"' || c == '\'':
+			quote := c
+			i++
+			var sb strings.Builder
+			start := i
+			for i < n && src[i] != quote {
+				if src[i] == '\\' && i+1 < n {
+					i++
+					switch src[i] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					default:
+						sb.WriteByte(src[i])
+					}
+					i++
+					continue
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if i >= n {
+				return nil, &SyntaxError{Offset: start - 1, Msg: "unterminated string"}
+			}
+			i++
+			toks = append(toks, tok{kind: tokString, text: sb.String(), off: start - 1})
+		case strings.ContainsRune("+-*/%(){};=<>!,", rune(c)):
+			start := i
+			text := string(c)
+			if i+1 < n {
+				two := src[i : i+2]
+				if two == "==" || two == "!=" || two == "<=" || two == ">=" {
+					text = two
+					i++
+				}
+			}
+			i++
+			toks = append(toks, tok{kind: tokPunct, text: text, off: start})
+		default:
+			return nil, &SyntaxError{Offset: i, Msg: fmt.Sprintf("unexpected byte %q", c)}
+		}
+	}
+	toks = append(toks, tok{kind: tokEOF, off: n})
+	return toks, nil
+}
+
+func isIdentStart(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b == '_'
+}
+
+func isIdentByte(b byte) bool {
+	return isIdentStart(b) || b >= '0' && b <= '9'
+}
+
+// ---- AST ----
+
+type stmt interface{ isStmt() }
+
+type letStmt struct {
+	name string
+	expr expr
+}
+
+type assignStmt struct {
+	name string
+	expr expr
+}
+
+type callStmt struct {
+	builtin string // fetch, write, compute
+	arg     expr
+}
+
+type forStmt struct {
+	name     string
+	from, to expr
+	body     []stmt
+}
+
+type whileStmt struct {
+	cond expr
+	body []stmt
+}
+
+type ifStmt struct {
+	cond      expr
+	then, alt []stmt
+	hasElse   bool
+}
+
+func (letStmt) isStmt()    {}
+func (assignStmt) isStmt() {}
+func (callStmt) isStmt()   {}
+func (forStmt) isStmt()    {}
+func (whileStmt) isStmt()  {}
+func (ifStmt) isStmt()     {}
+
+type expr interface{ isExpr() }
+
+type numLit struct{ v float64 }
+type strLit struct{ v string }
+type varRef struct{ name string }
+type binOp struct {
+	op   string
+	l, r expr
+}
+type negOp struct{ e expr }
+type callExpr struct {
+	fn   string // len, floor, min, max
+	args []expr
+}
+
+func (numLit) isExpr()   {}
+func (strLit) isExpr()   {}
+func (varRef) isExpr()   {}
+func (binOp) isExpr()    {}
+func (negOp) isExpr()    {}
+func (callExpr) isExpr() {}
+
+// ---- parser ----
+
+type parser struct {
+	toks []tok
+	pos  int
+}
+
+func (p *parser) cur() tok { return p.toks[p.pos] }
+func (p *parser) advance() { p.pos++ }
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Offset: p.cur().off, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.cur().kind != tokPunct || p.cur().text != s {
+		return p.errf("expected %q", s)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) parseStmts(inBlock bool) ([]stmt, error) {
+	var stmts []stmt
+	for {
+		c := p.cur()
+		if c.kind == tokEOF {
+			if inBlock {
+				return nil, p.errf("unexpected end of script, expected '}'")
+			}
+			return stmts, nil
+		}
+		if inBlock && c.kind == tokPunct && c.text == "}" {
+			return stmts, nil
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+}
+
+func (p *parser) parseStmt() (stmt, error) {
+	c := p.cur()
+	if c.kind != tokIdent {
+		return nil, p.errf("expected statement")
+	}
+	switch c.text {
+	case "let":
+		p.advance()
+		name := p.cur()
+		if name.kind != tokIdent || keywords[name.text] {
+			return nil, p.errf("expected variable name after let")
+		}
+		p.advance()
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return letStmt{name: name.text, expr: e}, nil
+	case "fetch", "write", "compute":
+		p.advance()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return callStmt{builtin: c.text, arg: e}, nil
+	case "for":
+		p.advance()
+		name := p.cur()
+		if name.kind != tokIdent || keywords[name.text] {
+			return nil, p.errf("expected loop variable")
+		}
+		p.advance()
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		from, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokIdent || p.cur().text != "to" {
+			return nil, p.errf("expected 'to' in for loop")
+		}
+		p.advance()
+		to, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return forStmt{name: name.text, from: from, to: to, body: body}, nil
+	case "while":
+		p.advance()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return whileStmt{cond: cond, body: body}, nil
+	case "if":
+		p.advance()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		s := ifStmt{cond: cond, then: then}
+		if p.cur().kind == tokIdent && p.cur().text == "else" {
+			p.advance()
+			alt, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			s.alt = alt
+			s.hasElse = true
+		}
+		return s, nil
+	default:
+		if keywords[c.text] {
+			return nil, p.errf("unexpected keyword %q", c.text)
+		}
+		// Assignment.
+		p.advance()
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return assignStmt{name: c.text, expr: e}, nil
+	}
+}
+
+func (p *parser) parseBlock() ([]stmt, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	stmts, err := p.parseStmts(true)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	return stmts, nil
+}
+
+func (p *parser) parseExpr() (expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokPunct {
+		switch p.cur().text {
+		case "==", "!=", "<", ">", "<=", ">=":
+			op := p.cur().text
+			p.advance()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return binOp{op: op, l: l, r: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokPunct && (p.cur().text == "+" || p.cur().text == "-") {
+		op := p.cur().text
+		p.advance()
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = binOp{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseTerm() (expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokPunct && (p.cur().text == "*" || p.cur().text == "/" || p.cur().text == "%") {
+		op := p.cur().text
+		p.advance()
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = binOp{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseFactor() (expr, error) {
+	c := p.cur()
+	switch {
+	case c.kind == tokNumber:
+		p.advance()
+		return numLit{v: c.num}, nil
+	case c.kind == tokString:
+		p.advance()
+		return strLit{v: c.text}, nil
+	case c.kind == tokIdent && (c.text == "len" || c.text == "floor" || c.text == "min" || c.text == "max"):
+		p.advance()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		args := []expr{}
+		for {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, arg)
+			if p.cur().kind == tokPunct && p.cur().text == "," {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return callExpr{fn: c.text, args: args}, nil
+	case c.kind == tokIdent && !keywords[c.text]:
+		p.advance()
+		return varRef{name: c.text}, nil
+	case c.kind == tokPunct && c.text == "(":
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case c.kind == tokPunct && c.text == "-":
+		p.advance()
+		e, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return negOp{e: e}, nil
+	default:
+		return nil, p.errf("expected expression")
+	}
+}
+
+// ---- evaluator ----
+
+type value struct {
+	isStr bool
+	num   float64
+	str   string
+}
+
+func (v value) String() string {
+	if v.isStr {
+		return v.str
+	}
+	return strconv.FormatFloat(v.num, 'g', -1, 64)
+}
+
+type evaluator struct {
+	vars     map[string]value
+	steps    int
+	maxSteps int
+	effects  *Effects
+	html     *strings.Builder
+}
+
+func (ev *evaluator) step() error {
+	ev.steps++
+	if ev.steps > ev.maxSteps {
+		return ErrStepBudget
+	}
+	return nil
+}
+
+func (ev *evaluator) execBlock(stmts []stmt) error {
+	for _, s := range stmts {
+		if err := ev.exec(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ev *evaluator) exec(s stmt) error {
+	if err := ev.step(); err != nil {
+		return err
+	}
+	switch st := s.(type) {
+	case letStmt:
+		v, err := ev.eval(st.expr)
+		if err != nil {
+			return err
+		}
+		ev.vars[st.name] = v
+	case assignStmt:
+		if _, ok := ev.vars[st.name]; !ok {
+			return &RuntimeError{Msg: "assignment to undefined variable " + st.name}
+		}
+		v, err := ev.eval(st.expr)
+		if err != nil {
+			return err
+		}
+		ev.vars[st.name] = v
+	case callStmt:
+		v, err := ev.eval(st.arg)
+		if err != nil {
+			return err
+		}
+		switch st.builtin {
+		case "fetch":
+			if !v.isStr {
+				return &RuntimeError{Msg: "fetch() needs a string URL"}
+			}
+			ev.effects.Fetches = append(ev.effects.Fetches, v.str)
+		case "write":
+			ev.html.WriteString(v.String())
+		case "compute":
+			if v.isStr {
+				return &RuntimeError{Msg: "compute() needs a number"}
+			}
+			if v.num > 0 {
+				ev.effects.ComputeMillis += v.num
+			}
+		}
+	case forStmt:
+		from, err := ev.evalNum(st.from)
+		if err != nil {
+			return err
+		}
+		to, err := ev.evalNum(st.to)
+		if err != nil {
+			return err
+		}
+		saved, had := ev.vars[st.name]
+		for i := from; i < to; i++ {
+			ev.vars[st.name] = value{num: i}
+			if err := ev.execBlock(st.body); err != nil {
+				return err
+			}
+			if err := ev.step(); err != nil {
+				return err
+			}
+		}
+		if had {
+			ev.vars[st.name] = saved
+		} else {
+			delete(ev.vars, st.name)
+		}
+	case whileStmt:
+		for {
+			cond, err := ev.eval(st.cond)
+			if err != nil {
+				return err
+			}
+			if !truthy(cond) {
+				break
+			}
+			if err := ev.execBlock(st.body); err != nil {
+				return err
+			}
+			if err := ev.step(); err != nil {
+				return err
+			}
+		}
+	case ifStmt:
+		cond, err := ev.eval(st.cond)
+		if err != nil {
+			return err
+		}
+		if truthy(cond) {
+			return ev.execBlock(st.then)
+		}
+		if st.hasElse {
+			return ev.execBlock(st.alt)
+		}
+	default:
+		return &RuntimeError{Msg: fmt.Sprintf("unknown statement %T", s)}
+	}
+	return nil
+}
+
+func truthy(v value) bool {
+	if v.isStr {
+		return v.str != ""
+	}
+	return v.num != 0
+}
+
+func (ev *evaluator) evalNum(e expr) (float64, error) {
+	v, err := ev.eval(e)
+	if err != nil {
+		return 0, err
+	}
+	if v.isStr {
+		return 0, &RuntimeError{Msg: "expected a number"}
+	}
+	return v.num, nil
+}
+
+func (ev *evaluator) eval(e expr) (value, error) {
+	if err := ev.step(); err != nil {
+		return value{}, err
+	}
+	switch ex := e.(type) {
+	case numLit:
+		return value{num: ex.v}, nil
+	case strLit:
+		return value{isStr: true, str: ex.v}, nil
+	case varRef:
+		v, ok := ev.vars[ex.name]
+		if !ok {
+			return value{}, &RuntimeError{Msg: "undefined variable " + ex.name}
+		}
+		return v, nil
+	case negOp:
+		v, err := ev.eval(ex.e)
+		if err != nil {
+			return value{}, err
+		}
+		if v.isStr {
+			return value{}, &RuntimeError{Msg: "cannot negate a string"}
+		}
+		return value{num: -v.num}, nil
+	case binOp:
+		l, err := ev.eval(ex.l)
+		if err != nil {
+			return value{}, err
+		}
+		r, err := ev.eval(ex.r)
+		if err != nil {
+			return value{}, err
+		}
+		return applyBinOp(ex.op, l, r)
+	case callExpr:
+		args := make([]value, 0, len(ex.args))
+		for _, a := range ex.args {
+			v, err := ev.eval(a)
+			if err != nil {
+				return value{}, err
+			}
+			args = append(args, v)
+		}
+		return applyBuiltin(ex.fn, args)
+	default:
+		return value{}, &RuntimeError{Msg: fmt.Sprintf("unknown expression %T", e)}
+	}
+}
+
+// applyBuiltin evaluates the built-in functions len, floor, min and max.
+func applyBuiltin(fn string, args []value) (value, error) {
+	needNumbers := func(n int) error {
+		if len(args) != n {
+			return &RuntimeError{Msg: fmt.Sprintf("%s() takes %d argument(s), got %d", fn, n, len(args))}
+		}
+		for _, a := range args {
+			if a.isStr {
+				return &RuntimeError{Msg: fn + "() needs numbers"}
+			}
+		}
+		return nil
+	}
+	switch fn {
+	case "len":
+		if len(args) != 1 {
+			return value{}, &RuntimeError{Msg: "len() takes 1 argument"}
+		}
+		if !args[0].isStr {
+			return value{}, &RuntimeError{Msg: "len() needs a string"}
+		}
+		return value{num: float64(len(args[0].str))}, nil
+	case "floor":
+		if err := needNumbers(1); err != nil {
+			return value{}, err
+		}
+		return value{num: math.Floor(args[0].num)}, nil
+	case "min":
+		if err := needNumbers(2); err != nil {
+			return value{}, err
+		}
+		return value{num: math.Min(args[0].num, args[1].num)}, nil
+	case "max":
+		if err := needNumbers(2); err != nil {
+			return value{}, err
+		}
+		return value{num: math.Max(args[0].num, args[1].num)}, nil
+	default:
+		return value{}, &RuntimeError{Msg: "unknown builtin " + fn}
+	}
+}
+
+func applyBinOp(op string, l, r value) (value, error) {
+	if op == "+" && (l.isStr || r.isStr) {
+		return value{isStr: true, str: l.String() + r.String()}, nil
+	}
+	boolVal := func(b bool) value {
+		if b {
+			return value{num: 1}
+		}
+		return value{num: 0}
+	}
+	if l.isStr && r.isStr {
+		switch op {
+		case "==":
+			return boolVal(l.str == r.str), nil
+		case "!=":
+			return boolVal(l.str != r.str), nil
+		}
+		return value{}, &RuntimeError{Msg: "operator " + op + " not defined on strings"}
+	}
+	if l.isStr || r.isStr {
+		return value{}, &RuntimeError{Msg: "operator " + op + " mixes string and number"}
+	}
+	switch op {
+	case "+":
+		return value{num: l.num + r.num}, nil
+	case "-":
+		return value{num: l.num - r.num}, nil
+	case "*":
+		return value{num: l.num * r.num}, nil
+	case "/":
+		if r.num == 0 {
+			return value{}, &RuntimeError{Msg: "division by zero"}
+		}
+		return value{num: l.num / r.num}, nil
+	case "%":
+		if r.num == 0 {
+			return value{}, &RuntimeError{Msg: "modulo by zero"}
+		}
+		return value{num: float64(int64(l.num) % int64(r.num))}, nil
+	case "==":
+		return boolVal(l.num == r.num), nil
+	case "!=":
+		return boolVal(l.num != r.num), nil
+	case "<":
+		return boolVal(l.num < r.num), nil
+	case ">":
+		return boolVal(l.num > r.num), nil
+	case "<=":
+		return boolVal(l.num <= r.num), nil
+	case ">=":
+		return boolVal(l.num >= r.num), nil
+	default:
+		return value{}, &RuntimeError{Msg: "unknown operator " + op}
+	}
+}

@@ -1,0 +1,277 @@
+package jsmini
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustRun(t *testing.T, src string) *Effects {
+	t.Helper()
+	eff, err := Run(src)
+	if err != nil {
+		t.Fatalf("Run(%q): %v", src, err)
+	}
+	return eff
+}
+
+func TestFetchCollectsURLs(t *testing.T) {
+	eff := mustRun(t, `fetch("a.png"); fetch("b.png");`)
+	if len(eff.Fetches) != 2 || eff.Fetches[0] != "a.png" || eff.Fetches[1] != "b.png" {
+		t.Fatalf("Fetches = %v", eff.Fetches)
+	}
+}
+
+func TestWriteConcatenates(t *testing.T) {
+	eff := mustRun(t, `write("<p>"); write("x"); write("</p>");`)
+	if eff.HTML != "<p>x</p>" {
+		t.Fatalf("HTML = %q", eff.HTML)
+	}
+}
+
+func TestComputeAccumulates(t *testing.T) {
+	eff := mustRun(t, `compute(5); compute(2.5);`)
+	if math.Abs(eff.ComputeMillis-7.5) > 1e-12 {
+		t.Fatalf("ComputeMillis = %v, want 7.5", eff.ComputeMillis)
+	}
+}
+
+func TestNegativeComputeIgnored(t *testing.T) {
+	eff := mustRun(t, `compute(0 - 10);`)
+	if eff.ComputeMillis != 0 {
+		t.Fatalf("ComputeMillis = %v, want 0", eff.ComputeMillis)
+	}
+}
+
+func TestVariablesAndArithmetic(t *testing.T) {
+	eff := mustRun(t, `
+		let x = 3;
+		x = x * 2 + 1;
+		write("v=" + x);
+	`)
+	if eff.HTML != "v=7" {
+		t.Fatalf("HTML = %q, want v=7", eff.HTML)
+	}
+}
+
+func TestStringConcatInFetch(t *testing.T) {
+	eff := mustRun(t, `
+		let base = "img";
+		for i = 0 to 3 {
+			fetch(base + i + ".png");
+		}
+	`)
+	want := []string{"img0.png", "img1.png", "img2.png"}
+	if len(eff.Fetches) != len(want) {
+		t.Fatalf("Fetches = %v, want %v", eff.Fetches, want)
+	}
+	for i := range want {
+		if eff.Fetches[i] != want[i] {
+			t.Fatalf("Fetches = %v, want %v", eff.Fetches, want)
+		}
+	}
+}
+
+func TestForLoopBounds(t *testing.T) {
+	eff := mustRun(t, `let n = 0; for i = 2 to 6 { n = n + 1; } write("" + n);`)
+	if eff.HTML != "4" {
+		t.Fatalf("HTML = %q, want 4 iterations", eff.HTML)
+	}
+}
+
+func TestForLoopRestoresOuterVariable(t *testing.T) {
+	eff := mustRun(t, `let i = 99; for i = 0 to 3 { } write("" + i);`)
+	if eff.HTML != "99" {
+		t.Fatalf("HTML = %q, want 99 (loop variable scoped)", eff.HTML)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"then", `if 3 > 2 { write("yes"); } else { write("no"); }`, "yes"},
+		{"else", `if 1 > 2 { write("yes"); } else { write("no"); }`, "no"},
+		{"no else", `if 0 { write("yes"); }`, ""},
+		{"string truthy", `if "x" { write("t"); }`, "t"},
+		{"comparison ops", `if 2 <= 2 { if 3 != 4 { write("ok"); } }`, "ok"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := mustRun(t, tt.src).HTML; got != tt.want {
+				t.Fatalf("HTML = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	eff := mustRun(t, `write("" + (2 + 3 * 4));`)
+	if eff.HTML != "14" {
+		t.Fatalf("HTML = %q, want 14", eff.HTML)
+	}
+	eff = mustRun(t, `write("" + ((2 + 3) * 4));`)
+	if eff.HTML != "20" {
+		t.Fatalf("HTML = %q, want 20", eff.HTML)
+	}
+}
+
+func TestModuloAndDivision(t *testing.T) {
+	eff := mustRun(t, `write("" + (7 % 3) + "," + (8 / 2));`)
+	if eff.HTML != "1,4" {
+		t.Fatalf("HTML = %q, want 1,4", eff.HTML)
+	}
+}
+
+func TestUnaryMinus(t *testing.T) {
+	eff := mustRun(t, `let x = -5; write("" + (0 - x));`)
+	if eff.HTML != "5" {
+		t.Fatalf("HTML = %q, want 5", eff.HTML)
+	}
+}
+
+func TestComments(t *testing.T) {
+	eff := mustRun(t, "// leading comment\nfetch(\"a\"); // trailing\n")
+	if len(eff.Fetches) != 1 {
+		t.Fatalf("Fetches = %v", eff.Fetches)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	eff := mustRun(t, `write("a\nb\t\"c\"");`)
+	if eff.HTML != "a\nb\t\"c\"" {
+		t.Fatalf("HTML = %q", eff.HTML)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"undefined variable", `write(x);`},
+		{"assign undefined", `x = 1;`},
+		{"fetch number", `fetch(42);`},
+		{"compute string", `compute("a");`},
+		{"divide by zero", `let x = 1 / 0;`},
+		{"modulo by zero", `let x = 1 % 0;`},
+		{"subtract strings", `let x = "a" - "b";`},
+		{"mixed compare", `if "a" < 3 { }`},
+		{"negate string", `let x = -"a";`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Run(tt.src)
+			var rte *RuntimeError
+			if !errors.As(err, &rte) {
+				t.Fatalf("Run(%q) err = %v, want RuntimeError", tt.src, err)
+			}
+		})
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"missing semicolon", `fetch("a")`},
+		{"unterminated string", `fetch("a`},
+		{"missing paren", `fetch "a";`},
+		{"keyword as var", `let for = 1;`},
+		{"dangling block", `if 1 { fetch("a");`},
+		{"bad number", `let x = 1..2;`},
+		{"garbage", `@#$`},
+		{"missing to", `for i = 0 5 { }`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Run(tt.src)
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Fatalf("Run(%q) err = %v, want SyntaxError", tt.src, err)
+			}
+		})
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	src := `for i = 0 to 1000000 { let x = i * 2; }`
+	_, err := RunBounded(src, 1000)
+	if !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("err = %v, want ErrStepBudget", err)
+	}
+}
+
+func TestProgramReusable(t *testing.T) {
+	prog, err := ParseProgram(`fetch("a");`)
+	if err != nil {
+		t.Fatalf("ParseProgram: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		eff, err := prog.Run(0)
+		if err != nil {
+			t.Fatalf("Run #%d: %v", i, err)
+		}
+		if len(eff.Fetches) != 1 {
+			t.Fatalf("Run #%d Fetches = %v", i, eff.Fetches)
+		}
+	}
+}
+
+func TestStepsReported(t *testing.T) {
+	eff := mustRun(t, `let x = 1; let y = 2;`)
+	if eff.Steps <= 0 {
+		t.Fatalf("Steps = %d, want > 0", eff.Steps)
+	}
+}
+
+func TestNumberFormatting(t *testing.T) {
+	eff := mustRun(t, `write("" + 2.5 + "," + 3);`)
+	if eff.HTML != "2.5,3" {
+		t.Fatalf("HTML = %q, want 2.5,3", eff.HTML)
+	}
+}
+
+// TestPropertyNeverPanics: arbitrary input must produce an error or effects,
+// never a panic or a hang (step budget bounds execution).
+func TestPropertyNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		eff, err := RunBounded(s, 10_000)
+		return err != nil || eff != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyLoopFetchCount: generated fetch loops produce exactly the
+// requested number of fetches.
+func TestPropertyLoopFetchCount(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n % 50)
+		src := strings.ReplaceAll(`for i = 0 to N { fetch("u" + i); }`, "N",
+			strings.TrimSpace(strings.Repeat(" ", 1)+itoa(count)))
+		eff, err := Run(src)
+		return err == nil && len(eff.Fetches) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	digits := ""
+	for n > 0 {
+		digits = string(rune('0'+n%10)) + digits
+		n /= 10
+	}
+	return digits
+}

@@ -1,0 +1,130 @@
+// Package linreg implements ordinary least-squares linear regression — the
+// baseline the paper's Table 4 implicitly rules out: with near-zero Pearson
+// correlation between reading time and every individual feature, "we cannot
+// use simple linear models for prediction". The experiment harness fits this
+// model anyway and shows it losing to GBRT, closing the paper's argument
+// empirically.
+package linreg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model is a fitted linear model y = b0 + Σ bi·xi.
+type Model struct {
+	intercept float64
+	coef      []float64
+}
+
+// Fit solves the least-squares problem over the given rows using the normal
+// equations with Gaussian elimination (the feature count is tiny). A small
+// ridge term keeps the system solvable when features are collinear.
+func Fit(xs [][]float64, ys []float64) (*Model, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("linreg: empty training set")
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("linreg: %d rows vs %d targets", len(xs), len(ys))
+	}
+	d := len(xs[0])
+	if d == 0 {
+		return nil, errors.New("linreg: zero-width features")
+	}
+	for i, row := range xs {
+		if len(row) != d {
+			return nil, fmt.Errorf("linreg: row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	// Augmented design: [1, x1..xd]. Build X'X and X'y.
+	n := d + 1
+	xtx := make([][]float64, n)
+	for i := range xtx {
+		xtx[i] = make([]float64, n)
+	}
+	xty := make([]float64, n)
+	row := make([]float64, n)
+	for r, x := range xs {
+		row[0] = 1
+		copy(row[1:], x)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+			xty[i] += row[i] * ys[r]
+		}
+	}
+	// Ridge regularization for numerical stability.
+	const ridge = 1e-8
+	for i := 1; i < n; i++ {
+		xtx[i][i] += ridge * xtx[i][i]
+	}
+	beta, err := solve(xtx, xty)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{intercept: beta[0], coef: beta[1:]}, nil
+}
+
+// Predict evaluates the model.
+func (m *Model) Predict(x []float64) (float64, error) {
+	if len(x) != len(m.coef) {
+		return 0, fmt.Errorf("linreg: got %d features, model wants %d", len(x), len(m.coef))
+	}
+	y := m.intercept
+	for i, c := range m.coef {
+		y += c * x[i]
+	}
+	return y, nil
+}
+
+// Coefficients returns a copy of the fitted weights (without intercept).
+func (m *Model) Coefficients() []float64 {
+	out := make([]float64, len(m.coef))
+	copy(out, m.coef)
+	return out
+}
+
+// Intercept returns the fitted intercept.
+func (m *Model) Intercept() float64 {
+	return m.intercept
+}
+
+// solve performs Gaussian elimination with partial pivoting on a (copy is
+// destructive: a and b are mutated).
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, errors.New("linreg: singular design matrix")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back-substitute.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}

@@ -1,0 +1,131 @@
+package linreg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, nil); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Fit([][]float64{{}}, []float64{1}); err == nil {
+		t.Fatal("zero-width accepted")
+	}
+	if _, err := Fit([][]float64{{1}, {1, 2}}, []float64{1, 2}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+}
+
+func TestExactLinearRecovery(t *testing.T) {
+	// y = 3 + 2a - b: recoverable exactly.
+	rng := rand.New(rand.NewSource(1))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 50; i++ {
+		a := rng.Float64() * 10
+		b := rng.Float64() * 10
+		xs = append(xs, []float64{a, b})
+		ys = append(ys, 3+2*a-b)
+	}
+	m, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if math.Abs(m.Intercept()-3) > 1e-6 {
+		t.Fatalf("intercept = %v, want 3", m.Intercept())
+	}
+	coef := m.Coefficients()
+	if math.Abs(coef[0]-2) > 1e-6 || math.Abs(coef[1]+1) > 1e-6 {
+		t.Fatalf("coef = %v, want [2 -1]", coef)
+	}
+	got, err := m.Predict([]float64{4, 2})
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	if math.Abs(got-9) > 1e-6 {
+		t.Fatalf("Predict = %v, want 9", got)
+	}
+}
+
+func TestPredictChecksWidth(t *testing.T) {
+	m, err := Fit([][]float64{{1, 2}, {2, 3}, {3, 5}}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if _, err := m.Predict([]float64{1}); err == nil {
+		t.Fatal("wrong width accepted")
+	}
+}
+
+func TestCollinearFeaturesTolerated(t *testing.T) {
+	// Second feature is a copy of the first; ridge keeps it solvable.
+	xs := [][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	ys := []float64{2, 4, 6, 8}
+	m, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	got, err := m.Predict([]float64{5, 5})
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	if math.Abs(got-10) > 0.01 {
+		t.Fatalf("Predict = %v, want ≈10", got)
+	}
+}
+
+func TestConstantFeatureSingular(t *testing.T) {
+	// A feature identical to the implicit intercept column: still solvable
+	// with ridge, prediction ≈ mean behavior.
+	xs := [][]float64{{1}, {1}, {1}}
+	ys := []float64{5, 6, 7}
+	m, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	got, _ := m.Predict([]float64{1})
+	if math.Abs(got-6) > 0.5 {
+		t.Fatalf("Predict = %v, want ≈6", got)
+	}
+}
+
+// TestPropertyResidualOrthogonality: OLS residuals are orthogonal to every
+// feature column (the defining normal-equation property).
+func TestPropertyResidualOrthogonality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(50)
+		xs := make([][]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = []float64{rng.NormFloat64(), rng.NormFloat64() * 3}
+			ys[i] = rng.NormFloat64() * 10
+		}
+		m, err := Fit(xs, ys)
+		if err != nil {
+			return false
+		}
+		var dot0, dot1, dotC float64
+		for i := range xs {
+			p, err := m.Predict(xs[i])
+			if err != nil {
+				return false
+			}
+			r := ys[i] - p
+			dot0 += r * xs[i][0]
+			dot1 += r * xs[i][1]
+			dotC += r
+		}
+		scale := float64(n)
+		return math.Abs(dot0)/scale < 1e-4 && math.Abs(dot1)/scale < 1e-4 && math.Abs(dotC)/scale < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

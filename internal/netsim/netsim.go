@@ -1,0 +1,266 @@
+// Package netsim models the data path between the smartphone and the web
+// server on top of the RRC state machine: a FIFO radio link with DCH-grade
+// throughput, a per-request round-trip overhead, and a slow FACH path for
+// tiny transfers.
+//
+// Bandwidth is calibrated to the paper's Fig. 4 measurement: a raw socket
+// download of 760 KB over DCH takes about 8 seconds, while the shared FACH
+// channels move only a few hundred bytes per second (Section 2.1).
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"eabrowse/internal/rrc"
+	"eabrowse/internal/simtime"
+)
+
+// Config holds link parameters.
+type Config struct {
+	// DCHDownKBps is downlink throughput on dedicated channels, KB/s.
+	DCHDownKBps float64
+	// DCHUpKBps is uplink throughput on dedicated channels, KB/s (UMTS
+	// uplinks were several times slower than downlinks).
+	DCHUpKBps float64
+	// FACHDownKBps is downlink throughput on the shared channels, KB/s.
+	FACHDownKBps float64
+	// FACHMaxBytes is the largest transfer allowed to ride FACH without a
+	// promotion to DCH.
+	FACHMaxBytes int
+	// RTT is the fixed per-request overhead (HTTP request + first byte).
+	RTT time.Duration
+}
+
+// DefaultConfig returns the calibrated link: 760 KB in ≈8 s over DCH.
+func DefaultConfig() Config {
+	return Config{
+		DCHDownKBps:  96,
+		DCHUpKBps:    32,
+		FACHDownKBps: 0.3,
+		FACHMaxBytes: 256,
+		RTT:          300 * time.Millisecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.DCHDownKBps <= 0 || c.DCHUpKBps <= 0:
+		return errors.New("netsim: DCH bandwidth must be positive")
+	case c.FACHDownKBps <= 0:
+		return errors.New("netsim: FACH bandwidth must be positive")
+	case c.FACHMaxBytes < 0:
+		return errors.New("netsim: FACH max bytes must be non-negative")
+	case c.RTT < 0:
+		return errors.New("netsim: RTT must be non-negative")
+	}
+	return nil
+}
+
+// Record describes one completed transfer, for the traffic-shape analysis of
+// Fig. 4.
+type Record struct {
+	URL     string
+	Bytes   int
+	Start   time.Duration
+	End     time.Duration
+	OverDCH bool
+	// Uplink marks a Send (device → server) transfer.
+	Uplink bool
+}
+
+// Transfer is a pending or in-flight transfer.
+type Transfer struct {
+	url      string
+	bytes    int
+	uplink   bool
+	done     func()
+	enqueued time.Duration
+}
+
+// URL returns the transfer's URL tag.
+func (t *Transfer) URL() string { return t.url }
+
+// Bytes returns the transfer size.
+func (t *Transfer) Bytes() int { return t.bytes }
+
+// Link is a FIFO radio data link bound to one RRC machine. Not safe for
+// concurrent use (single-threaded simulation).
+type Link struct {
+	clock *simtime.Clock
+	radio *rrc.Machine
+	cfg   Config
+
+	queue   []*Transfer
+	busy    bool
+	records []Record
+
+	bytesDown  int
+	firstStart time.Duration
+	lastEnd    time.Duration
+	everMoved  bool
+
+	onAllDrained func()
+}
+
+// NewLink creates a link over the given radio.
+func NewLink(clock *simtime.Clock, radio *rrc.Machine, cfg Config) (*Link, error) {
+	if clock == nil {
+		return nil, errors.New("netsim: nil clock")
+	}
+	if radio == nil {
+		return nil, errors.New("netsim: nil radio")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Link{clock: clock, radio: radio, cfg: cfg}, nil
+}
+
+// Config returns the link configuration.
+func (l *Link) Config() Config { return l.cfg }
+
+// Busy reports whether a transfer is in flight.
+func (l *Link) Busy() bool { return l.busy }
+
+// QueueLen returns the number of queued (not yet started) transfers.
+func (l *Link) QueueLen() int { return len(l.queue) }
+
+// BytesDown returns the total bytes downloaded so far.
+func (l *Link) BytesDown() int { return l.bytesDown }
+
+// Records returns a copy of the completed-transfer log.
+func (l *Link) Records() []Record {
+	out := make([]Record, len(l.records))
+	copy(out, l.records)
+	return out
+}
+
+// TransmissionWindow returns the time of the first transfer start and the
+// last transfer end, i.e. the paper's "data transmission time" window. ok is
+// false if nothing has been transferred.
+func (l *Link) TransmissionWindow() (start, end time.Duration, ok bool) {
+	if !l.everMoved {
+		return 0, 0, false
+	}
+	return l.firstStart, l.lastEnd, true
+}
+
+// SetDrainedHook registers fn to run whenever the link transitions to fully
+// drained (no in-flight and no queued transfers). Pass nil to clear.
+func (l *Link) SetDrainedHook(fn func()) {
+	l.onAllDrained = fn
+}
+
+// Fetch enqueues a download of size bytes tagged with url; done (optional)
+// runs when the last byte arrives. Returns an error for non-positive sizes.
+func (l *Link) Fetch(url string, bytes int, done func()) error {
+	return l.enqueue(url, bytes, false, done)
+}
+
+// Send enqueues an uplink transfer (device → server) of size bytes; done
+// (optional) runs when the last byte has been sent.
+func (l *Link) Send(url string, bytes int, done func()) error {
+	return l.enqueue(url, bytes, true, done)
+}
+
+func (l *Link) enqueue(url string, bytes int, uplink bool, done func()) error {
+	if bytes <= 0 {
+		return fmt.Errorf("netsim: transfer %q with %d bytes", url, bytes)
+	}
+	l.queue = append(l.queue, &Transfer{
+		url:      url,
+		bytes:    bytes,
+		uplink:   uplink,
+		done:     done,
+		enqueued: l.clock.Now(),
+	})
+	l.pump()
+	return nil
+}
+
+// pump starts the next queued transfer if the link is free.
+func (l *Link) pump() {
+	if l.busy || len(l.queue) == 0 {
+		return
+	}
+	t := l.queue[0]
+	l.queue = l.queue[1:]
+	l.busy = true
+
+	// Tiny transfers ride FACH when the radio already sits there.
+	if t.bytes <= l.cfg.FACHMaxBytes && l.radio.State() == rrc.StateFACH {
+		l.startFACH(t)
+		return
+	}
+	l.radio.RequestDCH(func() {
+		l.startDCH(t)
+	})
+}
+
+func (l *Link) startDCH(t *Transfer) {
+	if err := l.radio.BeginTransfer(); err != nil {
+		// The radio was demoted between the callback being scheduled and
+		// running (cannot happen with the current machine, but fail safe):
+		// retry through a fresh DCH request.
+		l.radio.RequestDCH(func() { l.startDCH(t) })
+		return
+	}
+	start := l.clock.Now()
+	bw := l.cfg.DCHDownKBps
+	if t.uplink {
+		bw = l.cfg.DCHUpKBps
+	}
+	dur := l.cfg.RTT + kbDuration(t.bytes, bw)
+	l.clock.After(dur, func() {
+		if err := l.radio.EndTransfer(); err != nil {
+			// Unreachable by construction; keep the simulation honest.
+			panic(fmt.Sprintf("netsim: end transfer: %v", err))
+		}
+		l.finish(t, start, true)
+	})
+}
+
+func (l *Link) startFACH(t *Transfer) {
+	start := l.clock.Now()
+	l.radio.TouchFACH()
+	dur := l.cfg.RTT + kbDuration(t.bytes, l.cfg.FACHDownKBps)
+	l.clock.After(dur, func() {
+		l.radio.TouchFACH()
+		l.finish(t, start, false)
+	})
+}
+
+func (l *Link) finish(t *Transfer, start time.Duration, overDCH bool) {
+	now := l.clock.Now()
+	l.records = append(l.records, Record{
+		URL:     t.url,
+		Bytes:   t.bytes,
+		Start:   start,
+		End:     now,
+		OverDCH: overDCH,
+		Uplink:  t.uplink,
+	})
+	l.bytesDown += t.bytes
+	if !l.everMoved {
+		l.firstStart = start
+		l.everMoved = true
+	}
+	l.lastEnd = now
+	l.busy = false
+	if t.done != nil {
+		t.done()
+	}
+	l.pump()
+	if !l.busy && len(l.queue) == 0 && l.onAllDrained != nil {
+		l.onAllDrained()
+	}
+}
+
+// kbDuration converts a byte count and a KB/s rate into a duration.
+func kbDuration(bytes int, kbps float64) time.Duration {
+	seconds := float64(bytes) / 1024 / kbps
+	return time.Duration(seconds * float64(time.Second))
+}

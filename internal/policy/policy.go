@@ -1,0 +1,74 @@
+// Package policy implements Algorithm 2 of the paper — the energy-aware
+// state-switch decision — and the six-case trace-driven comparison of
+// Section 5.6.2 (Fig. 16, Table 6).
+//
+// After a page is opened the phone waits for the interest threshold α; if
+// the user is still reading, the GBRT predictor estimates the remaining
+// reading time Tr and the radio is forced to IDLE when
+//
+//	Tr > Td  (always), or
+//	Tr > Tp  (in power-driven mode),
+//
+// where Td = T1+T2 ≈ 20 s is the no-delay-penalty bound and Tp = 9 s is the
+// Fig. 3 energy-crossover bound (Table 2).
+package policy
+
+import (
+	"time"
+)
+
+// Mode selects what Algorithm 2 optimizes (Table 2).
+type Mode int
+
+const (
+	// ModeDelay only releases the radio when no delay penalty is possible
+	// (predicted reading beyond Td).
+	ModeDelay Mode = iota + 1
+	// ModePower also releases when the release merely saves energy
+	// (predicted reading beyond Tp), accepting possible promotion delay.
+	ModePower
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeDelay:
+		return "delay-driven"
+	case ModePower:
+		return "power-driven"
+	default:
+		return "unknown-mode"
+	}
+}
+
+// Params are Algorithm 2's inputs (Table 2).
+type Params struct {
+	// Alpha is the interest threshold: prediction runs only after the user
+	// has kept the page open this long.
+	Alpha time.Duration
+	// Td is the delay-driven threshold (T1 + T2).
+	Td time.Duration
+	// Tp is the power-driven threshold (the Fig. 3 crossover).
+	Tp time.Duration
+	// Mode selects power- vs. delay-driven operation.
+	Mode Mode
+}
+
+// DefaultParams returns the paper's parameters in delay-driven mode.
+func DefaultParams() Params {
+	return Params{
+		Alpha: 2 * time.Second,
+		Td:    20 * time.Second,
+		Tp:    9 * time.Second,
+		Mode:  ModeDelay,
+	}
+}
+
+// ShouldSwitchToIdle is the decision rule of Algorithm 2: given the
+// predicted reading time, should the radio be forced to IDLE?
+func ShouldSwitchToIdle(predictedReading time.Duration, p Params) bool {
+	if predictedReading > p.Td {
+		return true
+	}
+	return p.Mode == ModePower && predictedReading > p.Tp
+}

@@ -1,0 +1,125 @@
+package policy
+
+import (
+	"eabrowse/internal/rrc"
+)
+
+// The radio-tail model: closed-form energy and state of a radio that
+// finished its last data transfer and is left to the T1/T2 inactivity
+// timers. Used by the trace-driven case comparison, where re-simulating
+// thousands of reading windows event-by-event would be wasteful; its
+// agreement with the event-driven rrc.Machine is asserted by tests.
+
+// TailState describes the radio some time after the last transfer.
+type TailState int
+
+const (
+	// TailDCH: within T1 of the last transfer.
+	TailDCH TailState = iota + 1
+	// TailFACH: between T1 and T1+T2.
+	TailFACH
+	// TailIdle: past T1+T2.
+	TailIdle
+)
+
+// stateAfter returns the radio tail state elapsed seconds after the last
+// transfer ended.
+func stateAfter(cfg rrc.Config, elapsed float64) TailState {
+	t1 := cfg.T1.Seconds()
+	t2 := cfg.T2.Seconds()
+	switch {
+	case elapsed < t1:
+		return TailDCH
+	case elapsed < t1+t2:
+		return TailFACH
+	default:
+		return TailIdle
+	}
+}
+
+// tailEnergyJ integrates radio power over the window [from, from+dur)
+// seconds after the last transfer, with the radio following its timers.
+func tailEnergyJ(cfg rrc.Config, from, dur float64) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	t1 := cfg.T1.Seconds()
+	t2 := cfg.T2.Seconds()
+	end := from + dur
+	total := 0.0
+	total += overlap(from, end, 0, t1) * cfg.PowerDCHIdle
+	total += overlap(from, end, t1, t1+t2) * cfg.PowerFACH
+	if end > t1+t2 {
+		total += (end - max(from, t1+t2)) * cfg.PowerIdle
+	}
+	return total
+}
+
+// releaseEnergyJ is the cost of a fast-dormancy release (delay at release
+// power plus the signaling lump).
+func releaseEnergyJ(cfg rrc.Config) float64 {
+	return cfg.ReleaseDelay.Seconds()*cfg.PowerRelease + cfg.ReleaseSignalEnergy
+}
+
+// switchedWindowEnergyJ integrates a reading window of dur seconds (starting
+// tailElapsed after the last transfer) during which the radio is forced to
+// IDLE switchAt seconds into the window.
+func switchedWindowEnergyJ(cfg rrc.Config, tailElapsed, dur, switchAt float64) float64 {
+	if switchAt >= dur {
+		return tailEnergyJ(cfg, tailElapsed, dur)
+	}
+	if switchAt < 0 {
+		switchAt = 0
+	}
+	before := tailEnergyJ(cfg, tailElapsed, switchAt)
+	rel := cfg.ReleaseDelay.Seconds()
+	relWindow := min(rel, dur-switchAt)
+	release := relWindow*cfg.PowerRelease + cfg.ReleaseSignalEnergy
+	idle := (dur - switchAt - relWindow) * cfg.PowerIdle
+	if idle < 0 {
+		idle = 0
+	}
+	return before + release + idle
+}
+
+// promoAdjust returns the load-time and load-energy adjustment for a page
+// load that was measured starting from IDLE but actually starts from the
+// given tail state. Warmer states promote faster and skip the signaling
+// re-establishment lump.
+func promoAdjust(cfg rrc.Config, s TailState) (deltaSeconds, deltaJ float64) {
+	idlePromoS := cfg.PromoIdleToDCH.Seconds()
+	fachPromoS := cfg.PromoFACHToDCH.Seconds()
+	idlePromoJ := cfg.PromoIdleSignalEnergy + idlePromoS*cfg.PowerPromo
+	fachPromoJ := fachPromoS * cfg.PowerPromo
+	switch s {
+	case TailFACH:
+		return fachPromoS - idlePromoS, fachPromoJ - idlePromoJ
+	case TailDCH:
+		return -idlePromoS, -idlePromoJ
+	default:
+		return 0, 0
+	}
+}
+
+func overlap(a0, a1, b0, b1 float64) float64 {
+	lo := max(a0, b0)
+	hi := min(a1, b1)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

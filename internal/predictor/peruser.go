@@ -1,0 +1,98 @@
+package predictor
+
+import (
+	"errors"
+	"fmt"
+
+	"eabrowse/internal/features"
+	"eabrowse/internal/trace"
+)
+
+// PerUser holds one model per user plus a global fallback — the paper's
+// deployment: "the model is trained either offline on a PC or on the
+// smartphone when it is connected to a power source", i.e. each phone
+// carries its own user's model. Per-user models can absorb the latent
+// per-user pace that a global model must treat as noise.
+type PerUser struct {
+	models map[int]*Predictor
+	global *Predictor
+	// minVisits is the training-set size below which a user falls back to
+	// the global model.
+	minVisits int
+}
+
+// DefaultMinVisitsPerUser is the fewest visits worth fitting a personal
+// model on.
+const DefaultMinVisitsPerUser = 40
+
+// TrainPerUser fits a personal model for every user with enough history and
+// a shared global fallback for the rest.
+func TrainPerUser(visits []trace.Visit, cfg Config) (*PerUser, error) {
+	if len(visits) == 0 {
+		return nil, errors.New("predictor: no training visits")
+	}
+	global, err := Train(visits, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("train global model: %w", err)
+	}
+	byUser := make(map[int][]trace.Visit)
+	for _, v := range visits {
+		byUser[v.User] = append(byUser[v.User], v)
+	}
+	pu := &PerUser{
+		models:    make(map[int]*Predictor, len(byUser)),
+		global:    global,
+		minVisits: DefaultMinVisitsPerUser,
+	}
+	for user, own := range byUser {
+		if len(own) < pu.minVisits {
+			continue
+		}
+		m, err := Train(own, cfg)
+		if err != nil {
+			// A user whose surviving visits all fall under the interest
+			// threshold keeps the global model.
+			continue
+		}
+		pu.models[user] = m
+	}
+	return pu, nil
+}
+
+// PersonalModels returns how many users got their own model.
+func (p *PerUser) PersonalModels() int {
+	return len(p.models)
+}
+
+// PredictSeconds predicts with the user's model, falling back to the global
+// one for unknown or under-trained users.
+func (p *PerUser) PredictSeconds(user int, v features.Vector) (float64, error) {
+	if m, ok := p.models[user]; ok {
+		return m.PredictSeconds(v)
+	}
+	return p.global.PredictSeconds(v)
+}
+
+// Evaluate scores threshold classification like Predictor.Evaluate, routing
+// each visit to its user's model.
+func (p *PerUser) Evaluate(test []trace.Visit, threshold float64, applyInterest bool) (Accuracy, error) {
+	acc := Accuracy{Threshold: threshold}
+	alpha := p.global.alpha
+	for _, v := range test {
+		if applyInterest && v.ReadingSeconds < alpha {
+			continue
+		}
+		pred, err := p.PredictSeconds(v.User, v.Features)
+		if err != nil {
+			return Accuracy{}, err
+		}
+		if (pred > threshold) == (v.ReadingSeconds > threshold) {
+			acc.Correct++
+		}
+		acc.Total++
+	}
+	if acc.Total == 0 {
+		return Accuracy{}, errors.New("predictor: no test visits survive the interest threshold")
+	}
+	return acc, nil
+}

@@ -1,0 +1,88 @@
+package predictor
+
+import (
+	"testing"
+
+	"eabrowse/internal/gbrt"
+)
+
+func TestTrainPerUser(t *testing.T) {
+	ds := dataset(t)
+	train, test, err := Split(ds.Visits, 0.3, 7)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	cfg := Config{GBRT: gbrt.Config{Trees: 80, MaxLeaves: 8, Shrinkage: 0.1, MinSamplesLeaf: 5},
+		UseInterestThreshold: true, Alpha: 2}
+	pu, err := TrainPerUser(train, cfg)
+	if err != nil {
+		t.Fatalf("TrainPerUser: %v", err)
+	}
+	if pu.PersonalModels() == 0 {
+		t.Fatal("no personal models fitted for 40 users with 2h each")
+	}
+	acc, err := pu.Evaluate(test, 9, true)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if acc.Pct() < 70 {
+		t.Fatalf("per-user accuracy %.1f%%, want at least the global ballpark", acc.Pct())
+	}
+}
+
+func TestTrainPerUserEmpty(t *testing.T) {
+	if _, err := TrainPerUser(nil, DefaultConfig()); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+}
+
+func TestPerUserFallsBackToGlobal(t *testing.T) {
+	ds := dataset(t)
+	train, _, err := Split(ds.Visits, 0.3, 7)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	cfg := Config{GBRT: gbrt.Config{Trees: 40, MaxLeaves: 8, Shrinkage: 0.1, MinSamplesLeaf: 5},
+		UseInterestThreshold: true, Alpha: 2}
+	pu, err := TrainPerUser(train, cfg)
+	if err != nil {
+		t.Fatalf("TrainPerUser: %v", err)
+	}
+	// An unseen user id must still get a prediction.
+	if _, err := pu.PredictSeconds(9999, train[0].Features); err != nil {
+		t.Fatalf("fallback prediction failed: %v", err)
+	}
+}
+
+func TestPerUserVsGlobalAccuracy(t *testing.T) {
+	ds := dataset(t)
+	train, test, err := Split(ds.Visits, 0.3, 7)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	cfg := Config{GBRT: gbrt.Config{Trees: 100, MaxLeaves: 8, Shrinkage: 0.1, MinSamplesLeaf: 5},
+		UseInterestThreshold: true, Alpha: 2}
+	global, err := Train(train, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	pu, err := TrainPerUser(train, cfg)
+	if err != nil {
+		t.Fatalf("TrainPerUser: %v", err)
+	}
+	gAcc, err := global.Evaluate(test, 9, true)
+	if err != nil {
+		t.Fatalf("global Evaluate: %v", err)
+	}
+	pAcc, err := pu.Evaluate(test, 9, true)
+	if err != nil {
+		t.Fatalf("per-user Evaluate: %v", err)
+	}
+	// Per-user models see far less data each; they must stay within a
+	// reasonable band of the global model (they may win or lose slightly).
+	if pAcc.Pct() < gAcc.Pct()-10 {
+		t.Fatalf("per-user %.1f%% collapsed vs global %.1f%%", pAcc.Pct(), gAcc.Pct())
+	}
+	t.Logf("global %.1f%% vs per-user %.1f%% (personal models: %d)",
+		gAcc.Pct(), pAcc.Pct(), pu.PersonalModels())
+}

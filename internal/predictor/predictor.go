@@ -1,0 +1,289 @@
+// Package predictor wraps the GBRT model into the paper's reading-time
+// predictor (Section 4.3): train on collected visits, optionally applying
+// the interest threshold α (Section 4.3.4) — visits abandoned within α carry
+// no feature signal, so excluding them from training, and only predicting
+// once a page has survived α seconds, buys the ≥10-point accuracy
+// improvement of Fig. 15.
+package predictor
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"eabrowse/internal/features"
+	"eabrowse/internal/gbrt"
+	"eabrowse/internal/stats"
+	"eabrowse/internal/trace"
+)
+
+// Thresholds bundles the Table 2 parameters.
+type Thresholds struct {
+	// Alpha is the interest threshold (paper: 2 s for this dataset).
+	Alpha time.Duration
+	// Tp is the power-driven threshold (Fig. 3 crossover: 9 s).
+	Tp time.Duration
+	// Td is the delay-driven threshold (T1 + T2 ≈ 20 s).
+	Td time.Duration
+}
+
+// DefaultThresholds returns the paper's values.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		Alpha: 2 * time.Second,
+		Tp:    9 * time.Second,
+		Td:    20 * time.Second,
+	}
+}
+
+// Predictor predicts per-page reading time from Table 1 features.
+type Predictor struct {
+	model *gbrt.Model
+	// interestTrained records whether training excluded sub-α visits.
+	interestTrained bool
+	alpha           float64
+}
+
+// Config controls training.
+type Config struct {
+	// GBRT is the boosting setup.
+	GBRT gbrt.Config
+	// UseInterestThreshold excludes visits read for less than Alpha from
+	// the training set (Section 4.3.4).
+	UseInterestThreshold bool
+	// Alpha is the interest threshold in seconds.
+	Alpha float64
+}
+
+// DefaultConfig trains the paper's configuration: interest threshold on.
+func DefaultConfig() Config {
+	return Config{
+		GBRT:                 gbrt.DefaultConfig(),
+		UseInterestThreshold: true,
+		Alpha:                DefaultThresholds().Alpha.Seconds(),
+	}
+}
+
+// Train fits a predictor on the given visits.
+func Train(visits []trace.Visit, cfg Config) (*Predictor, error) {
+	if len(visits) == 0 {
+		return nil, errors.New("predictor: no training visits")
+	}
+	var xs [][]float64
+	var ys []float64
+	for _, v := range visits {
+		if cfg.UseInterestThreshold && v.ReadingSeconds < cfg.Alpha {
+			continue
+		}
+		xs = append(xs, v.Features.Slice())
+		ys = append(ys, v.ReadingSeconds)
+	}
+	if len(xs) == 0 {
+		return nil, errors.New("predictor: interest threshold removed every training visit")
+	}
+	model, err := gbrt.Train(xs, ys, cfg.GBRT)
+	if err != nil {
+		return nil, fmt.Errorf("train gbrt: %w", err)
+	}
+	return &Predictor{
+		model:           model,
+		interestTrained: cfg.UseInterestThreshold,
+		alpha:           cfg.Alpha,
+	}, nil
+}
+
+// PredictSeconds predicts the reading time for a page's feature vector.
+func (p *Predictor) PredictSeconds(v features.Vector) (float64, error) {
+	return p.model.Predict(v.Slice())
+}
+
+// NumTrees exposes the fitted forest size (Table 7 cost accounting).
+func (p *Predictor) NumTrees() int {
+	return p.model.NumTrees()
+}
+
+// FeatureImportance returns the forest's normalized split-gain importance
+// per Table 1 feature.
+func (p *Predictor) FeatureImportance() []float64 {
+	return p.model.FeatureImportance()
+}
+
+// InterestTrained reports whether the interest threshold was applied during
+// training.
+func (p *Predictor) InterestTrained() bool {
+	return p.interestTrained
+}
+
+// Accuracy is the Fig. 15 metric: a prediction is correct when the predicted
+// and the real reading time fall on the same side of the given threshold.
+type Accuracy struct {
+	Threshold float64
+	Correct   int
+	Total     int
+}
+
+// Pct returns the accuracy percentage.
+func (a Accuracy) Pct() float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return float64(a.Correct) / float64(a.Total) * 100
+}
+
+// Evaluate measures classification accuracy at threshold (seconds) on test
+// visits. When applyInterest is true only visits the user kept open for at
+// least α seconds are scored — the deployment behaviour: the phone waits α
+// before predicting, so sub-α visits never reach the predictor.
+func (p *Predictor) Evaluate(test []trace.Visit, threshold float64, applyInterest bool) (Accuracy, error) {
+	acc := Accuracy{Threshold: threshold}
+	for _, v := range test {
+		if applyInterest && v.ReadingSeconds < p.alpha {
+			continue
+		}
+		pred, err := p.PredictSeconds(v.Features)
+		if err != nil {
+			return Accuracy{}, err
+		}
+		if (pred > threshold) == (v.ReadingSeconds > threshold) {
+			acc.Correct++
+		}
+		acc.Total++
+	}
+	if acc.Total == 0 {
+		return Accuracy{}, errors.New("predictor: no test visits survive the interest threshold")
+	}
+	return acc, nil
+}
+
+// Split partitions visits into train/test deterministically. testFrac is the
+// fraction held out.
+func Split(visits []trace.Visit, testFrac float64, seed int64) (train, test []trace.Visit, err error) {
+	if len(visits) < 2 {
+		return nil, nil, errors.New("predictor: not enough visits to split")
+	}
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, fmt.Errorf("predictor: test fraction %v out of (0,1)", testFrac)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(visits))
+	nTest := int(float64(len(visits)) * testFrac)
+	if nTest == 0 {
+		nTest = 1
+	}
+	test = make([]trace.Visit, 0, nTest)
+	train = make([]trace.Visit, 0, len(visits)-nTest)
+	for i, idx := range perm {
+		if i < nTest {
+			test = append(test, visits[idx])
+		} else {
+			train = append(train, visits[idx])
+		}
+	}
+	return train, test, nil
+}
+
+// Metrics are regression-quality measures of the reading-time predictions,
+// complementing the paper's threshold-classification accuracy.
+type Metrics struct {
+	// MAE is the mean absolute error, seconds.
+	MAE float64
+	// RMSE is the root-mean-square error, seconds.
+	RMSE float64
+	// MedianAE is the median absolute error, seconds.
+	MedianAE float64
+	// N is the number of scored visits.
+	N int
+}
+
+// RegressionMetrics scores raw reading-time predictions on test visits.
+// When applyInterest is true, only visits surviving the α wait are scored.
+func (p *Predictor) RegressionMetrics(test []trace.Visit, applyInterest bool) (Metrics, error) {
+	var absErrs []float64
+	var sumSq float64
+	for _, v := range test {
+		if applyInterest && v.ReadingSeconds < p.alpha {
+			continue
+		}
+		pred, err := p.PredictSeconds(v.Features)
+		if err != nil {
+			return Metrics{}, err
+		}
+		d := pred - v.ReadingSeconds
+		if d < 0 {
+			d = -d
+		}
+		absErrs = append(absErrs, d)
+		sumSq += d * d
+	}
+	if len(absErrs) == 0 {
+		return Metrics{}, errors.New("predictor: no test visits survive the interest threshold")
+	}
+	m := Metrics{N: len(absErrs)}
+	sum := 0.0
+	for _, e := range absErrs {
+		sum += e
+	}
+	m.MAE = sum / float64(len(absErrs))
+	m.RMSE = math.Sqrt(sumSq / float64(len(absErrs)))
+	med, err := stats.Median(absErrs)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m.MedianAE = med
+	return m, nil
+}
+
+// predictorJSON is the deployment envelope: the GBRT forest plus the
+// interest-threshold metadata the on-phone program needs.
+type predictorJSON struct {
+	Alpha           float64         `json:"alpha"`
+	InterestTrained bool            `json:"interestTrained"`
+	Model           json.RawMessage `json:"model"`
+}
+
+// Save writes the predictor (model + α metadata) as JSON — the artifact the
+// paper deploys from the training PC to the phone's browser.
+func (p *Predictor) Save(w io.Writer) error {
+	var modelBuf bytes.Buffer
+	if err := p.model.Save(&modelBuf); err != nil {
+		return err
+	}
+	out := predictorJSON{
+		Alpha:           p.alpha,
+		InterestTrained: p.interestTrained,
+		Model:           json.RawMessage(bytes.TrimSpace(modelBuf.Bytes())),
+	}
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		return fmt.Errorf("predictor: save: %w", err)
+	}
+	return nil
+}
+
+// LoadPredictor reads a predictor previously written with Save.
+func LoadPredictor(r io.Reader) (*Predictor, error) {
+	var in predictorJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("predictor: load: %w", err)
+	}
+	if in.Alpha < 0 {
+		return nil, errors.New("predictor: negative alpha in saved model")
+	}
+	model, err := gbrt.Load(bytes.NewReader(in.Model))
+	if err != nil {
+		return nil, err
+	}
+	if model.NumFeatures() != features.Num {
+		return nil, fmt.Errorf("predictor: saved model has %d features, want %d",
+			model.NumFeatures(), features.Num)
+	}
+	return &Predictor{
+		model:           model,
+		interestTrained: in.InterestTrained,
+		alpha:           in.Alpha,
+	}, nil
+}

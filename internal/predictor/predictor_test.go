@@ -1,0 +1,278 @@
+package predictor
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"eabrowse/internal/features"
+	"eabrowse/internal/gbrt"
+	"eabrowse/internal/trace"
+)
+
+var sharedDataset *trace.Dataset
+
+func dataset(t *testing.T) *trace.Dataset {
+	t.Helper()
+	if sharedDataset == nil {
+		ds, err := trace.Synthesize(trace.DefaultConfig())
+		if err != nil {
+			t.Fatalf("Synthesize: %v", err)
+		}
+		sharedDataset = ds
+	}
+	return sharedDataset
+}
+
+func fastGBRT() gbrt.Config {
+	cfg := gbrt.DefaultConfig()
+	cfg.Trees = 120
+	return cfg
+}
+
+func TestDefaultThresholds(t *testing.T) {
+	th := DefaultThresholds()
+	if th.Alpha != 2*time.Second || th.Tp != 9*time.Second || th.Td != 20*time.Second {
+		t.Fatalf("thresholds = %+v, want paper values", th)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, DefaultConfig()); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	// Interest threshold that excludes everything.
+	visits := []trace.Visit{{ReadingSeconds: 1, Features: features.Vector{}}}
+	cfg := DefaultConfig()
+	cfg.Alpha = 100
+	if _, err := Train(visits, cfg); err == nil {
+		t.Fatal("training set fully excluded but Train succeeded")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ds := dataset(t)
+	train, test, err := Split(ds.Visits, 0.3, 1)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if len(train)+len(test) != len(ds.Visits) {
+		t.Fatalf("split loses visits: %d + %d != %d", len(train), len(test), len(ds.Visits))
+	}
+	frac := float64(len(test)) / float64(len(ds.Visits))
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("test fraction = %.2f, want ≈0.3", frac)
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	visits := []trace.Visit{{}, {}}
+	if _, _, err := Split(visits, 0, 1); err == nil {
+		t.Fatal("zero fraction accepted")
+	}
+	if _, _, err := Split(visits, 1, 1); err == nil {
+		t.Fatal("full fraction accepted")
+	}
+	if _, _, err := Split(visits[:1], 0.3, 1); err == nil {
+		t.Fatal("single visit accepted")
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	ds := dataset(t)
+	a1, _, err := Split(ds.Visits, 0.3, 5)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	a2, _, err := Split(ds.Visits, 0.3, 5)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if len(a1) != len(a2) || a1[0].ReadingSeconds != a2[0].ReadingSeconds {
+		t.Fatal("same seed, different split")
+	}
+}
+
+func TestEvaluateNeedsSurvivors(t *testing.T) {
+	ds := dataset(t)
+	train, _, err := Split(ds.Visits, 0.3, 1)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	cfg := Config{GBRT: fastGBRT(), UseInterestThreshold: true, Alpha: 2}
+	p, err := Train(train, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	shortOnly := []trace.Visit{{ReadingSeconds: 0.5, Features: train[0].Features}}
+	if _, err := p.Evaluate(shortOnly, 9, true); err == nil {
+		t.Fatal("evaluation with no surviving visits succeeded")
+	}
+}
+
+// TestFig15AccuracyBands asserts the Fig. 15 reproduction: with the interest
+// threshold the accuracy at both Tp and Td is solidly higher than without.
+func TestFig15AccuracyBands(t *testing.T) {
+	ds := dataset(t)
+	train, test, err := Split(ds.Visits, 0.3, 7)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	acc := make(map[bool][2]float64)
+	for _, interest := range []bool{false, true} {
+		cfg := Config{GBRT: fastGBRT(), UseInterestThreshold: interest, Alpha: 2}
+		p, err := Train(train, cfg)
+		if err != nil {
+			t.Fatalf("Train: %v", err)
+		}
+		a9, err := p.Evaluate(test, 9, interest)
+		if err != nil {
+			t.Fatalf("Evaluate(9): %v", err)
+		}
+		a20, err := p.Evaluate(test, 20, interest)
+		if err != nil {
+			t.Fatalf("Evaluate(20): %v", err)
+		}
+		acc[interest] = [2]float64{a9.Pct(), a20.Pct()}
+	}
+	with, without := acc[true], acc[false]
+	if with[0] < 78 || with[1] < 78 {
+		t.Errorf("with-threshold accuracy = %.1f/%.1f, want ≥ 78%% at both thresholds", with[0], with[1])
+	}
+	if with[0]-without[0] < 8 {
+		t.Errorf("interest threshold gain at Tp = %.1f points, want ≥ 8", with[0]-without[0])
+	}
+	if with[1] <= without[1] {
+		t.Errorf("interest threshold does not help at Td: %.1f vs %.1f", with[1], without[1])
+	}
+}
+
+func TestPredictorMetadata(t *testing.T) {
+	ds := dataset(t)
+	train, _, err := Split(ds.Visits, 0.3, 1)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	cfg := Config{GBRT: fastGBRT(), UseInterestThreshold: true, Alpha: 2}
+	p, err := Train(train, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if !p.InterestTrained() {
+		t.Fatal("InterestTrained() = false")
+	}
+	if p.NumTrees() <= 0 {
+		t.Fatalf("NumTrees = %d", p.NumTrees())
+	}
+	pred, err := p.PredictSeconds(train[0].Features)
+	if err != nil {
+		t.Fatalf("PredictSeconds: %v", err)
+	}
+	if pred <= 0 {
+		t.Fatalf("predicted reading time %v", pred)
+	}
+}
+
+func TestAccuracyPct(t *testing.T) {
+	a := Accuracy{Correct: 3, Total: 4}
+	if a.Pct() != 75 {
+		t.Fatalf("Pct = %v, want 75", a.Pct())
+	}
+	var empty Accuracy
+	if empty.Pct() != 0 {
+		t.Fatalf("empty Pct = %v, want 0", empty.Pct())
+	}
+}
+
+func TestRegressionMetrics(t *testing.T) {
+	ds := dataset(t)
+	train, test, err := Split(ds.Visits, 0.3, 7)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	p, err := Train(train, Config{GBRT: fastGBRT(), UseInterestThreshold: true, Alpha: 2})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	m, err := p.RegressionMetrics(test, true)
+	if err != nil {
+		t.Fatalf("RegressionMetrics: %v", err)
+	}
+	if m.N == 0 || m.MAE <= 0 || m.RMSE < m.MAE/2 || m.MedianAE <= 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	// RMSE upweights outliers, so it is at least the MAE.
+	if m.RMSE < m.MAE {
+		t.Fatalf("RMSE %.2f below MAE %.2f", m.RMSE, m.MAE)
+	}
+	// The latent medians span up to ~200 s; a useful model keeps the median
+	// absolute error within a handful of seconds.
+	if m.MedianAE > 15 {
+		t.Fatalf("MedianAE = %.1f s, model not useful", m.MedianAE)
+	}
+}
+
+func TestRegressionMetricsNoSurvivors(t *testing.T) {
+	ds := dataset(t)
+	train, _, err := Split(ds.Visits, 0.3, 7)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	p, err := Train(train, Config{GBRT: fastGBRT(), UseInterestThreshold: true, Alpha: 2})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	short := []trace.Visit{{ReadingSeconds: 0.1}}
+	if _, err := p.RegressionMetrics(short, true); err == nil {
+		t.Fatal("no-survivor metrics succeeded")
+	}
+}
+
+func TestPredictorSaveLoad(t *testing.T) {
+	ds := dataset(t)
+	train, test, err := Split(ds.Visits, 0.3, 7)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	p, err := Train(train, Config{GBRT: fastGBRT(), UseInterestThreshold: true, Alpha: 2})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatalf("LoadPredictor: %v", err)
+	}
+	if !loaded.InterestTrained() || loaded.NumTrees() != p.NumTrees() {
+		t.Fatalf("metadata lost: interest=%v trees=%d", loaded.InterestTrained(), loaded.NumTrees())
+	}
+	for _, v := range test[:20] {
+		a, err := p.PredictSeconds(v.Features)
+		if err != nil {
+			t.Fatalf("PredictSeconds: %v", err)
+		}
+		b, err := loaded.PredictSeconds(v.Features)
+		if err != nil {
+			t.Fatalf("loaded PredictSeconds: %v", err)
+		}
+		if a != b {
+			t.Fatalf("round trip changed prediction: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestLoadPredictorRejectsGarbage(t *testing.T) {
+	if _, err := LoadPredictor(strings.NewReader("junk")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// A valid gbrt model with the wrong feature width.
+	payload := `{"alpha":2,"interestTrained":true,"model":{"version":1,"base":5,"shrinkage":0.5,"numFeatures":1,
+		"trees":[{"nodes":[{"leaf":true,"value":1}]}]}}`
+	if _, err := LoadPredictor(strings.NewReader(payload)); err == nil {
+		t.Fatal("wrong feature width accepted")
+	}
+}

@@ -1,0 +1,196 @@
+// Package ril models Section 4.4's state-switch path: on Android the radio
+// firmware is closed, so the prototype forces dormancy *through the Radio
+// Interface Layer* — the application sends an abstract operation message to
+// RIL.java in the framework, which forwards it over a Unix socket to the
+// RIL daemon, which finally drives the firmware.
+//
+// The simulation keeps that structure: requests are asynchronous messages
+// with a hop latency, answered by responses, and the application layer never
+// touches the rrc.Machine directly. The indirection matters for fidelity —
+// a dormancy request can race with a new transfer and be rejected, exactly
+// the failure mode an application-layer implementation has to handle.
+package ril
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"eabrowse/internal/rrc"
+	"eabrowse/internal/simtime"
+)
+
+// Op is an abstract radio operation (the "message describing an operation
+// to be performed" of Section 4.4).
+type Op int
+
+const (
+	// OpForceDormancy releases the signaling connection (fast dormancy).
+	OpForceDormancy Op = iota + 1
+	// OpQueryState reads the current RRC state.
+	OpQueryState
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpForceDormancy:
+		return "FORCE_DORMANCY"
+	case OpQueryState:
+		return "QUERY_STATE"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Status is the outcome of a request.
+type Status int
+
+const (
+	// StatusOK: the operation was applied.
+	StatusOK Status = iota + 1
+	// StatusBusy: the radio could not perform the operation now (e.g. a
+	// transfer was in flight when the dormancy request arrived).
+	StatusBusy
+	// StatusError: malformed request.
+	StatusError
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusBusy:
+		return "BUSY"
+	case StatusError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Response answers one request.
+type Response struct {
+	ID     uint64
+	Op     Op
+	Status Status
+	// State is the RRC state observed when the operation executed.
+	State rrc.State
+}
+
+// DefaultHopLatency is the application → framework → daemon round trip.
+// The two in-process hops plus a Unix-socket crossing are fast compared to
+// any radio procedure; 20 ms is generous for a 2010-era device.
+const DefaultHopLatency = 20 * time.Millisecond
+
+// Interface is the simulated RIL daemon endpoint.
+type Interface struct {
+	clock   *simtime.Clock
+	radio   *rrc.Machine
+	latency time.Duration
+	nextID  uint64
+
+	served map[Status]int
+}
+
+// Option configures the Interface.
+type Option interface {
+	apply(*Interface)
+}
+
+type optionFunc func(*Interface)
+
+func (f optionFunc) apply(r *Interface) { f(r) }
+
+// WithHopLatency overrides the message round-trip latency.
+func WithHopLatency(d time.Duration) Option {
+	return optionFunc(func(r *Interface) { r.latency = d })
+}
+
+// New creates a RIL endpoint over the given radio.
+func New(clock *simtime.Clock, radio *rrc.Machine, opts ...Option) (*Interface, error) {
+	if clock == nil || radio == nil {
+		return nil, errors.New("ril: nil clock or radio")
+	}
+	r := &Interface{
+		clock:   clock,
+		radio:   radio,
+		latency: DefaultHopLatency,
+		served:  make(map[Status]int, 3),
+	}
+	for _, o := range opts {
+		o.apply(r)
+	}
+	if r.latency < 0 {
+		return nil, errors.New("ril: negative hop latency")
+	}
+	return r, nil
+}
+
+// Submit sends an operation request; reply (optional) is delivered after the
+// hop latency with the outcome. Returns the request id.
+func (r *Interface) Submit(op Op, reply func(Response)) uint64 {
+	r.nextID++
+	id := r.nextID
+	// One hop to the daemon; the operation executes there, and the response
+	// takes the same path back.
+	r.clock.After(r.latency/2, func() {
+		resp := r.execute(id, op)
+		r.served[resp.Status]++
+		if reply != nil {
+			r.clock.After(r.latency/2, func() { reply(resp) })
+		}
+	})
+	return id
+}
+
+func (r *Interface) execute(id uint64, op Op) Response {
+	resp := Response{ID: id, Op: op, State: r.radio.State()}
+	switch op {
+	case OpForceDormancy:
+		err := r.radio.ForceIdle()
+		switch {
+		case err == nil:
+			resp.Status = StatusOK
+		case errors.Is(err, rrc.ErrBusy):
+			resp.Status = StatusBusy
+		default:
+			resp.Status = StatusError
+		}
+		resp.State = r.radio.State()
+	case OpQueryState:
+		resp.Status = StatusOK
+	default:
+		resp.Status = StatusError
+	}
+	return resp
+}
+
+// Served returns how many requests completed with the given status.
+func (r *Interface) Served(s Status) int {
+	return r.served[s]
+}
+
+// ForceDormancyWithRetry submits a dormancy request and, on BUSY, retries
+// every interval up to attempts times — the pattern an application layer
+// needs because it cannot atomically observe the radio. done (optional)
+// receives the final response.
+func (r *Interface) ForceDormancyWithRetry(attempts int, interval time.Duration, done func(Response)) {
+	if attempts <= 0 {
+		attempts = 1
+	}
+	var attempt func(left int)
+	attempt = func(left int) {
+		r.Submit(OpForceDormancy, func(resp Response) {
+			if resp.Status == StatusBusy && left > 1 {
+				r.clock.After(interval, func() { attempt(left - 1) })
+				return
+			}
+			if done != nil {
+				done(resp)
+			}
+		})
+	}
+	attempt(attempts)
+}

@@ -1,0 +1,195 @@
+// Package simtime implements a deterministic discrete-event simulation
+// kernel: a virtual clock, an event queue ordered by (time, insertion
+// sequence), and cancellable timers.
+//
+// Every subsystem in this repository (radio, browser, capacity model) runs on
+// a simtime.Clock instead of the wall clock, which makes experiments exactly
+// reproducible and orders of magnitude faster than real time.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock is a virtual clock driving a discrete-event simulation.
+//
+// The zero value is not usable; construct clocks with NewClock. A Clock is
+// not safe for concurrent use: simulations are single-threaded by design so
+// that event order is deterministic.
+type Clock struct {
+	now   time.Duration
+	queue eventQueue
+	seq   uint64
+}
+
+// NewClock returns a clock positioned at time zero with an empty event queue.
+func NewClock() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current virtual time (elapsed since simulation start).
+func (c *Clock) Now() time.Duration {
+	return c.now
+}
+
+// Pending returns the number of scheduled, not-yet-fired, not-cancelled
+// events.
+func (c *Clock) Pending() int {
+	n := 0
+	for _, ev := range c.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// ScheduleAt schedules fn to run at the absolute virtual time at. Scheduling
+// in the past (before Now) is an error: discrete-event simulations must never
+// travel backwards.
+func (c *Clock) ScheduleAt(at time.Duration, fn func()) (*Event, error) {
+	if at < c.now {
+		return nil, fmt.Errorf("simtime: schedule at %v before now %v", at, c.now)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("simtime: schedule nil callback at %v", at)
+	}
+	ev := &Event{at: at, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.queue, ev)
+	return ev, nil
+}
+
+// After schedules fn to run d after the current virtual time. A negative d is
+// treated as zero so callers can pass computed (possibly slightly negative)
+// durations without a guard.
+func (c *Clock) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	ev, err := c.ScheduleAt(c.now+d, fn)
+	if err != nil {
+		// Unreachable: now+d >= now and fn checked below by ScheduleAt.
+		panic(err)
+	}
+	return ev
+}
+
+// Step runs the earliest pending event and advances the clock to its time.
+// It reports whether an event ran (false means the queue is empty).
+func (c *Clock) Step() bool {
+	for c.queue.Len() > 0 {
+		ev, ok := heap.Pop(&c.queue).(*Event)
+		if !ok {
+			return false
+		}
+		if ev.cancelled {
+			continue
+		}
+		c.now = ev.at
+		ev.fired = true
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (c *Clock) Run() {
+	for c.Step() {
+	}
+}
+
+// RunUntil executes all events scheduled at or before deadline, then advances
+// the clock to deadline (even if the queue emptied earlier). Events scheduled
+// beyond the deadline stay queued.
+func (c *Clock) RunUntil(deadline time.Duration) {
+	for c.queue.Len() > 0 {
+		next := c.queue[0]
+		if next.cancelled {
+			heap.Pop(&c.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		c.Step()
+	}
+	if deadline > c.now {
+		c.now = deadline
+	}
+}
+
+// RunFor executes events for d of virtual time starting from Now.
+func (c *Clock) RunFor(d time.Duration) {
+	c.RunUntil(c.now + d)
+}
+
+// Event is a handle to a scheduled callback.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+// At returns the virtual time the event is (or was) scheduled for.
+func (e *Event) At() time.Duration {
+	return e.at
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. It reports whether the event was
+// actually cancelled by this call.
+func (e *Event) Cancel() bool {
+	if e == nil || e.fired || e.cancelled {
+		return false
+	}
+	e.cancelled = true
+	return true
+}
+
+// Fired reports whether the event callback has run.
+func (e *Event) Fired() bool {
+	return e.fired
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool {
+	return e.cancelled
+}
+
+// eventQueue is a min-heap ordered by (at, seq) so same-time events fire in
+// scheduling order.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

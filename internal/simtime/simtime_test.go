@@ -1,0 +1,233 @@
+package simtime
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewClockStartsAtZero(t *testing.T) {
+	c := NewClock()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Now() = %v, want 0", got)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", c.Pending())
+	}
+}
+
+func TestAfterRunsInOrder(t *testing.T) {
+	c := NewClock()
+	var order []int
+	c.After(3*time.Second, func() { order = append(order, 3) })
+	c.After(1*time.Second, func() { order = append(order, 1) })
+	c.After(2*time.Second, func() { order = append(order, 2) })
+	c.Run()
+	want := []int{1, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if c.Now() != 3*time.Second {
+		t.Fatalf("Now() = %v, want 3s", c.Now())
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	c := NewClock()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.After(time.Second, func() { order = append(order, i) })
+	}
+	c.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestScheduleAtPastFails(t *testing.T) {
+	c := NewClock()
+	c.After(5*time.Second, func() {})
+	c.Run()
+	if _, err := c.ScheduleAt(time.Second, func() {}); err == nil {
+		t.Fatal("ScheduleAt in the past succeeded, want error")
+	}
+}
+
+func TestScheduleNilCallbackFails(t *testing.T) {
+	c := NewClock()
+	if _, err := c.ScheduleAt(time.Second, nil); err == nil {
+		t.Fatal("ScheduleAt(nil) succeeded, want error")
+	}
+}
+
+func TestNegativeAfterClampsToNow(t *testing.T) {
+	c := NewClock()
+	ran := false
+	c.After(-time.Second, func() { ran = true })
+	c.Run()
+	if !ran {
+		t.Fatal("negative After never ran")
+	}
+	if c.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", c.Now())
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	c := NewClock()
+	ran := false
+	ev := c.After(time.Second, func() { ran = true })
+	if !ev.Cancel() {
+		t.Fatal("Cancel() = false on pending event")
+	}
+	if ev.Cancel() {
+		t.Fatal("second Cancel() = true, want false")
+	}
+	c.Run()
+	if ran {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after cancel")
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	c := NewClock()
+	ev := c.After(time.Second, func() {})
+	c.Run()
+	if !ev.Fired() {
+		t.Fatal("event did not fire")
+	}
+	if ev.Cancel() {
+		t.Fatal("Cancel() after fire = true, want false")
+	}
+}
+
+func TestCancelNilEventIsNoop(t *testing.T) {
+	var ev *Event
+	if ev.Cancel() {
+		t.Fatal("Cancel() on nil event = true")
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	c := NewClock()
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 5 * time.Second} {
+		d := d
+		c.After(d, func() { fired = append(fired, d) })
+	}
+	c.RunUntil(3 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if c.Now() != 3*time.Second {
+		t.Fatalf("Now() = %v, want 3s", c.Now())
+	}
+	c.Run()
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events after Run, want 3", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesPastEmptyQueue(t *testing.T) {
+	c := NewClock()
+	c.RunUntil(10 * time.Second)
+	if c.Now() != 10*time.Second {
+		t.Fatalf("Now() = %v, want 10s", c.Now())
+	}
+}
+
+func TestRunForIsRelative(t *testing.T) {
+	c := NewClock()
+	c.After(time.Second, func() {})
+	c.Run()
+	c.RunFor(4 * time.Second)
+	if c.Now() != 5*time.Second {
+		t.Fatalf("Now() = %v, want 5s", c.Now())
+	}
+}
+
+func TestEventsScheduledDuringEvents(t *testing.T) {
+	c := NewClock()
+	var times []time.Duration
+	c.After(time.Second, func() {
+		times = append(times, c.Now())
+		c.After(time.Second, func() {
+			times = append(times, c.Now())
+		})
+	})
+	c.Run()
+	if len(times) != 2 || times[0] != time.Second || times[1] != 2*time.Second {
+		t.Fatalf("times = %v, want [1s 2s]", times)
+	}
+}
+
+func TestStepReturnsFalseOnEmpty(t *testing.T) {
+	c := NewClock()
+	if c.Step() {
+		t.Fatal("Step() = true on empty queue")
+	}
+}
+
+func TestPendingCountsOnlyLive(t *testing.T) {
+	c := NewClock()
+	ev := c.After(time.Second, func() {})
+	c.After(2*time.Second, func() {})
+	ev.Cancel()
+	if got := c.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d, want 1", got)
+	}
+}
+
+// TestPropertyEventOrder checks that arbitrary schedules always fire in
+// non-decreasing time order, with ties broken by insertion sequence.
+func TestPropertyEventOrder(t *testing.T) {
+	f := func(delaysMillis []uint16) bool {
+		c := NewClock()
+		var fired []time.Duration
+		for _, m := range delaysMillis {
+			c.After(time.Duration(m)*time.Millisecond, func() {
+				fired = append(fired, c.Now())
+			})
+		}
+		c.Run()
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyClockMonotonic checks that the clock never moves backwards
+// under a random mix of scheduling and stepping.
+func TestPropertyClockMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c := NewClock()
+	last := c.Now()
+	for i := 0; i < 5000; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			c.After(time.Duration(rng.Intn(1000))*time.Millisecond, func() {})
+		case 1:
+			c.Step()
+		default:
+			c.RunFor(time.Duration(rng.Intn(100)) * time.Millisecond)
+		}
+		if c.Now() < last {
+			t.Fatalf("clock moved backwards: %v -> %v", last, c.Now())
+		}
+		last = c.Now()
+	}
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	ds := dataset(t)
+	var buf bytes.Buffer
+	if err := ds.WriteVisits(&buf); err != nil {
+		t.Fatalf("WriteVisits: %v", err)
+	}
+	visits, err := ReadVisits(&buf)
+	if err != nil {
+		t.Fatalf("ReadVisits: %v", err)
+	}
+	if len(visits) != len(ds.Visits) {
+		t.Fatalf("round trip lost visits: %d -> %d", len(ds.Visits), len(visits))
+	}
+	for i := range visits {
+		if visits[i] != ds.Visits[i] {
+			t.Fatalf("visit %d differs: %+v vs %+v", i, visits[i], ds.Visits[i])
+		}
+	}
+}
+
+func TestWriteEmptyFails(t *testing.T) {
+	var buf bytes.Buffer
+	empty := &Dataset{}
+	if err := empty.WriteVisits(&buf); err == nil {
+		t.Fatal("empty dataset written")
+	}
+	var nilDS *Dataset
+	if err := nilDS.WriteVisits(&buf); err == nil {
+		t.Fatal("nil dataset written")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := ReadVisits(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadVisits(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Wrong feature width.
+	if _, err := ReadVisits(strings.NewReader(
+		`{"user":0,"session":0,"page":"p","features":[1,2],"readingSeconds":5}`)); err == nil {
+		t.Fatal("short feature vector accepted")
+	}
+	// Non-positive reading time.
+	if _, err := ReadVisits(strings.NewReader(
+		`{"user":0,"session":0,"page":"p","features":[1,2,3,4,5,6,7,8,9,10],"readingSeconds":0}`)); err == nil {
+		t.Fatal("zero reading time accepted")
+	}
+}
+
+func TestReadSingleRecord(t *testing.T) {
+	visits, err := ReadVisits(strings.NewReader(
+		`{"user":3,"session":1,"page":"x","features":[1,2,3,4,5,6,7,8,9,10],"readingSeconds":12.5,"interested":true}`))
+	if err != nil {
+		t.Fatalf("ReadVisits: %v", err)
+	}
+	v := visits[0]
+	if v.User != 3 || v.Session != 1 || v.Page != "x" || !v.Interested {
+		t.Fatalf("visit = %+v", v)
+	}
+	if v.ReadingSeconds != 12.5 || v.Features[0] != 1 || v.Features[9] != 10 {
+		t.Fatalf("visit payload = %+v", v)
+	}
+}
