@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"eabrowse/internal/experiments"
+)
 
 func TestListFlag(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -32,9 +36,16 @@ func TestFig3Experiment(t *testing.T) {
 	}
 }
 
+func TestBadFaultLoss(t *testing.T) {
+	// A loss rate outside [0, 1) must be rejected by the chaos experiment.
+	if err := run([]string{"-exp", "chaos", "-fault-loss", "1.5"}); err == nil {
+		t.Fatal("chaos accepted -fault-loss 1.5")
+	}
+}
+
 func TestExperimentNamesUnique(t *testing.T) {
 	seen := make(map[string]bool)
-	for _, e := range allExperiments() {
+	for _, e := range allExperiments(experiments.DefaultChaosProfile(), 0.3) {
 		if seen[e.name] {
 			t.Fatalf("duplicate experiment %q", e.name)
 		}

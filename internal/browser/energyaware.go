@@ -239,21 +239,48 @@ func (e *Engine) ForceDormantNow() error {
 	return e.forceDormant()
 }
 
+// Dormancy retry policy: how often and how many times the engine re-submits
+// a fast-dormancy request that came back BUSY, errored, or timed out before
+// giving up and leaving the radio to its inactivity timers.
+const (
+	dormancyAttempts      = 3
+	dormancyRetryInterval = 500 * time.Millisecond
+)
+
 func (e *Engine) forceDormant() error {
 	if e.radioIface != nil {
-		// Through the RIL: asynchronous, with retry on BUSY (a transfer may
-		// have started between the decision and the daemon executing it).
+		// Through the RIL: asynchronous, with retries — a transfer may have
+		// started between the decision and the daemon executing it (BUSY),
+		// and under fault injection the daemon may also error out or lose
+		// the response entirely (per-attempt timeout).
 		res := e.res
-		e.radioIface.ForceDormancyWithRetry(3, 500*time.Millisecond, func(resp ril.Response) {
-			if resp.Status == ril.StatusOK && res != nil && res.DormantAt == 0 {
-				res.DormantAt = e.since(e.clock.Now())
-				e.logEvent(EventDormant, "via RIL")
+		e.radioIface.ForceDormancyWithRetry(dormancyAttempts, dormancyRetryInterval, func(resp ril.Response) {
+			if resp.Status == ril.StatusOK {
+				if res != nil && res.DormantAt == 0 {
+					res.DormantAt = e.since(e.clock.Now())
+					e.logEvent(EventDormant, "via RIL")
+				}
+				return
 			}
+			// Graceful degradation: every attempt failed. Do not hang the
+			// guard — record the give-up and fall back to the timer-driven
+			// DCH→FACH→IDLE demotion (T1/T2 are armed whenever the radio
+			// goes quiet, exactly as in the stock pipeline).
+			if res != nil {
+				res.DormancyFailed = true
+			}
+			e.logEvent(EventDormantFailed, "RIL "+resp.Status.String())
 		})
 		return nil
 	}
 	err := e.radio.ForceIdle()
 	if err != nil {
+		// Same fallback on the direct path: the inactivity timers will
+		// demote the radio; the load just spends more energy.
+		if e.res != nil {
+			e.res.DormancyFailed = true
+		}
+		e.logEvent(EventDormantFailed, err.Error())
 		return err
 	}
 	if e.res != nil && e.res.DormantAt == 0 {

@@ -18,6 +18,25 @@ import (
 // the paper's prototype dropping to IDLE ≈2.5 s after the final transfer.
 const DefaultDormancyGuard = 2500 * time.Millisecond
 
+// Fetch-hardening defaults: how the engine reacts when the link reports a
+// permanently failed transfer (possible only under fault injection). Each
+// object gets DefaultFetchAttempts engine-level attempts — each of which is
+// itself retried inside the link — with exponential backoff between them,
+// and a wall-clock deadline after which the engine stops retrying and loads
+// the page without the object instead of hanging the pipeline.
+const (
+	// DefaultFetchAttempts is the engine-level attempt budget per object.
+	DefaultFetchAttempts = 3
+	// DefaultFetchBackoff is the first retry delay; it doubles per attempt.
+	DefaultFetchBackoff = 500 * time.Millisecond
+	// DefaultFetchBackoffCap bounds the exponential backoff.
+	DefaultFetchBackoffCap = 4 * time.Second
+	// DefaultFetchDeadline is the per-object timeout: once this much time
+	// has passed since the first attempt, a failed object is abandoned
+	// rather than retried.
+	DefaultFetchDeadline = 2 * time.Minute
+)
+
 // Engine loads webpages through one of the two pipelines. An Engine performs
 // one load at a time; construct it once per simulation scenario and reuse it
 // for sequential loads. Not safe for concurrent use.
@@ -35,15 +54,22 @@ type Engine struct {
 	radioIface         *ril.Interface
 	logEvents          bool
 
+	fetchAttempts   int
+	fetchBackoff    time.Duration
+	fetchBackoffCap time.Duration
+	fetchDeadline   time.Duration
+
 	// Per-load state.
-	page     *webpage.Page
-	res      *Result
-	doneFn   func(*Result)
-	loading  bool
-	startAt  time.Duration
-	radioJ0  float64
-	cpuJ0    float64
-	openWork int
+	page         *webpage.Page
+	res          *Result
+	doneFn       func(*Result)
+	loading      bool
+	startAt      time.Duration
+	radioJ0      float64
+	cpuJ0        float64
+	openWork     int
+	linkRetries0 int
+	linkFailed0  int
 
 	fetched    map[string]bool
 	cssApplied int
@@ -105,6 +131,19 @@ func WithEventLog() Option {
 	return optionFunc(func(e *Engine) { e.logEvents = true })
 }
 
+// WithFetchRetryPolicy overrides the engine's fetch-hardening parameters:
+// the per-object attempt budget, the initial exponential backoff and its
+// cap, and the per-object deadline after which a failing fetch is abandoned
+// (the page then loads without the object).
+func WithFetchRetryPolicy(attempts int, backoff, backoffCap, deadline time.Duration) Option {
+	return optionFunc(func(e *Engine) {
+		e.fetchAttempts = attempts
+		e.fetchBackoff = backoff
+		e.fetchBackoffCap = backoffCap
+		e.fetchDeadline = deadline
+	})
+}
+
 // WithRIL routes dormancy requests through a Radio Interface Layer endpoint
 // (Section 4.4) instead of touching the radio directly. The request becomes
 // an asynchronous message with hop latency and can come back BUSY, in which
@@ -127,17 +166,24 @@ func NewEngine(clock *simtime.Clock, radio *rrc.Machine, link *netsim.Link,
 		return nil, fmt.Errorf("browser: unknown mode %d", int(mode))
 	}
 	e := &Engine{
-		clock:         clock,
-		radio:         radio,
-		link:          link,
-		cost:          cost,
-		mode:          mode,
-		cpu:           newCPU(clock, cost.CPUActiveWatts),
-		dormancyGuard: DefaultDormancyGuard,
-		autoDormancy:  mode == ModeEnergyAware,
+		clock:           clock,
+		radio:           radio,
+		link:            link,
+		cost:            cost,
+		mode:            mode,
+		cpu:             newCPU(clock, cost.CPUActiveWatts),
+		dormancyGuard:   DefaultDormancyGuard,
+		autoDormancy:    mode == ModeEnergyAware,
+		fetchAttempts:   DefaultFetchAttempts,
+		fetchBackoff:    DefaultFetchBackoff,
+		fetchBackoffCap: DefaultFetchBackoffCap,
+		fetchDeadline:   DefaultFetchDeadline,
 	}
 	for _, o := range opts {
 		o.apply(e)
+	}
+	if e.fetchAttempts < 1 || e.fetchBackoff < 0 || e.fetchBackoffCap < e.fetchBackoff || e.fetchDeadline <= 0 {
+		return nil, errors.New("browser: invalid fetch retry policy")
 	}
 	return e, nil
 }
@@ -166,6 +212,8 @@ func (e *Engine) Load(page *webpage.Page, done func(*Result)) error {
 	e.startAt = e.clock.Now()
 	e.radioJ0 = e.radio.EnergyJ()
 	e.cpuJ0 = e.cpu.EnergyJ()
+	e.linkRetries0 = e.link.Retries()
+	e.linkFailed0 = e.link.FailedTransfers()
 	e.openWork = 0
 	e.fetched = make(map[string]bool, page.ResourceCount())
 	e.cssApplied = 0
@@ -200,7 +248,10 @@ func (e *Engine) since(at time.Duration) time.Duration {
 }
 
 // fetch requests url once; onArrive runs when the object has fully arrived
-// and must eventually call its closeUnit exactly once.
+// and must eventually call its closeUnit exactly once. Under fault injection
+// a fetch can fail permanently at the link layer; the engine then retries
+// with capped exponential backoff up to its attempt budget and deadline, and
+// finally abandons the object — the load completes degraded, never hangs.
 func (e *Engine) fetch(url string, onArrive func(res *webpage.Resource, closeUnit func())) {
 	if e.fetched[url] {
 		return
@@ -212,7 +263,18 @@ func (e *Engine) fetch(url string, onArrive func(res *webpage.Resource, closeUni
 		return
 	}
 	e.openWork++
-	err := e.link.Fetch(url, res.Bytes, func() {
+	e.fetchAttempt(res, 1, e.clock.Now(), onArrive)
+}
+
+// fetchAttempt issues one engine-level attempt (the link retries internally
+// below this) and handles its outcome.
+func (e *Engine) fetchAttempt(res *webpage.Resource, attempt int, firstAt time.Duration,
+	onArrive func(res *webpage.Resource, closeUnit func())) {
+	err := e.link.FetchResult(res.URL, res.Bytes, func(ferr error) {
+		if ferr != nil {
+			e.fetchFailed(res, attempt, firstAt, onArrive)
+			return
+		}
 		e.recordArrival(res)
 		onArrive(res, e.closeUnit)
 	})
@@ -222,6 +284,27 @@ func (e *Engine) fetch(url string, onArrive func(res *webpage.Resource, closeUni
 		e.res.Missing404++
 		e.closeUnit()
 	}
+}
+
+// fetchFailed decides between another backoff-delayed attempt and graceful
+// abandonment (budget spent or the per-object deadline passed).
+func (e *Engine) fetchFailed(res *webpage.Resource, attempt int, firstAt time.Duration,
+	onArrive func(res *webpage.Resource, closeUnit func())) {
+	if attempt >= e.fetchAttempts || e.clock.Now()-firstAt >= e.fetchDeadline {
+		e.res.FailedObjects++
+		e.logEvent(EventObjectFailed, res.URL)
+		e.closeUnit()
+		return
+	}
+	backoff := e.fetchBackoff << (attempt - 1)
+	if backoff > e.fetchBackoffCap {
+		backoff = e.fetchBackoffCap
+	}
+	e.res.FetchRetries++
+	e.logEvent(EventFetchRetried, res.URL)
+	e.clock.After(backoff, func() {
+		e.fetchAttempt(res, attempt+1, firstAt, onArrive)
+	})
 }
 
 // openUnit registers a unit of outstanding discovery work not tied to a
@@ -358,6 +441,8 @@ func (e *Engine) finish() {
 	e.res.DOMNodes = e.domNodes
 	e.res.RadioEnergyJ = e.radio.EnergyJ() - e.radioJ0
 	e.res.CPUEnergyJ = e.cpu.EnergyJ() - e.cpuJ0
+	e.res.LinkRetries = e.link.Retries() - e.linkRetries0
+	e.res.FailedTransfers = e.link.FailedTransfers() - e.linkFailed0
 	if e.doneFn != nil {
 		done := e.doneFn
 		res := e.res

@@ -68,6 +68,22 @@ type Result struct {
 	Redraws    int
 	Missing404 int
 
+	// Fault-hardening counters; all zero in the fault-free simulation.
+	//
+	// FetchRetries counts engine-level re-fetches after the link reported a
+	// permanent transfer failure. FailedObjects counts objects abandoned
+	// after the retry budget or deadline ran out (the page rendered without
+	// them). LinkRetries and FailedTransfers mirror the link's own
+	// lower-level counters over this load's window.
+	FetchRetries    int
+	FailedObjects   int
+	LinkRetries     int
+	FailedTransfers int
+	// DormancyFailed marks a load whose fast-dormancy request kept failing
+	// (radio busy, RIL errors, or lost responses); the engine gave up and
+	// left the radio to the timer-driven DCH→FACH→IDLE demotion instead.
+	DormancyFailed bool
+
 	// Energy over the load window (start → FinalDisplayAt).
 	CPUEnergyJ   float64
 	RadioEnergyJ float64
@@ -102,6 +118,15 @@ const (
 	EventDormant
 	// EventFinalDisplay: the complete page was on screen.
 	EventFinalDisplay
+	// EventFetchRetried: the link reported a permanent transfer failure and
+	// the engine scheduled a backoff retry.
+	EventFetchRetried
+	// EventObjectFailed: an object was abandoned after the retry budget or
+	// deadline ran out; the load continued without it.
+	EventObjectFailed
+	// EventDormantFailed: every fast-dormancy attempt failed; the radio was
+	// left to the timer-driven demotion path.
+	EventDormantFailed
 )
 
 // String names the event kind.
@@ -119,6 +144,12 @@ func (k EventKind) String() string {
 		return "radio-dormant"
 	case EventFinalDisplay:
 		return "final-display"
+	case EventFetchRetried:
+		return "fetch-retried"
+	case EventObjectFailed:
+		return "object-failed"
+	case EventDormantFailed:
+		return "dormancy-failed"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -127,6 +158,13 @@ func (k EventKind) String() string {
 // TotalEnergyJ is radio plus CPU energy over the load.
 func (r *Result) TotalEnergyJ() float64 {
 	return r.CPUEnergyJ + r.RadioEnergyJ
+}
+
+// Degraded reports whether the load completed with reduced fidelity: objects
+// were abandoned or the fast-dormancy fallback kicked in. A degraded load
+// still finished — that is the guarantee the hardening buys.
+func (r *Result) Degraded() bool {
+	return r.FailedObjects > 0 || r.DormancyFailed
 }
 
 // LayoutTime is the part of the load spent after the last byte arrived —

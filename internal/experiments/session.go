@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"eabrowse/internal/browser"
+	"eabrowse/internal/faults"
 	"eabrowse/internal/netsim"
+	"eabrowse/internal/ril"
 	"eabrowse/internal/rrc"
 	"eabrowse/internal/simtime"
 	"eabrowse/internal/webpage"
@@ -30,11 +32,15 @@ type LoadOutcome struct {
 }
 
 // Session is one simulated phone: clock, radio, link and a browser engine.
+// RIL and Faults are set only by NewFaultySession (nil on the fault-free
+// constructors).
 type Session struct {
 	Clock  *simtime.Clock
 	Radio  *rrc.Machine
 	Link   *netsim.Link
 	Engine *browser.Engine
+	RIL    *ril.Interface
+	Faults *faults.Injector
 }
 
 // NewSession builds a fresh phone with default radio/link parameters and a

@@ -1,0 +1,264 @@
+// Package faults is a deterministic, seed-driven impairment model for the
+// simulated testbed. The paper's prototype was evaluated on a live T-Mobile
+// UMTS network where losses, RTT spikes, stalled transfers and flaky RIL
+// responses are the norm; this package reproduces those conditions on the
+// simulated radio path so that the energy-aware pipeline's behaviour under
+// degradation is a measured, regression-guarded property rather than an
+// untested assumption.
+//
+// An Injector is consulted by netsim.Link before every transfer attempt and
+// by ril.Interface before every operation. All randomness comes from one
+// seeded math/rand source and the simulation is single-threaded, so two runs
+// with the same seed and the same workload produce byte-identical event
+// sequences. A nil *Injector (or a zero Config) injects nothing: every plan
+// it returns is the identity, and consumers schedule no extra events, so the
+// fault-free simulation is bit-for-bit the same as before this package
+// existed.
+package faults
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Config holds the impairment rates and magnitudes. The zero value disables
+// every impairment.
+type Config struct {
+	// Seed drives the single random source; runs with equal seeds and equal
+	// workloads are byte-identical.
+	Seed int64
+
+	// LossRate is the packet-loss probability on the radio path, in [0, 1).
+	// Loss degrades throughput (TCP-style congestion backoff) and occasionally
+	// doubles a request's RTT (retransmitted handshake).
+	LossRate float64
+	// RTTJitter is the maximum extra per-request latency; each transfer
+	// attempt draws a uniform jitter in [0, RTTJitter].
+	RTTJitter time.Duration
+	// StallRate is the per-attempt probability that a transfer stalls
+	// mid-flight (signal fade / blackout window).
+	StallRate float64
+	// StallMin and StallMax bound the uniform stall duration.
+	StallMin, StallMax time.Duration
+	// FailRate is the per-attempt probability that a transfer dies outright
+	// (connection reset) partway through.
+	FailRate float64
+	// FACHCongestionRate is the probability that a transfer riding the shared
+	// FACH channels hits cell congestion and is delayed.
+	FACHCongestionRate float64
+	// FACHCongestionDelay is the maximum uniform extra delay of a congested
+	// FACH transfer.
+	FACHCongestionDelay time.Duration
+
+	// RILTimeoutRate is the probability that a RIL operation's response is
+	// lost between the daemon and the application (the request may still have
+	// executed — the caller cannot tell, exactly as on real firmware).
+	RILTimeoutRate float64
+	// RILErrorRate is the probability that the RIL daemon rejects an
+	// operation with an error.
+	RILErrorRate float64
+	// RILExtraLatency is the maximum uniform extra hop latency of a RIL
+	// round trip (a loaded framework or daemon).
+	RILExtraLatency time.Duration
+}
+
+// Validate checks rates and magnitudes.
+func (c Config) Validate() error {
+	rates := []float64{c.LossRate, c.StallRate, c.FailRate,
+		c.FACHCongestionRate, c.RILTimeoutRate, c.RILErrorRate}
+	for _, r := range rates {
+		if r < 0 || r >= 1 || math.IsNaN(r) {
+			return errors.New("faults: rates must be in [0, 1)")
+		}
+	}
+	if c.RTTJitter < 0 || c.StallMin < 0 || c.FACHCongestionDelay < 0 || c.RILExtraLatency < 0 {
+		return errors.New("faults: durations must be non-negative")
+	}
+	if c.StallMax < c.StallMin {
+		return errors.New("faults: StallMax below StallMin")
+	}
+	return nil
+}
+
+// enabled reports whether any impairment can fire.
+func (c Config) enabled() bool {
+	return c.LossRate > 0 || c.RTTJitter > 0 || c.StallRate > 0 ||
+		c.FailRate > 0 || c.FACHCongestionRate > 0 ||
+		c.RILTimeoutRate > 0 || c.RILErrorRate > 0 || c.RILExtraLatency > 0
+}
+
+// TransferPlan is the impairment drawn for one transfer attempt. The
+// identity plan (ThroughputFactor 1, everything else zero) leaves the
+// attempt untouched.
+type TransferPlan struct {
+	// ThroughputFactor scales the link bandwidth for this attempt, in (0, 1].
+	ThroughputFactor float64
+	// ExtraRTT is added to the per-request overhead.
+	ExtraRTT time.Duration
+	// Stall is a mid-transfer blackout inserted into the attempt; the link
+	// may ride it out or abort and retry, depending on its length.
+	Stall time.Duration
+	// Fail kills the attempt after FailFrac of its transfer time.
+	Fail bool
+	// FailFrac is the fraction of the attempt completed before failure.
+	FailFrac float64
+}
+
+// RILPlan is the impairment drawn for one RIL operation.
+type RILPlan struct {
+	// DropResponse loses the response on its way back: the operation may
+	// have executed, but the caller never hears.
+	DropResponse bool
+	// Error makes the daemon reject the operation.
+	Error bool
+	// ExtraLatency is added to the message round trip.
+	ExtraLatency time.Duration
+}
+
+// Stats counts injected impairments, for reports and tests.
+type Stats struct {
+	Transfers  int // transfer attempts planned
+	Degraded   int // attempts with reduced throughput or extra RTT
+	Stalls     int // attempts with a blackout window
+	Fails      int // attempts killed outright
+	FACHDelays int // FACH attempts hit by congestion
+	RILOps     int // RIL operations planned
+	RILDrops   int // responses lost
+	RILErrors  int // operations rejected
+}
+
+// Injector draws impairments from one seeded source. Construct with New;
+// a nil Injector is valid and injects nothing.
+type Injector struct {
+	cfg     Config
+	rng     *rand.Rand
+	enabled bool
+	stats   Stats
+}
+
+// New creates an injector. A zero Config yields an injector that never
+// impairs anything (identical to using nil).
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0xfa_017_5eed)),
+		enabled: cfg.enabled(),
+	}, nil
+}
+
+// Enabled reports whether any impairment can fire. A nil injector is
+// disabled.
+func (in *Injector) Enabled() bool {
+	return in != nil && in.enabled
+}
+
+// Config returns the injector's configuration (zero for nil).
+func (in *Injector) Config() Config {
+	if in == nil {
+		return Config{}
+	}
+	return in.cfg
+}
+
+// Stats returns the impairment counters so far (zero for nil).
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return in.stats
+}
+
+// PlanTransfer draws the impairment for one transfer attempt. overFACH marks
+// a transfer riding the shared channels (subject to congestion instead of
+// the DCH loss model).
+func (in *Injector) PlanTransfer(uplink, overFACH bool) TransferPlan {
+	plan := TransferPlan{ThroughputFactor: 1}
+	if !in.Enabled() {
+		return plan
+	}
+	in.stats.Transfers++
+
+	if p := in.cfg.LossRate; p > 0 {
+		// Mathis-style steady-state degradation: goodput falls off with the
+		// square root of the loss rate, jittered ±20 % per attempt.
+		mean := (1 - p) / (1 + 3*math.Sqrt(p))
+		jitter := 0.8 + 0.4*in.rng.Float64()
+		plan.ThroughputFactor = clamp01(mean * jitter)
+		// A lost handshake packet retransmits after a full extra round trip.
+		if in.rng.Float64() < p {
+			plan.ExtraRTT += 2 * baseRTTEstimate
+		}
+	}
+	if in.cfg.RTTJitter > 0 {
+		plan.ExtraRTT += time.Duration(in.rng.Int63n(int64(in.cfg.RTTJitter) + 1))
+	}
+	if overFACH {
+		if in.cfg.FACHCongestionRate > 0 && in.rng.Float64() < in.cfg.FACHCongestionRate {
+			if in.cfg.FACHCongestionDelay > 0 {
+				plan.ExtraRTT += time.Duration(in.rng.Int63n(int64(in.cfg.FACHCongestionDelay) + 1))
+			}
+			in.stats.FACHDelays++
+		}
+	}
+	if in.cfg.StallRate > 0 && in.rng.Float64() < in.cfg.StallRate {
+		plan.Stall = in.cfg.StallMin
+		if span := in.cfg.StallMax - in.cfg.StallMin; span > 0 {
+			plan.Stall += time.Duration(in.rng.Int63n(int64(span) + 1))
+		}
+		if plan.Stall > 0 {
+			in.stats.Stalls++
+		}
+	}
+	if in.cfg.FailRate > 0 && in.rng.Float64() < in.cfg.FailRate {
+		plan.Fail = true
+		// The connection dies somewhere in the middle of the attempt, never
+		// instantly and never at the very last byte.
+		plan.FailFrac = 0.1 + 0.8*in.rng.Float64()
+		in.stats.Fails++
+	}
+	if plan.ThroughputFactor < 1 || plan.ExtraRTT > 0 {
+		in.stats.Degraded++
+	}
+	_ = uplink // the loss model is symmetric; the parameter documents intent
+	return plan
+}
+
+// PlanOp draws the impairment for one RIL operation.
+func (in *Injector) PlanOp() RILPlan {
+	var plan RILPlan
+	if !in.Enabled() {
+		return plan
+	}
+	in.stats.RILOps++
+	if in.cfg.RILTimeoutRate > 0 && in.rng.Float64() < in.cfg.RILTimeoutRate {
+		plan.DropResponse = true
+		in.stats.RILDrops++
+	}
+	if in.cfg.RILErrorRate > 0 && in.rng.Float64() < in.cfg.RILErrorRate {
+		plan.Error = true
+		in.stats.RILErrors++
+	}
+	if in.cfg.RILExtraLatency > 0 {
+		plan.ExtraLatency = time.Duration(in.rng.Int63n(int64(in.cfg.RILExtraLatency) + 1))
+	}
+	return plan
+}
+
+// baseRTTEstimate approximates one radio-path round trip for the handshake
+// retransmission penalty (netsim's calibrated default RTT).
+const baseRTTEstimate = 300 * time.Millisecond
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0.01:
+		return 0.01
+	case v > 1:
+		return 1
+	}
+	return v
+}

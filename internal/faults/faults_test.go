@@ -1,0 +1,148 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func hostileConfig() Config {
+	return Config{
+		Seed:                7,
+		LossRate:            0.3,
+		RTTJitter:           500 * time.Millisecond,
+		StallRate:           0.5,
+		StallMin:            time.Second,
+		StallMax:            10 * time.Second,
+		FailRate:            0.4,
+		FACHCongestionRate:  0.5,
+		FACHCongestionDelay: 2 * time.Second,
+		RILTimeoutRate:      0.5,
+		RILErrorRate:        0.3,
+		RILExtraLatency:     100 * time.Millisecond,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"negative loss", func(c *Config) { c.LossRate = -0.1 }},
+		{"loss of 1", func(c *Config) { c.LossRate = 1 }},
+		{"negative fail", func(c *Config) { c.FailRate = -1 }},
+		{"ril timeout of 1", func(c *Config) { c.RILTimeoutRate = 1 }},
+		{"negative jitter", func(c *Config) { c.RTTJitter = -time.Second }},
+		{"stall bounds inverted", func(c *Config) { c.StallMin = 2 * time.Second; c.StallMax = time.Second }},
+		{"negative ril latency", func(c *Config) { c.RILExtraLatency = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := hostileConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatal("Validate accepted a bad config")
+			}
+			if _, err := New(cfg); err == nil {
+				t.Fatal("New accepted a bad config")
+			}
+		})
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+}
+
+func TestNilAndZeroInjectorsAreIdentity(t *testing.T) {
+	var nilInj *Injector
+	zero, err := New(Config{Seed: 42})
+	if err != nil {
+		t.Fatalf("New(zero): %v", err)
+	}
+	for name, in := range map[string]*Injector{"nil": nilInj, "zero": zero} {
+		if in.Enabled() {
+			t.Fatalf("%s injector reports enabled", name)
+		}
+		for i := 0; i < 10; i++ {
+			plan := in.PlanTransfer(i%2 == 0, i%3 == 0)
+			if plan.ThroughputFactor != 1 || plan.ExtraRTT != 0 || plan.Stall != 0 || plan.Fail {
+				t.Fatalf("%s injector returned non-identity transfer plan %+v", name, plan)
+			}
+			if op := in.PlanOp(); op != (RILPlan{}) {
+				t.Fatalf("%s injector returned non-identity RIL plan %+v", name, op)
+			}
+		}
+		if in.Stats() != (Stats{}) {
+			t.Fatalf("%s injector counted impairments: %+v", name, in.Stats())
+		}
+	}
+}
+
+func TestDeterministicPlans(t *testing.T) {
+	a, err := New(hostileConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	b, err := New(hostileConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 500; i++ {
+		fach := i%4 == 0
+		pa, pb := a.PlanTransfer(false, fach), b.PlanTransfer(false, fach)
+		if pa != pb {
+			t.Fatalf("transfer plan %d diverged: %+v vs %+v", i, pa, pb)
+		}
+		oa, ob := a.PlanOp(), b.PlanOp()
+		if oa != ob {
+			t.Fatalf("RIL plan %d diverged: %+v vs %+v", i, oa, ob)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestPlanBoundsAndStats(t *testing.T) {
+	cfg := hostileConfig()
+	in, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		plan := in.PlanTransfer(false, i%2 == 0)
+		if plan.ThroughputFactor <= 0 || plan.ThroughputFactor > 1 {
+			t.Fatalf("throughput factor %v out of (0, 1]", plan.ThroughputFactor)
+		}
+		// 30% loss must actually degrade throughput, never improve it.
+		if plan.ThroughputFactor > 0.9 {
+			t.Fatalf("throughput factor %v too high for 30%% loss", plan.ThroughputFactor)
+		}
+		if plan.Stall != 0 && (plan.Stall < cfg.StallMin || plan.Stall > cfg.StallMax) {
+			t.Fatalf("stall %v outside [%v, %v]", plan.Stall, cfg.StallMin, cfg.StallMax)
+		}
+		if plan.Fail && (plan.FailFrac < 0.1 || plan.FailFrac > 0.9) {
+			t.Fatalf("fail fraction %v outside [0.1, 0.9]", plan.FailFrac)
+		}
+		in.PlanOp()
+	}
+	st := in.Stats()
+	if st.Transfers != n || st.RILOps != n {
+		t.Fatalf("plan counters off: %+v", st)
+	}
+	// With rates this high, every impairment class must have fired.
+	if st.Stalls == 0 || st.Fails == 0 || st.Degraded == 0 || st.FACHDelays == 0 {
+		t.Fatalf("transfer impairments never fired: %+v", st)
+	}
+	if st.RILDrops == 0 || st.RILErrors == 0 {
+		t.Fatalf("RIL impairments never fired: %+v", st)
+	}
+	// And roughly at the configured frequency (very loose bounds; the test
+	// guards against rates being ignored, not against sampling noise).
+	if frac := float64(st.Fails) / n; frac < 0.2 || frac > 0.6 {
+		t.Fatalf("fail rate %v far from configured 0.4", frac)
+	}
+	if frac := float64(st.RILDrops) / n; frac < 0.3 || frac > 0.7 {
+		t.Fatalf("RIL drop rate %v far from configured 0.5", frac)
+	}
+}

@@ -13,9 +13,23 @@ import (
 	"fmt"
 	"time"
 
+	"eabrowse/internal/faults"
 	"eabrowse/internal/rrc"
 	"eabrowse/internal/simtime"
 )
+
+// ErrTransferFailed marks a transfer that died after exhausting the link's
+// retry budget (injected hard failure or unrecoverable stall).
+var ErrTransferFailed = errors.New("netsim: transfer failed")
+
+// DefaultTransferAttempts is how many times the link tries a transfer before
+// reporting failure to the caller: the first attempt plus two retries.
+const DefaultTransferAttempts = 3
+
+// StallAbortTimeout is the link's stall watchdog: an attempt that makes no
+// progress for this long is aborted and retried. Stalls shorter than this
+// are ridden out (they just lengthen the transfer).
+const StallAbortTimeout = 5 * time.Second
 
 // Config holds link parameters.
 type Config struct {
@@ -69,6 +83,12 @@ type Record struct {
 	OverDCH bool
 	// Uplink marks a Send (device → server) transfer.
 	Uplink bool
+	// Attempts counts how many times the link tried the transfer (1 in the
+	// fault-free simulation).
+	Attempts int
+	// Failed marks a transfer that exhausted its attempts without
+	// delivering the last byte.
+	Failed bool
 }
 
 // Transfer is a pending or in-flight transfer.
@@ -76,8 +96,11 @@ type Transfer struct {
 	url      string
 	bytes    int
 	uplink   bool
-	done     func()
+	done     func(error)
 	enqueued time.Duration
+	attempt  int
+	started  time.Duration
+	everRan  bool
 }
 
 // URL returns the transfer's URL tag.
@@ -103,6 +126,11 @@ type Link struct {
 	everMoved  bool
 
 	onAllDrained func()
+
+	faults      *faults.Injector
+	maxAttempts int
+	retries     int
+	failed      int
 }
 
 // NewLink creates a link over the given radio.
@@ -116,8 +144,26 @@ func NewLink(clock *simtime.Clock, radio *rrc.Machine, cfg Config) (*Link, error
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Link{clock: clock, radio: radio, cfg: cfg}, nil
+	return &Link{clock: clock, radio: radio, cfg: cfg, maxAttempts: DefaultTransferAttempts}, nil
 }
+
+// SetFaults attaches an impairment injector. A nil injector (the default)
+// leaves the link fault-free and bit-for-bit identical to the unimpaired
+// simulation. Attach before issuing transfers.
+func (l *Link) SetFaults(in *faults.Injector) {
+	l.faults = in
+}
+
+// FaultsActive reports whether an enabled injector is attached.
+func (l *Link) FaultsActive() bool {
+	return l.faults.Enabled()
+}
+
+// Retries returns how many transfer attempts the link aborted and retried.
+func (l *Link) Retries() int { return l.retries }
+
+// FailedTransfers returns how many transfers exhausted their attempts.
+func (l *Link) FailedTransfers() int { return l.failed }
 
 // Config returns the link configuration.
 func (l *Link) Config() Config { return l.cfg }
@@ -156,17 +202,44 @@ func (l *Link) SetDrainedHook(fn func()) {
 
 // Fetch enqueues a download of size bytes tagged with url; done (optional)
 // runs when the last byte arrives. Returns an error for non-positive sizes.
+// If the transfer fails permanently (possible only under fault injection),
+// done never runs — callers that must observe failures use FetchResult.
 func (l *Link) Fetch(url string, bytes int, done func()) error {
-	return l.enqueue(url, bytes, false, done)
+	return l.enqueue(url, bytes, false, adaptDone(done))
 }
 
 // Send enqueues an uplink transfer (device → server) of size bytes; done
-// (optional) runs when the last byte has been sent.
+// (optional) runs when the last byte has been sent. Like Fetch, done is not
+// invoked for a permanently failed transfer; use SendResult to observe those.
 func (l *Link) Send(url string, bytes int, done func()) error {
+	return l.enqueue(url, bytes, true, adaptDone(done))
+}
+
+// FetchResult is Fetch with an error-aware completion callback: done runs
+// exactly once, with nil when the last byte arrived or with an error
+// (wrapping ErrTransferFailed) when the link gave up after its retry budget.
+func (l *Link) FetchResult(url string, bytes int, done func(error)) error {
+	return l.enqueue(url, bytes, false, done)
+}
+
+// SendResult is Send with an error-aware completion callback.
+func (l *Link) SendResult(url string, bytes int, done func(error)) error {
 	return l.enqueue(url, bytes, true, done)
 }
 
-func (l *Link) enqueue(url string, bytes int, uplink bool, done func()) error {
+// adaptDone wraps a success-only callback for the error-aware queue.
+func adaptDone(done func()) func(error) {
+	if done == nil {
+		return nil
+	}
+	return func(err error) {
+		if err == nil {
+			done()
+		}
+	}
+}
+
+func (l *Link) enqueue(url string, bytes int, uplink bool, done func(error)) error {
 	if bytes <= 0 {
 		return fmt.Errorf("netsim: transfer %q with %d bytes", url, bytes)
 	}
@@ -200,6 +273,14 @@ func (l *Link) pump() {
 	})
 }
 
+// noteStart records the start of a transfer's first attempt.
+func (t *Transfer) noteStart(now time.Duration) {
+	if !t.everRan {
+		t.started = now
+		t.everRan = true
+	}
+}
+
 func (l *Link) startDCH(t *Transfer) {
 	if err := l.radio.BeginTransfer(); err != nil {
 		// The radio was demoted between the callback being scheduled and
@@ -208,50 +289,115 @@ func (l *Link) startDCH(t *Transfer) {
 		l.radio.RequestDCH(func() { l.startDCH(t) })
 		return
 	}
-	start := l.clock.Now()
+	t.noteStart(l.clock.Now())
+	plan := l.faults.PlanTransfer(t.uplink, false)
 	bw := l.cfg.DCHDownKBps
 	if t.uplink {
 		bw = l.cfg.DCHUpKBps
 	}
-	dur := l.cfg.RTT + kbDuration(t.bytes, bw)
+	bw *= plan.ThroughputFactor
+	dur := l.cfg.RTT + plan.ExtraRTT + kbDuration(t.bytes, bw)
+
+	// An injected hard failure kills the attempt partway through; a stall
+	// longer than the watchdog aborts it once the watchdog expires. Either
+	// way the radio transfer ends early and the attempt is retried (or the
+	// transfer reported failed once the budget is spent). Short stalls are
+	// ridden out — they only lengthen the attempt.
+	abortAfter := time.Duration(-1)
+	var cause error
+	switch {
+	case plan.Fail:
+		abortAfter = time.Duration(float64(dur) * plan.FailFrac)
+		cause = fmt.Errorf("netsim: %q died mid-transfer: %w", t.url, ErrTransferFailed)
+	case plan.Stall >= StallAbortTimeout:
+		abortAfter = dur/2 + StallAbortTimeout
+		cause = fmt.Errorf("netsim: %q stalled beyond %v: %w", t.url, StallAbortTimeout, ErrTransferFailed)
+	case plan.Stall > 0:
+		dur += plan.Stall
+	}
+	if abortAfter >= 0 {
+		l.clock.After(abortAfter, func() {
+			if err := l.radio.EndTransfer(); err != nil {
+				// The radio state decayed under the dead attempt; the abort
+				// below retries or reports failure regardless.
+				cause = fmt.Errorf("netsim: end aborted transfer %q: %v: %w", t.url, err, ErrTransferFailed)
+			}
+			l.retryOrFail(t, true, cause)
+		})
+		return
+	}
 	l.clock.After(dur, func() {
 		if err := l.radio.EndTransfer(); err != nil {
-			// Unreachable by construction; keep the simulation honest.
-			panic(fmt.Sprintf("netsim: end transfer: %v", err))
+			// A demotion reached the radio mid-transfer (fault-injected
+			// timing can produce this); propagate instead of panicking so
+			// the transfer's completion callback learns about it.
+			l.retryOrFail(t, true, fmt.Errorf("netsim: end transfer %q: %v: %w", t.url, err, ErrTransferFailed))
+			return
 		}
-		l.finish(t, start, true)
+		l.finish(t, true, nil)
 	})
 }
 
 func (l *Link) startFACH(t *Transfer) {
-	start := l.clock.Now()
+	t.noteStart(l.clock.Now())
 	l.radio.TouchFACH()
-	dur := l.cfg.RTT + kbDuration(t.bytes, l.cfg.FACHDownKBps)
+	plan := l.faults.PlanTransfer(t.uplink, true)
+	dur := l.cfg.RTT + plan.ExtraRTT + plan.Stall +
+		kbDuration(t.bytes, l.cfg.FACHDownKBps*plan.ThroughputFactor)
+	if plan.Fail {
+		at := time.Duration(float64(dur) * plan.FailFrac)
+		l.clock.After(at, func() {
+			l.radio.TouchFACH()
+			l.retryOrFail(t, false, fmt.Errorf("netsim: %q died on FACH: %w", t.url, ErrTransferFailed))
+		})
+		return
+	}
 	l.clock.After(dur, func() {
 		l.radio.TouchFACH()
-		l.finish(t, start, false)
+		l.finish(t, false, nil)
 	})
 }
 
-func (l *Link) finish(t *Transfer, start time.Duration, overDCH bool) {
+// retryOrFail handles a dead attempt: start over while budget remains,
+// otherwise complete the transfer with the error.
+func (l *Link) retryOrFail(t *Transfer, overDCH bool, cause error) {
+	if t.attempt+1 < l.maxAttempts {
+		t.attempt++
+		l.retries++
+		if overDCH {
+			l.radio.RequestDCH(func() { l.startDCH(t) })
+		} else {
+			l.startFACH(t)
+		}
+		return
+	}
+	l.failed++
+	l.finish(t, overDCH, cause)
+}
+
+func (l *Link) finish(t *Transfer, overDCH bool, failure error) {
 	now := l.clock.Now()
 	l.records = append(l.records, Record{
-		URL:     t.url,
-		Bytes:   t.bytes,
-		Start:   start,
-		End:     now,
-		OverDCH: overDCH,
-		Uplink:  t.uplink,
+		URL:      t.url,
+		Bytes:    t.bytes,
+		Start:    t.started,
+		End:      now,
+		OverDCH:  overDCH,
+		Uplink:   t.uplink,
+		Attempts: t.attempt + 1,
+		Failed:   failure != nil,
 	})
-	l.bytesDown += t.bytes
+	if failure == nil {
+		l.bytesDown += t.bytes
+	}
 	if !l.everMoved {
-		l.firstStart = start
+		l.firstStart = t.started
 		l.everMoved = true
 	}
 	l.lastEnd = now
 	l.busy = false
 	if t.done != nil {
-		t.done()
+		t.done(failure)
 	}
 	l.pump()
 	if !l.busy && len(l.queue) == 0 && l.onAllDrained != nil {

@@ -1,0 +1,156 @@
+package ril
+
+import (
+	"testing"
+	"time"
+
+	"eabrowse/internal/faults"
+	"eabrowse/internal/rrc"
+)
+
+func newInjector(t *testing.T, cfg faults.Config) *faults.Injector {
+	t.Helper()
+	in, err := faults.New(cfg)
+	if err != nil {
+		t.Fatalf("faults.New: %v", err)
+	}
+	return in
+}
+
+func TestInjectedErrorRejectsWithoutExecuting(t *testing.T) {
+	in := newInjector(t, faults.Config{Seed: 1, RILErrorRate: 0.999})
+	clock, radio, r := newRig(t, WithFaults(in))
+	promoteToDCH(t, clock, radio)
+	var resp Response
+	r.Submit(OpForceDormancy, func(rs Response) { resp = rs })
+	clock.RunFor(time.Second)
+	if resp.Status != StatusError {
+		t.Fatalf("status = %v, want ERROR from flaky daemon", resp.Status)
+	}
+	// The daemon rejected the request without executing it: the radio must
+	// still be in DCH, not releasing.
+	if radio.State() != rrc.StateDCH {
+		t.Fatalf("radio = %v, want DCH (operation must not have run)", radio.State())
+	}
+	if r.Served(StatusError) != 1 {
+		t.Fatalf("Served(ERROR) = %d, want 1", r.Served(StatusError))
+	}
+}
+
+func TestDroppedResponseAndTimeout(t *testing.T) {
+	in := newInjector(t, faults.Config{Seed: 2, RILTimeoutRate: 0.999})
+	clock, _, r := newRig(t, WithFaults(in))
+	// Plain Submit: the response is simply lost; the caller never hears.
+	heard := false
+	r.Submit(OpQueryState, func(Response) { heard = true })
+	clock.RunFor(5 * time.Second)
+	if heard {
+		t.Fatal("response delivered despite drop injection")
+	}
+	if r.Dropped() != 1 {
+		t.Fatalf("Dropped() = %d, want 1", r.Dropped())
+	}
+	// The operation still executed at the daemon.
+	if r.Served(StatusOK) != 1 {
+		t.Fatalf("Served(OK) = %d, want 1 (op ran, reply lost)", r.Served(StatusOK))
+	}
+
+	// SubmitWithTimeout: the caller gets a synthesized StatusTimeout instead.
+	var resp Response
+	got := false
+	r.SubmitWithTimeout(OpQueryState, 500*time.Millisecond, func(rs Response) { resp = rs; got = true })
+	clock.RunFor(5 * time.Second)
+	if !got {
+		t.Fatal("SubmitWithTimeout never reported")
+	}
+	if resp.Status != StatusTimeout {
+		t.Fatalf("status = %v, want TIMEOUT", resp.Status)
+	}
+	if r.Timeouts() != 1 {
+		t.Fatalf("Timeouts() = %d, want 1", r.Timeouts())
+	}
+	if resp.ID == 0 {
+		t.Fatal("synthesized timeout response missing request id")
+	}
+}
+
+func TestSubmitWithTimeoutDeliversRealResponse(t *testing.T) {
+	// Faults enabled but at a rate of zero impairments actually drawn is not
+	// guaranteed, so use a config whose only effect is extra latency: the
+	// response always arrives, inside the deadline, and no timeout fires.
+	in := newInjector(t, faults.Config{Seed: 3, RILExtraLatency: 100 * time.Millisecond})
+	clock, _, r := newRig(t, WithFaults(in))
+	var resp Response
+	r.SubmitWithTimeout(OpQueryState, time.Second, func(rs Response) { resp = rs })
+	clock.RunFor(5 * time.Second)
+	if resp.Status != StatusOK {
+		t.Fatalf("status = %v, want OK", resp.Status)
+	}
+	if r.Timeouts() != 0 {
+		t.Fatalf("Timeouts() = %d, want 0", r.Timeouts())
+	}
+}
+
+func TestSubmitWithTimeoutFaultFreeFallsThrough(t *testing.T) {
+	// Without an enabled injector the deadline machinery must be skipped:
+	// same behavior and same schedule as plain Submit.
+	clock, _, r := newRig(t)
+	var at time.Duration
+	r.SubmitWithTimeout(OpQueryState, time.Nanosecond, func(Response) { at = clock.Now() })
+	clock.Run()
+	if at != DefaultHopLatency {
+		t.Fatalf("response at %v, want plain hop latency %v", at, DefaultHopLatency)
+	}
+	if r.Timeouts() != 0 {
+		t.Fatal("fault-free path armed a watchdog")
+	}
+}
+
+func TestForceDormancyWithRetrySurvivesDrops(t *testing.T) {
+	// Half the responses are lost; the retry loop must keep going through
+	// StatusTimeout attempts and eventually land an OK.
+	in := newInjector(t, faults.Config{Seed: 4, RILTimeoutRate: 0.5})
+	clock, radio, r := newRig(t, WithFaults(in))
+	promoteToDCH(t, clock, radio)
+	var final Response
+	got := false
+	r.ForceDormancyWithRetry(10, 100*time.Millisecond, func(rs Response) { final = rs; got = true })
+	clock.RunFor(30 * time.Second)
+	if !got {
+		t.Fatal("retry loop never reported")
+	}
+	if final.Status != StatusOK {
+		t.Fatalf("final status = %v, want OK despite dropped responses", final.Status)
+	}
+	if r.Dropped() == 0 || r.Timeouts() == 0 {
+		t.Fatalf("expected drops and timeouts along the way: dropped=%d timeouts=%d",
+			r.Dropped(), r.Timeouts())
+	}
+}
+
+func TestForceDormancyWithRetryAllErrors(t *testing.T) {
+	// Every attempt is rejected by the daemon: the loop must terminate with a
+	// non-OK final status instead of hanging, and the radio stays un-demoted
+	// by RIL (the rrc timers remain the fallback).
+	in := newInjector(t, faults.Config{Seed: 5, RILErrorRate: 0.999})
+	clock, radio, r := newRig(t, WithFaults(in))
+	promoteToDCH(t, clock, radio)
+	var final Response
+	got := false
+	r.ForceDormancyWithRetry(3, 100*time.Millisecond, func(rs Response) { final = rs; got = true })
+	clock.RunFor(10 * time.Second)
+	if !got {
+		t.Fatal("retry loop never reported")
+	}
+	if final.Status == StatusOK {
+		t.Fatal("final status OK despite every attempt erroring")
+	}
+	if r.Served(StatusError) != 3 {
+		t.Fatalf("Served(ERROR) = %d, want 3 attempts", r.Served(StatusError))
+	}
+	// The inactivity timers still demote the radio on their own.
+	clock.RunFor(time.Minute)
+	if radio.State() != rrc.StateIdle {
+		t.Fatalf("radio = %v, want IDLE via timers", radio.State())
+	}
+}

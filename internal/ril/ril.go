@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"eabrowse/internal/faults"
 	"eabrowse/internal/rrc"
 	"eabrowse/internal/simtime"
 )
@@ -52,8 +53,14 @@ const (
 	// StatusBusy: the radio could not perform the operation now (e.g. a
 	// transfer was in flight when the dormancy request arrived).
 	StatusBusy
-	// StatusError: malformed request.
+	// StatusError: malformed request, or the daemon rejected the operation
+	// (flaky firmware under fault injection).
 	StatusError
+	// StatusTimeout: no response arrived within the caller's deadline. The
+	// operation may still have executed at the daemon — the caller cannot
+	// tell, exactly the ambiguity a real RIL client faces. Synthesized
+	// locally by SubmitWithTimeout, never sent by the daemon.
+	StatusTimeout
 )
 
 // String names the status.
@@ -65,6 +72,8 @@ func (s Status) String() string {
 		return "BUSY"
 	case StatusError:
 		return "ERROR"
+	case StatusTimeout:
+		return "TIMEOUT"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -84,6 +93,12 @@ type Response struct {
 // any radio procedure; 20 ms is generous for a 2010-era device.
 const DefaultHopLatency = 20 * time.Millisecond
 
+// DefaultOpTimeout is how long SubmitWithTimeout waits for a response before
+// synthesizing StatusTimeout. Generous against any realistic hop latency, yet
+// short enough that a retry loop converges before the rrc inactivity timers
+// would have demoted the radio anyway.
+const DefaultOpTimeout = 1 * time.Second
+
 // Interface is the simulated RIL daemon endpoint.
 type Interface struct {
 	clock   *simtime.Clock
@@ -91,7 +106,10 @@ type Interface struct {
 	latency time.Duration
 	nextID  uint64
 
-	served map[Status]int
+	served   map[Status]int
+	faults   *faults.Injector
+	dropped  int
+	timeouts int
 }
 
 // Option configures the Interface.
@@ -106,6 +124,13 @@ func (f optionFunc) apply(r *Interface) { f(r) }
 // WithHopLatency overrides the message round-trip latency.
 func WithHopLatency(d time.Duration) Option {
 	return optionFunc(func(r *Interface) { r.latency = d })
+}
+
+// WithFaults attaches an impairment injector: operations can come back with
+// extra latency, be rejected with StatusError, or lose their response
+// entirely. A nil or disabled injector leaves the endpoint fault-free.
+func WithFaults(in *faults.Injector) Option {
+	return optionFunc(func(r *Interface) { r.faults = in })
 }
 
 // New creates a RIL endpoint over the given radio.
@@ -129,18 +154,64 @@ func New(clock *simtime.Clock, radio *rrc.Machine, opts ...Option) (*Interface, 
 }
 
 // Submit sends an operation request; reply (optional) is delivered after the
-// hop latency with the outcome. Returns the request id.
+// hop latency with the outcome. Returns the request id. Under fault
+// injection the response may never arrive — callers that must make progress
+// regardless use SubmitWithTimeout.
 func (r *Interface) Submit(op Op, reply func(Response)) uint64 {
 	r.nextID++
 	id := r.nextID
+	plan := r.faults.PlanOp()
+	outbound := plan.ExtraLatency / 2
 	// One hop to the daemon; the operation executes there, and the response
 	// takes the same path back.
-	r.clock.After(r.latency/2, func() {
-		resp := r.execute(id, op)
-		r.served[resp.Status]++
-		if reply != nil {
-			r.clock.After(r.latency/2, func() { reply(resp) })
+	r.clock.After(r.latency/2+outbound, func() {
+		var resp Response
+		if plan.Error {
+			// The daemon rejects the request without executing it.
+			resp = Response{ID: id, Op: op, Status: StatusError, State: r.radio.State()}
+		} else {
+			resp = r.execute(id, op)
 		}
+		r.served[resp.Status]++
+		if plan.DropResponse {
+			// The operation ran (or was rejected) at the daemon, but the
+			// response is lost on the way back; the caller never hears.
+			r.dropped++
+			return
+		}
+		if reply != nil {
+			r.clock.After(r.latency/2+(plan.ExtraLatency-outbound), func() { reply(resp) })
+		}
+	})
+	return id
+}
+
+// SubmitWithTimeout is Submit plus a response deadline: if no response is
+// delivered within timeout, reply receives a synthesized StatusTimeout and a
+// late response (if any) is discarded. With no enabled fault injector the
+// deadline machinery is skipped entirely — responses always arrive — so the
+// fault-free event schedule is untouched.
+func (r *Interface) SubmitWithTimeout(op Op, timeout time.Duration, reply func(Response)) uint64 {
+	if reply == nil || timeout <= 0 || !r.faults.Enabled() {
+		return r.Submit(op, reply)
+	}
+	settled := false
+	var watchdog *simtime.Event
+	id := r.Submit(op, func(resp Response) {
+		if settled {
+			return
+		}
+		settled = true
+		watchdog.Cancel()
+		reply(resp)
+	})
+	watchdog = r.clock.After(timeout, func() {
+		if settled {
+			return
+		}
+		settled = true
+		r.timeouts++
+		reply(Response{ID: id, Op: op, Status: StatusTimeout, State: r.radio.State()})
 	})
 	return id
 }
@@ -167,23 +238,34 @@ func (r *Interface) execute(id uint64, op Op) Response {
 	return resp
 }
 
-// Served returns how many requests completed with the given status.
+// Served returns how many requests completed with the given status at the
+// daemon (including ones whose response was subsequently lost).
 func (r *Interface) Served(s Status) int {
 	return r.served[s]
 }
 
-// ForceDormancyWithRetry submits a dormancy request and, on BUSY, retries
-// every interval up to attempts times — the pattern an application layer
-// needs because it cannot atomically observe the radio. done (optional)
-// receives the final response.
+// Dropped returns how many responses were lost on the way back (fault
+// injection only).
+func (r *Interface) Dropped() int { return r.dropped }
+
+// Timeouts returns how many SubmitWithTimeout deadlines expired.
+func (r *Interface) Timeouts() int { return r.timeouts }
+
+// ForceDormancyWithRetry submits a dormancy request and retries on any
+// non-OK outcome — BUSY (a transfer raced the request), ERROR (flaky
+// daemon), or a lost response that hit the per-attempt deadline — every
+// interval, up to attempts times. This is the pattern an application layer
+// needs because it can neither atomically observe the radio nor trust the
+// daemon to always answer. done (optional) receives the final response;
+// its status is StatusOK only if some attempt succeeded.
 func (r *Interface) ForceDormancyWithRetry(attempts int, interval time.Duration, done func(Response)) {
 	if attempts <= 0 {
 		attempts = 1
 	}
 	var attempt func(left int)
 	attempt = func(left int) {
-		r.Submit(OpForceDormancy, func(resp Response) {
-			if resp.Status == StatusBusy && left > 1 {
+		r.SubmitWithTimeout(OpForceDormancy, DefaultOpTimeout, func(resp Response) {
+			if resp.Status != StatusOK && left > 1 {
 				r.clock.After(interval, func() { attempt(left - 1) })
 				return
 			}
