@@ -16,6 +16,7 @@ import (
 	"eabrowse/internal/gbrt"
 	"eabrowse/internal/policy"
 	"eabrowse/internal/predictor"
+	"eabrowse/internal/runner"
 	"eabrowse/internal/trace"
 	"eabrowse/internal/webpage"
 )
@@ -316,7 +317,7 @@ func BenchmarkPhoneAPI(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		phone, err := NewPhone(ModeEnergyAware)
+		phone, err := New(ModeEnergyAware)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -324,5 +325,52 @@ func BenchmarkPhoneAPI(b *testing.B) {
 			b.Fatal(err)
 		}
 		phone.Read(5 * time.Second)
+	}
+}
+
+// benchmarkChaosSweep runs the chaos sweep at a fixed worker-pool size with
+// the artifact cache pre-warmed, so the pair below isolates the worker pool's
+// wall-clock effect. The sequential/parallel results are asserted identical —
+// the determinism contract, checked where the speedup is measured.
+func benchmarkChaosSweep(b *testing.B, workers int) {
+	if _, err := experiments.BenchmarkPages(); err != nil {
+		b.Fatal(err)
+	}
+	prev := runner.Workers()
+	runner.SetWorkers(workers)
+	defer runner.SetWorkers(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ChaosSweep(experiments.DefaultChaosProfile(), 0.05)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Pages), "pages_per_mode")
+		}
+	}
+}
+
+// BenchmarkChaosSweepSequential is the 1-worker baseline for the speedup
+// comparison tracked in-repo.
+func BenchmarkChaosSweepSequential(b *testing.B) { benchmarkChaosSweep(b, 1) }
+
+// BenchmarkChaosSweepParallel runs the same sweep at 8 workers; on a
+// multi-core runner the wall-clock ratio against the sequential benchmark is
+// the parallel runner's speedup (single-core runners show parity).
+func BenchmarkChaosSweepParallel(b *testing.B) { benchmarkChaosSweep(b, 8) }
+
+// BenchmarkFleetReplay replays a small fleet through both pipelines with
+// Algorithm 2 driving the energy-aware phones.
+func BenchmarkFleetReplay(b *testing.B) {
+	cfg := experiments.FleetConfig{Users: 24, HoursPerUser: 0.05, Seed: 7}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fleet(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.EnergySavingPct, "energy_saving_pct")
+		}
 	}
 }

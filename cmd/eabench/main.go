@@ -4,13 +4,21 @@
 // Usage:
 //
 //	eabench -exp all
+//	eabench -exp all -parallel 8
 //	eabench -exp fig8
+//	eabench -exp fleet -fleet-users 300
 //	eabench -list
+//
+// Experiments fan their independent simulations out on a bounded worker pool
+// sized by -parallel (default: GOMAXPROCS); output is byte-identical at any
+// worker count.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -20,12 +28,25 @@ import (
 	"eabrowse/internal/faults"
 	"eabrowse/internal/features"
 	"eabrowse/internal/report"
+	"eabrowse/internal/runner"
 )
 
 type experiment struct {
 	name string
 	desc string
-	run  func(*printer) error
+	// heavy experiments run only when named explicitly, never under 'all'.
+	heavy bool
+	run   func(*printer) error
+}
+
+// benchOptions carries the flag-derived knobs into the experiment registry.
+type benchOptions struct {
+	profile faults.Config
+	maxLoss float64
+	// timing includes live wall-clock measurements in the output (Table 7's
+	// Go column). Off by default so output is deterministic run to run.
+	timing bool
+	fleet  experiments.FleetConfig
 }
 
 func main() {
@@ -37,43 +58,51 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("eabench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (fig1..fig16, table4..table7, ablation, chaos) or 'all'")
+	exp := fs.String("exp", "all", "experiment id (fig1..fig16, table4..table7, ablation, chaos, fleet) or 'all'")
 	list := fs.Bool("list", false, "list experiments and exit")
+	parallel := fs.Int("parallel", 0, "worker-pool size for parallel simulation (<= 0: GOMAXPROCS); results are identical at any setting")
+
+	opts := benchOptions{
+		profile: experiments.DefaultChaosProfile(),
+		fleet:   experiments.DefaultFleetConfig(),
+	}
+	fs.BoolVar(&opts.timing, "timing", false, "include live wall-clock measurements (makes output nondeterministic)")
+	fs.IntVar(&opts.fleet.Users, "fleet-users", opts.fleet.Users, "fleet: number of simulated phones")
+	fs.Float64Var(&opts.fleet.HoursPerUser, "fleet-hours", opts.fleet.HoursPerUser, "fleet: browsing hours replayed per phone")
+	fs.Int64Var(&opts.fleet.Seed, "fleet-seed", opts.fleet.Seed, "fleet: trace seed")
 
 	// Fault-injection profile for the chaos experiment. Loss is the swept
 	// variable (0 up to -fault-loss); the other rates form the constant
 	// background impairment mix.
-	profile := experiments.DefaultChaosProfile()
-	maxLoss := fs.Float64("fault-loss", 0.30, "chaos: maximum packet-loss rate of the sweep, [0, 1)")
-	fs.Int64Var(&profile.Seed, "fault-seed", profile.Seed, "chaos: fault-injection seed (equal seeds give byte-identical sweeps)")
-	fs.Float64Var(&profile.StallRate, "fault-stall", profile.StallRate, "chaos: per-attempt transfer stall probability")
-	fs.Float64Var(&profile.FailRate, "fault-fail", profile.FailRate, "chaos: per-attempt hard transfer failure probability")
-	fs.Float64Var(&profile.RILTimeoutRate, "fault-ril-timeout", profile.RILTimeoutRate, "chaos: probability a RIL response is lost")
-	fs.Float64Var(&profile.RILErrorRate, "fault-ril-error", profile.RILErrorRate, "chaos: probability the RIL daemon rejects an operation")
+	fs.Float64Var(&opts.maxLoss, "fault-loss", 0.30, "chaos: maximum packet-loss rate of the sweep, [0, 1)")
+	fs.Int64Var(&opts.profile.Seed, "fault-seed", opts.profile.Seed, "chaos: fault-injection seed (equal seeds give byte-identical sweeps)")
+	fs.Float64Var(&opts.profile.StallRate, "fault-stall", opts.profile.StallRate, "chaos: per-attempt transfer stall probability")
+	fs.Float64Var(&opts.profile.FailRate, "fault-fail", opts.profile.FailRate, "chaos: per-attempt hard transfer failure probability")
+	fs.Float64Var(&opts.profile.RILTimeoutRate, "fault-ril-timeout", opts.profile.RILTimeoutRate, "chaos: probability a RIL response is lost")
+	fs.Float64Var(&opts.profile.RILErrorRate, "fault-ril-error", opts.profile.RILErrorRate, "chaos: probability the RIL daemon rejects an operation")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	runner.SetWorkers(*parallel)
 
-	exps := allExperiments(profile, *maxLoss)
+	exps := allExperiments(opts)
 	if *list {
 		for _, e := range exps {
-			fmt.Printf("%-8s %s\n", e.name, e.desc)
+			note := ""
+			if e.heavy {
+				note = " (not in 'all')"
+			}
+			fmt.Printf("%-8s %s%s\n", e.name, e.desc, note)
 		}
 		return nil
 	}
 
-	p := &printer{w: os.Stdout}
 	if *exp == "all" {
-		for _, e := range exps {
-			p.header(e.name, e.desc)
-			if err := e.run(p); err != nil {
-				return fmt.Errorf("%s: %w", e.name, err)
-			}
-		}
-		return nil
+		return runAll(os.Stdout, exps)
 	}
 	for _, e := range exps {
 		if e.name == *exp {
+			p := &printer{w: os.Stdout}
 			p.header(e.name, e.desc)
 			return e.run(p)
 		}
@@ -86,33 +115,67 @@ func run(args []string) error {
 	return fmt.Errorf("unknown experiment %q (have: %s)", *exp, strings.Join(names, ", "))
 }
 
-func allExperiments(profile faults.Config, maxLoss float64) []experiment {
+// runAll executes every non-heavy experiment on the worker pool, each
+// rendering into its own buffer, then writes the buffers in registry order —
+// so the report reads identically no matter which experiment finished first.
+func runAll(w io.Writer, exps []experiment) error {
+	active := make([]experiment, 0, len(exps))
+	for _, e := range exps {
+		if !e.heavy {
+			active = append(active, e)
+		}
+	}
+	bufs, err := runner.Collect(len(active), func(i int) ([]byte, error) {
+		var buf bytes.Buffer
+		p := &printer{w: &buf}
+		p.header(active[i].name, active[i].desc)
+		if err := active[i].run(p); err != nil {
+			return nil, fmt.Errorf("%s: %w", active[i].name, err)
+		}
+		return buf.Bytes(), nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, b := range bufs {
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func allExperiments(opts benchOptions) []experiment {
 	return []experiment{
-		{"fig1", "power level of the radio states over time", runFig1},
-		{"fig3", "original vs intuitive energy by transfer interval (crossover)", runFig3},
-		{"fig4", "traffic shape: browser load vs raw socket download", runFig4},
-		{"table4", "Pearson correlation of reading time vs features", runTable4},
-		{"table5", "power consumption per radio state", runTable5},
-		{"fig7", "cumulative distribution of reading time", runFig7},
-		{"fig8", "data transmission time, both benchmarks + named pages", runFig8},
-		{"fig9", "power trace loading espn.go.com/sports", runFig9},
-		{"fig10", "energy to open page + 20 s reading", runFig10},
-		{"fig11", "network capacity (M/G/200 session dropping)", runFig11},
-		{"fig12", "intermediate/final display timings (espn)", runFig12},
-		{"fig14", "average screen display times", runFig14},
-		{"fig15", "prediction accuracy with/without interest threshold", runFig15},
-		{"fig16", "power and delay savings of the six cases", runFig16},
-		{"table7", "prediction cost vs number of decision trees", runTable7},
-		{"ablation", "design-choice ablations (guard, timers, reordering-only)", runAblation},
-		{"ablation-pred", "predictor ablations (GBRT vs linear, M, J, alpha)", runPredictorAblation},
-		{"timers", "T1/T2 timer sweep on the original browser vs energy-aware", runTimerSweep},
-		{"chaos", "energy/load time vs loss rate under injected faults (see -fault-* flags)",
-			func(p *printer) error { return runChaos(p, profile, maxLoss) }},
+		{name: "fig1", desc: "power level of the radio states over time", run: runFig1},
+		{name: "fig3", desc: "original vs intuitive energy by transfer interval (crossover)", run: runFig3},
+		{name: "fig4", desc: "traffic shape: browser load vs raw socket download", run: runFig4},
+		{name: "table4", desc: "Pearson correlation of reading time vs features", run: runTable4},
+		{name: "table5", desc: "power consumption per radio state", run: runTable5},
+		{name: "fig7", desc: "cumulative distribution of reading time", run: runFig7},
+		{name: "fig8", desc: "data transmission time, both benchmarks + named pages", run: runFig8},
+		{name: "fig9", desc: "power trace loading espn.go.com/sports", run: runFig9},
+		{name: "fig10", desc: "energy to open page + 20 s reading", run: runFig10},
+		{name: "fig11", desc: "network capacity (M/G/200 session dropping)", run: runFig11},
+		{name: "fig12", desc: "intermediate/final display timings (espn)", run: runFig12},
+		{name: "fig14", desc: "average screen display times", run: runFig14},
+		{name: "fig15", desc: "prediction accuracy with/without interest threshold", run: runFig15},
+		{name: "fig16", desc: "power and delay savings of the six cases", run: runFig16},
+		{name: "table7", desc: "prediction cost vs number of decision trees",
+			run: func(p *printer) error { return runTable7(p, opts.timing) }},
+		{name: "ablation", desc: "design-choice ablations (guard, timers, reordering-only)", run: runAblation},
+		{name: "ablation-pred", desc: "predictor ablations (GBRT vs linear, M, J, alpha)", run: runPredictorAblation},
+		{name: "timers", desc: "T1/T2 timer sweep on the original browser vs energy-aware", run: runTimerSweep},
+		{name: "chaos", desc: "energy/load time vs loss rate under injected faults (see -fault-* flags)",
+			run: func(p *printer) error { return runChaos(p, opts.profile, opts.maxLoss) }},
+		{name: "fleet", desc: "concurrent multi-user fleet replay with Algorithm 2 (see -fleet-* flags)",
+			heavy: true,
+			run:   func(p *printer) error { return runFleet(p, opts.fleet) }},
 	}
 }
 
 type printer struct {
-	w *os.File
+	w io.Writer
 }
 
 func (p *printer) header(name, desc string) {
@@ -370,15 +433,23 @@ func runFig16(p *printer) error {
 	return nil
 }
 
-func runTable7(p *printer) error {
+func runTable7(p *printer, timing bool) error {
 	rows, err := experiments.Table7()
 	if err != nil {
 		return err
 	}
 	p.table(func(w *tabwriter.Writer) {
-		fmt.Fprintln(w, "decision trees\tphone energy (J)\tphone time (s)\tGo wall time")
+		if timing {
+			fmt.Fprintln(w, "decision trees\tphone energy (J)\tphone time (s)\tGo wall time")
+		} else {
+			fmt.Fprintln(w, "decision trees\tphone energy (J)\tphone time (s)")
+		}
 		for _, r := range rows {
-			fmt.Fprintf(w, "%d\t%.3f\t%.3f\t%v\n", r.Trees, r.EnergyJ, r.TimeSeconds, r.GoWallTime.Round(10e3))
+			if timing {
+				fmt.Fprintf(w, "%d\t%.3f\t%.3f\t%v\n", r.Trees, r.EnergyJ, r.TimeSeconds, r.GoWallTime.Round(10e3))
+			} else {
+				fmt.Fprintf(w, "%d\t%.3f\t%.3f\n", r.Trees, r.EnergyJ, r.TimeSeconds)
+			}
 		}
 	})
 	fmt.Fprintln(p.w, "paper: 10000 trees -> 0.295 s, 0.177 J")
@@ -468,6 +539,28 @@ func runChaos(p *printer, profile faults.Config, maxLoss float64) error {
 		}
 	})
 	fmt.Fprintln(p.w, "every load completes at every loss rate — degraded, never hung (the background stall/fail/RIL mix applies at all points)")
+	return nil
+}
+
+func runFleet(p *printer, cfg experiments.FleetConfig) error {
+	res, err := experiments.Fleet(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(p.w, "fleet: %d phones, %.2f h of browsing each, %d visits replayed per pipeline\n",
+		res.Users, res.TraceHours, res.Visits)
+	p.table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "pipeline\ttotal energy (J)\tper phone (J)\tmean trans (s)\tdrop% at fleet\tusers at 2% drop")
+		for _, s := range []*experiments.FleetModeStats{&res.Original, &res.Aware} {
+			fmt.Fprintf(w, "%v\t%.0f\t%.1f\t%.2f\t%.2f\t%d\n",
+				s.Mode, s.EnergyJ, s.MeanEnergyPerUserJ, s.MeanTransmissionS,
+				s.DropPctAtFleet, s.SupportedAt2Pct)
+		}
+	})
+	fmt.Fprintf(p.w, "energy-aware: %d forced releases, %d predictions (%.2f J prediction cost)\n",
+		res.Aware.Switches, res.Aware.Predictions, res.Aware.PredictionEnergyJ)
+	fmt.Fprintf(p.w, "fleet-wide energy saving %.1f%%, capacity gain at 2%% dropping %+.1f%%\n",
+		res.EnergySavingPct, res.CapacityGainPct)
 	return nil
 }
 

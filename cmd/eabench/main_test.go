@@ -44,8 +44,13 @@ func TestBadFaultLoss(t *testing.T) {
 }
 
 func TestExperimentNamesUnique(t *testing.T) {
+	opts := benchOptions{
+		profile: experiments.DefaultChaosProfile(),
+		maxLoss: 0.3,
+		fleet:   experiments.DefaultFleetConfig(),
+	}
 	seen := make(map[string]bool)
-	for _, e := range allExperiments(experiments.DefaultChaosProfile(), 0.3) {
+	for _, e := range allExperiments(opts) {
 		if seen[e.name] {
 			t.Fatalf("duplicate experiment %q", e.name)
 		}
@@ -53,5 +58,19 @@ func TestExperimentNamesUnique(t *testing.T) {
 		if e.desc == "" || e.run == nil {
 			t.Fatalf("experiment %q incomplete", e.name)
 		}
+	}
+}
+
+func TestParallelFlag(t *testing.T) {
+	// -parallel is accepted and heavy experiments stay out of 'all' (fleet
+	// must only run when named).
+	if err := run([]string{"-exp", "table5", "-parallel", "2"}); err != nil {
+		t.Fatalf("run(table5 -parallel 2): %v", err)
+	}
+}
+
+func TestBadFleetUsers(t *testing.T) {
+	if err := run([]string{"-exp", "fleet", "-fleet-users", "0"}); err == nil {
+		t.Fatal("fleet accepted -fleet-users 0")
 	}
 }

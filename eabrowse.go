@@ -15,14 +15,22 @@
 // Quick start:
 //
 //	page, _ := eabrowse.ESPNSports()
-//	phone, _ := eabrowse.NewPhone(eabrowse.ModeEnergyAware)
+//	phone, _ := eabrowse.New(eabrowse.ModeEnergyAware)
 //	res, _ := phone.LoadPage(page)
 //	phone.Read(20 * time.Second)
 //	fmt.Printf("loaded in %v, %.1f J\n", res.FinalDisplayAt, phone.EnergyJ())
 //
+// Phones are configured with variadic options; substrate overrides compose:
+//
+//	phone, _ := eabrowse.New(eabrowse.ModeEnergyAware,
+//	        eabrowse.WithRadioConfig(radio),
+//	        eabrowse.WithEngineOptions(eabrowse.WithDormancyGuard(0)))
+//
 // The experiment harness behind cmd/eabench is exposed through the
 // Experiments type; each method regenerates one table or figure of the
-// paper's evaluation.
+// paper's evaluation. Experiments fan their independent simulations out on a
+// bounded worker pool — SetParallelism sizes it — and results are identical
+// at any worker count.
 package eabrowse
 
 import (
@@ -31,12 +39,14 @@ import (
 
 	"eabrowse/internal/browser"
 	"eabrowse/internal/experiments"
+	"eabrowse/internal/faults"
 	"eabrowse/internal/features"
 	"eabrowse/internal/gbrt"
 	"eabrowse/internal/netsim"
 	"eabrowse/internal/policy"
 	"eabrowse/internal/predictor"
 	"eabrowse/internal/rrc"
+	"eabrowse/internal/runner"
 	"eabrowse/internal/trace"
 	"eabrowse/internal/webpage"
 )
@@ -64,6 +74,12 @@ type (
 	RadioState = rrc.State
 	// LinkConfig holds the radio-link bandwidth and RTT parameters.
 	LinkConfig = netsim.Config
+
+	// FaultConfig is a fault-injection profile for the link and RIL daemon.
+	FaultConfig = faults.Config
+
+	// PhoneOption configures one aspect of a phone built by New.
+	PhoneOption = experiments.SessionOption
 
 	// FeatureVector is the Table 1 ten-feature vector.
 	FeatureVector = features.Vector
@@ -119,6 +135,30 @@ var (
 	// radio to its timers.
 	WithoutAutoDormancy = browser.WithoutAutoDormancy
 )
+
+// Phone options for New.
+var (
+	// WithRadioConfig overrides the RRC timers, latencies and Table 5 powers.
+	WithRadioConfig = experiments.WithRadioConfig
+	// WithLinkConfig overrides the radio-link bandwidth and RTT parameters.
+	WithLinkConfig = experiments.WithLinkConfig
+	// WithCostModel overrides the browser CPU cost model.
+	WithCostModel = experiments.WithCostModel
+	// WithFaultInjector impairs the phone's link and RIL daemon with a fault
+	// profile (Section 4.4 resilience path).
+	WithFaultInjector = experiments.WithFaultInjector
+	// WithEngineOptions appends browser-engine options (dormancy guard,
+	// event log, ...).
+	WithEngineOptions = experiments.WithEngineOptions
+)
+
+// SetParallelism sizes the worker pool experiments fan out on. n <= 0 resets
+// to GOMAXPROCS. Results are byte-identical at any setting; only wall-clock
+// time changes.
+func SetParallelism(n int) { runner.SetWorkers(n) }
+
+// Parallelism returns the current worker-pool size.
+func Parallelism() int { return runner.Workers() }
 
 // DefaultRadioConfig returns the calibrated UMTS parameters (Table 5 powers,
 // T1 = 4 s, T2 = 15 s, Fig. 3 crossover at 9 s).
@@ -215,23 +255,30 @@ type Phone struct {
 	cpuJ    float64
 }
 
-// NewPhone creates a phone with default substrate parameters.
-func NewPhone(mode Mode, opts ...EngineOption) (*Phone, error) {
-	s, err := experiments.NewSession(mode, opts...)
+// New creates a phone from the calibrated defaults, adjusted by options.
+func New(mode Mode, opts ...PhoneOption) (*Phone, error) {
+	s, err := experiments.New(mode, opts...)
 	if err != nil {
 		return nil, err
 	}
 	return &Phone{session: s}, nil
 }
 
+// NewPhone creates a phone with default substrate parameters.
+//
+// Deprecated: use New; engine options go through WithEngineOptions.
+func NewPhone(mode Mode, opts ...EngineOption) (*Phone, error) {
+	return New(mode, WithEngineOptions(opts...))
+}
+
 // NewPhoneWithConfig creates a phone with explicit substrate parameters.
+//
+// Deprecated: use New with WithRadioConfig, WithLinkConfig and
+// WithCostModel.
 func NewPhoneWithConfig(mode Mode, radio RadioConfig, link LinkConfig,
 	cost CostModel, opts ...EngineOption) (*Phone, error) {
-	s, err := experiments.NewSessionWithConfig(mode, radio, link, cost, opts...)
-	if err != nil {
-		return nil, err
-	}
-	return &Phone{session: s}, nil
+	return New(mode, WithRadioConfig(radio), WithLinkConfig(link),
+		WithCostModel(cost), WithEngineOptions(opts...))
 }
 
 // LoadPage loads a page to its final display and returns the load result.
@@ -321,5 +368,13 @@ func (Experiments) Ablations() (*experiments.AblationResult, error) {
 	return experiments.Ablations()
 }
 
+// Fleet — concurrent multi-hundred-user fleet replay with Algorithm 2.
+func (Experiments) Fleet(cfg experiments.FleetConfig) (*experiments.FleetResult, error) {
+	return experiments.Fleet(cfg)
+}
+
+// DefaultFleetConfig returns the 300-phone fleet setup.
+func DefaultFleetConfig() experiments.FleetConfig { return experiments.DefaultFleetConfig() }
+
 // Version identifies the reproduction.
-const Version = "1.0.0"
+const Version = "1.1.0"

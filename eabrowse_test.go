@@ -3,6 +3,7 @@ package eabrowse
 // Public-API tests: what a downstream user of the library exercises.
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -182,5 +183,94 @@ func TestTraceAndPredictorAPI(t *testing.T) {
 	}
 	if acc.Pct() < 50 {
 		t.Fatalf("accuracy %.1f%% below coin flip", acc.Pct())
+	}
+}
+
+func TestOptionConstructorEquivalence(t *testing.T) {
+	page, err := MCNNPage()
+	if err != nil {
+		t.Fatalf("MCNNPage: %v", err)
+	}
+	radio := DefaultRadioConfig()
+	radio.T1 = 2 * time.Second
+	load := func(phone *Phone, err error) float64 {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("constructor: %v", err)
+		}
+		if _, err := phone.LoadPage(page); err != nil {
+			t.Fatalf("LoadPage: %v", err)
+		}
+		phone.Read(10 * time.Second)
+		return phone.EnergyJ()
+	}
+	viaOptions := load(New(ModeOriginal, WithRadioConfig(radio)))
+	viaDeprecated := load(NewPhoneWithConfig(ModeOriginal, radio, DefaultLinkConfig(), DefaultCostModel()))
+	if viaOptions != viaDeprecated {
+		t.Errorf("New+options = %.6f J, NewPhoneWithConfig = %.6f J", viaOptions, viaDeprecated)
+	}
+}
+
+func TestNewWithEngineOptions(t *testing.T) {
+	page, err := MCNNPage()
+	if err != nil {
+		t.Fatalf("MCNNPage: %v", err)
+	}
+	// Reordering without auto-dormancy: radio must NOT be forced idle.
+	phone, err := New(ModeEnergyAware, WithEngineOptions(WithoutAutoDormancy()))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := phone.LoadPage(page); err != nil {
+		t.Fatalf("LoadPage: %v", err)
+	}
+	phone.Read(2 * time.Second)
+	if phone.RadioState() == RadioIdle {
+		t.Fatal("radio already IDLE 2 s after load despite WithoutAutoDormancy")
+	}
+}
+
+func TestNewWithFaultInjector(t *testing.T) {
+	page, err := MCNNPage()
+	if err != nil {
+		t.Fatalf("MCNNPage: %v", err)
+	}
+	cfg := FaultConfig{Seed: 1, LossRate: 0.05}
+	phone, err := New(ModeEnergyAware, WithFaultInjector(cfg))
+	if err != nil {
+		t.Fatalf("New(WithFaultInjector): %v", err)
+	}
+	res, err := phone.LoadPage(page)
+	if err != nil {
+		t.Fatalf("LoadPage under faults: %v", err)
+	}
+	if res.FinalDisplayAt <= 0 {
+		t.Fatal("no final display under fault injection")
+	}
+}
+
+func TestSetParallelism(t *testing.T) {
+	prev := Parallelism()
+	defer SetParallelism(prev)
+	SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(3)", got)
+	}
+	SetParallelism(0)
+	if got := Parallelism(); got < 1 {
+		t.Fatalf("Parallelism() = %d after reset, want >= 1", got)
+	}
+}
+
+func TestBenchmarkPageUnknownNameListsValid(t *testing.T) {
+	_, err := BenchmarkPage("no-such-page")
+	if err == nil {
+		t.Fatal("BenchmarkPage accepted an unknown name")
+	}
+	msg := err.Error()
+	for _, want := range []string{"no-such-page", "m.cnn.com", "espn.go.com/sports"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
 	}
 }

@@ -29,7 +29,7 @@ func run() error {
 	service := make(map[eabrowse.Mode][]float64)
 	for _, mode := range []eabrowse.Mode{eabrowse.ModeOriginal, eabrowse.ModeEnergyAware} {
 		for _, page := range pages {
-			phone, err := eabrowse.NewPhone(mode)
+			phone, err := eabrowse.New(mode)
 			if err != nil {
 				return err
 			}

@@ -62,15 +62,15 @@ func run() error {
 	for _, usePolicy := range []bool{false, true} {
 		name := "original browser, timers only"
 		mode := eabrowse.ModeOriginal
-		var opts []eabrowse.EngineOption
+		var opts []eabrowse.PhoneOption
 		if usePolicy {
 			name = "energy-aware browser + Algorithm 2"
 			mode = eabrowse.ModeEnergyAware
 			// The policy owns the release decision; disable the engine's
 			// automatic dormancy.
-			opts = append(opts, eabrowse.WithoutAutoDormancy())
+			opts = append(opts, eabrowse.WithEngineOptions(eabrowse.WithoutAutoDormancy()))
 		}
-		phone, err := eabrowse.NewPhone(mode, opts...)
+		phone, err := eabrowse.New(mode, opts...)
 		if err != nil {
 			return err
 		}

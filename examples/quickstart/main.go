@@ -27,7 +27,7 @@ func run() error {
 
 	var origTotal float64
 	for _, mode := range []eabrowse.Mode{eabrowse.ModeOriginal, eabrowse.ModeEnergyAware} {
-		phone, err := eabrowse.NewPhone(mode)
+		phone, err := eabrowse.New(mode)
 		if err != nil {
 			return err
 		}

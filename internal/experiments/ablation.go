@@ -4,9 +4,8 @@ import (
 	"time"
 
 	"eabrowse/internal/browser"
-	"eabrowse/internal/netsim"
 	"eabrowse/internal/rrc"
-	"eabrowse/internal/webpage"
+	"eabrowse/internal/runner"
 )
 
 // AblationRow is one design variant's outcome on the espn-like page with a
@@ -31,7 +30,7 @@ type AblationResult struct {
 //   - the paper's Section 1 argument that merely shortening the operator
 //     timers (T1/T2) on the *original* browser is not a substitute.
 func Ablations() (*AblationResult, error) {
-	page, err := webpage.ESPNSports()
+	page, err := ESPNPage()
 	if err != nil {
 		return nil, err
 	}
@@ -58,30 +57,31 @@ func Ablations() (*AblationResult, error) {
 		{name: "original, halved timers (T1=2s, T2=7.5s)", mode: browser.ModeOriginal, radio: half},
 	}
 
-	res := &AblationResult{}
-	var baseline float64
-	for i, v := range variants {
-		s, err := NewSessionWithConfig(v.mode, v.radio, netsim.DefaultConfig(),
-			browser.DefaultCostModel(), v.opts...)
+	// Each variant is an independent phone; run them on the pool and compute
+	// the deltas afterwards, once the index-0 baseline is known.
+	rows, err := runner.Collect(len(variants), func(i int) (AblationRow, error) {
+		v := variants[i]
+		s, err := New(v.mode, WithRadioConfig(v.radio), WithEngineOptions(v.opts...))
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		r, err := s.LoadToEnd(page)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		s.Clock.RunFor(reading)
-		energyJ := s.Radio.EnergyJ() + r.CPUEnergyJ
-		row := AblationRow{
+		return AblationRow{
 			Name:    v.name,
-			EnergyJ: energyJ,
+			EnergyJ: s.Radio.EnergyJ() + r.CPUEnergyJ,
 			LoadS:   r.FinalDisplayAt.Seconds(),
-		}
-		if i == 0 {
-			baseline = energyJ
-		}
-		row.EnergyDeltaPct = (energyJ - baseline) / baseline * 100
-		res.Rows = append(res.Rows, row)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	baseline := rows[0].EnergyJ
+	for i := range rows {
+		rows[i].EnergyDeltaPct = (rows[i].EnergyJ - baseline) / baseline * 100
+	}
+	return &AblationResult{Rows: rows}, nil
 }

@@ -6,10 +6,7 @@ import (
 
 	"eabrowse/internal/browser"
 	"eabrowse/internal/faults"
-	"eabrowse/internal/netsim"
-	"eabrowse/internal/ril"
-	"eabrowse/internal/rrc"
-	"eabrowse/internal/simtime"
+	"eabrowse/internal/runner"
 	"eabrowse/internal/webpage"
 )
 
@@ -98,31 +95,10 @@ func chaosLossGrid(maxLoss float64) []float64 {
 // NewFaultySession builds a phone whose link and RIL daemon are impaired by
 // the given fault config; the engine routes dormancy through the RIL, so the
 // whole Section 4.4 path is exercised under impairment.
+//
+// Deprecated: use New with WithFaultInjector.
 func NewFaultySession(mode browser.Mode, cfg faults.Config, opts ...browser.Option) (*Session, error) {
-	inj, err := faults.New(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("new injector: %w", err)
-	}
-	clock := simtime.NewClock()
-	radio, err := rrc.NewMachine(clock, rrc.DefaultConfig())
-	if err != nil {
-		return nil, fmt.Errorf("new radio: %w", err)
-	}
-	link, err := netsim.NewLink(clock, radio, netsim.DefaultConfig())
-	if err != nil {
-		return nil, fmt.Errorf("new link: %w", err)
-	}
-	link.SetFaults(inj)
-	iface, err := ril.New(clock, radio, ril.WithFaults(inj))
-	if err != nil {
-		return nil, fmt.Errorf("new ril: %w", err)
-	}
-	opts = append([]browser.Option{browser.WithRIL(iface)}, opts...)
-	engine, err := browser.NewEngine(clock, radio, link, browser.DefaultCostModel(), mode, opts...)
-	if err != nil {
-		return nil, fmt.Errorf("new engine: %w", err)
-	}
-	return &Session{Clock: clock, Radio: radio, Link: link, Engine: engine, RIL: iface, Faults: inj}, nil
+	return New(mode, WithFaultInjector(cfg), WithEngineOptions(opts...))
 }
 
 // ChaosSweep runs the chaos experiment: both benchmarks, both pipelines, at
@@ -133,15 +109,10 @@ func ChaosSweep(profile faults.Config, maxLoss float64) (*ChaosResult, error) {
 	if maxLoss < 0 || maxLoss >= 1 {
 		return nil, fmt.Errorf("experiments: max loss %v outside [0, 1)", maxLoss)
 	}
-	mobile, err := webpage.MobileBenchmark()
+	pages, err := BenchmarkPages()
 	if err != nil {
 		return nil, err
 	}
-	full, err := webpage.FullBenchmark()
-	if err != nil {
-		return nil, err
-	}
-	pages := append(mobile, full...)
 
 	res := &ChaosResult{Seed: profile.Seed, Pages: len(pages)}
 	for li, loss := range chaosLossGrid(maxLoss) {
@@ -162,34 +133,65 @@ func ChaosSweep(profile faults.Config, maxLoss float64) (*ChaosResult, error) {
 	return res, nil
 }
 
+// chaosPageOutcome is one page's contribution to a mode's stats; loads run
+// in parallel and outcomes are aggregated in page order, so the averages are
+// bit-identical at any worker count.
+type chaosPageOutcome struct {
+	degraded        bool
+	energyJ         float64
+	loadS           float64
+	fetchRetries    int
+	linkRetries     int
+	failedObjects   int
+	failedTransfers int
+	dormancyFailed  bool
+}
+
 func chaosRunMode(mode browser.Mode, pages []*webpage.Page, profile faults.Config,
 	loss float64, lossIdx int) (*ChaosModeStats, error) {
-	stats := &ChaosModeStats{Mode: mode}
-	for pi, page := range pages {
+	outcomes, err := runner.Collect(len(pages), func(pi int) (chaosPageOutcome, error) {
+		page := pages[pi]
 		cfg := profile
 		cfg.LossRate = loss
 		// One independent, reproducible fault stream per (loss, mode, page).
 		cfg.Seed = profile.Seed + int64(lossIdx)*10_000 + int64(mode)*1_000 + int64(pi)
-		s, err := NewFaultySession(mode, cfg)
+		s, err := New(mode, WithFaultInjector(cfg))
 		if err != nil {
-			return nil, err
+			return chaosPageOutcome{}, err
 		}
 		r, err := s.LoadToEnd(page)
 		if err != nil {
-			return nil, fmt.Errorf("page %s: %w", page.Name, err)
+			return chaosPageOutcome{}, fmt.Errorf("page %s: %w", page.Name, err)
 		}
 		s.Clock.RunFor(ChaosReadingTime)
+		return chaosPageOutcome{
+			degraded:        r.Degraded(),
+			energyJ:         s.Radio.EnergyJ() + r.CPUEnergyJ,
+			loadS:           r.FinalDisplayAt.Seconds(),
+			fetchRetries:    r.FetchRetries,
+			linkRetries:     r.LinkRetries,
+			failedObjects:   r.FailedObjects,
+			failedTransfers: r.FailedTransfers,
+			dormancyFailed:  r.DormancyFailed,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	stats := &ChaosModeStats{Mode: mode}
+	for _, o := range outcomes {
 		stats.Completed++
-		if r.Degraded() {
+		if o.degraded {
 			stats.Degraded++
 		}
-		stats.EnergyJ += s.Radio.EnergyJ() + r.CPUEnergyJ
-		stats.LoadS += r.FinalDisplayAt.Seconds()
-		stats.FetchRetries += r.FetchRetries
-		stats.LinkRetries += r.LinkRetries
-		stats.FailedObjects += r.FailedObjects
-		stats.FailedTransfers += r.FailedTransfers
-		if r.DormancyFailed {
+		stats.EnergyJ += o.energyJ
+		stats.LoadS += o.loadS
+		stats.FetchRetries += o.fetchRetries
+		stats.LinkRetries += o.linkRetries
+		stats.FailedObjects += o.failedObjects
+		stats.FailedTransfers += o.failedTransfers
+		if o.dormancyFailed {
 			stats.DormancyFailures++
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"eabrowse/internal/gbrt"
 	"eabrowse/internal/policy"
 	"eabrowse/internal/predictor"
+	"eabrowse/internal/runner"
 	"eabrowse/internal/trace"
 	"eabrowse/internal/webpage"
 )
@@ -41,11 +42,11 @@ type Fig11Result struct {
 // reports 14.3% more users on the mobile benchmark and 19.6% on the full
 // benchmark at equal dropping probability.
 func Fig11() (*Fig11Result, error) {
-	mobile, err := webpage.MobileBenchmark()
+	mobile, err := MobilePages()
 	if err != nil {
 		return nil, err
 	}
-	full, err := webpage.FullBenchmark()
+	full, err := FullPages()
 	if err != nil {
 		return nil, err
 	}
@@ -95,19 +96,17 @@ func fig11Bench(label string, pages []*webpage.Page, sweep []int) (*Fig11Bench, 
 	return bench, nil
 }
 
-// transmissionTimes loads every page once under mode and collects the
-// per-page data-transmission times in seconds — the channel-hold times of
-// the capacity model.
+// transmissionTimes loads every page once under mode (in parallel, collected
+// in page order) and returns the per-page data-transmission times in seconds
+// — the channel-hold times of the capacity model.
 func transmissionTimes(pages []*webpage.Page, mode browser.Mode) ([]float64, error) {
-	out := make([]float64, 0, len(pages))
-	for _, p := range pages {
-		res, err := LoadPage(p, mode, 0)
+	return runner.Collect(len(pages), func(i int) (float64, error) {
+		res, err := LoadPage(pages[i], mode, 0)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		out = append(out, res.Result.TransmissionTime.Seconds())
-	}
-	return out, nil
+		return res.Result.TransmissionTime.Seconds(), nil
+	})
 }
 
 // Fig15Result is the prediction-accuracy comparison of Fig. 15.
@@ -123,16 +122,45 @@ type Fig15Result struct {
 }
 
 // Fig15 reproduces Fig. 15: GBRT accuracy at Tp = 9 s and Td = 20 s, trained
-// and evaluated with and without the interest threshold.
+// and evaluated with and without the interest threshold. The trace, split
+// and both trained models come from the shared artifact cache, and the two
+// variants evaluate concurrently.
 func Fig15() (*Fig15Result, error) {
-	ds, err := trace.Synthesize(trace.DefaultConfig())
+	_, test, err := DefaultSplit()
 	if err != nil {
 		return nil, err
 	}
-	return Fig15From(ds)
+	res := &Fig15Result{TestVisits: len(test)}
+	type accPair struct{ a9, a20 float64 }
+	variants := []bool{false, true}
+	accs, err := runner.Collect(len(variants), func(i int) (accPair, error) {
+		withInterest := variants[i]
+		p, err := TrainedPredictor(withInterest)
+		if err != nil {
+			return accPair{}, err
+		}
+		a9, err := p.Evaluate(test, 9, withInterest)
+		if err != nil {
+			return accPair{}, err
+		}
+		a20, err := p.Evaluate(test, 20, withInterest)
+		if err != nil {
+			return accPair{}, err
+		}
+		return accPair{a9: a9.Pct(), a20: a20.Pct()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.WithoutTp, res.WithoutTd = accs[0].a9, accs[0].a20
+	res.WithTp, res.WithTd = accs[1].a9, accs[1].a20
+	res.GainTp = res.WithTp - res.WithoutTp
+	res.GainTd = res.WithTd - res.WithoutTd
+	return res, nil
 }
 
-// Fig15From runs the Fig. 15 evaluation on an existing dataset.
+// Fig15From runs the Fig. 15 evaluation on an existing dataset (bypassing
+// the artifact cache).
 func Fig15From(ds *trace.Dataset) (*Fig15Result, error) {
 	train, test, err := predictor.Split(ds.Visits, 0.3, 7)
 	if err != nil {
@@ -174,16 +202,30 @@ type Fig16Result struct {
 
 // Fig16 reproduces Fig. 16: the six Table 6 strategies replayed over the
 // synthesized trace, reporting power and delay savings against the original
-// browser with stock timers.
+// browser with stock timers. The trace and the trained predictor come from
+// the shared artifact cache.
 func Fig16() (*Fig16Result, error) {
-	ds, err := trace.Synthesize(trace.DefaultConfig())
+	ds, err := DefaultTrace()
 	if err != nil {
 		return nil, err
 	}
-	return Fig16From(ds)
+	pred, err := TrainedPredictor(true)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := policy.NewEvaluator(ds, pred, policy.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	cases, err := ev.EvaluateAll()
+	if err != nil {
+		return nil, err
+	}
+	return &Fig16Result{Cases: cases}, nil
 }
 
-// Fig16From runs Fig. 16 on an existing dataset.
+// Fig16From runs Fig. 16 on an existing dataset (bypassing the artifact
+// cache).
 func Fig16From(ds *trace.Dataset) (*Fig16Result, error) {
 	train, _, err := predictor.Split(ds.Visits, 0.3, 7)
 	if err != nil {

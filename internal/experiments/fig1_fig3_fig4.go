@@ -9,7 +9,6 @@ import (
 	"eabrowse/internal/netsim"
 	"eabrowse/internal/rrc"
 	"eabrowse/internal/simtime"
-	"eabrowse/internal/webpage"
 )
 
 // Fig1Result is the sampled power trace of the radio walking through its
@@ -163,13 +162,13 @@ type Fig4Result struct {
 // spreads its transfers across the whole load, while a single socket
 // download of the same bytes finishes in ≈8 s.
 func Fig4() (*Fig4Result, error) {
-	page, err := webpage.ESPNSports()
+	page, err := ESPNPage()
 	if err != nil {
 		return nil, err
 	}
 
 	// Browser load, original pipeline.
-	s, err := NewSession(browser.ModeOriginal)
+	s, err := New(browser.ModeOriginal)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +178,7 @@ func Fig4() (*Fig4Result, error) {
 	browserRecords := s.Link.Records()
 
 	// Raw socket download of the same total bytes.
-	bulk, err := NewSession(browser.ModeOriginal)
+	bulk, err := New(browser.ModeOriginal)
 	if err != nil {
 		return nil, err
 	}

@@ -26,9 +26,9 @@ type CDFPoint struct {
 	CumPct  float64
 }
 
-// Fig7 synthesizes the default trace and computes its reading-time CDF.
+// Fig7 computes the reading-time CDF of the shared default trace.
 func Fig7() (*Fig7Result, error) {
-	ds, err := trace.Synthesize(trace.DefaultConfig())
+	ds, err := DefaultTrace()
 	if err != nil {
 		return nil, err
 	}
@@ -71,9 +71,9 @@ type Table4Result struct {
 	MaxAbs float64
 }
 
-// Table4 computes the correlations over the default trace.
+// Table4 computes the correlations over the shared default trace.
 func Table4() (*Table4Result, error) {
-	ds, err := trace.Synthesize(trace.DefaultConfig())
+	ds, err := DefaultTrace()
 	if err != nil {
 		return nil, err
 	}

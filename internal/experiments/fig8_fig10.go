@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"eabrowse/internal/browser"
+	"eabrowse/internal/runner"
 	"eabrowse/internal/webpage"
 )
 
@@ -67,20 +68,28 @@ func savingPct(orig, aware float64) float64 {
 
 // ComparePages loads every page under both pipelines on fresh phones,
 // simulating reading seconds of reading time after each load, and averages.
+// The per-page loads run on the shared worker pool; outcomes are averaged in
+// page order, so the comparison is identical at any worker count.
 func ComparePages(label string, pages []*webpage.Page, reading time.Duration) (*BenchComparison, error) {
 	if len(pages) == 0 {
 		return nil, fmt.Errorf("experiments: no pages for %s", label)
 	}
 	cmp := &BenchComparison{Label: label, Pages: len(pages)}
 	for _, mode := range []browser.Mode{browser.ModeOriginal, browser.ModeEnergyAware} {
+		outcomes, err := runner.Collect(len(pages), func(i int) (*LoadOutcome, error) {
+			out, err := LoadPage(pages[i], mode, reading)
+			if err != nil {
+				return nil, fmt.Errorf("load %s (%v): %w", pages[i].Name, mode, err)
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
 		var agg PipelineTiming
 		agg.Mode = mode
 		firstDisplayed := 0
-		for _, page := range pages {
-			out, err := LoadPage(page, mode, reading)
-			if err != nil {
-				return nil, fmt.Errorf("load %s (%v): %w", page.Name, mode, err)
-			}
+		for _, out := range outcomes {
 			r := out.Result
 			agg.TransmissionS += r.TransmissionTime.Seconds()
 			agg.LayoutS += r.LayoutTime().Seconds()
@@ -125,19 +134,19 @@ type Fig8Result struct {
 // Fig8 reproduces Fig. 8: data transmission time and total loading time for
 // the mobile and full benchmarks, plus the two representative pages.
 func Fig8() (*Fig8Result, error) {
-	mobile, err := webpage.MobileBenchmark()
+	mobile, err := MobilePages()
 	if err != nil {
 		return nil, err
 	}
-	full, err := webpage.FullBenchmark()
+	full, err := FullPages()
 	if err != nil {
 		return nil, err
 	}
-	cnn, err := webpage.MCNN()
+	cnn, err := MCNNPage()
 	if err != nil {
 		return nil, err
 	}
-	ebay, err := webpage.MotorsEbay()
+	ebay, err := MotorsEbayPage()
 	if err != nil {
 		return nil, err
 	}
@@ -171,19 +180,19 @@ type Fig10Result struct {
 
 // Fig10 reproduces Fig. 10: energy to open each page plus 20 s of reading.
 func Fig10() (*Fig10Result, error) {
-	mobile, err := webpage.MobileBenchmark()
+	mobile, err := MobilePages()
 	if err != nil {
 		return nil, err
 	}
-	full, err := webpage.FullBenchmark()
+	full, err := FullPages()
 	if err != nil {
 		return nil, err
 	}
-	cnn, err := webpage.MCNN()
+	cnn, err := MCNNPage()
 	if err != nil {
 		return nil, err
 	}
-	espn, err := webpage.ESPNSports()
+	espn, err := ESPNPage()
 	if err != nil {
 		return nil, err
 	}

@@ -6,7 +6,7 @@ import (
 
 	"eabrowse/internal/browser"
 	"eabrowse/internal/energy"
-	"eabrowse/internal/webpage"
+	"eabrowse/internal/runner"
 )
 
 // Fig9Result holds the two sampled power traces of loading the espn-like
@@ -25,13 +25,13 @@ type Fig9Result struct {
 // energy-aware trace must drop to near-idle shortly after its transmission
 // ends; the original keeps burning FACH power.
 func Fig9() (*Fig9Result, error) {
-	page, err := webpage.ESPNSports()
+	page, err := ESPNPage()
 	if err != nil {
 		return nil, err
 	}
 	res := &Fig9Result{}
 	for _, mode := range []browser.Mode{browser.ModeOriginal, browser.ModeEnergyAware} {
-		s, err := NewSession(mode)
+		s, err := New(mode)
 		if err != nil {
 			return nil, err
 		}
@@ -76,18 +76,19 @@ type Fig12Result struct {
 // intermediate display appears much earlier (paper: 7 s vs. 17.6 s) and the
 // final display somewhat earlier (28.6 s vs. 34.5 s).
 func Fig12() (*Fig12Result, error) {
-	page, err := webpage.ESPNSports()
+	page, err := ESPNPage()
 	if err != nil {
 		return nil, err
 	}
-	orig, err := LoadPage(page, browser.ModeOriginal, 0)
+	// The two pipelines run on independent phones — load them concurrently.
+	modes := []browser.Mode{browser.ModeOriginal, browser.ModeEnergyAware}
+	outs, err := runner.Collect(len(modes), func(i int) (*LoadOutcome, error) {
+		return LoadPage(page, modes[i], 0)
+	})
 	if err != nil {
 		return nil, err
 	}
-	aware, err := LoadPage(page, browser.ModeEnergyAware, 0)
-	if err != nil {
-		return nil, err
-	}
+	orig, aware := outs[0], outs[1]
 	res := &Fig12Result{
 		OrigFirstDisplayS:  orig.Result.FirstDisplayAt.Seconds(),
 		AwareFirstDisplayS: aware.Result.FirstDisplayAt.Seconds(),
@@ -115,11 +116,11 @@ type Fig14Result struct {
 // and its final display by 16.8%; on mobile pages it draws only the final
 // display, roughly when the original draws its intermediate one.
 func Fig14() (*Fig14Result, error) {
-	mobile, err := webpage.MobileBenchmark()
+	mobile, err := MobilePages()
 	if err != nil {
 		return nil, err
 	}
-	full, err := webpage.FullBenchmark()
+	full, err := FullPages()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"eabrowse/internal/browser"
+	"eabrowse/internal/capacity"
+	"eabrowse/internal/features"
+	"eabrowse/internal/gbrt"
+	"eabrowse/internal/policy"
+	"eabrowse/internal/runner"
+	"eabrowse/internal/trace"
+	"eabrowse/internal/webpage"
+)
+
+// FleetConfig sizes the fleet replay.
+type FleetConfig struct {
+	// Users is the fleet population (each user is one simulated phone).
+	Users int
+	// HoursPerUser is how much browsing each user's trace covers.
+	HoursPerUser float64
+	// Seed makes the fleet trace reproducible.
+	Seed int64
+}
+
+// DefaultFleetConfig replays a 300-phone fleet for a quarter hour each.
+func DefaultFleetConfig() FleetConfig {
+	return FleetConfig{Users: 300, HoursPerUser: 0.25, Seed: 20130709}
+}
+
+// Validate checks the configuration.
+func (c FleetConfig) Validate() error {
+	switch {
+	case c.Users <= 0:
+		return errors.New("fleet: need at least one user")
+	case c.HoursPerUser <= 0:
+		return errors.New("fleet: hours per user must be positive")
+	}
+	return nil
+}
+
+// FleetModeStats aggregates one pipeline's behaviour across the fleet.
+type FleetModeStats struct {
+	Mode browser.Mode
+	// EnergyJ is total radio+CPU energy across every phone.
+	EnergyJ float64
+	// MeanEnergyPerUserJ is EnergyJ / users.
+	MeanEnergyPerUserJ float64
+	// MeanTransmissionS is the mean per-visit data-transmission time — the
+	// channel-hold time the capacity model charges.
+	MeanTransmissionS float64
+	// SupportedAt2Pct is the largest population the cell keeps under 2%
+	// dropping with this pipeline's transmission times.
+	SupportedAt2Pct int
+	// DropPctAtFleet is the dropping probability at the fleet's own size.
+	DropPctAtFleet float64
+	// Switches counts Algorithm 2's forced releases; Predictions counts GBRT
+	// evaluations; PredictionEnergyJ is their Table 7 cost (already included
+	// in EnergyJ). All zero for the original pipeline.
+	Switches          int
+	Predictions       int
+	PredictionEnergyJ float64
+}
+
+// FleetResult compares the two pipelines over the same fleet trace.
+type FleetResult struct {
+	Users  int
+	Visits int
+	// TraceHours is the per-user browsing time replayed.
+	TraceHours float64
+	Original   FleetModeStats
+	Aware      FleetModeStats
+	// EnergySavingPct is the fleet-wide energy saving.
+	EnergySavingPct float64
+	// CapacityGainPct is the Fig. 11-style capacity gain at 2% dropping.
+	CapacityGainPct float64
+}
+
+// fleetUserOutcome is one phone's replay under both pipelines.
+type fleetUserOutcome struct {
+	origEnergyJ  float64
+	awareEnergyJ float64
+	origTransS   []float64
+	awareTransS  []float64
+	visits       int
+	switches     int
+	predictions  int
+	predEnergyJ  float64
+}
+
+// Fleet replays a multi-hundred-user browsing trace concurrently, one
+// simulated phone per user per pipeline, and reports aggregate energy and
+// cell capacity. The energy-aware phones run Algorithm 2 end to end: load,
+// wait the interest threshold α, predict the reading time with the shared
+// trained GBRT, force the radio dormant when the prediction clears the
+// delay-driven threshold, and pay the Table 7 prediction cost for every
+// evaluation.
+//
+// Every phone owns its own virtual clock, so the replay is deterministic at
+// any worker count: users run on the worker pool and aggregate in user order.
+func Fleet(cfg FleetConfig) (*FleetResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tcfg := trace.DefaultConfig()
+	tcfg.Users = cfg.Users
+	tcfg.HoursPerUser = cfg.HoursPerUser
+	tcfg.Seed = cfg.Seed
+	ds, err := trace.Synthesize(tcfg)
+	if err != nil {
+		return nil, fmt.Errorf("fleet trace: %w", err)
+	}
+	// The predictor is trained offline on the default collection trace and
+	// deployed to every phone — the paper's deployment model.
+	pred, err := TrainedPredictor(true)
+	if err != nil {
+		return nil, err
+	}
+
+	pages := make(map[string]*webpage.Page, len(ds.Pool))
+	for i := range ds.Pool {
+		pages[ds.Pool[i].Name] = ds.Pool[i].Page
+	}
+	// Visits arrive grouped by user and ordered within each user.
+	byUser := make([][]trace.Visit, cfg.Users)
+	for _, v := range ds.Visits {
+		byUser[v.User] = append(byUser[v.User], v)
+	}
+
+	params := policy.DefaultParams()
+	device := gbrt.DefaultDeviceCost()
+	outcomes, err := runner.Collect(cfg.Users, func(u int) (fleetUserOutcome, error) {
+		return replayFleetUser(byUser[u], pages, pred, params, device)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &FleetResult{Users: cfg.Users, TraceHours: cfg.HoursPerUser}
+	res.Original.Mode = browser.ModeOriginal
+	res.Aware.Mode = browser.ModeEnergyAware
+	var origTrans, awareTrans []float64
+	for _, o := range outcomes {
+		res.Visits += o.visits
+		res.Original.EnergyJ += o.origEnergyJ
+		res.Aware.EnergyJ += o.awareEnergyJ
+		res.Aware.Switches += o.switches
+		res.Aware.Predictions += o.predictions
+		res.Aware.PredictionEnergyJ += o.predEnergyJ
+		origTrans = append(origTrans, o.origTransS...)
+		awareTrans = append(awareTrans, o.awareTransS...)
+	}
+	res.Original.MeanEnergyPerUserJ = res.Original.EnergyJ / float64(cfg.Users)
+	res.Aware.MeanEnergyPerUserJ = res.Aware.EnergyJ / float64(cfg.Users)
+	if res.Original.EnergyJ > 0 {
+		res.EnergySavingPct = (res.Original.EnergyJ - res.Aware.EnergyJ) /
+			res.Original.EnergyJ * 100
+	}
+
+	ccfg := capacity.DefaultConfig()
+	for _, side := range []struct {
+		stats *FleetModeStats
+		trans []float64
+	}{{&res.Original, origTrans}, {&res.Aware, awareTrans}} {
+		var sum float64
+		for _, t := range side.trans {
+			sum += t
+		}
+		side.stats.MeanTransmissionS = sum / float64(len(side.trans))
+		supported, err := capacity.SupportedUsers(side.trans, 2, ccfg)
+		if err != nil {
+			return nil, err
+		}
+		side.stats.SupportedAt2Pct = supported
+		atFleet, err := capacity.Simulate(cfg.Users, side.trans, ccfg)
+		if err != nil {
+			return nil, err
+		}
+		side.stats.DropPctAtFleet = atFleet.DropPercent
+	}
+	if res.Original.SupportedAt2Pct > 0 {
+		res.CapacityGainPct = float64(res.Aware.SupportedAt2Pct-res.Original.SupportedAt2Pct) /
+			float64(res.Original.SupportedAt2Pct) * 100
+	}
+	return res, nil
+}
+
+// replayFleetUser walks one user's visit sequence on two persistent phones —
+// one per pipeline — so radio state carries across the visits of a session
+// exactly as it would on a real handset.
+func replayFleetUser(visits []trace.Visit, pages map[string]*webpage.Page,
+	pred TrainedReadingPredictor, params policy.Params,
+	device gbrt.DeviceCost) (fleetUserOutcome, error) {
+
+	out := fleetUserOutcome{}
+	if len(visits) == 0 {
+		return out, nil
+	}
+
+	orig, err := New(browser.ModeOriginal)
+	if err != nil {
+		return out, err
+	}
+	// In the policy setting the release decision belongs to Algorithm 2, not
+	// the engine's own end-of-load dormancy.
+	aware, err := New(browser.ModeEnergyAware,
+		WithEngineOptions(browser.WithoutAutoDormancy()))
+	if err != nil {
+		return out, err
+	}
+
+	drain := orig.Radio.Config().T1 + orig.Radio.Config().T2 + time.Second
+	alpha := params.Alpha
+	var origCPUJ, awareCPUJ float64
+	session := visits[0].Session
+	for _, v := range visits {
+		page, ok := pages[v.Page]
+		if !ok || page == nil {
+			return out, fmt.Errorf("fleet: no page body for %s", v.Page)
+		}
+		if v.Session != session {
+			// Session breaks are minutes apart — let both radios idle out.
+			orig.Clock.RunFor(drain)
+			aware.Clock.RunFor(drain)
+			session = v.Session
+		}
+		reading := time.Duration(v.ReadingSeconds * float64(time.Second))
+
+		// Original pipeline: load, then sit through the reading window on
+		// operator timers.
+		origRes, err := orig.LoadToEnd(page)
+		if err != nil {
+			return out, fmt.Errorf("fleet original %s: %w", v.Page, err)
+		}
+		origCPUJ += origRes.CPUEnergyJ
+		out.origTransS = append(out.origTransS, origRes.TransmissionTime.Seconds())
+		orig.Clock.RunFor(reading)
+
+		// Energy-aware pipeline: Algorithm 2.
+		awareRes, err := aware.LoadToEnd(page)
+		if err != nil {
+			return out, fmt.Errorf("fleet aware %s: %w", v.Page, err)
+		}
+		awareCPUJ += awareRes.CPUEnergyJ
+		out.awareTransS = append(out.awareTransS, awareRes.TransmissionTime.Seconds())
+		if reading <= alpha {
+			// The user clicked away before the interest threshold — no
+			// prediction, timers handle the short gap.
+			aware.Clock.RunFor(reading)
+		} else {
+			aware.Clock.RunFor(alpha)
+			vec, err := features.FromResult(awareRes)
+			if err != nil {
+				return out, err
+			}
+			predS, err := pred.PredictSeconds(vec)
+			if err != nil {
+				return out, err
+			}
+			out.predictions++
+			out.predEnergyJ += device.PredictionEnergyJ(pred.NumTrees())
+			if policy.ShouldSwitchToIdle(time.Duration(predS*float64(time.Second)), params) {
+				// A busy radio (ErrBusy) degrades to the inactivity timers,
+				// exactly as on a real handset; only a successful release
+				// counts as a switch.
+				if err := aware.Engine.ForceDormantNow(); err == nil {
+					out.switches++
+				}
+			}
+			aware.Clock.RunFor(reading - alpha)
+		}
+		out.visits++
+	}
+	out.origEnergyJ = orig.Radio.EnergyJ() + origCPUJ
+	out.awareEnergyJ = aware.Radio.EnergyJ() + awareCPUJ + out.predEnergyJ
+	return out, nil
+}
+
+// TrainedReadingPredictor is the slice of the predictor API Algorithm 2
+// needs; the fleet replay takes it as an interface so tests can stub the
+// model.
+type TrainedReadingPredictor interface {
+	PredictSeconds(v features.Vector) (float64, error)
+	NumTrees() int
+}

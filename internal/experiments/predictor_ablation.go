@@ -7,6 +7,7 @@ import (
 	"eabrowse/internal/gbrt"
 	"eabrowse/internal/linreg"
 	"eabrowse/internal/predictor"
+	"eabrowse/internal/runner"
 	"eabrowse/internal/trace"
 )
 
@@ -32,9 +33,9 @@ type PredictorAblationResult struct {
 	PersonalModels int
 }
 
-// PredictorAblation runs the sweep on the default trace.
+// PredictorAblation runs the sweep on the shared default trace.
 func PredictorAblation() (*PredictorAblationResult, error) {
-	ds, err := trace.Synthesize(trace.DefaultConfig())
+	ds, err := DefaultTrace()
 	if err != nil {
 		return nil, err
 	}
@@ -49,24 +50,80 @@ func PredictorAblationFrom(ds *trace.Dataset) (*PredictorAblationResult, error) 
 	}
 	res := &PredictorAblationResult{}
 
+	// Every variant trains an independent model on the same (read-only)
+	// split, so the whole sweep is one flat job list on the worker pool.
+	// Rows land by job index, keeping the output order fixed.
+	type job func() (PredictorAblationRow, error)
+	var jobs []job
+
 	// GBRT vs. the linear baseline Table 4 rules out, and per-user vs.
 	// global models. All trained with the interest threshold (the stronger
 	// setting for each).
-	gbrtRow, err := gbrtAccuracy(train, test, gbrt.DefaultConfig(), 2)
+	var personal int
+	jobs = append(jobs,
+		func() (PredictorAblationRow, error) {
+			row, err := gbrtAccuracy(train, test, gbrt.DefaultConfig(), 2)
+			row.Name = "GBRT (default: M=400, J=8)"
+			return row, err
+		},
+		func() (PredictorAblationRow, error) {
+			return linearAccuracy(train, test, 2)
+		},
+		func() (PredictorAblationRow, error) {
+			row, n, err := perUserAccuracy(train, test, 2)
+			personal = n
+			return row, err
+		},
+	)
+
+	for _, m := range []int{25, 100, 400} {
+		cfg := gbrt.DefaultConfig()
+		cfg.Trees = m
+		name := fmt.Sprintf("M = %d trees", m)
+		jobs = append(jobs, func() (PredictorAblationRow, error) {
+			row, err := gbrtAccuracy(train, test, cfg, 2)
+			row.Name = name
+			return row, err
+		})
+	}
+	treesEnd := len(jobs)
+
+	for _, j := range []int{2, 4, 8, 16} {
+		cfg := gbrt.DefaultConfig()
+		cfg.MaxLeaves = j
+		cfg.Trees = 200
+		name := fmt.Sprintf("J = %d leaves", j)
+		jobs = append(jobs, func() (PredictorAblationRow, error) {
+			row, err := gbrtAccuracy(train, test, cfg, 2)
+			row.Name = name
+			return row, err
+		})
+	}
+	leavesEnd := len(jobs)
+
+	for _, alpha := range []float64{0, 1, 2, 3, 5} {
+		cfg := gbrt.DefaultConfig()
+		cfg.Trees = 200
+		a := alpha
+		name := fmt.Sprintf("alpha = %.0f s", alpha)
+		jobs = append(jobs, func() (PredictorAblationRow, error) {
+			row, err := gbrtAccuracy(train, test, cfg, a)
+			row.Name = name
+			return row, err
+		})
+	}
+
+	rows, err := runner.Collect(len(jobs), func(i int) (PredictorAblationRow, error) {
+		return jobs[i]()
+	})
 	if err != nil {
 		return nil, err
 	}
-	gbrtRow.Name = "GBRT (default: M=400, J=8)"
-	linRow, err := linearAccuracy(train, test, 2)
-	if err != nil {
-		return nil, err
-	}
-	perUserRow, personal, err := perUserAccuracy(train, test, 2)
-	if err != nil {
-		return nil, err
-	}
-	res.Baselines = []PredictorAblationRow{gbrtRow, linRow, perUserRow}
+	res.Baselines = rows[:3]
 	res.PersonalModels = personal
+	res.Trees = rows[3:treesEnd]
+	res.Leaves = rows[treesEnd:leavesEnd]
+	res.Alpha = rows[leavesEnd:]
 
 	// Importance of the default global model.
 	defaultModel, err := predictor.Train(train, predictor.Config{
@@ -76,40 +133,6 @@ func PredictorAblationFrom(ds *trace.Dataset) (*PredictorAblationResult, error) 
 		return nil, err
 	}
 	copy(res.Importance[:], defaultModel.FeatureImportance())
-
-	for _, m := range []int{25, 100, 400} {
-		cfg := gbrt.DefaultConfig()
-		cfg.Trees = m
-		row, err := gbrtAccuracy(train, test, cfg, 2)
-		if err != nil {
-			return nil, err
-		}
-		row.Name = fmt.Sprintf("M = %d trees", m)
-		res.Trees = append(res.Trees, row)
-	}
-
-	for _, j := range []int{2, 4, 8, 16} {
-		cfg := gbrt.DefaultConfig()
-		cfg.MaxLeaves = j
-		cfg.Trees = 200
-		row, err := gbrtAccuracy(train, test, cfg, 2)
-		if err != nil {
-			return nil, err
-		}
-		row.Name = fmt.Sprintf("J = %d leaves", j)
-		res.Leaves = append(res.Leaves, row)
-	}
-
-	for _, alpha := range []float64{0, 1, 2, 3, 5} {
-		cfg := gbrt.DefaultConfig()
-		cfg.Trees = 200
-		row, err := gbrtAccuracy(train, test, cfg, alpha)
-		if err != nil {
-			return nil, err
-		}
-		row.Name = fmt.Sprintf("alpha = %.0f s", alpha)
-		res.Alpha = append(res.Alpha, row)
-	}
 	return res, nil
 }
 

@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"eabrowse/internal/browser"
@@ -32,8 +33,8 @@ type LoadOutcome struct {
 }
 
 // Session is one simulated phone: clock, radio, link and a browser engine.
-// RIL and Faults are set only by NewFaultySession (nil on the fault-free
-// constructors).
+// RIL and Faults are non-nil only when the session was built with
+// WithFaultInjector.
 type Session struct {
 	Clock  *simtime.Clock
 	Radio  *rrc.Machine
@@ -43,30 +44,119 @@ type Session struct {
 	Faults *faults.Injector
 }
 
-// NewSession builds a fresh phone with default radio/link parameters and a
-// browser in the given mode.
-func NewSession(mode browser.Mode, opts ...browser.Option) (*Session, error) {
-	return NewSessionWithConfig(mode, rrc.DefaultConfig(), netsim.DefaultConfig(),
-		browser.DefaultCostModel(), opts...)
+// sessionConfig is what SessionOptions configure; New starts from the
+// calibrated defaults.
+type sessionConfig struct {
+	radio      rrc.Config
+	link       netsim.Config
+	cost       browser.CostModel
+	faults     *faults.Config
+	engineOpts []browser.Option
 }
 
-// NewSessionWithConfig builds a phone with explicit substrate parameters.
-func NewSessionWithConfig(mode browser.Mode, radioCfg rrc.Config,
-	linkCfg netsim.Config, cost browser.CostModel, opts ...browser.Option) (*Session, error) {
+// SessionOption configures one aspect of a session built by New.
+type SessionOption func(*sessionConfig)
+
+// WithRadioConfig overrides the RRC timers, latencies and per-state powers.
+func WithRadioConfig(cfg rrc.Config) SessionOption {
+	return func(c *sessionConfig) { c.radio = cfg }
+}
+
+// WithLinkConfig overrides the radio-link bandwidth and RTT parameters.
+func WithLinkConfig(cfg netsim.Config) SessionOption {
+	return func(c *sessionConfig) { c.link = cfg }
+}
+
+// WithCostModel overrides the browser CPU cost model.
+func WithCostModel(cost browser.CostModel) SessionOption {
+	return func(c *sessionConfig) { c.cost = cost }
+}
+
+// WithFaultInjector impairs the session's link and RIL daemon with the given
+// fault profile, and routes the engine's dormancy requests through the
+// (flaky) RIL, exercising the whole Section 4.4 path under impairment.
+func WithFaultInjector(cfg faults.Config) SessionOption {
+	return func(c *sessionConfig) { c.faults = &cfg }
+}
+
+// WithEngineOptions appends browser-engine options (dormancy guard,
+// event log, ...) to the session's engine.
+func WithEngineOptions(opts ...browser.Option) SessionOption {
+	return func(c *sessionConfig) { c.engineOpts = append(c.engineOpts, opts...) }
+}
+
+// New builds a fresh phone — virtual clock, radio, link and a browser in the
+// given mode — from the calibrated defaults, adjusted by options:
+//
+//	s, err := experiments.New(browser.ModeEnergyAware,
+//	        experiments.WithRadioConfig(radio),
+//	        experiments.WithFaultInjector(profile),
+//	        experiments.WithEngineOptions(browser.WithDormancyGuard(0)))
+//
+// Sessions are cheap and single-goroutine; parallel workloads give every
+// goroutine its own.
+func New(mode browser.Mode, opts ...SessionOption) (*Session, error) {
+	cfg := sessionConfig{
+		radio: rrc.DefaultConfig(),
+		link:  netsim.DefaultConfig(),
+		cost:  browser.DefaultCostModel(),
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+
+	var inj *faults.Injector
+	if cfg.faults != nil {
+		var err error
+		if inj, err = faults.New(*cfg.faults); err != nil {
+			return nil, fmt.Errorf("new injector: %w", err)
+		}
+	}
 	clock := simtime.NewClock()
-	radio, err := rrc.NewMachine(clock, radioCfg)
+	radio, err := rrc.NewMachine(clock, cfg.radio)
 	if err != nil {
 		return nil, fmt.Errorf("new radio: %w", err)
 	}
-	link, err := netsim.NewLink(clock, radio, linkCfg)
+	link, err := netsim.NewLink(clock, radio, cfg.link)
 	if err != nil {
 		return nil, fmt.Errorf("new link: %w", err)
 	}
-	engine, err := browser.NewEngine(clock, radio, link, cost, mode, opts...)
+	s := &Session{Clock: clock, Radio: radio, Link: link}
+	engineOpts := cfg.engineOpts
+	if inj != nil {
+		link.SetFaults(inj)
+		iface, err := ril.New(clock, radio, ril.WithFaults(inj))
+		if err != nil {
+			return nil, fmt.Errorf("new ril: %w", err)
+		}
+		engineOpts = append([]browser.Option{browser.WithRIL(iface)}, engineOpts...)
+		s.RIL = iface
+		s.Faults = inj
+	}
+	engine, err := browser.NewEngine(clock, radio, link, cfg.cost, mode, engineOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("new engine: %w", err)
 	}
-	return &Session{Clock: clock, Radio: radio, Link: link, Engine: engine}, nil
+	s.Engine = engine
+	return s, nil
+}
+
+// NewSession builds a fresh phone with default radio/link parameters and a
+// browser in the given mode.
+//
+// Deprecated: use New; engine options go through WithEngineOptions.
+func NewSession(mode browser.Mode, opts ...browser.Option) (*Session, error) {
+	return New(mode, WithEngineOptions(opts...))
+}
+
+// NewSessionWithConfig builds a phone with explicit substrate parameters.
+//
+// Deprecated: use New with WithRadioConfig, WithLinkConfig and
+// WithCostModel.
+func NewSessionWithConfig(mode browser.Mode, radioCfg rrc.Config,
+	linkCfg netsim.Config, cost browser.CostModel, opts ...browser.Option) (*Session, error) {
+	return New(mode, WithRadioConfig(radioCfg), WithLinkConfig(linkCfg),
+		WithCostModel(cost), WithEngineOptions(opts...))
 }
 
 // LoadToEnd loads one page and runs the simulation until the final display.
@@ -101,7 +191,7 @@ func LoadPage(page *webpage.Page, mode browser.Mode, reading time.Duration,
 // (radio residency, transfer records) beyond the load result.
 func LoadPageObserved(page *webpage.Page, mode browser.Mode, reading time.Duration,
 	observe func(*Session), opts ...browser.Option) (*LoadOutcome, error) {
-	s, err := NewSession(mode, opts...)
+	s, err := New(mode, WithEngineOptions(opts...))
 	if err != nil {
 		return nil, err
 	}
@@ -144,5 +234,6 @@ func PageByName(name string) (*webpage.Page, error) {
 			return webpage.Generate(spec)
 		}
 	}
-	return nil, fmt.Errorf("experiments: unknown benchmark page %q", name)
+	return nil, fmt.Errorf("experiments: unknown benchmark page %q (have: %s)",
+		name, strings.Join(webpage.BenchmarkPageNames(), ", "))
 }

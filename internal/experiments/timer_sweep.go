@@ -4,9 +4,8 @@ import (
 	"time"
 
 	"eabrowse/internal/browser"
-	"eabrowse/internal/netsim"
 	"eabrowse/internal/rrc"
-	"eabrowse/internal/webpage"
+	"eabrowse/internal/runner"
 )
 
 // TimerSweepRow is one (T1, T2) operating point for the original browser.
@@ -32,47 +31,56 @@ type TimerSweepResult struct {
 	EnergyAwareJ float64
 }
 
-// TimerSweep runs the grid.
+// TimerSweep runs the grid. The 4×3 (T1, T2) points are independent phones,
+// so they run flattened on the worker pool; rows come back in grid order.
 func TimerSweep() (*TimerSweepResult, error) {
-	page, err := webpage.ESPNSports()
+	page, err := ESPNPage()
 	if err != nil {
 		return nil, err
 	}
 	const reading = 20 * time.Second
 
-	res := &TimerSweepResult{}
+	type gridPoint struct{ t1, t2 time.Duration }
+	var grid []gridPoint
 	for _, t1 := range []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second} {
 		for _, t2 := range []time.Duration{5 * time.Second, 10 * time.Second, 15 * time.Second} {
-			cfg := rrc.DefaultConfig()
-			cfg.T1 = t1
-			cfg.T2 = t2
-			s, err := NewSessionWithConfig(browser.ModeOriginal, cfg,
-				netsim.DefaultConfig(), browser.DefaultCostModel())
-			if err != nil {
-				return nil, err
-			}
-			r, err := s.LoadToEnd(page)
-			if err != nil {
-				return nil, err
-			}
-			s.Clock.RunFor(reading)
-			row := TimerSweepRow{
-				T1:      t1,
-				T2:      t2,
-				EnergyJ: s.Radio.EnergyJ() + r.CPUEnergyJ,
-			}
-			// Where is the radio 10 s after the page opened?
-			switch {
-			case 10*time.Second < t1:
-				row.NextClickDelayS = 0
-			case 10*time.Second < t1+t2:
-				row.NextClickDelayS = cfg.PromoFACHToDCH.Seconds()
-			default:
-				row.NextClickDelayS = cfg.PromoIdleToDCH.Seconds()
-			}
-			res.Rows = append(res.Rows, row)
+			grid = append(grid, gridPoint{t1, t2})
 		}
 	}
+	rows, err := runner.Collect(len(grid), func(i int) (TimerSweepRow, error) {
+		t1, t2 := grid[i].t1, grid[i].t2
+		cfg := rrc.DefaultConfig()
+		cfg.T1 = t1
+		cfg.T2 = t2
+		s, err := New(browser.ModeOriginal, WithRadioConfig(cfg))
+		if err != nil {
+			return TimerSweepRow{}, err
+		}
+		r, err := s.LoadToEnd(page)
+		if err != nil {
+			return TimerSweepRow{}, err
+		}
+		s.Clock.RunFor(reading)
+		row := TimerSweepRow{
+			T1:      t1,
+			T2:      t2,
+			EnergyJ: s.Radio.EnergyJ() + r.CPUEnergyJ,
+		}
+		// Where is the radio 10 s after the page opened?
+		switch {
+		case 10*time.Second < t1:
+			row.NextClickDelayS = 0
+		case 10*time.Second < t1+t2:
+			row.NextClickDelayS = cfg.PromoFACHToDCH.Seconds()
+		default:
+			row.NextClickDelayS = cfg.PromoIdleToDCH.Seconds()
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &TimerSweepResult{Rows: rows}
 
 	aware, err := LoadPage(page, browser.ModeEnergyAware, reading)
 	if err != nil {

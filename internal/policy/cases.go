@@ -10,6 +10,7 @@ import (
 	"eabrowse/internal/netsim"
 	"eabrowse/internal/predictor"
 	"eabrowse/internal/rrc"
+	"eabrowse/internal/runner"
 	"eabrowse/internal/simtime"
 	"eabrowse/internal/trace"
 )
@@ -123,27 +124,35 @@ func NewEvaluator(ds *trace.Dataset, pred *predictor.Predictor, params Params) (
 		costs:    make(map[string]pageCost, len(ds.Pool)),
 		device:   gbrt.DefaultDeviceCost(),
 	}
-	for i := range ds.Pool {
+	// Each pool page loads on two fresh simulated phones — independent work,
+	// run on the worker pool and folded into the cost map in pool order.
+	costs, err := runner.Collect(len(ds.Pool), func(i int) (pageCost, error) {
 		pp := &ds.Pool[i]
 		if pp.Page == nil {
-			return nil, fmt.Errorf("policy: pool page %s has no page body", pp.Name)
+			return pageCost{}, fmt.Errorf("policy: pool page %s has no page body", pp.Name)
 		}
 		var cost pageCost
 		origRes, err := loadOnce(pp, browser.ModeOriginal)
 		if err != nil {
-			return nil, fmt.Errorf("load %s original: %w", pp.Name, err)
+			return pageCost{}, fmt.Errorf("load %s original: %w", pp.Name, err)
 		}
 		cost.origLoadS = origRes.FinalDisplayAt.Seconds()
 		cost.origEnergyJ = origRes.TotalEnergyJ()
 		cost.origTailS = origRes.LayoutTime().Seconds()
 		eaRes, err := loadOnce(pp, browser.ModeEnergyAware)
 		if err != nil {
-			return nil, fmt.Errorf("load %s energy-aware: %w", pp.Name, err)
+			return pageCost{}, fmt.Errorf("load %s energy-aware: %w", pp.Name, err)
 		}
 		cost.eaLoadS = eaRes.FinalDisplayAt.Seconds()
 		cost.eaEnergyJ = eaRes.TotalEnergyJ()
 		cost.eaTailS = eaRes.LayoutTime().Seconds()
-		ev.costs[pp.Name] = cost
+		return cost, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range ds.Pool {
+		ev.costs[ds.Pool[i].Name] = costs[i]
 	}
 	return ev, nil
 }

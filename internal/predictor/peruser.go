@@ -3,8 +3,10 @@ package predictor
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"eabrowse/internal/features"
+	"eabrowse/internal/runner"
 	"eabrowse/internal/trace"
 )
 
@@ -44,17 +46,31 @@ func TrainPerUser(visits []trace.Visit, cfg Config) (*PerUser, error) {
 		global:    global,
 		minVisits: DefaultMinVisitsPerUser,
 	}
+	// Personal models are independent fits, so train them on the worker
+	// pool; users are sorted first so the work list is deterministic.
+	eligible := make([]int, 0, len(byUser))
 	for user, own := range byUser {
-		if len(own) < pu.minVisits {
-			continue
+		if len(own) >= pu.minVisits {
+			eligible = append(eligible, user)
 		}
-		m, err := Train(own, cfg)
+	}
+	sort.Ints(eligible)
+	models, err := runner.Collect(len(eligible), func(i int) (*Predictor, error) {
+		m, err := Train(byUser[eligible[i]], cfg)
 		if err != nil {
 			// A user whose surviving visits all fall under the interest
 			// threshold keeps the global model.
-			continue
+			return nil, nil
 		}
-		pu.models[user] = m
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range models {
+		if m != nil {
+			pu.models[eligible[i]] = m
+		}
 	}
 	return pu, nil
 }

@@ -1,0 +1,46 @@
+package runner
+
+import "sync"
+
+// Memo is a once-built, concurrency-safe artifact cell. The first Get builds
+// the value; every later Get — from any goroutine — returns the same value
+// (or the same build error) without rebuilding. Concurrent first callers
+// block until the single build finishes.
+//
+// The zero value is ready to use. A Memo must not be copied after first use.
+type Memo[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+// Get returns the memoized value, building it on first call.
+func (m *Memo[T]) Get(build func() (T, error)) (T, error) {
+	m.once.Do(func() { m.val, m.err = build() })
+	return m.val, m.err
+}
+
+// KeyedMemo memoizes one value per key. Builds for distinct keys may run
+// concurrently; builds for the same key are collapsed into one.
+//
+// The zero value is ready to use.
+type KeyedMemo[K comparable, V any] struct {
+	mu    sync.Mutex
+	cells map[K]*Memo[V]
+}
+
+// Get returns the memoized value for key, building it on the key's first
+// call.
+func (km *KeyedMemo[K, V]) Get(key K, build func() (V, error)) (V, error) {
+	km.mu.Lock()
+	if km.cells == nil {
+		km.cells = make(map[K]*Memo[V])
+	}
+	cell, ok := km.cells[key]
+	if !ok {
+		cell = &Memo[V]{}
+		km.cells[key] = cell
+	}
+	km.mu.Unlock()
+	return cell.Get(build)
+}

@@ -1,0 +1,122 @@
+// Package runner is the execution layer behind the experiment harness: a
+// bounded worker pool with deterministic, order-preserving result
+// collection, and memoized artifact stores shared across experiments.
+//
+// Every simulated phone owns its own virtual clock, radio and link, so page
+// loads are embarrassingly parallel — but the paper's tables must come out
+// byte-identical no matter how many workers run them. The pool therefore
+// never lets completion order leak into results: outputs land in a slice by
+// input index, errors are reported lowest-index-first, and aggregation is
+// left to the caller, who walks the slice in order. Two runs with worker
+// counts 1 and N produce identical bits.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers is the pool size used by Map/Collect when the caller does
+// not pass one explicitly; 0 means GOMAXPROCS. It is set once at startup
+// (eabench's -parallel flag) or by tests.
+var defaultWorkers atomic.Int64
+
+// SetWorkers sets the default pool size. n <= 0 resets to GOMAXPROCS.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Workers reports the default pool size (resolving 0 to GOMAXPROCS).
+func Workers() int {
+	if n := int(defaultWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(i) for every i in [0, n) on the default pool and returns the
+// lowest-index error, if any. See MapN for the execution contract.
+func Map(n int, fn func(i int) error) error {
+	return MapN(Workers(), n, fn)
+}
+
+// MapN runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 means GOMAXPROCS; one worker runs everything inline on the
+// calling goroutine).
+//
+// All n tasks run even if some fail: cancelling on first completion-ordered
+// error would make *which* error surfaces depend on scheduling. Instead the
+// error returned is always the one with the lowest index — deterministic for
+// any worker count.
+func MapN(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+		return firstError(errs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return firstError(errs)
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Collect runs fn(i) for every i in [0, n) on the default pool and returns
+// the results ordered by index — result[i] is fn(i)'s value regardless of
+// which worker computed it or when it finished.
+func Collect[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return CollectN[T](Workers(), n, fn)
+}
+
+// CollectN is Collect with an explicit worker count.
+func CollectN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := MapN(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

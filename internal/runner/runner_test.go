@@ -1,0 +1,187 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCollectOrderPreserved(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		got, err := CollectN(workers, 50, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestCollectDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []string {
+		out, err := CollectN(workers, 30, func(i int) (string, error) {
+			// Vary per-task latency so completion order differs from
+			// submission order under real concurrency.
+			time.Sleep(time.Duration((i*7)%5) * time.Millisecond)
+			return fmt.Sprintf("task-%02d", i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if !reflect.DeepEqual(run(1), run(8)) {
+		t.Fatal("results differ between 1 and 8 workers")
+	}
+}
+
+func TestMapLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 4} {
+		err := MapN(workers, 20, func(i int) error {
+			switch i {
+			case 3:
+				return errLow
+			case 17:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: got %v, want lowest-index error %v", workers, err, errLow)
+		}
+	}
+}
+
+func TestMapRunsEveryTaskDespiteErrors(t *testing.T) {
+	var ran atomic.Int64
+	err := MapN(4, 25, func(i int) error {
+		ran.Add(1)
+		if i%2 == 0 {
+			return errors.New("even")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if ran.Load() != 25 {
+		t.Fatalf("ran %d tasks, want 25", ran.Load())
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	err := MapN(workers, 40, func(i int) error {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", peak.Load(), workers)
+	}
+}
+
+func TestMapZeroAndNegativeN(t *testing.T) {
+	if err := Map(0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Map(-5, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	old := Workers()
+	defer SetWorkers(0)
+	SetWorkers(7)
+	if Workers() != 7 {
+		t.Fatalf("Workers() = %d, want 7", Workers())
+	}
+	SetWorkers(0)
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d after reset, want >= 1", Workers())
+	}
+	_ = old
+}
+
+func TestMemoBuildsOnce(t *testing.T) {
+	var m Memo[int]
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := m.Get(func() (int, error) {
+				builds.Add(1)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Get = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("built %d times, want 1", builds.Load())
+	}
+}
+
+func TestMemoCachesError(t *testing.T) {
+	var m Memo[int]
+	boom := errors.New("boom")
+	if _, err := m.Get(func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("first Get err = %v", err)
+	}
+	// The failed build is not retried; the error is the artifact.
+	if _, err := m.Get(func() (int, error) { return 7, nil }); !errors.Is(err, boom) {
+		t.Fatalf("second Get err = %v, want cached %v", err, boom)
+	}
+}
+
+func TestKeyedMemoPerKey(t *testing.T) {
+	var km KeyedMemo[string, int]
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 24; g++ {
+		key := fmt.Sprintf("k%d", g%3)
+		want := g % 3
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := km.Get(key, func() (int, error) {
+				builds.Add(1)
+				return want, nil
+			})
+			if err != nil || v != want {
+				t.Errorf("Get(%s) = %d, %v; want %d", key, v, err, want)
+			}
+		}()
+	}
+	wg.Wait()
+	if builds.Load() != 3 {
+		t.Fatalf("built %d times, want 3 (one per key)", builds.Load())
+	}
+}

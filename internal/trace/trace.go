@@ -33,6 +33,7 @@ import (
 	"eabrowse/internal/features"
 	"eabrowse/internal/netsim"
 	"eabrowse/internal/rrc"
+	"eabrowse/internal/runner"
 	"eabrowse/internal/simtime"
 	"eabrowse/internal/webpage"
 )
@@ -176,30 +177,35 @@ func Synthesize(cfg Config) (*Dataset, error) {
 // buildPool generates PoolSize distinct pages (a mobile/full mix around the
 // benchmark baselines) and loads each once through the energy-aware pipeline
 // to measure its Table 1 features.
+//
+// The specs are drawn from rng sequentially first — the synthesizer's rng
+// call order is part of the reproducibility contract — and only then are the
+// pages generated and measured on the worker pool (each page load runs on its
+// own simulated phone, so the measurements are independent).
 func buildPool(cfg Config, rng *rand.Rand) ([]PoolPage, error) {
-	pool := make([]PoolPage, 0, cfg.PoolSize)
+	specs := make([]webpage.Spec, cfg.PoolSize)
 	for i := 0; i < cfg.PoolSize; i++ {
-		mobile := i%2 == 0
-		spec := poolSpec(i, mobile, rng)
-		page, err := webpage.Generate(spec)
+		specs[i] = poolSpec(i, i%2 == 0, rng)
+	}
+	return runner.Collect(cfg.PoolSize, func(i int) (PoolPage, error) {
+		page, err := webpage.Generate(specs[i])
 		if err != nil {
-			return nil, fmt.Errorf("pool page %d: %w", i, err)
+			return PoolPage{}, fmt.Errorf("pool page %d: %w", i, err)
 		}
 		vec, err := measureFeatures(page)
 		if err != nil {
-			return nil, fmt.Errorf("measure pool page %d: %w", i, err)
+			return PoolPage{}, fmt.Errorf("measure pool page %d: %w", i, err)
 		}
 		pp := PoolPage{
-			Name:     spec.Name,
+			Name:     specs[i].Name,
 			Category: i % cfg.Categories,
-			Mobile:   mobile,
+			Mobile:   specs[i].Mobile,
 			Features: vec,
 			Page:     page,
 		}
 		pp.engagedMedian = engagedMedian(vec)
-		pool = append(pool, pp)
-	}
-	return pool, nil
+		return pp, nil
+	})
 }
 
 func poolSpec(i int, mobile bool, rng *rand.Rand) webpage.Spec {

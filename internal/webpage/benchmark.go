@@ -1,6 +1,10 @@
 package webpage
 
-import "fmt"
+import (
+	"fmt"
+
+	"eabrowse/internal/runner"
+)
 
 // The benchmark corpora mirror Table 3 of the paper: ten mobile-version
 // pages and ten full-version pages. Each spec is a synthetic stand-in whose
@@ -89,28 +93,29 @@ func FullSpec(i int) (Spec, error) {
 	}, nil
 }
 
-// MobileBenchmark generates the full mobile-version corpus.
+// BenchmarkPageNames lists every benchmark page name, mobile corpus first —
+// the valid inputs to name-based page lookups.
+func BenchmarkPageNames() []string {
+	names := make([]string, 0, len(MobilePageNames)+len(FullPageNames))
+	names = append(names, MobilePageNames...)
+	return append(names, FullPageNames...)
+}
+
+// MobileBenchmark generates the full mobile-version corpus. Each page is
+// generated from its own seed, so generation parallelizes without changing
+// the corpus.
 func MobileBenchmark() ([]*Page, error) {
-	pages := make([]*Page, 0, len(MobilePageNames))
-	for i := range MobilePageNames {
-		spec, err := MobileSpec(i)
-		if err != nil {
-			return nil, err
-		}
-		p, err := Generate(spec)
-		if err != nil {
-			return nil, fmt.Errorf("generate %s: %w", spec.Name, err)
-		}
-		pages = append(pages, p)
-	}
-	return pages, nil
+	return generateCorpus(len(MobilePageNames), MobileSpec)
 }
 
 // FullBenchmark generates the full-version corpus.
 func FullBenchmark() ([]*Page, error) {
-	pages := make([]*Page, 0, len(FullPageNames))
-	for i := range FullPageNames {
-		spec, err := FullSpec(i)
+	return generateCorpus(len(FullPageNames), FullSpec)
+}
+
+func generateCorpus(n int, specAt func(int) (Spec, error)) ([]*Page, error) {
+	return runner.Collect(n, func(i int) (*Page, error) {
+		spec, err := specAt(i)
 		if err != nil {
 			return nil, err
 		}
@@ -118,9 +123,8 @@ func FullBenchmark() ([]*Page, error) {
 		if err != nil {
 			return nil, fmt.Errorf("generate %s: %w", spec.Name, err)
 		}
-		pages = append(pages, p)
-	}
-	return pages, nil
+		return p, nil
+	})
 }
 
 // ESPNSports generates the espn.go.com/sports stand-in used by Fig. 4,
