@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sort"
 	"strings"
@@ -27,6 +29,7 @@ import (
 	"eabrowse/internal/experiments"
 	"eabrowse/internal/faults"
 	"eabrowse/internal/features"
+	"eabrowse/internal/obs"
 	"eabrowse/internal/report"
 	"eabrowse/internal/runner"
 )
@@ -61,6 +64,9 @@ func run(args []string) error {
 	exp := fs.String("exp", "all", "experiment id (fig1..fig16, table4..table7, ablation, chaos, fleet) or 'all'")
 	list := fs.Bool("list", false, "list experiments and exit")
 	parallel := fs.Int("parallel", 0, "worker-pool size for parallel simulation (<= 0: GOMAXPROCS); results are identical at any setting")
+	traceOut := fs.String("trace", "", "write the merged simulated-time event trace (JSON lines) to this file")
+	metricsOut := fs.String("metrics", "", "write the counters/histograms/ledger snapshot (JSON) to this file")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while experiments run")
 
 	opts := benchOptions{
 		profile: experiments.DefaultChaosProfile(),
@@ -85,6 +91,25 @@ func run(args []string) error {
 	}
 	runner.SetWorkers(*parallel)
 
+	// Tracing and metrics share one process-wide collector; experiments
+	// register their sessions under deterministic keys and the merged output
+	// is serialized in key order, so the files are byte-identical at any
+	// -parallel setting.
+	var collector *obs.Collector
+	if *traceOut != "" || *metricsOut != "" {
+		collector = obs.Enable()
+	}
+	if *pprofAddr != "" {
+		// Label pool workers so profiles attribute samples to them, and serve
+		// the standard pprof endpoints for the lifetime of the run.
+		runner.SetProfileLabels(true)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "eabench: pprof server:", err)
+			}
+		}()
+	}
+
 	exps := allExperiments(opts)
 	if *list {
 		for _, e := range exps {
@@ -97,12 +122,20 @@ func run(args []string) error {
 		return nil
 	}
 
-	if *exp == "all" {
-		return runAll(os.Stdout, exps)
+	if err := runSelected(*exp, exps); err != nil {
+		return err
+	}
+	return writeObsOutputs(collector, *traceOut, *metricsOut)
+}
+
+// runSelected runs one named experiment, or all non-heavy ones.
+func runSelected(name string, exps []experiment) error {
+	if name == "all" {
+		return runAll(os.Stdout, os.Stderr, exps)
 	}
 	for _, e := range exps {
-		if e.name == *exp {
-			p := &printer{w: os.Stdout}
+		if e.name == name {
+			p := &printer{w: os.Stdout, timing: os.Stderr}
 			p.header(e.name, e.desc)
 			return e.run(p)
 		}
@@ -112,34 +145,83 @@ func run(args []string) error {
 		names = append(names, e.name)
 	}
 	sort.Strings(names)
-	return fmt.Errorf("unknown experiment %q (have: %s)", *exp, strings.Join(names, ", "))
+	return fmt.Errorf("unknown experiment %q (have: %s)", name, strings.Join(names, ", "))
+}
+
+// writeObsOutputs serializes the collector after the experiments finish.
+func writeObsOutputs(c *obs.Collector, tracePath, metricsPath string) error {
+	if c == nil {
+		return nil
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := c.WriteTrace(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := c.WriteMetrics(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write metrics: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// expOutput is one experiment's rendered report plus its wall-clock side
+// channel, kept separate so the deterministic report and the nondeterministic
+// timing lines can go to different streams.
+type expOutput struct {
+	report []byte
+	timing []byte
 }
 
 // runAll executes every non-heavy experiment on the worker pool, each
-// rendering into its own buffer, then writes the buffers in registry order —
+// rendering into its own buffers, then writes the buffers in registry order —
 // so the report reads identically no matter which experiment finished first.
-func runAll(w io.Writer, exps []experiment) error {
+// Reports go to w; wall-clock timing lines (present only with -timing) go to
+// timingW.
+func runAll(w, timingW io.Writer, exps []experiment) error {
 	active := make([]experiment, 0, len(exps))
 	for _, e := range exps {
 		if !e.heavy {
 			active = append(active, e)
 		}
 	}
-	bufs, err := runner.Collect(len(active), func(i int) ([]byte, error) {
-		var buf bytes.Buffer
-		p := &printer{w: &buf}
+	outs, err := runner.Collect(len(active), func(i int) (expOutput, error) {
+		var buf, tbuf bytes.Buffer
+		p := &printer{w: &buf, timing: &tbuf}
 		p.header(active[i].name, active[i].desc)
 		if err := active[i].run(p); err != nil {
-			return nil, fmt.Errorf("%s: %w", active[i].name, err)
+			return expOutput{}, fmt.Errorf("%s: %w", active[i].name, err)
 		}
-		return buf.Bytes(), nil
+		return expOutput{report: buf.Bytes(), timing: tbuf.Bytes()}, nil
 	})
 	if err != nil {
 		return err
 	}
-	for _, b := range bufs {
-		if _, err := w.Write(b); err != nil {
+	for _, o := range outs {
+		if _, err := w.Write(o.report); err != nil {
 			return err
+		}
+		if len(o.timing) > 0 {
+			if _, err := timingW.Write(o.timing); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -175,11 +257,22 @@ func allExperiments(opts benchOptions) []experiment {
 }
 
 type printer struct {
+	// w receives the deterministic report.
 	w io.Writer
+	// timing receives live wall-clock lines, which vary run to run and so
+	// must never mix into w; nil discards them.
+	timing io.Writer
 }
 
 func (p *printer) header(name, desc string) {
 	fmt.Fprintf(p.w, "\n=== %s — %s ===\n", name, desc)
+}
+
+// timingf writes a wall-clock measurement line to the timing stream.
+func (p *printer) timingf(format string, a ...any) {
+	if p.timing != nil {
+		fmt.Fprintf(p.timing, format, a...)
+	}
 }
 
 func (p *printer) table(write func(w *tabwriter.Writer)) {
@@ -341,14 +434,16 @@ func runFig10(p *printer) error {
 		return err
 	}
 	p.table(func(w *tabwriter.Writer) {
-		fmt.Fprintln(w, "benchmark\toriginal(J)\tenergy-aware(J)\tsaving")
+		fmt.Fprintln(w, "benchmark\toriginal(J)\tenergy-aware(J)\tsaving\torig trans/layout/tail(J)\tEA trans/layout/tail(J)")
 		rows := []*experiments.BenchComparison{res.Mobile, res.Full, res.MCNN, res.ESPN}
 		for _, c := range rows {
-			fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f%%\n",
-				c.Label, c.Original.EnergyWithReadingJ, c.Aware.EnergyWithReadingJ, c.EnergySavingPct())
+			fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f%%\t%s\t%s\n",
+				c.Label, c.Original.EnergyWithReadingJ, c.Aware.EnergyWithReadingJ, c.EnergySavingPct(),
+				attribution(&c.Original), attribution(&c.Aware))
 		}
 	})
 	fmt.Fprintln(p.w, "paper: mobile -35.7%, full -30.8%, m.cnn -35.5%, espn -43.6% (>30% headline)")
+	fmt.Fprintln(p.w, "attribution: energy while data moved / during deferred layout / after final display (ledger phases)")
 	return nil
 }
 
@@ -439,19 +534,18 @@ func runTable7(p *printer, timing bool) error {
 		return err
 	}
 	p.table(func(w *tabwriter.Writer) {
-		if timing {
-			fmt.Fprintln(w, "decision trees\tphone energy (J)\tphone time (s)\tGo wall time")
-		} else {
-			fmt.Fprintln(w, "decision trees\tphone energy (J)\tphone time (s)")
-		}
+		fmt.Fprintln(w, "decision trees\tphone energy (J)\tphone time (s)")
 		for _, r := range rows {
-			if timing {
-				fmt.Fprintf(w, "%d\t%.3f\t%.3f\t%v\n", r.Trees, r.EnergyJ, r.TimeSeconds, r.GoWallTime.Round(10e3))
-			} else {
-				fmt.Fprintf(w, "%d\t%.3f\t%.3f\n", r.Trees, r.EnergyJ, r.TimeSeconds)
-			}
+			fmt.Fprintf(w, "%d\t%.3f\t%.3f\n", r.Trees, r.EnergyJ, r.TimeSeconds)
 		}
 	})
+	if timing {
+		// Wall-clock is machine- and load-dependent, so it goes to the timing
+		// stream (stderr), keeping stdout byte-stable run to run.
+		for _, r := range rows {
+			p.timingf("table7: %d trees: Go wall time %v\n", r.Trees, r.GoWallTime.Round(10e3))
+		}
+	}
 	fmt.Fprintln(p.w, "paper: 10000 trees -> 0.295 s, 0.177 J")
 	return nil
 }
@@ -567,4 +661,9 @@ func runFleet(p *printer, cfg experiments.FleetConfig) error {
 // bar renders a crude horizontal bar for terminal plots.
 func bar(v, maxV float64, width int) string {
 	return report.Bar(v, maxV, width)
+}
+
+// attribution renders a pipeline's ledger split as "trans/layout/tail" joules.
+func attribution(t *experiments.PipelineTiming) string {
+	return fmt.Sprintf("%.1f/%.1f/%.1f", t.TransmissionJ, t.LayoutJ, t.TailJ)
 }

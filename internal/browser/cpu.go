@@ -3,6 +3,7 @@ package browser
 import (
 	"time"
 
+	"eabrowse/internal/obs"
 	"eabrowse/internal/simtime"
 )
 
@@ -42,6 +43,9 @@ type cpu struct {
 
 	// onIdle fires whenever the CPU drains both queues.
 	onIdle func()
+
+	// observer receives one compute-slice event per completed task.
+	observer *obs.Recorder
 }
 
 func newCPU(clock *simtime.Clock, watts float64) *cpu {
@@ -92,9 +96,22 @@ func (c *cpu) pump() {
 		d = 0
 	}
 	c.clock.After(d, func() {
-		c.busyTotal += c.clock.Now() - c.busyStart
+		slice := c.clock.Now() - c.busyStart
+		c.busyTotal += slice
 		c.busy = false
 		c.runningHigh = false
+		if c.observer != nil {
+			queue := "low"
+			if fromHigh {
+				queue = "high"
+			}
+			c.observer.Record(c.clock.Now(), obs.Event{
+				Kind:   obs.KindComputeSlice,
+				Detail: queue,
+				DurNS:  int64(slice),
+			})
+			c.observer.ObserveDur("compute_ns", slice)
+		}
 		if t.fn != nil {
 			t.fn()
 		}

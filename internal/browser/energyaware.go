@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"eabrowse/internal/cssscan"
+	"eabrowse/internal/obs"
 	"eabrowse/internal/ril"
 	"eabrowse/internal/rrc"
 	"eabrowse/internal/webpage"
@@ -223,6 +224,7 @@ func (e *Engine) eaTransmissionDone() {
 	}
 	e.transmissionOver = true
 	e.logEvent(EventTransmissionDone, "")
+	e.markPhase("layout")
 
 	if e.onTransmissionDone != nil {
 		e.onTransmissionDone()
@@ -248,6 +250,13 @@ const (
 )
 
 func (e *Engine) forceDormant() error {
+	if e.observer != nil {
+		path := "direct"
+		if e.radioIface != nil {
+			path = "ril"
+		}
+		e.observer.Record(e.clock.Now(), obs.Event{Kind: obs.KindDormancyRequest, Detail: path})
+	}
 	if e.radioIface != nil {
 		// Through the RIL: asynchronous, with retries — a transfer may have
 		// started between the decision and the daemon executing it (BUSY),

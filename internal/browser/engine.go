@@ -7,6 +7,7 @@ import (
 
 	"eabrowse/internal/jsmini"
 	"eabrowse/internal/netsim"
+	"eabrowse/internal/obs"
 	"eabrowse/internal/ril"
 	"eabrowse/internal/rrc"
 	"eabrowse/internal/simtime"
@@ -53,6 +54,7 @@ type Engine struct {
 	autoDormancy       bool
 	radioIface         *ril.Interface
 	logEvents          bool
+	observer           *obs.Recorder
 
 	fetchAttempts   int
 	fetchBackoff    time.Duration
@@ -74,6 +76,11 @@ type Engine struct {
 	fetched    map[string]bool
 	cssApplied int
 	domNodes   int
+
+	// activeLedger is the current load's energy ledger; it outlives the load
+	// (the tail phase covers post-display radio decay) and is closed by the
+	// session driver or by the next Load.
+	activeLedger *obs.Ledger
 
 	// Energy-aware state.
 	scripts          []*scriptSlot
@@ -144,6 +151,13 @@ func WithFetchRetryPolicy(attempts int, backoff, backoffCap, deadline time.Durat
 	})
 }
 
+// WithObserver streams load, transfer and phase events into r (a recorder
+// registered with an obs.Collector). A nil recorder keeps the engine's
+// observability hooks disabled.
+func WithObserver(r *obs.Recorder) Option {
+	return optionFunc(func(e *Engine) { e.observer = r })
+}
+
 // WithRIL routes dormancy requests through a Radio Interface Layer endpoint
 // (Section 4.4) instead of touching the radio directly. The request becomes
 // an asynchronous message with hop latency and can come back BUSY, in which
@@ -185,6 +199,7 @@ func NewEngine(clock *simtime.Clock, radio *rrc.Machine, link *netsim.Link,
 	if e.fetchAttempts < 1 || e.fetchBackoff < 0 || e.fetchBackoffCap < e.fetchBackoff || e.fetchDeadline <= 0 {
 		return nil, errors.New("browser: invalid fetch retry policy")
 	}
+	e.cpu.observer = e.observer
 	return e, nil
 }
 
@@ -227,6 +242,13 @@ func (e *Engine) Load(page *webpage.Page, done func(*Result)) error {
 	e.simpleDrawn = false
 	e.transmissionOver = false
 	e.res = &Result{PageName: page.Name, Mode: e.mode, Mobile: page.Mobile}
+	// Every load carries a ledger (tables want the attribution column even
+	// without tracing); a still-open previous ledger ends here, so its tail
+	// phase covers the inter-load reading window.
+	e.CloseLedger()
+	e.activeLedger = obs.NewLedger(e.energyProbe)
+	e.activeLedger.Mark("transmission", e.clock.Now())
+	e.res.Ledger = e.activeLedger
 
 	e.fetch(page.MainURL, func(res *webpage.Resource, closeUnit func()) {
 		ds := buildStream(res.Body)
@@ -240,6 +262,28 @@ func (e *Engine) Load(page *webpage.Page, done func(*Result)) error {
 		}
 	})
 	return nil
+}
+
+// energyProbe samples the device's cumulative energy for the ledger.
+func (e *Engine) energyProbe() (map[string]float64, float64) {
+	return e.radio.EnergyByState(), e.cpu.EnergyJ()
+}
+
+// markPhase ends the current ledger phase and opens the named one.
+func (e *Engine) markPhase(name string) {
+	e.activeLedger.Mark(name, e.clock.Now())
+}
+
+// CloseLedger seals the active load's energy ledger at the current simulated
+// time (ending the tail phase) and emits the per-phase attribution onto the
+// observer. Session drivers call it after the reading window; an unclosed
+// ledger is also sealed by the next Load. Safe to call repeatedly.
+func (e *Engine) CloseLedger() {
+	if e.activeLedger == nil || e.activeLedger.Closed() {
+		return
+	}
+	e.activeLedger.Close(e.clock.Now())
+	e.activeLedger.EmitPhases(e.observer)
 }
 
 // since converts an absolute clock time into load-relative time.
@@ -324,8 +368,12 @@ func (e *Engine) closeUnit() {
 	}
 }
 
-// logEvent appends a timeline entry when event logging is on.
+// logEvent appends a timeline entry when event logging is on, and forwards
+// it to the observer stream when one is attached.
 func (e *Engine) logEvent(kind EventKind, detail string) {
+	if e.observer != nil {
+		e.observer.Record(e.clock.Now(), obs.Event{Kind: kind.String(), Detail: detail})
+	}
 	if !e.logEvents || e.res == nil {
 		return
 	}
@@ -365,6 +413,7 @@ func (e *Engine) discoveryDone() {
 	switch e.mode {
 	case ModeOriginal:
 		e.logEvent(EventTransmissionDone, "")
+		e.markPhase("layout")
 		// One final reflow puts the complete page on screen.
 		e.scheduleReflow(func() { e.finish() })
 	case ModeEnergyAware:
@@ -434,6 +483,7 @@ func (e *Engine) finish() {
 	now := e.clock.Now()
 	e.res.FinalDisplayAt = e.since(now)
 	e.logEvent(EventFinalDisplay, "")
+	e.markPhase("tail")
 	if start, end, ok := e.link.TransmissionWindow(); ok {
 		_ = start
 		e.res.TransmissionTime = e.since(end)

@@ -3,6 +3,8 @@ package browser
 import (
 	"fmt"
 	"time"
+
+	"eabrowse/internal/obs"
 )
 
 // Mode selects a loading pipeline.
@@ -92,6 +94,12 @@ type Result struct {
 	// displays, phase boundaries), in order. Populated only when the engine
 	// was built WithEventLog.
 	Events []LoadEvent
+
+	// Ledger attributes the load's energy to phases (transmission, layout,
+	// tail) and RRC states. Always populated; the tail phase ends when the
+	// session driver closes the ledger (after the reading window) or at the
+	// engine's next Load.
+	Ledger *obs.Ledger
 }
 
 // LoadEvent is one entry of the load timeline.

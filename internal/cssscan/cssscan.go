@@ -84,9 +84,12 @@ func Parse(src string) *Stylesheet {
 }
 
 // extractRefs finds url(...) values and @import "..." / @import url(...)
-// targets, skipping comments and respecting quotes.
+// targets, skipping comments and respecting quotes. The keyword match must be
+// case-insensitive but index-preserving: strings.ToLower can change the byte
+// length (U+0130, U+2126), so positions in its output would not be valid in
+// src — asciiLower keeps every index aligned.
 func extractRefs(src string) (refs, imports []string) {
-	lower := strings.ToLower(src)
+	lower := asciiLower(src)
 	i := 0
 	for i < len(src) {
 		if strings.HasPrefix(lower[i:], "/*") {
@@ -173,4 +176,23 @@ func readQuoted(src string, i int) (string, int) {
 
 func isCSSSpace(b byte) bool {
 	return b == ' ' || b == '\t' || b == '\n' || b == '\r'
+}
+
+// asciiLower lowercases ASCII letters only, leaving every other byte — and
+// therefore the byte length and all indices — untouched.
+func asciiLower(s string) string {
+	i := 0
+	for i < len(s) && (s[i] < 'A' || s[i] > 'Z') {
+		i++
+	}
+	if i == len(s) {
+		return s
+	}
+	b := []byte(s)
+	for ; i < len(b); i++ {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
 }

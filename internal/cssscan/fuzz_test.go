@@ -1,0 +1,67 @@
+package cssscan
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary byte soup to the CSS parser and the cheap
+// reference scan, checking the package's contract: ScanRefs must find exactly
+// the references Parse does, imports are a subset of refs, and counters stay
+// sane.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"body { color: red }",
+		"a { background: url(img.png) }",
+		`@import "other.css"; p { margin: 0 }`,
+		"@import url('quoted.css');",
+		"/* url(commented.png) */ div { background: url( spaced.gif ) }",
+		`h1 { content: "url(in-string.png)" }`,
+		"@media screen { .x { background: url(nested.jpg) } }",
+		"broken { unclosed",
+		"url(",
+		"@import",
+		"/* unterminated comment url(x.png)",
+		"URL(UPPER.PNG) @IMPORT 'CAPS.CSS';",
+		// Regression: U+2126 (Ω) lowercases to fewer bytes, so an index valid
+		// in the original overran the ToLower'd copy used for matching.
+		strings.Repeat("Ω", 5) + "url(x.png)",
+		// U+0130 (İ) lowercases to more bytes, shifting matches the other way.
+		strings.Repeat("İ", 5) + "@import 'y.css';",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		sheet := Parse(src)
+		if sheet == nil {
+			t.Fatal("Parse returned nil")
+		}
+		if sheet.Rules < 0 || sheet.Declarations < 0 {
+			t.Fatalf("negative counters: rules=%d decls=%d", sheet.Rules, sheet.Declarations)
+		}
+		refs, imports := ScanRefs(src)
+		if len(refs) != len(sheet.Refs) {
+			t.Fatalf("ScanRefs found %d refs, Parse found %d", len(refs), len(sheet.Refs))
+		}
+		for i := range refs {
+			if refs[i] != sheet.Refs[i] {
+				t.Fatalf("ref %d: scan %q vs parse %q", i, refs[i], sheet.Refs[i])
+			}
+		}
+		if len(imports) > len(refs) {
+			t.Fatalf("%d imports but only %d refs", len(imports), len(refs))
+		}
+		seen := make(map[string]int)
+		for _, r := range refs {
+			seen[r]++
+		}
+		for _, imp := range imports {
+			if seen[imp] == 0 {
+				t.Fatalf("import %q not among refs", imp)
+			}
+			seen[imp]--
+		}
+	})
+}

@@ -155,7 +155,8 @@ func chaosRunMode(mode browser.Mode, pages []*webpage.Page, profile faults.Confi
 		cfg.LossRate = loss
 		// One independent, reproducible fault stream per (loss, mode, page).
 		cfg.Seed = profile.Seed + int64(lossIdx)*10_000 + int64(mode)*1_000 + int64(pi)
-		s, err := New(mode, WithFaultInjector(cfg))
+		s, err := New(mode, WithFaultInjector(cfg),
+			WithObsKey(fmt.Sprintf("chaos/L%d/%s/%s", lossIdx, mode, page.Name)))
 		if err != nil {
 			return chaosPageOutcome{}, err
 		}

@@ -26,6 +26,12 @@ type PipelineTiming struct {
 	EnergyLoadJ float64
 	// EnergyWithReadingJ is mean energy including the reading window.
 	EnergyWithReadingJ float64
+	// TransmissionJ, LayoutJ and TailJ attribute EnergyWithReadingJ to the
+	// ledger phases: energy while data moved, energy during deferred layout,
+	// and energy after the final display (reading window, radio decay).
+	TransmissionJ float64
+	LayoutJ       float64
+	TailJ         float64
 }
 
 // BenchComparison is an Original vs. Energy-Aware comparison over one set of
@@ -71,13 +77,27 @@ func savingPct(orig, aware float64) float64 {
 // The per-page loads run on the shared worker pool; outcomes are averaged in
 // page order, so the comparison is identical at any worker count.
 func ComparePages(label string, pages []*webpage.Page, reading time.Duration) (*BenchComparison, error) {
+	return ComparePagesTraced("", label, pages, reading)
+}
+
+// ComparePagesTraced is ComparePages with an observability namespace: when
+// traceKey is non-empty, every session registers in the process-wide obs
+// collector under "<traceKey>/<mode>/<page>" (a no-op unless tracing is
+// enabled). Distinct experiments must pass distinct keys so an -exp all run
+// never collides.
+func ComparePagesTraced(traceKey, label string, pages []*webpage.Page, reading time.Duration) (*BenchComparison, error) {
 	if len(pages) == 0 {
 		return nil, fmt.Errorf("experiments: no pages for %s", label)
 	}
 	cmp := &BenchComparison{Label: label, Pages: len(pages)}
 	for _, mode := range []browser.Mode{browser.ModeOriginal, browser.ModeEnergyAware} {
+		mode := mode
 		outcomes, err := runner.Collect(len(pages), func(i int) (*LoadOutcome, error) {
-			out, err := LoadPage(pages[i], mode, reading)
+			var sopts []SessionOption
+			if traceKey != "" {
+				sopts = append(sopts, WithObsKey(fmt.Sprintf("%s/%s/%s", traceKey, mode, pages[i].Name)))
+			}
+			out, err := LoadPageSession(pages[i], mode, reading, nil, sopts...)
 			if err != nil {
 				return nil, fmt.Errorf("load %s (%v): %w", pages[i].Name, mode, err)
 			}
@@ -105,6 +125,9 @@ func ComparePages(label string, pages []*webpage.Page, reading time.Duration) (*
 			}
 			agg.EnergyLoadJ += r.TotalEnergyJ()
 			agg.EnergyWithReadingJ += out.TotalWithReadingJ
+			agg.TransmissionJ += r.Ledger.PhaseTotalJ("transmission")
+			agg.LayoutJ += r.Ledger.PhaseTotalJ("layout")
+			agg.TailJ += r.Ledger.PhaseTotalJ("tail")
 		}
 		n := float64(len(pages))
 		agg.TransmissionS /= n
@@ -113,6 +136,9 @@ func ComparePages(label string, pages []*webpage.Page, reading time.Duration) (*
 		agg.FirstDisplayS /= float64(firstDisplayed)
 		agg.EnergyLoadJ /= n
 		agg.EnergyWithReadingJ /= n
+		agg.TransmissionJ /= n
+		agg.LayoutJ /= n
+		agg.TailJ /= n
 		if mode == browser.ModeOriginal {
 			cmp.Original = agg
 		} else {
@@ -151,16 +177,16 @@ func Fig8() (*Fig8Result, error) {
 		return nil, err
 	}
 	res := &Fig8Result{}
-	if res.Mobile, err = ComparePages("mobile benchmark", mobile, 0); err != nil {
+	if res.Mobile, err = ComparePagesTraced("fig8/mobile", "mobile benchmark", mobile, 0); err != nil {
 		return nil, err
 	}
-	if res.Full, err = ComparePages("full benchmark", full, 0); err != nil {
+	if res.Full, err = ComparePagesTraced("fig8/full", "full benchmark", full, 0); err != nil {
 		return nil, err
 	}
-	if res.MCNN, err = ComparePages("m.cnn.com", []*webpage.Page{cnn}, 0); err != nil {
+	if res.MCNN, err = ComparePagesTraced("fig8/mcnn", "m.cnn.com", []*webpage.Page{cnn}, 0); err != nil {
 		return nil, err
 	}
-	if res.MotorsEbay, err = ComparePages("www.motors.ebay.com", []*webpage.Page{ebay}, 0); err != nil {
+	if res.MotorsEbay, err = ComparePagesTraced("fig8/ebay", "www.motors.ebay.com", []*webpage.Page{ebay}, 0); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -197,16 +223,16 @@ func Fig10() (*Fig10Result, error) {
 		return nil, err
 	}
 	res := &Fig10Result{}
-	if res.Mobile, err = ComparePages("mobile benchmark", mobile, Fig10ReadingTime); err != nil {
+	if res.Mobile, err = ComparePagesTraced("fig10/mobile", "mobile benchmark", mobile, Fig10ReadingTime); err != nil {
 		return nil, err
 	}
-	if res.Full, err = ComparePages("full benchmark", full, Fig10ReadingTime); err != nil {
+	if res.Full, err = ComparePagesTraced("fig10/full", "full benchmark", full, Fig10ReadingTime); err != nil {
 		return nil, err
 	}
-	if res.MCNN, err = ComparePages("m.cnn.com", []*webpage.Page{cnn}, Fig10ReadingTime); err != nil {
+	if res.MCNN, err = ComparePagesTraced("fig10/mcnn", "m.cnn.com", []*webpage.Page{cnn}, Fig10ReadingTime); err != nil {
 		return nil, err
 	}
-	if res.ESPN, err = ComparePages("espn.go.com/sports", []*webpage.Page{espn}, Fig10ReadingTime); err != nil {
+	if res.ESPN, err = ComparePagesTraced("fig10/espn", "espn.go.com/sports", []*webpage.Page{espn}, Fig10ReadingTime); err != nil {
 		return nil, err
 	}
 	return res, nil

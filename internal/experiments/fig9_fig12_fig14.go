@@ -31,7 +31,7 @@ func Fig9() (*Fig9Result, error) {
 	}
 	res := &Fig9Result{}
 	for _, mode := range []browser.Mode{browser.ModeOriginal, browser.ModeEnergyAware} {
-		s, err := New(mode)
+		s, err := New(mode, WithObsKey("fig9/"+mode.String()))
 		if err != nil {
 			return nil, err
 		}
@@ -125,10 +125,10 @@ func Fig14() (*Fig14Result, error) {
 		return nil, err
 	}
 	res := &Fig14Result{}
-	if res.Mobile, err = ComparePages("mobile benchmark", mobile, 0); err != nil {
+	if res.Mobile, err = ComparePagesTraced("fig14/mobile", "mobile benchmark", mobile, 0); err != nil {
 		return nil, err
 	}
-	if res.Full, err = ComparePages("full benchmark", full, 0); err != nil {
+	if res.Full, err = ComparePagesTraced("fig14/full", "full benchmark", full, 0); err != nil {
 		return nil, err
 	}
 	return res, nil

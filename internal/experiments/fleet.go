@@ -9,6 +9,7 @@ import (
 	"eabrowse/internal/capacity"
 	"eabrowse/internal/features"
 	"eabrowse/internal/gbrt"
+	"eabrowse/internal/obs"
 	"eabrowse/internal/policy"
 	"eabrowse/internal/runner"
 	"eabrowse/internal/trace"
@@ -132,7 +133,7 @@ func Fleet(cfg FleetConfig) (*FleetResult, error) {
 	params := policy.DefaultParams()
 	device := gbrt.DefaultDeviceCost()
 	outcomes, err := runner.Collect(cfg.Users, func(u int) (fleetUserOutcome, error) {
-		return replayFleetUser(byUser[u], pages, pred, params, device)
+		return replayFleetUser(u, byUser[u], pages, pred, params, device)
 	})
 	if err != nil {
 		return nil, err
@@ -190,7 +191,7 @@ func Fleet(cfg FleetConfig) (*FleetResult, error) {
 // replayFleetUser walks one user's visit sequence on two persistent phones —
 // one per pipeline — so radio state carries across the visits of a session
 // exactly as it would on a real handset.
-func replayFleetUser(visits []trace.Visit, pages map[string]*webpage.Page,
+func replayFleetUser(user int, visits []trace.Visit, pages map[string]*webpage.Page,
 	pred TrainedReadingPredictor, params policy.Params,
 	device gbrt.DeviceCost) (fleetUserOutcome, error) {
 
@@ -199,13 +200,15 @@ func replayFleetUser(visits []trace.Visit, pages map[string]*webpage.Page,
 		return out, nil
 	}
 
-	orig, err := New(browser.ModeOriginal)
+	orig, err := New(browser.ModeOriginal,
+		WithObsKey(fmt.Sprintf("fleet/u%03d/original", user)))
 	if err != nil {
 		return out, err
 	}
 	// In the policy setting the release decision belongs to Algorithm 2, not
 	// the engine's own end-of-load dormancy.
 	aware, err := New(browser.ModeEnergyAware,
+		WithObsKey(fmt.Sprintf("fleet/u%03d/energy-aware", user)),
 		WithEngineOptions(browser.WithoutAutoDormancy()))
 	if err != nil {
 		return out, err
@@ -261,7 +264,16 @@ func replayFleetUser(visits []trace.Visit, pages map[string]*webpage.Page,
 			}
 			out.predictions++
 			out.predEnergyJ += device.PredictionEnergyJ(pred.NumTrees())
-			if policy.ShouldSwitchToIdle(time.Duration(predS*float64(time.Second)), params) {
+			decision := policy.Evaluate(time.Duration(predS*float64(time.Second)), params)
+			if aware.Obs != nil {
+				aware.Obs.Record(aware.Clock.Now(), obs.Event{
+					Kind:   obs.KindPolicyDecision,
+					URL:    v.Page,
+					Detail: decision.Reason,
+					DurNS:  int64(decision.Predicted),
+				})
+			}
+			if decision.Switch {
 				// A busy radio (ErrBusy) degrades to the inactivity timers,
 				// exactly as on a real handset; only a successful release
 				// counts as a switch.

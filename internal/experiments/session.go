@@ -12,6 +12,7 @@ import (
 	"eabrowse/internal/browser"
 	"eabrowse/internal/faults"
 	"eabrowse/internal/netsim"
+	"eabrowse/internal/obs"
 	"eabrowse/internal/ril"
 	"eabrowse/internal/rrc"
 	"eabrowse/internal/simtime"
@@ -42,6 +43,9 @@ type Session struct {
 	Engine *browser.Engine
 	RIL    *ril.Interface
 	Faults *faults.Injector
+	// Obs is the session's event recorder; nil unless the session was built
+	// with WithObsKey (and tracing is enabled) or WithObsRecorder.
+	Obs *obs.Recorder
 }
 
 // sessionConfig is what SessionOptions configure; New starts from the
@@ -52,6 +56,8 @@ type sessionConfig struct {
 	cost       browser.CostModel
 	faults     *faults.Config
 	engineOpts []browser.Option
+	obsKey     string
+	obsRec     *obs.Recorder
 }
 
 // SessionOption configures one aspect of a session built by New.
@@ -85,6 +91,22 @@ func WithEngineOptions(opts ...browser.Option) SessionOption {
 	return func(c *sessionConfig) { c.engineOpts = append(c.engineOpts, opts...) }
 }
 
+// WithObsKey names the session in the process-wide obs collector (when
+// tracing is enabled via obs.Enable; otherwise it is a no-op). The key must
+// be unique and deterministic — derived from the experiment and its inputs,
+// never from scheduling — so merged traces are byte-stable at any worker
+// count.
+func WithObsKey(key string) SessionOption {
+	return func(c *sessionConfig) { c.obsKey = key }
+}
+
+// WithObsRecorder attaches an explicit event recorder (typically from a
+// private obs.Collector); tests use this to trace a session without touching
+// the process-wide collector.
+func WithObsRecorder(r *obs.Recorder) SessionOption {
+	return func(c *sessionConfig) { c.obsRec = r }
+}
+
 // New builds a fresh phone — virtual clock, radio, link and a browser in the
 // given mode — from the calibrated defaults, adjusted by options:
 //
@@ -112,8 +134,25 @@ func New(mode browser.Mode, opts ...SessionOption) (*Session, error) {
 			return nil, fmt.Errorf("new injector: %w", err)
 		}
 	}
+	rec := cfg.obsRec
+	if rec == nil && cfg.obsKey != "" {
+		var err error
+		if rec, err = obs.Default().NewRecorder(cfg.obsKey); err != nil {
+			return nil, fmt.Errorf("new session observer: %w", err)
+		}
+	}
 	clock := simtime.NewClock()
-	radio, err := rrc.NewMachine(clock, cfg.radio)
+	var radioOpts []rrc.Option
+	if rec != nil {
+		radioOpts = append(radioOpts, rrc.WithTransitionHook(func(tr rrc.Transition) {
+			rec.Record(tr.At, obs.Event{
+				Kind: obs.KindTransition,
+				From: tr.From.String(),
+				To:   tr.To.String(),
+			})
+		}))
+	}
+	radio, err := rrc.NewMachine(clock, cfg.radio, radioOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("new radio: %w", err)
 	}
@@ -121,8 +160,12 @@ func New(mode browser.Mode, opts ...SessionOption) (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("new link: %w", err)
 	}
-	s := &Session{Clock: clock, Radio: radio, Link: link}
+	link.SetObserver(rec)
+	s := &Session{Clock: clock, Radio: radio, Link: link, Obs: rec}
 	engineOpts := cfg.engineOpts
+	if rec != nil {
+		engineOpts = append([]browser.Option{browser.WithObserver(rec)}, engineOpts...)
+	}
 	if inj != nil {
 		link.SetFaults(inj)
 		iface, err := ril.New(clock, radio, ril.WithFaults(inj))
@@ -191,7 +234,14 @@ func LoadPage(page *webpage.Page, mode browser.Mode, reading time.Duration,
 // (radio residency, transfer records) beyond the load result.
 func LoadPageObserved(page *webpage.Page, mode browser.Mode, reading time.Duration,
 	observe func(*Session), opts ...browser.Option) (*LoadOutcome, error) {
-	s, err := New(mode, WithEngineOptions(opts...))
+	return LoadPageSession(page, mode, reading, observe, WithEngineOptions(opts...))
+}
+
+// LoadPageSession is the full-control variant of LoadPage: the session is
+// built from arbitrary session options (fault injector, obs key, ...).
+func LoadPageSession(page *webpage.Page, mode browser.Mode, reading time.Duration,
+	observe func(*Session), opts ...SessionOption) (*LoadOutcome, error) {
+	s, err := New(mode, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -204,6 +254,9 @@ func LoadPageObserved(page *webpage.Page, mode browser.Mode, reading time.Durati
 		s.Clock.RunFor(reading)
 	}
 	total := s.Radio.EnergyJ() + res.CPUEnergyJ
+	// Seal the attribution ledger here so its tail phase covers the radio's
+	// post-display decay across the reading window.
+	s.Engine.CloseLedger()
 	if observe != nil {
 		observe(s)
 	}

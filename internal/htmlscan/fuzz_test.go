@@ -1,0 +1,82 @@
+package htmlscan
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse drives the tolerant tokenizer through Parse and Scan on arbitrary
+// byte soup. The harness checks the package's documented contracts, not just
+// absence of panics: both passes share one tokenizer, so Scan must discover
+// exactly the references Parse does, and counters must stay sane.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"<html><body><p>hello</p></body></html>",
+		`<img src="a.png"><script src="b.js"></script>`,
+		`<link rel="stylesheet" href="c.css"><a href="/next">n</a>`,
+		`<iframe src="inner.html"></iframe><object data="movie.swf"></object>`,
+		"<script>var x = '<p>not a tag</p>';</script>",
+		"<style>body { color: red }</style>",
+		"<!-- comment --><!DOCTYPE html><?pi ?>",
+		"<p>stray < bracket</p>",
+		"text &amp; entities &#65; &#x41; &unknown; &#xD800;",
+		"<p unclosed",
+		"<SCRIPT SRC=UPPER.JS></SCRIPT>",
+		"<script>no end tag",
+		// Regression: Unicode case mapping changes byte length. U+0130 (İ)
+		// lowercases to two runes (3 bytes for 2); enough of them pushed the
+		// ToLower-derived end-tag offset past the end of the source.
+		"<script>" + strings.Repeat("İ", 10) + "</script>",
+		// U+2126 (Ω) lowercases to U+03C9 (2 bytes for 3), shifting offsets
+		// the other way.
+		"<script>" + strings.Repeat("Ω", 10) + "</script>x",
+		"<style>" + strings.Repeat("İ", 10) + "</style>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc := Parse(src)
+		if doc == nil || doc.Root == nil {
+			t.Fatal("Parse returned nil document")
+		}
+		if doc.NodeCount < 0 || doc.TextBytes < 0 {
+			t.Fatalf("negative counters: nodes=%d textBytes=%d", doc.NodeCount, doc.TextBytes)
+		}
+		scan := Scan(src)
+		if len(scan.Refs) != len(doc.Refs) {
+			t.Fatalf("Scan found %d refs, Parse found %d", len(scan.Refs), len(doc.Refs))
+		}
+		for i := range scan.Refs {
+			if scan.Refs[i] != doc.Refs[i] {
+				t.Fatalf("ref %d: Scan %+v vs Parse %+v", i, scan.Refs[i], doc.Refs[i])
+			}
+		}
+		if len(scan.InlineScripts) != len(doc.InlineScripts) {
+			t.Fatalf("Scan found %d inline scripts, Parse found %d",
+				len(scan.InlineScripts), len(doc.InlineScripts))
+		}
+	})
+}
+
+// FuzzDecodeEntities checks the entity decoder never panics and preserves
+// UTF-8 validity of valid inputs.
+func FuzzDecodeEntities(f *testing.F) {
+	for _, s := range []string{
+		"", "&amp;", "&#65;", "&#x41;", "&#x110000;", "&#0;", "&#-1;",
+		"&;", "&nosuch;", "plain", "&amp", "a&lt;b&gt;c", "&#xD800;",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		out := DecodeEntities(s)
+		if utf8.ValidString(s) && !utf8.ValidString(out) {
+			t.Fatalf("valid input decoded to invalid UTF-8: %q -> %q", s, out)
+		}
+		if !strings.ContainsRune(s, '&') && out != s {
+			t.Fatalf("no references, but output changed: %q -> %q", s, out)
+		}
+	})
+}

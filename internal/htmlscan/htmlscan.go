@@ -437,11 +437,12 @@ func parseStartTag(src string, i int) (token, int, bool) {
 }
 
 // rawTextUntilEnd returns the raw body of a script/style element and the
-// index just past its end tag.
+// index just past its end tag. End-tag matching must be case-insensitive but
+// byte-position-preserving: strings.ToLower can change the byte length
+// (U+0130, U+2126), so offsets found in its output would not be valid in src.
 func rawTextUntilEnd(src string, i int, tag string) (string, int) {
-	lower := strings.ToLower(src)
 	closer := "</" + tag
-	idx := strings.Index(lower[i:], closer)
+	idx := strings.Index(asciiLower(src[i:]), closer)
 	if idx < 0 {
 		return src[i:], len(src)
 	}
@@ -451,6 +452,25 @@ func rawTextUntilEnd(src string, i int, tag string) (string, int) {
 		return src[i:bodyEnd], len(src)
 	}
 	return src[i:bodyEnd], bodyEnd + gt + 1
+}
+
+// asciiLower lowercases ASCII letters only, leaving every other byte — and
+// therefore the byte length and all indices — untouched.
+func asciiLower(s string) string {
+	i := 0
+	for i < len(s) && (s[i] < 'A' || s[i] > 'Z') {
+		i++
+	}
+	if i == len(s) {
+		return s
+	}
+	b := []byte(s)
+	for ; i < len(b); i++ {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
 }
 
 // namedEntities covers the entities that appear in real-world markup often

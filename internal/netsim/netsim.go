@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"eabrowse/internal/faults"
+	"eabrowse/internal/obs"
 	"eabrowse/internal/rrc"
 	"eabrowse/internal/simtime"
 )
@@ -131,6 +132,8 @@ type Link struct {
 	maxAttempts int
 	retries     int
 	failed      int
+
+	observer *obs.Recorder
 }
 
 // NewLink creates a link over the given radio.
@@ -152,6 +155,12 @@ func NewLink(clock *simtime.Clock, radio *rrc.Machine, cfg Config) (*Link, error
 // simulation. Attach before issuing transfers.
 func (l *Link) SetFaults(in *faults.Injector) {
 	l.faults = in
+}
+
+// SetObserver attaches an event recorder. A nil recorder (the default)
+// disables transfer tracing at the cost of a pointer test per hook.
+func (l *Link) SetObserver(r *obs.Recorder) {
+	l.observer = r
 }
 
 // FaultsActive reports whether an enabled injector is attached.
@@ -290,6 +299,7 @@ func (l *Link) startDCH(t *Transfer) {
 		return
 	}
 	t.noteStart(l.clock.Now())
+	l.noteAttempt(t, "DCH")
 	plan := l.faults.PlanTransfer(t.uplink, false)
 	bw := l.cfg.DCHDownKBps
 	if t.uplink {
@@ -340,6 +350,7 @@ func (l *Link) startDCH(t *Transfer) {
 
 func (l *Link) startFACH(t *Transfer) {
 	t.noteStart(l.clock.Now())
+	l.noteAttempt(t, "FACH")
 	l.radio.TouchFACH()
 	plan := l.faults.PlanTransfer(t.uplink, true)
 	dur := l.cfg.RTT + plan.ExtraRTT + plan.Stall +
@@ -358,10 +369,32 @@ func (l *Link) startFACH(t *Transfer) {
 	})
 }
 
+// noteAttempt traces the start of one transfer attempt on the given channel.
+func (l *Link) noteAttempt(t *Transfer, channel string) {
+	if l.observer == nil {
+		return
+	}
+	l.observer.Record(l.clock.Now(), obs.Event{
+		Kind:    obs.KindXferStart,
+		URL:     t.url,
+		Detail:  channel,
+		Bytes:   t.bytes,
+		Attempt: t.attempt + 1,
+	})
+}
+
 // retryOrFail handles a dead attempt: start over while budget remains,
 // otherwise complete the transfer with the error.
 func (l *Link) retryOrFail(t *Transfer, overDCH bool, cause error) {
 	if t.attempt+1 < l.maxAttempts {
+		if l.observer != nil {
+			l.observer.Record(l.clock.Now(), obs.Event{
+				Kind:    obs.KindXferRetry,
+				URL:     t.url,
+				Detail:  cause.Error(),
+				Attempt: t.attempt + 1,
+			})
+		}
 		t.attempt++
 		l.retries++
 		if overDCH {
@@ -389,6 +422,20 @@ func (l *Link) finish(t *Transfer, overDCH bool, failure error) {
 	})
 	if failure == nil {
 		l.bytesDown += t.bytes
+	}
+	if l.observer != nil {
+		kind := obs.KindXferEnd
+		if failure != nil {
+			kind = obs.KindXferFailed
+		}
+		l.observer.Record(now, obs.Event{
+			Kind:    kind,
+			URL:     t.url,
+			Bytes:   t.bytes,
+			Attempt: t.attempt + 1,
+			DurNS:   int64(now - t.started),
+		})
+		l.observer.ObserveDur("xfer_ns", now-t.started)
 	}
 	if !l.everMoved {
 		l.firstStart = t.started

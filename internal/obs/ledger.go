@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// EnergyProbe samples the instrumented device's cumulative energy: radio
+// joules split by RRC state name, plus total CPU joules. The browser engine
+// supplies one backed by rrc.Machine.EnergyByState and the CPU model.
+type EnergyProbe func() (radioByStateJ map[string]float64, cpuJ float64)
+
+// PhaseEnergy is one closed phase of a load: the energy spent between two
+// ledger marks, attributed to RRC states and the CPU.
+type PhaseEnergy struct {
+	// Phase names the interval (transmission, layout, tail, reading...).
+	Phase string `json:"phase"`
+	// StartNS and EndNS bound the phase in simulated time.
+	StartNS int64 `json:"start_ns"`
+	EndNS   int64 `json:"end_ns"`
+	// RadioByStateJ is the radio energy spent per RRC state during the phase.
+	RadioByStateJ map[string]float64 `json:"radio_by_state_j"`
+	// CPUJ is the compute energy spent during the phase.
+	CPUJ float64 `json:"cpu_j"`
+	// TotalJ is the phase's radio+CPU energy.
+	TotalJ float64 `json:"total_j"`
+}
+
+// ledgerMark is one raw probe snapshot; deltas between consecutive marks
+// become PhaseEnergy entries, so per-phase joules telescope exactly to the
+// device totals.
+type ledgerMark struct {
+	phase  string
+	at     time.Duration
+	radioJ map[string]float64
+	cpuJ   float64
+}
+
+// Ledger attributes a load's energy to named phases. The engine marks phase
+// boundaries (transmission start, layout start, tail start) and Close seals
+// the last phase; Phases() then reports the per-phase, per-state breakdown.
+// A nil Ledger is inert, like a nil Recorder.
+type Ledger struct {
+	probe  EnergyProbe
+	marks  []ledgerMark
+	closed bool
+}
+
+// NewLedger builds a ledger over the given probe.
+func NewLedger(probe EnergyProbe) *Ledger {
+	return &Ledger{probe: probe}
+}
+
+// Mark opens a phase named phase at simulated time at, snapshotting the
+// device's cumulative energy. The previous phase (if any) ends here.
+func (l *Ledger) Mark(phase string, at time.Duration) {
+	if l == nil || l.closed {
+		return
+	}
+	radio, cpu := l.probe()
+	l.marks = append(l.marks, ledgerMark{phase: phase, at: at, radioJ: radio, cpuJ: cpu})
+}
+
+// Close seals the ledger at simulated time at, ending the open phase. Further
+// marks are ignored.
+func (l *Ledger) Close(at time.Duration) {
+	if l == nil || l.closed {
+		return
+	}
+	l.Mark("", at)
+	l.closed = true
+}
+
+// Closed reports whether Close has been called.
+func (l *Ledger) Closed() bool {
+	return l != nil && l.closed
+}
+
+// Phases returns the closed phases in chronological order. Values are
+// rounded to a microjoule for stable serialization; TotalJ() remains exact.
+func (l *Ledger) Phases() []PhaseEnergy {
+	if l == nil || len(l.marks) < 2 {
+		return nil
+	}
+	out := make([]PhaseEnergy, 0, len(l.marks)-1)
+	for i := 0; i+1 < len(l.marks); i++ {
+		a, b := l.marks[i], l.marks[i+1]
+		pe := PhaseEnergy{
+			Phase:         a.phase,
+			StartNS:       int64(a.at),
+			EndNS:         int64(b.at),
+			RadioByStateJ: make(map[string]float64),
+			CPUJ:          Round6(b.cpuJ - a.cpuJ),
+		}
+		total := b.cpuJ - a.cpuJ
+		for _, st := range stateKeys(a.radioJ, b.radioJ) {
+			d := b.radioJ[st] - a.radioJ[st]
+			if d == 0 {
+				continue
+			}
+			pe.RadioByStateJ[st] = Round6(d)
+			total += d
+		}
+		pe.TotalJ = Round6(total)
+		out = append(out, pe)
+	}
+	return out
+}
+
+// TotalJ is the exact (unrounded) energy covered by the ledger: last
+// snapshot minus first. Because phases are deltas between the same
+// snapshots, the per-phase totals telescope to this value.
+func (l *Ledger) TotalJ() float64 {
+	if l == nil || len(l.marks) < 2 {
+		return 0
+	}
+	first, last := l.marks[0], l.marks[len(l.marks)-1]
+	total := last.cpuJ - first.cpuJ
+	for _, st := range stateKeys(first.radioJ, last.radioJ) {
+		total += last.radioJ[st] - first.radioJ[st]
+	}
+	return total
+}
+
+// StartNS and EndNS bound the ledger in simulated time (0,0 when empty).
+func (l *Ledger) StartNS() int64 {
+	if l == nil || len(l.marks) == 0 {
+		return 0
+	}
+	return int64(l.marks[0].at)
+}
+
+// EndNS is the simulated time of the last mark.
+func (l *Ledger) EndNS() int64 {
+	if l == nil || len(l.marks) == 0 {
+		return 0
+	}
+	return int64(l.marks[len(l.marks)-1].at)
+}
+
+// PhaseTotalJ returns the rounded total of the named phase (0 if absent).
+func (l *Ledger) PhaseTotalJ(phase string) float64 {
+	for _, p := range l.Phases() {
+		if p.Phase == phase {
+			return p.TotalJ
+		}
+	}
+	return 0
+}
+
+// EmitPhases records one phase-energy event per closed phase onto r. The
+// events are retrospective summaries, so all of them are stamped at the
+// ledger's close time — keeping the session's event stream monotone in
+// simulated time — with each phase's own extent carried in DurNS.
+func (l *Ledger) EmitPhases(r *Recorder) {
+	if l == nil || r == nil {
+		return
+	}
+	at := time.Duration(l.EndNS())
+	for _, p := range l.Phases() {
+		r.Record(at, Event{
+			Kind:   KindPhaseEnergy,
+			Detail: p.Phase,
+			DurNS:  p.EndNS - p.StartNS,
+			Joules: p.TotalJ,
+		})
+	}
+}
+
+// stateKeys merges the key sets of two snapshots in sorted order, so phase
+// maps are built deterministically even if a state appears mid-load.
+func stateKeys(a, b map[string]float64) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		seen[k] = true
+	}
+	for k := range b {
+		seen[k] = true
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

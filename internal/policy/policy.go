@@ -64,11 +64,36 @@ func DefaultParams() Params {
 	}
 }
 
+// Decision is one evaluation of Algorithm 2's decision rule, with the
+// reason attached so decisions are explainable in traces.
+type Decision struct {
+	// Predicted is the GBRT-predicted remaining reading time.
+	Predicted time.Duration
+	// Switch is the verdict: force the radio to IDLE now.
+	Switch bool
+	// Reason names the rule that fired: "beyond-Td", "beyond-Tp", or
+	// "keep" (no threshold cleared).
+	Reason string
+}
+
+// Evaluate runs Algorithm 2's decision rule on a predicted reading time.
+func Evaluate(predictedReading time.Duration, p Params) Decision {
+	d := Decision{Predicted: predictedReading}
+	switch {
+	case predictedReading > p.Td:
+		d.Switch = true
+		d.Reason = "beyond-Td"
+	case p.Mode == ModePower && predictedReading > p.Tp:
+		d.Switch = true
+		d.Reason = "beyond-Tp"
+	default:
+		d.Reason = "keep"
+	}
+	return d
+}
+
 // ShouldSwitchToIdle is the decision rule of Algorithm 2: given the
 // predicted reading time, should the radio be forced to IDLE?
 func ShouldSwitchToIdle(predictedReading time.Duration, p Params) bool {
-	if predictedReading > p.Td {
-		return true
-	}
-	return p.Mode == ModePower && predictedReading > p.Tp
+	return Evaluate(predictedReading, p).Switch
 }

@@ -187,9 +187,10 @@ type Machine struct {
 	waiters []func()
 
 	// Exact energy integration.
-	lastChange  time.Duration
-	energyJ     float64
-	timeInState map[State]time.Duration
+	lastChange    time.Duration
+	energyJ       float64
+	timeInState   map[State]time.Duration
+	energyInState map[State]float64
 
 	history      []Transition
 	recordTrace  bool
@@ -229,11 +230,12 @@ func NewMachine(clock *simtime.Clock, cfg Config, opts ...Option) (*Machine, err
 		return nil, err
 	}
 	m := &Machine{
-		clock:       clock,
-		cfg:         cfg,
-		state:       StateIdle,
-		lastChange:  clock.Now(),
-		timeInState: make(map[State]time.Duration, 6),
+		clock:         clock,
+		cfg:           cfg,
+		state:         StateIdle,
+		lastChange:    clock.Now(),
+		timeInState:   make(map[State]time.Duration, 6),
+		energyInState: make(map[State]float64, 6),
 	}
 	for _, o := range opts {
 		o.apply(m)
@@ -282,6 +284,21 @@ func (m *Machine) RadioPower() float64 {
 // exactly up to the current simulation time.
 func (m *Machine) EnergyJ() float64 {
 	return m.energyJ + m.RadioPower()*sinceSeconds(m.lastChange, m.clock.Now())
+}
+
+// EnergyByState returns the radio energy consumed so far attributed to each
+// RRC state (keyed by State.String()), integrated exactly up to the current
+// simulation time. Lump signaling energies are attributed to the state they
+// buy: the release exchange to RELEASING, the IDLE→DCH signaling
+// re-establishment to PROMO(IDLE→DCH). The values sum to EnergyJ up to
+// floating-point association.
+func (m *Machine) EnergyByState() map[string]float64 {
+	out := make(map[string]float64, len(m.energyInState)+1)
+	for s, e := range m.energyInState {
+		out[s.String()] = e
+	}
+	out[m.state.String()] += m.RadioPower() * sinceSeconds(m.lastChange, m.clock.Now())
+	return out
 }
 
 // TimeIn returns the cumulative time spent in state s, up to now.
@@ -399,6 +416,7 @@ func (m *Machine) ForceIdle() error {
 	m.cancelTimer(&m.t1Timer)
 	m.cancelTimer(&m.t2Timer)
 	m.energyJ += m.cfg.ReleaseSignalEnergy
+	m.energyInState[StateReleasing] += m.cfg.ReleaseSignalEnergy
 	m.setState(StateReleasing)
 	m.clock.After(m.cfg.ReleaseDelay, m.releaseDone)
 	return nil
@@ -421,6 +439,7 @@ func (m *Machine) startIdlePromotion() {
 		return
 	}
 	m.energyJ += m.cfg.PromoIdleSignalEnergy
+	m.energyInState[StatePromoIdleDCH] += m.cfg.PromoIdleSignalEnergy
 	m.startPromotion(StatePromoIdleDCH, m.cfg.PromoIdleToDCH)
 }
 
@@ -503,7 +522,9 @@ func (m *Machine) accrue() {
 	if now == m.lastChange {
 		return
 	}
-	m.energyJ += m.RadioPower() * sinceSeconds(m.lastChange, now)
+	e := m.RadioPower() * sinceSeconds(m.lastChange, now)
+	m.energyJ += e
+	m.energyInState[m.state] += e
 	m.timeInState[m.state] += now - m.lastChange
 	m.lastChange = now
 }

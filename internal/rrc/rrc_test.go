@@ -469,3 +469,69 @@ func TestResidencySumsToElapsed(t *testing.T) {
 		t.Fatal("Residency exposed internal state")
 	}
 }
+
+func TestEnergyByStateSumsToTotal(t *testing.T) {
+	clock, m := newTestMachine(t)
+	cfg := m.Config()
+	m.RequestDCH(func() {
+		mustBegin(t, m)
+		clock.After(2*time.Second, func() { mustEnd(t, m) })
+	})
+	clock.Run()
+	clock.RunFor(10 * time.Second)
+	byState := m.EnergyByState()
+	var sum float64
+	for _, j := range byState {
+		if j < 0 {
+			t.Fatalf("negative per-state energy: %v", byState)
+		}
+		sum += j
+	}
+	if got := m.EnergyJ(); math.Abs(sum-got) > 1e-9 {
+		t.Fatalf("EnergyByState sums to %v, EnergyJ = %v", sum, got)
+	}
+	// The per-state split must carry the signaling lump in the promo bucket
+	// and the exact per-state integrals everywhere else.
+	wantPromo := cfg.PromoIdleSignalEnergy + cfg.PowerPromo*cfg.PromoIdleToDCH.Seconds()
+	if got := byState[StatePromoIdleDCH.String()]; math.Abs(got-wantPromo) > 1e-9 {
+		t.Fatalf("promo bucket = %v, want %v", got, wantPromo)
+	}
+	wantFACH := cfg.PowerFACH * cfg.T2.Seconds()
+	if got := byState[StateFACH.String()]; math.Abs(got-wantFACH) > 1e-9 {
+		t.Fatalf("FACH bucket = %v, want %v", got, wantFACH)
+	}
+}
+
+func TestEnergyByStateIncludesCurrentPartial(t *testing.T) {
+	clock, m := newTestMachine(t)
+	cfg := m.Config()
+	clock.RunFor(4 * time.Second) // sits in IDLE, no transition yet
+	want := cfg.PowerIdle * 4
+	if got := m.EnergyByState()[StateIdle.String()]; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("IDLE bucket mid-state = %v, want %v", got, want)
+	}
+}
+
+func TestEnergyByStateChargesReleaseLump(t *testing.T) {
+	clock, m := newTestMachine(t)
+	cfg := m.Config()
+	m.RequestDCH(func() {
+		mustBegin(t, m)
+		clock.After(time.Second, func() {
+			mustEnd(t, m)
+			// Release early from DCH, before the inactivity timers demote.
+			if err := m.ForceIdle(); err != nil {
+				t.Errorf("ForceIdle: %v", err)
+			}
+		})
+	})
+	clock.Run()
+	if m.State() != StateIdle {
+		t.Fatalf("expected IDLE after the release, got %v", m.State())
+	}
+	rel := m.EnergyByState()[StateReleasing.String()]
+	wantMin := cfg.ReleaseSignalEnergy
+	if rel < wantMin {
+		t.Fatalf("RELEASING bucket = %v, want at least the %v signal lump", rel, wantMin)
+	}
+}

@@ -1,0 +1,65 @@
+package runner
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"runtime/pprof"
+	"testing"
+)
+
+// TestWorkerProfileLabels captures a CPU profile of a labeled pool run and
+// checks the samples carry the pool/worker tags eabench -pprof relies on.
+func TestWorkerProfileLabels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs CPU samples")
+	}
+	SetProfileLabels(true)
+	defer SetProfileLabels(false)
+	f, err := os.CreateTemp(t.TempDir(), "cpu*.prof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		t.Fatal(err)
+	}
+	err = MapN(4, 64, func(i int) error {
+		x := 0.0
+		for j := 0; j < 5_000_000; j++ {
+			x += float64(j % 7)
+		}
+		_ = x
+		return nil
+	})
+	pprof.StopCPUProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	prof, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Avoiding a profile-proto dependency: label keys and values land in the
+	// proto's string table verbatim, so inflating the gzip stream and
+	// searching for them is enough.
+	if !profileContains(t, prof, "pool") || !profileContains(t, prof, "runner") {
+		t.Fatal("CPU profile carries no pool=runner labels")
+	}
+}
+
+func profileContains(t *testing.T, gz []byte, needle string) bool {
+	t.Helper()
+	r, err := gzip.NewReader(bytes.NewReader(gz))
+	if err != nil {
+		t.Fatalf("profile not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("inflate profile: %v", err)
+	}
+	return bytes.Contains(raw, []byte(needle))
+}

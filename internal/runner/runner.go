@@ -12,7 +12,10 @@
 package runner
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -36,6 +39,17 @@ func Workers() int {
 		return n
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// profileLabels, when set, tags every pool goroutine with runtime/pprof
+// labels (pool=runner, worker=<id>) so CPU and goroutine profiles taken via
+// eabench -pprof attribute samples to pool workers instead of anonymous
+// goroutines. Off by default: unprofiled runs pay nothing.
+var profileLabels atomic.Bool
+
+// SetProfileLabels enables or disables pprof labelling of pool workers.
+func SetProfileLabels(on bool) {
+	profileLabels.Store(on)
 }
 
 // Map runs fn(i) for every i in [0, n) on the default pool and returns the
@@ -73,16 +87,25 @@ func MapN(workers, n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+			loop := func() {
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = fn(i)
 				}
-				errs[i] = fn(i)
 			}
-		}()
+			if profileLabels.Load() {
+				pprof.Do(context.Background(),
+					pprof.Labels("pool", "runner", "worker", strconv.Itoa(worker)),
+					func(context.Context) { loop() })
+				return
+			}
+			loop()
+		}(w)
 	}
 	wg.Wait()
 	return firstError(errs)
