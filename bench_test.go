@@ -8,6 +8,7 @@ package eabrowse
 // Paper-vs-measured values are tabulated in EXPERIMENTS.md.
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
@@ -373,4 +374,91 @@ func BenchmarkFleetReplay(b *testing.B) {
 			b.ReportMetric(res.EnergySavingPct, "energy_saving_pct")
 		}
 	}
+}
+
+// synthGBRTData builds a deterministic synthetic regression problem of the
+// given shape, mixing continuous and tie-heavy quantized columns like the
+// Table 1 feature vectors do.
+func synthGBRTData(n, numFeatures int) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(int64(n)*31 + int64(numFeatures)))
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, numFeatures)
+		for f := range row {
+			if f%2 == 0 {
+				row[f] = rng.Float64() * 100
+			} else {
+				row[f] = float64(rng.Intn(8))
+			}
+		}
+		xs[i] = row
+		ys[i] = row[0]*0.3 + row[numFeatures-1]*2 + rng.NormFloat64()*5
+	}
+	return xs, ys
+}
+
+// BenchmarkGBRTTrain measures forest training across problem shapes; the
+// n500_F10_M400 case is the fleet-scale workload (one per-user model of the
+// 300-phone replay). Allocations are part of the tracked trajectory: the
+// presorted engine must stay flat as shapes grow.
+func BenchmarkGBRTTrain(b *testing.B) {
+	shapes := []struct {
+		name  string
+		n, f  int
+		trees int
+	}{
+		{"n200_F5_M100", 200, 5, 100},
+		{"n500_F10_M400", 500, 10, 400},
+		{"n2000_F10_M100", 2000, 10, 100},
+	}
+	for _, s := range shapes {
+		b.Run(s.name, func(b *testing.B) {
+			xs, ys := synthGBRTData(s.n, s.f)
+			cfg := gbrt.Config{Trees: s.trees, MaxLeaves: 8, Shrinkage: 0.1, MinSamplesLeaf: 5}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := gbrt.Train(xs, ys, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(m.NumTrees()), "trees")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGBRTPredictBatch compares the tree-major batch walk against the
+// equivalent per-sample Predict loop on a fleet-sized evaluation batch.
+func BenchmarkGBRTPredictBatch(b *testing.B) {
+	xs, ys := synthGBRTData(500, 10)
+	model, err := gbrt.Train(xs, ys, gbrt.Config{Trees: 400, MaxLeaves: 8, Shrinkage: 0.1, MinSamplesLeaf: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probes, _ := synthGBRTData(1000, 10)
+	out := make([]float64, len(probes))
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := model.PredictBatch(probes, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("single", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j, x := range probes {
+				v, err := model.Predict(x)
+				if err != nil {
+					b.Fatal(err)
+				}
+				out[j] = v
+			}
+		}
+	})
 }

@@ -292,7 +292,11 @@ func replayFleetUser(user int, visits []trace.Visit, pages map[string]*webpage.P
 
 // TrainedReadingPredictor is the slice of the predictor API Algorithm 2
 // needs; the fleet replay takes it as an interface so tests can stub the
-// model.
+// model. Fleet predictions stay per-visit rather than batched: each feature
+// vector comes from the load result just simulated, and the release decision
+// feeds back into the radio state of the following visits, so there is no
+// batch to precompute — the fleet's share of the GBRT speedup comes from
+// training, which dominates its wall-clock.
 type TrainedReadingPredictor interface {
 	PredictSeconds(v features.Vector) (float64, error)
 	NumTrees() int

@@ -1,0 +1,184 @@
+package gbrt
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The presorted engine must reproduce the pre-refactor trainer exactly.
+// Three properties pin that down from different angles:
+//
+//  1. On tie-free datasets every sort order is unique, so the historical
+//     sort.Slice comparator and the canonical (value, index) order coincide:
+//     the new engine must match the verbatim reference on arbitrary floats.
+//  2. On tie-heavy datasets whose targets make every fold exact in float64,
+//     summation order cannot change any value: the new engine must match
+//     the verbatim reference even though their tie orders differ.
+//  3. On arbitrary datasets (ties, duplicate rows, constant columns), the
+//     new engine must match the reference run under the canonical index
+//     tie-break bit-for-bit — the strongest statement: the rewrite is the
+//     same algorithm, only faster.
+
+// serializeOrDie returns the model's exact wire bytes.
+func serializeOrDie(t *testing.T, m *Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func assertSameModel(t *testing.T, trial string, ref, got *Model) {
+	t.Helper()
+	a, b := serializeOrDie(t, ref), serializeOrDie(t, got)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("%s: presorted engine diverged from reference\nreference: %d bytes\nnew:       %d bytes\nref: %.120s\nnew: %.120s",
+			trial, len(a), len(b), a, b)
+	}
+}
+
+func randomConfig(rng *rand.Rand) Config {
+	return Config{
+		Trees:          5 + rng.Intn(30),
+		MaxLeaves:      2 + rng.Intn(9),
+		Shrinkage:      []float64{0.1, 0.3, 1.0}[rng.Intn(3)],
+		MinSamplesLeaf: 1 + rng.Intn(3),
+	}
+}
+
+// TestEquivalenceNoTies: arbitrary continuous targets, strictly distinct
+// feature values per column, verbatim pre-refactor reference.
+func TestEquivalenceNoTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(100)
+		numF := 1 + rng.Intn(6)
+		xs := make([][]float64, n)
+		for i := range xs {
+			xs[i] = make([]float64, numF)
+		}
+		for f := 0; f < numF; f++ {
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = float64(i) + rng.Float64()*0.5 // strictly increasing
+			}
+			rng.Shuffle(n, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+			for i := range vals {
+				xs[i][f] = vals[i]
+			}
+		}
+		ys := make([]float64, n)
+		for i := range ys {
+			ys[i] = rng.NormFloat64() * 10
+		}
+		cfg := randomConfig(rng)
+		ref, err := refTrain(xs, ys, cfg, false)
+		if err != nil {
+			t.Fatalf("trial %d: refTrain: %v", trial, err)
+		}
+		got, err := Train(xs, ys, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: Train: %v", trial, err)
+		}
+		assertSameModel(t, fmt.Sprintf("no-ties trial %d (n=%d F=%d cfg=%+v)", trial, n, numF, cfg), ref, got)
+	}
+}
+
+// TestEquivalenceTiesExactArithmetic: heavily tied integer-grid features and
+// quarter-integer targets. Every fold the trainers perform — sums of at most
+// a few hundred values that are multiples of 2⁻³ and bounded by 2⁶ — is
+// exact in float64, so summation order is provably irrelevant and the
+// verbatim sort.Slice reference must agree despite its different tie order.
+// Trees is kept at 1 because later boosting rounds fit shrunk residuals that
+// are no longer exactly representable.
+func TestEquivalenceTiesExactArithmetic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(200)
+		numF := 1 + rng.Intn(6)
+		xs := make([][]float64, n)
+		for i := range xs {
+			row := make([]float64, numF)
+			for f := range row {
+				row[f] = float64(rng.Intn(5)) // dense ties
+			}
+			xs[i] = row
+		}
+		if numF > 1 && trial%3 == 0 {
+			for i := range xs {
+				xs[i][0] = 7 // constant column in front
+			}
+		}
+		ys := make([]float64, n)
+		for i := range ys {
+			ys[i] = float64(rng.Intn(256)) * 0.25
+		}
+		cfg := randomConfig(rng)
+		cfg.Trees = 1
+		ref, err := refTrain(xs, ys, cfg, false)
+		if err != nil {
+			t.Fatalf("trial %d: refTrain: %v", trial, err)
+		}
+		got, err := Train(xs, ys, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: Train: %v", trial, err)
+		}
+		assertSameModel(t, fmt.Sprintf("exact-ties trial %d (n=%d F=%d cfg=%+v)", trial, n, numF, cfg), ref, got)
+	}
+}
+
+// TestEquivalenceTiesStableReference: arbitrary datasets — tied, duplicated
+// and constant columns, continuous targets, full boosting — against the
+// reference algorithm run under the canonical (value, sample index) order.
+// Bit-for-bit agreement here shows the rewrite changes how the split search
+// is computed, not what it computes.
+func TestEquivalenceTiesStableReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(150)
+		numF := 1 + rng.Intn(8)
+		xs := make([][]float64, n)
+		for i := range xs {
+			row := make([]float64, numF)
+			for f := range row {
+				switch f % 3 {
+				case 0:
+					row[f] = float64(rng.Intn(6)) // tie-heavy
+				case 1:
+					row[f] = rng.Float64() * 100 // continuous
+				default:
+					row[f] = float64(rng.Intn(3)) * 2.5 // very tie-heavy
+				}
+			}
+			xs[i] = row
+		}
+		if trial%4 == 0 {
+			for i := range xs {
+				xs[i][numF-1] = -1.5 // constant column at the back
+			}
+		}
+		// Occasionally duplicate whole rows so identical samples share every
+		// feature value and the tie-break must fall back to sample index.
+		for d := 0; d < n/10; d++ {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			copy(xs[dst], xs[src])
+		}
+		ys := make([]float64, n)
+		for i := range ys {
+			ys[i] = rng.NormFloat64() * 30
+		}
+		cfg := randomConfig(rng)
+		ref, err := refTrain(xs, ys, cfg, true)
+		if err != nil {
+			t.Fatalf("trial %d: refTrain: %v", trial, err)
+		}
+		got, err := Train(xs, ys, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: Train: %v", trial, err)
+		}
+		assertSameModel(t, fmt.Sprintf("stable-ties trial %d (n=%d F=%d cfg=%+v)", trial, n, numF, cfg), ref, got)
+	}
+}

@@ -54,12 +54,18 @@ type Model struct {
 
 // Train fits a model with square loss (Algorithm 1): F0 is the median of the
 // targets; each iteration fits a J-leaf regression tree to the current
-// residuals and adds it with shrinkage.
+// residuals and adds it with shrinkage. The feature columns are presorted
+// once; every boosting iteration reuses the sorted orders and the trainer's
+// scratch buffers.
 func Train(xs [][]float64, ys []float64, cfg Config) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if err := validateData(xs, ys); err != nil {
+		return nil, err
+	}
+	tr, err := newTrainer(xs, cfg.MinSamplesLeaf)
+	if err != nil {
 		return nil, err
 	}
 	m := &Model{
@@ -78,15 +84,15 @@ func Train(xs [][]float64, ys []float64, cfg Config) (*Model, error) {
 		for i := range ys {
 			residual[i] = ys[i] - current[i]
 		}
-		tree := buildTree(xs, residual, cfg.MaxLeaves, cfg.MinSamplesLeaf)
+		tree := tr.buildTree(residual, cfg.MaxLeaves)
 		if tree.Leaves() <= 1 {
 			// Residuals are flat: boosting has converged.
 			break
 		}
 		m.trees = append(m.trees, tree)
-		for i := range ys {
-			current[i] += m.shrink * tree.Predict(xs[i])
-		}
+		// Every sample's new prediction comes straight from the leaf range
+		// it was partitioned into — no per-sample tree walk.
+		tr.addTo(current, m.shrink)
 	}
 	return m, nil
 }
@@ -101,6 +107,29 @@ func (m *Model) Predict(x []float64) (float64, error) {
 		sum += m.shrink * t.Predict(x)
 	}
 	return sum, nil
+}
+
+// PredictBatch evaluates the model on len(xs) feature vectors, writing the
+// predictions into out (which must be the same length). The forest is walked
+// with the per-tree loop outermost, so each tree's nodes stay hot in cache
+// across the whole batch; per-sample results are bit-identical to Predict.
+func (m *Model) PredictBatch(xs [][]float64, out []float64) error {
+	if len(out) != len(xs) {
+		return fmt.Errorf("gbrt: batch of %d inputs with %d outputs", len(xs), len(out))
+	}
+	for i, x := range xs {
+		if len(x) != m.numFeatures {
+			return fmt.Errorf("gbrt: batch row %d has %d features, model wants %d",
+				i, len(x), m.numFeatures)
+		}
+		out[i] = m.base
+	}
+	for _, t := range m.trees {
+		for i, x := range xs {
+			out[i] += m.shrink * t.Predict(x)
+		}
+	}
+	return nil
 }
 
 // NumTrees returns the number of fitted trees (may be below Config.Trees if

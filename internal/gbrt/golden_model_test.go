@@ -1,0 +1,94 @@
+package gbrt
+
+import (
+	"bytes"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update rewrites the committed golden model instead of comparing against
+// it, mirroring the golden-trace harness:
+//
+//	go test ./internal/gbrt -run TestGoldenModel -update
+var update = flag.Bool("update", false, "rewrite the golden model fixture")
+
+const goldenModelPath = "testdata/golden_model.json"
+
+// goldenDataset is a fixed synthetic training set exercising everything the
+// split search has to handle: continuous columns, tie-heavy quantized
+// columns, a constant column, and duplicated rows.
+func goldenDataset() (xs [][]float64, ys []float64) {
+	rng := rand.New(rand.NewSource(20130709))
+	const n = 150
+	xs = make([][]float64, n)
+	ys = make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = []float64{
+			rng.Float64() * 50,          // continuous
+			float64(rng.Intn(6)),        // quantized, heavy ties
+			float64(rng.Intn(3)) * 2.25, // very heavy ties
+			3.5,                         // constant: skipped at presort
+			rng.NormFloat64(),           // continuous, signed
+		}
+		ys[i] = 2 + 5*xs[i][1] + rng.NormFloat64()*4
+	}
+	for d := 0; d < 10; d++ {
+		copy(xs[(d+17)%n], xs[(d*13)%n])
+	}
+	return xs, ys
+}
+
+// TestGoldenModel trains the fixed dataset and requires the serialized model
+// to match the committed fixture byte for byte. Any change to split
+// selection, tie-breaking, leaf values or recorded gains shows up here.
+func TestGoldenModel(t *testing.T) {
+	xs, ys := goldenDataset()
+	m, err := Train(xs, ys, Config{Trees: 60, MaxLeaves: 8, Shrinkage: 0.1, MinSamplesLeaf: 3})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got := buf.Bytes()
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenModelPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenModelPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenModelPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenModelPath)
+	if err != nil {
+		t.Fatalf("read golden model: %v\n(generate it with: go test ./internal/gbrt -run TestGoldenModel -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trained model differs from %s (%d vs %d bytes); if the change is intended, regenerate with -update",
+			goldenModelPath, len(got), len(want))
+	}
+	// The fixture must also round-trip through Load unchanged.
+	loaded, err := Load(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("Load golden model: %v", err)
+	}
+	probe := xs[7]
+	a, err := m.Predict(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Predict(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("golden round-trip prediction drifted: %v vs %v", a, b)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"eabrowse/internal/browser"
+	"eabrowse/internal/features"
 	"eabrowse/internal/gbrt"
 	"eabrowse/internal/netsim"
 	"eabrowse/internal/predictor"
@@ -219,10 +220,29 @@ func (ev *Evaluator) Evaluate(c Case) (CaseResult, error) {
 // replay walks every user's visit sequence: per visit it charges the load
 // (adjusted for the radio state inherited from the previous visit), decides
 // whether the case releases the radio, and charges the reading window.
+//
+// For the prediction-driven cases every visit that survives the interest
+// threshold gets its reading time predicted; those forest walks are batched
+// up front (tree-major, cache-friendly) and consumed in visit order, which
+// leaves the replay — energy accumulation order included — unchanged.
 func (ev *Evaluator) replay(c Case) (CaseResult, error) {
 	cfg := ev.radioCfg
 	alpha := ev.params.Alpha.Seconds()
 	res := CaseResult{Case: c}
+
+	var preds []float64
+	if c == CasePredict9 || c == CasePredict20 {
+		var vecs []features.Vector
+		for _, v := range ev.ds.Visits {
+			if v.ReadingSeconds >= alpha {
+				vecs = append(vecs, v.Features)
+			}
+		}
+		preds = make([]float64, len(vecs))
+		if err := ev.pred.PredictBatchSeconds(vecs, preds); err != nil {
+			return CaseResult{}, err
+		}
+	}
 
 	prevUser := -1
 	prevSession := -1
@@ -264,10 +284,7 @@ func (ev *Evaluator) replay(c Case) (CaseResult, error) {
 			}
 		case CasePredict9, CasePredict20:
 			if reading >= alpha {
-				pred, err := ev.pred.PredictSeconds(v.Features)
-				if err != nil {
-					return CaseResult{}, err
-				}
+				pred := preds[res.Predictions]
 				res.Predictions++
 				res.EnergyJ += ev.device.PredictionEnergyJ(ev.pred.NumTrees())
 				threshold := 9.0

@@ -90,22 +90,38 @@ func (p *PerUser) PredictSeconds(user int, v features.Vector) (float64, error) {
 }
 
 // Evaluate scores threshold classification like Predictor.Evaluate, routing
-// each visit to its user's model.
+// each visit to its user's model. Visits are grouped by the model that
+// serves them and predicted in one batch per model, so every forest is
+// walked cache-friendly; the counts are identical to per-visit routing.
 func (p *PerUser) Evaluate(test []trace.Visit, threshold float64, applyInterest bool) (Accuracy, error) {
-	acc := Accuracy{Threshold: threshold}
 	alpha := p.global.alpha
+	groups := make(map[*Predictor][]trace.Visit)
 	for _, v := range test {
 		if applyInterest && v.ReadingSeconds < alpha {
 			continue
 		}
-		pred, err := p.PredictSeconds(v.User, v.Features)
-		if err != nil {
+		m, ok := p.models[v.User]
+		if !ok {
+			m = p.global
+		}
+		groups[m] = append(groups[m], v)
+	}
+	acc := Accuracy{Threshold: threshold}
+	for m, visits := range groups {
+		vs := make([]features.Vector, len(visits))
+		for i, v := range visits {
+			vs[i] = v.Features
+		}
+		preds := make([]float64, len(vs))
+		if err := m.PredictBatchSeconds(vs, preds); err != nil {
 			return Accuracy{}, err
 		}
-		if (pred > threshold) == (v.ReadingSeconds > threshold) {
-			acc.Correct++
+		for i, v := range visits {
+			if (preds[i] > threshold) == (v.ReadingSeconds > threshold) {
+				acc.Correct++
+			}
+			acc.Total++
 		}
-		acc.Total++
 	}
 	if acc.Total == 0 {
 		return Accuracy{}, errors.New("predictor: no test visits survive the interest threshold")

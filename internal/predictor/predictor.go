@@ -102,6 +102,18 @@ func (p *Predictor) PredictSeconds(v features.Vector) (float64, error) {
 	return p.model.Predict(v.Slice())
 }
 
+// PredictBatchSeconds predicts reading times for many feature vectors at
+// once, writing into out (same length as vs). Batching walks the forest
+// tree-major, which keeps each tree hot in cache across the whole batch;
+// per-vector results are bit-identical to PredictSeconds.
+func (p *Predictor) PredictBatchSeconds(vs []features.Vector, out []float64) error {
+	xs := make([][]float64, len(vs))
+	for i := range vs {
+		xs[i] = vs[i].Slice()
+	}
+	return p.model.PredictBatch(xs, out)
+}
+
 // NumTrees exposes the fitted forest size (Table 7 cost accounting).
 func (p *Predictor) NumTrees() int {
 	return p.model.NumTrees()
@@ -140,24 +152,40 @@ func (a Accuracy) Pct() float64 {
 // least α seconds are scored — the deployment behaviour: the phone waits α
 // before predicting, so sub-α visits never reach the predictor.
 func (p *Predictor) Evaluate(test []trace.Visit, threshold float64, applyInterest bool) (Accuracy, error) {
+	scored, preds, err := p.batchPredict(test, applyInterest)
+	if err != nil {
+		return Accuracy{}, err
+	}
 	acc := Accuracy{Threshold: threshold}
-	for _, v := range test {
-		if applyInterest && v.ReadingSeconds < p.alpha {
-			continue
-		}
-		pred, err := p.PredictSeconds(v.Features)
-		if err != nil {
-			return Accuracy{}, err
-		}
-		if (pred > threshold) == (v.ReadingSeconds > threshold) {
+	for i, v := range scored {
+		if (preds[i] > threshold) == (v.ReadingSeconds > threshold) {
 			acc.Correct++
 		}
 		acc.Total++
 	}
-	if acc.Total == 0 {
-		return Accuracy{}, errors.New("predictor: no test visits survive the interest threshold")
-	}
 	return acc, nil
+}
+
+// batchPredict filters test down to the visits that get scored (all of them,
+// or only those surviving the α wait) and predicts them in one batch.
+func (p *Predictor) batchPredict(test []trace.Visit, applyInterest bool) ([]trace.Visit, []float64, error) {
+	scored := make([]trace.Visit, 0, len(test))
+	vs := make([]features.Vector, 0, len(test))
+	for _, v := range test {
+		if applyInterest && v.ReadingSeconds < p.alpha {
+			continue
+		}
+		scored = append(scored, v)
+		vs = append(vs, v.Features)
+	}
+	if len(scored) == 0 {
+		return nil, nil, errors.New("predictor: no test visits survive the interest threshold")
+	}
+	preds := make([]float64, len(vs))
+	if err := p.PredictBatchSeconds(vs, preds); err != nil {
+		return nil, nil, err
+	}
+	return scored, preds, nil
 }
 
 // Split partitions visits into train/test deterministically. testFrac is the
@@ -203,25 +231,19 @@ type Metrics struct {
 // RegressionMetrics scores raw reading-time predictions on test visits.
 // When applyInterest is true, only visits surviving the α wait are scored.
 func (p *Predictor) RegressionMetrics(test []trace.Visit, applyInterest bool) (Metrics, error) {
-	var absErrs []float64
+	scored, preds, err := p.batchPredict(test, applyInterest)
+	if err != nil {
+		return Metrics{}, err
+	}
+	absErrs := make([]float64, 0, len(scored))
 	var sumSq float64
-	for _, v := range test {
-		if applyInterest && v.ReadingSeconds < p.alpha {
-			continue
-		}
-		pred, err := p.PredictSeconds(v.Features)
-		if err != nil {
-			return Metrics{}, err
-		}
-		d := pred - v.ReadingSeconds
+	for i, v := range scored {
+		d := preds[i] - v.ReadingSeconds
 		if d < 0 {
 			d = -d
 		}
 		absErrs = append(absErrs, d)
 		sumSq += d * d
-	}
-	if len(absErrs) == 0 {
-		return Metrics{}, errors.New("predictor: no test visits survive the interest threshold")
 	}
 	m := Metrics{N: len(absErrs)}
 	sum := 0.0

@@ -276,3 +276,34 @@ func TestLoadPredictorRejectsGarbage(t *testing.T) {
 		t.Fatal("wrong feature width accepted")
 	}
 }
+
+func TestPredictBatchSecondsMatchesSingle(t *testing.T) {
+	ds := dataset(t)
+	train, test, err := Split(ds.Visits, 0.3, 7)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.GBRT = fastGBRT()
+	p, err := Train(train, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	vs := make([]features.Vector, 0, len(test))
+	for _, v := range test {
+		vs = append(vs, v.Features)
+	}
+	out := make([]float64, len(vs))
+	if err := p.PredictBatchSeconds(vs, out); err != nil {
+		t.Fatalf("PredictBatchSeconds: %v", err)
+	}
+	for i, v := range vs {
+		want, err := p.PredictSeconds(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[i] != want {
+			t.Fatalf("visit %d: batch %v != single %v", i, out[i], want)
+		}
+	}
+}

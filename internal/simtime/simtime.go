@@ -22,6 +22,10 @@ type Clock struct {
 	now   time.Duration
 	queue eventQueue
 	seq   uint64
+	// pending counts scheduled, not-yet-fired, not-cancelled events. It is
+	// maintained on schedule/fire/cancel so Pending is O(1); cancelled
+	// events still occupying the heap are already excluded.
+	pending int
 }
 
 // NewClock returns a clock positioned at time zero with an empty event queue.
@@ -37,13 +41,7 @@ func (c *Clock) Now() time.Duration {
 // Pending returns the number of scheduled, not-yet-fired, not-cancelled
 // events.
 func (c *Clock) Pending() int {
-	n := 0
-	for _, ev := range c.queue {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
+	return c.pending
 }
 
 // ScheduleAt schedules fn to run at the absolute virtual time at. Scheduling
@@ -56,9 +54,10 @@ func (c *Clock) ScheduleAt(at time.Duration, fn func()) (*Event, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("simtime: schedule nil callback at %v", at)
 	}
-	ev := &Event{at: at, seq: c.seq, fn: fn}
+	ev := &Event{at: at, seq: c.seq, fn: fn, clock: c}
 	c.seq++
 	heap.Push(&c.queue, ev)
+	c.pending++
 	return ev, nil
 }
 
@@ -86,10 +85,12 @@ func (c *Clock) Step() bool {
 			return false
 		}
 		if ev.cancelled {
+			// Already excluded from pending when it was cancelled.
 			continue
 		}
 		c.now = ev.at
 		ev.fired = true
+		c.pending--
 		ev.fn()
 		return true
 	}
@@ -132,6 +133,7 @@ type Event struct {
 	at        time.Duration
 	seq       uint64
 	fn        func()
+	clock     *Clock
 	cancelled bool
 	fired     bool
 }
@@ -149,6 +151,9 @@ func (e *Event) Cancel() bool {
 		return false
 	}
 	e.cancelled = true
+	if e.clock != nil {
+		e.clock.pending--
+	}
 	return true
 }
 

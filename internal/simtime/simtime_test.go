@@ -231,3 +231,53 @@ func TestPropertyClockMonotonic(t *testing.T) {
 		last = c.Now()
 	}
 }
+
+// scanPending recounts pending events the way the pre-counter Pending did:
+// a full queue scan skipping cancelled entries. It is the oracle the live
+// counter is checked against.
+func scanPending(c *Clock) int {
+	n := 0
+	for _, ev := range c.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// TestPendingCounterMatchesScan drives the clock through a random mix of
+// scheduling, cancelling (including double-cancels and cancels of fired
+// events), stepping and bounded runs, asserting after every operation that
+// the O(1) Pending counter agrees with a full queue scan.
+func TestPendingCounterMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	c := NewClock()
+	var handles []*Event
+	for i := 0; i < 10000; i++ {
+		switch rng.Intn(5) {
+		case 0, 1:
+			ev := c.After(time.Duration(rng.Intn(500))*time.Millisecond, func() {})
+			handles = append(handles, ev)
+		case 2:
+			if len(handles) > 0 {
+				// Cancel a random handle; repeats exercise the no-op paths
+				// for already-cancelled and already-fired events.
+				handles[rng.Intn(len(handles))].Cancel()
+			}
+		case 3:
+			c.Step()
+		default:
+			c.RunFor(time.Duration(rng.Intn(200)) * time.Millisecond)
+		}
+		if got, want := c.Pending(), scanPending(c); got != want {
+			t.Fatalf("op %d: Pending() = %d, queue scan = %d", i, got, want)
+		}
+	}
+	c.Run()
+	if got := c.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after Run, want 0", got)
+	}
+	if got := scanPending(c); got != 0 {
+		t.Fatalf("queue scan = %d after Run, want 0", got)
+	}
+}

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Run the GBRT training/prediction benchmarks and emit BENCH_GBRT.json,
+# a machine-readable perf-trajectory snapshot future PRs diff against.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#
+# The JSON is an object with run metadata plus one record per benchmark:
+#   {"go": "...", "commit": "...", "benchmarks": [
+#     {"name": "...", "iterations": N, "ns_per_op": ..., "b_per_op": ...,
+#      "allocs_per_op": ..., "extra": {"trees": ...}}, ...]}
+#
+# Parsing is plain awk so the script runs on a bare runner without jq.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_GBRT.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+# Root-package GBRT benchmarks (train shapes + batch prediction) and the
+# in-package fleet-shape pair, which includes the preserved pre-refactor
+# reference engine so old-vs-new is always measured on the same machine.
+go test -run '^$' -bench '^BenchmarkGBRT' -benchmem -count=1 . | tee -a "$raw"
+go test -run '^$' -bench 'FleetShape' -benchmem -count=1 ./internal/gbrt | tee -a "$raw"
+
+gover="$(go version | awk '{print $3}')"
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+awk -v gover="$gover" -v commit="$commit" '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix
+    iters = $2
+    ns = ""; b = ""; allocs = ""; extra = ""
+    for (i = 3; i < NF; i++) {
+      unit = $(i + 1)
+      if (unit == "ns/op") ns = $i
+      else if (unit == "B/op") b = $i
+      else if (unit == "allocs/op") allocs = $i
+      else if (unit ~ /^[A-Za-z]/) {
+        # custom ReportMetric units, e.g. "400.0 trees"
+        split(unit, u, "/")
+        if (extra != "") extra = extra ","
+        extra = extra "\"" u[1] "\":" $i
+      }
+    }
+    rec = sprintf("{\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s", name, iters, ns)
+    if (b != "") rec = rec sprintf(",\"b_per_op\":%s", b)
+    if (allocs != "") rec = rec sprintf(",\"allocs_per_op\":%s", allocs)
+    if (extra != "") rec = rec sprintf(",\"extra\":{%s}", extra)
+    rec = rec "}"
+    recs[++n] = rec
+  }
+  END {
+    printf "{\n  \"go\": \"%s\",\n  \"commit\": \"%s\",\n  \"benchmarks\": [\n", gover, commit
+    for (i = 1; i <= n; i++) printf "    %s%s\n", recs[i], (i < n ? "," : "")
+    printf "  ]\n}\n"
+  }
+' "$raw" > "$out"
+
+echo "wrote $out"
