@@ -5,6 +5,7 @@ import (
 
 	"eabrowse/internal/obs"
 	"eabrowse/internal/simtime"
+	"eabrowse/internal/webpage"
 )
 
 // priority selects one of the CPU's two run queues. The energy-aware
@@ -19,27 +20,50 @@ const (
 	prioLow
 )
 
-// cpuTask is one unit of simulated browser computation. The cost is
-// evaluated when the task starts, so costs may depend on state built by
-// earlier tasks (e.g. styling cost depends on the final DOM size).
+// cpuTask is one unit of simulated browser computation. Most tasks carry a
+// fixed costDur; tasks whose cost depends on state built by earlier tasks
+// (e.g. styling cost depends on the final DOM size) carry a cost function
+// evaluated when the task starts. The completion callback comes in three
+// flavours — plain, resource-carrying and int-carrying — so callers can use
+// a callback bound once per engine and pass the per-task datum alongside it
+// instead of allocating a capturing closure per task.
 type cpuTask struct {
-	cost func() time.Duration
-	fn   func()
+	costDur time.Duration
+	cost    func() time.Duration
+	fn      func()
+	fnRes   func(*webpage.Resource)
+	argRes  *webpage.Resource
+	fnInt   func(int)
+	argInt  int
 }
 
 // cpu is the single-threaded browser CPU: a non-preemptive two-level
-// priority queue of tasks, with busy-time energy accounting.
+// priority queue of tasks, with busy-time energy accounting. The queues are
+// head-indexed slices so the steady state recycles their backing arrays
+// instead of reallocating per load.
 type cpu struct {
 	clock *simtime.Clock
 	watts float64
 
-	high []cpuTask
-	low  []cpuTask
+	high     []cpuTask
+	low      []cpuTask
+	highHead int
+	lowHead  int
 
 	busy        bool
 	runningHigh bool
 	busyStart   time.Duration
 	busyTotal   time.Duration
+
+	// cur* hold the completion callback of the running task (one of the three
+	// flavours); finishFn is the slice-completion handler, bound once so
+	// scheduling it never allocates.
+	curFn     func()
+	curFnRes  func(*webpage.Resource)
+	curArgRes *webpage.Resource
+	curFnInt  func(int)
+	curArgInt int
+	finishFn  func()
 
 	// onIdle fires whenever the CPU drains both queues.
 	onIdle func()
@@ -49,17 +73,55 @@ type cpu struct {
 }
 
 func newCPU(clock *simtime.Clock, watts float64) *cpu {
-	return &cpu{clock: clock, watts: watts}
+	c := &cpu{clock: clock, watts: watts}
+	c.finishFn = c.finishSlice
+	return c
+}
+
+// reset returns the CPU to a fresh idle state, keeping queue capacity.
+func (c *cpu) reset() {
+	for i := range c.high {
+		c.high[i] = cpuTask{}
+	}
+	for i := range c.low {
+		c.low[i] = cpuTask{}
+	}
+	c.high = c.high[:0]
+	c.low = c.low[:0]
+	c.highHead = 0
+	c.lowHead = 0
+	c.busy = false
+	c.runningHigh = false
+	c.busyStart = 0
+	c.busyTotal = 0
+	c.curFn = nil
+	c.curFnRes = nil
+	c.curArgRes = nil
+	c.curFnInt = nil
+	c.curArgInt = 0
 }
 
 // exec enqueues a task with a fixed cost.
 func (c *cpu) exec(p priority, cost time.Duration, fn func()) {
-	c.execLazy(p, func() time.Duration { return cost }, fn)
+	c.push(p, cpuTask{costDur: cost, fn: fn})
+}
+
+// execRes enqueues a fixed-cost task whose completion receives a resource.
+func (c *cpu) execRes(p priority, cost time.Duration, fn func(*webpage.Resource), res *webpage.Resource) {
+	c.push(p, cpuTask{costDur: cost, fnRes: fn, argRes: res})
+}
+
+// execInt enqueues a fixed-cost task whose completion receives an int.
+func (c *cpu) execInt(p priority, cost time.Duration, fn func(int), n int) {
+	c.push(p, cpuTask{costDur: cost, fnInt: fn, argInt: n})
 }
 
 // execLazy enqueues a task whose cost is computed when it starts.
 func (c *cpu) execLazy(p priority, cost func() time.Duration, fn func()) {
-	t := cpuTask{cost: cost, fn: fn}
+	c.push(p, cpuTask{cost: cost, fn: fn})
+}
+
+func (c *cpu) push(p priority, t cpuTask) {
 	if p == prioHigh {
 		c.high = append(c.high, t)
 	} else {
@@ -75,13 +137,23 @@ func (c *cpu) pump() {
 	var t cpuTask
 	fromHigh := false
 	switch {
-	case len(c.high) > 0:
-		t = c.high[0]
-		c.high = c.high[1:]
+	case c.highHead < len(c.high):
+		t = c.high[c.highHead]
+		c.high[c.highHead] = cpuTask{}
+		c.highHead++
+		if c.highHead == len(c.high) {
+			c.high = c.high[:0]
+			c.highHead = 0
+		}
 		fromHigh = true
-	case len(c.low) > 0:
-		t = c.low[0]
-		c.low = c.low[1:]
+	case c.lowHead < len(c.low):
+		t = c.low[c.lowHead]
+		c.low[c.lowHead] = cpuTask{}
+		c.lowHead++
+		if c.lowHead == len(c.low) {
+			c.low = c.low[:0]
+			c.lowHead = 0
+		}
 	default:
 		if c.onIdle != nil {
 			c.onIdle()
@@ -91,43 +163,64 @@ func (c *cpu) pump() {
 	c.busy = true
 	c.runningHigh = fromHigh
 	c.busyStart = c.clock.Now()
-	d := t.cost()
+	d := t.costDur
+	if t.cost != nil {
+		d = t.cost()
+	}
 	if d < 0 {
 		d = 0
 	}
-	c.clock.After(d, func() {
-		slice := c.clock.Now() - c.busyStart
-		c.busyTotal += slice
-		c.busy = false
-		c.runningHigh = false
-		if c.observer != nil {
-			queue := "low"
-			if fromHigh {
-				queue = "high"
-			}
-			c.observer.Record(c.clock.Now(), obs.Event{
-				Kind:   obs.KindComputeSlice,
-				Detail: queue,
-				DurNS:  int64(slice),
-			})
-			c.observer.ObserveDur("compute_ns", slice)
+	c.curFn = t.fn
+	c.curFnRes = t.fnRes
+	c.curArgRes = t.argRes
+	c.curFnInt = t.fnInt
+	c.curArgInt = t.argInt
+	c.clock.Defer(d, c.finishFn)
+}
+
+// finishSlice completes the running task: accounts the busy slice, reports
+// it to the observer, runs the task's completion callback, and pumps.
+func (c *cpu) finishSlice() {
+	slice := c.clock.Now() - c.busyStart
+	c.busyTotal += slice
+	c.busy = false
+	fromHigh := c.runningHigh
+	c.runningHigh = false
+	if c.observer != nil {
+		queue := "low"
+		if fromHigh {
+			queue = "high"
 		}
-		if t.fn != nil {
-			t.fn()
-		}
-		c.pump()
-	})
+		c.observer.Record(c.clock.Now(), obs.Event{
+			Kind:   obs.KindComputeSlice,
+			Detail: queue,
+			DurNS:  int64(slice),
+		})
+		c.observer.ObserveDur("compute_ns", slice)
+	}
+	fn, fnRes, argRes := c.curFn, c.curFnRes, c.curArgRes
+	fnInt, argInt := c.curFnInt, c.curArgInt
+	c.curFn, c.curFnRes, c.curArgRes, c.curFnInt = nil, nil, nil, nil
+	switch {
+	case fn != nil:
+		fn()
+	case fnRes != nil:
+		fnRes(argRes)
+	case fnInt != nil:
+		fnInt(argInt)
+	}
+	c.pump()
 }
 
 // idle reports whether the CPU has no running or queued work.
 func (c *cpu) idle() bool {
-	return !c.busy && len(c.high) == 0 && len(c.low) == 0
+	return !c.busy && c.highHead == len(c.high) && c.lowHead == len(c.low)
 }
 
 // highIdle reports whether no high-priority (discovery) work is running or
 // queued. A running low-priority task does not count.
 func (c *cpu) highIdle() bool {
-	if len(c.high) > 0 {
+	if c.highHead < len(c.high) {
 		return false
 	}
 	return !c.busy || !c.runningHigh

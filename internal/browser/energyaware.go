@@ -3,7 +3,6 @@ package browser
 import (
 	"time"
 
-	"eabrowse/internal/cssscan"
 	"eabrowse/internal/obs"
 	"eabrowse/internal/ril"
 	"eabrowse/internal/rrc"
@@ -19,105 +18,37 @@ import (
 // layout calculation, rendering) is deferred until the last byte arrived;
 // the radio is forced dormant right after data transmission ends. One cheap
 // text-only intermediate display is drawn after a third of the main document
-// has been scanned (full-version pages only).
-
-// eaRunDoc scans one document stream chunk by chunk; closeUnit is called
-// when the whole stream has been scanned (parse tasks may still be queued at
-// low priority — they are layout-side work and do not hold up discovery).
-func (e *Engine) eaRunDoc(ds *docStream, isMain bool, closeUnit func()) {
-	e.eaStep(ds, 0, isMain, closeUnit)
-}
-
-func (e *Engine) eaStep(ds *docStream, i int, isMain bool, closeUnit func()) {
-	if i >= len(ds.items) {
-		closeUnit()
-		return
-	}
-
-	chunkBytes := 0
-	chunkNodes := 0
-	var fetchables []item
-	var scriptURLs []string
-	var inlineBodies []string
-	anchors := 0
-	j := i
-	for ; j < len(ds.items); j++ {
-		it := ds.items[j]
-		chunkBytes += it.bytes
-		chunkNodes += it.nodes
-		switch it.kind {
-		case itemImage, itemCSS, itemSubdoc, itemFlash:
-			fetchables = append(fetchables, it)
-		case itemScript:
-			scriptURLs = append(scriptURLs, it.url)
-		case itemInlineScript:
-			inlineBodies = append(inlineBodies, it.body)
-		case itemAnchor:
-			anchors++
-		}
-		if chunkBytes >= e.cost.ChunkBytes {
-			j++
-			break
-		}
-	}
-	next := j
-
-	scanCost := perKB(e.cost.ScanHTMLPerKB, chunkBytes)
-	e.cpu.exec(prioHigh, scanCost, func() {
-		for k := 0; k < anchors; k++ {
-			e.countAnchor()
-		}
-		// Discovery first: issue every fetch found in this chunk.
-		for _, it := range fetchables {
-			e.eaFetchObject(it)
-		}
-		// Scripts are registered in document order; execution happens as
-		// soon as each is available and all earlier ones have run.
-		for _, u := range scriptURLs {
-			e.eaRegisterExternalScript(u)
-		}
-		for _, body := range inlineBodies {
-			e.eaRegisterInlineScript(body)
-		}
-		// The DOM parse of this chunk is deferred work: it must happen
-		// before scripts use the DOM and before layout, but it never blocks
-		// discovery. Low priority keeps it behind all discovery tasks.
-		e.cpu.exec(prioLow, perKB(e.cost.ParseHTMLPerKB, chunkBytes), func() {
-			e.domNodes += chunkNodes
-		})
-
-		if isMain {
-			e.scannedMainBytes += chunkBytes
-			e.eaMaybeSimpleDisplay(ds)
-		}
-		e.eaStep(ds, next, isMain, closeUnit)
-	})
-}
+// has been scanned (full-version pages only). The chunked scan itself lives
+// on docParser (parser.go).
 
 // eaMaybeSimpleDisplay draws the low-overhead text-only intermediate display
 // once a third of the main document has been scanned (Section 4.2). Mobile
 // pages skip it: their load is short enough that only the final display is
 // drawn.
-func (e *Engine) eaMaybeSimpleDisplay(ds *docStream) {
+func (e *Engine) eaMaybeSimpleDisplay() {
 	if e.simpleDrawn || e.page.Mobile {
 		return
 	}
-	if e.scannedMainBytes*3 < ds.totalSize {
+	if e.scannedMainBytes*3 < e.mainStream.totalSize {
 		return
 	}
 	e.simpleDrawn = true
-	scanned := e.scannedMainBytes
-	e.cpu.execLazy(prioHigh, func() time.Duration {
-		// Cost scales with the content scanned so far; the display needs no
-		// CSS rules, styles or images.
-		nodes := estimateNodes(ds, scanned)
-		return perNode(e.cost.SimpleDisplayPerNode, nodes)
-	}, func() {
-		if e.res.FirstDisplayAt == 0 {
-			e.res.FirstDisplayAt = e.since(e.clock.Now())
-			e.logEvent(EventFirstDisplay, "simplified")
-		}
-	})
+	e.simpleScanned = e.scannedMainBytes
+	e.cpu.execLazy(prioHigh, e.simpleCostFn, e.simpleShownFn)
+}
+
+// simpleCost scales with the content scanned when the simplified display was
+// triggered; the display needs no CSS rules, styles or images.
+func (e *Engine) simpleCost() time.Duration {
+	nodes := estimateNodes(e.mainStream, e.simpleScanned)
+	return perNode(e.cost.SimpleDisplayPerNode, nodes)
+}
+
+func (e *Engine) simpleShown() {
+	if e.res.FirstDisplayAt == 0 {
+		e.res.FirstDisplayAt = e.since(e.clock.Now())
+		e.logEvent(EventFirstDisplay, "simplified")
+	}
 }
 
 // estimateNodes counts the nodes within the first scannedBytes of a stream.
@@ -137,31 +68,26 @@ func estimateNodes(ds *docStream, scannedBytes int) int {
 // eaFetchObject fetches a non-script object. During the transmission phase
 // nothing but discovery work happens on arrival: CSS is scanned for more
 // references, images and flash are stored in memory undecoded, subdocuments
-// are scanned recursively.
+// are scanned recursively. (The arrival handlers live in dispatchArrival.)
 func (e *Engine) eaFetchObject(it item) {
 	switch it.kind {
 	case itemImage, itemFlash:
-		e.fetch(it.url, func(res *webpage.Resource, closeUnit func()) {
-			e.pendingImages = append(e.pendingImages, res)
-			closeUnit()
-		})
+		e.fetch(it.url, arriveEAImage, nil, nil)
 	case itemCSS:
-		e.fetch(it.url, func(res *webpage.Resource, closeUnit func()) {
-			scan := perKB(e.cost.ScanCSSPerKB, res.Bytes)
-			e.cpu.exec(prioHigh, scan, func() {
-				refs, _ := cssscan.ScanRefs(res.Body)
-				for _, u := range refs {
-					e.eaFetchObject(item{kind: itemImage, url: u})
-				}
-				e.pendingCSS = append(e.pendingCSS, res)
-				closeUnit()
-			})
-		})
+		e.fetch(it.url, arriveEACSS, nil, nil)
 	case itemSubdoc:
-		e.fetch(it.url, func(res *webpage.Resource, closeUnit func()) {
-			e.eaRunDoc(buildStream(res.Body), false, closeUnit)
-		})
+		e.fetch(it.url, arriveEASubdoc, nil, nil)
 	}
+}
+
+// eaCSSScanned completes an arrived stylesheet's reference scan: fetch what
+// it references, park it for the layout phase, close the unit.
+func (e *Engine) eaCSSScanned(res *webpage.Resource) {
+	for _, u := range e.plan.refs(res.URL, res.Body) {
+		e.eaFetchObject(item{kind: itemImage, url: u})
+	}
+	e.pendingCSS = append(e.pendingCSS, res)
+	e.closeUnit()
 }
 
 // eaRegisterExternalScript queues a script for in-order execution and
@@ -170,24 +96,26 @@ func (e *Engine) eaRegisterExternalScript(url string) {
 	if e.fetched[url] {
 		return
 	}
-	slot := &scriptSlot{url: url}
+	slot := e.getSlot()
+	slot.url = url
 	e.scripts = append(e.scripts, slot)
-	e.fetch(url, func(res *webpage.Resource, closeUnit func()) {
-		slot.body = res.Body
-		slot.ready = true
-		slot.close = closeUnit
-		e.eaPumpScripts()
-	})
+	e.fetch(url, arriveEAScript, nil, slot)
 }
 
 // eaRegisterInlineScript queues an inline script (body already available).
 func (e *Engine) eaRegisterInlineScript(body string) {
-	slot := &scriptSlot{body: body, ready: true, inline: true, close: e.openUnit()}
+	slot := e.getSlot()
+	slot.body = body
+	slot.ready = true
+	slot.inline = true
 	e.scripts = append(e.scripts, slot)
+	e.openWork++
 	e.eaPumpScripts()
 }
 
 // eaPumpScripts executes ready scripts in document order, one at a time.
+// Exactly one execution is in flight (scriptRunning), so its state lives in
+// a single set of engine fields consumed by eaScriptDone.
 func (e *Engine) eaPumpScripts() {
 	if e.scriptRunning || e.nextScript >= len(e.scripts) {
 		return
@@ -198,22 +126,33 @@ func (e *Engine) eaPumpScripts() {
 	}
 	e.scriptRunning = true
 	e.nextScript++
-	eff, cost := e.runScript(slot.body)
-	e.cpu.exec(prioHigh, cost, func() {
-		e.res.JSRunTime += cost
-		e.logEvent(EventScriptExecuted, scriptDetail(slot))
-		for _, u := range eff.Fetches {
-			e.eaFetchObject(item{kind: itemImage, url: u})
-		}
-		if eff.HTML != "" {
-			frag := buildStream(eff.HTML)
-			unit := e.openUnit()
-			e.eaRunDoc(frag, false, unit)
-		}
-		slot.close()
-		e.scriptRunning = false
-		e.eaPumpScripts()
-	})
+	var sp *scriptPlan
+	if slot.inline {
+		sp = e.plan.inlineScript(slot.body)
+	} else {
+		sp = e.plan.externalScript(slot.url)
+	}
+	eff, frag, cost := e.scriptEffects(sp, slot.body)
+	e.eaExecSlot, e.eaExecEff, e.eaExecFrag, e.eaExecCost = slot, eff, frag, cost
+	e.cpu.exec(prioHigh, cost, e.eaScriptDoneFn)
+}
+
+// eaScriptDone applies the finished script's effects and pumps the next one.
+func (e *Engine) eaScriptDone() {
+	slot, eff, frag, cost := e.eaExecSlot, e.eaExecEff, e.eaExecFrag, e.eaExecCost
+	e.eaExecSlot, e.eaExecEff, e.eaExecFrag = nil, nil, nil
+	e.res.JSRunTime += cost
+	e.logEvent(EventScriptExecuted, scriptDetail(slot))
+	for _, u := range eff.Fetches {
+		e.eaFetchObject(item{kind: itemImage, url: u})
+	}
+	if frag != nil {
+		e.openWork++
+		e.getParser(frag, false).eaStep()
+	}
+	e.closeUnit()
+	e.scriptRunning = false
+	e.eaPumpScripts()
 }
 
 // eaTransmissionDone fires when the last discovery obligation closed: every
@@ -229,7 +168,7 @@ func (e *Engine) eaTransmissionDone() {
 	if e.onTransmissionDone != nil {
 		e.onTransmissionDone()
 	} else if e.autoDormancy {
-		e.clock.After(e.dormancyGuard, func() { e.forceDormant() })
+		e.clock.Defer(e.dormancyGuard, e.forceDormantFn)
 	}
 
 	e.eaLayoutPhase()
@@ -317,26 +256,23 @@ func (e *Engine) RadioState() rrc.State {
 // low-priority, so any remaining DOM parse tasks run first.
 func (e *Engine) eaLayoutPhase() {
 	for _, css := range e.pendingCSS {
-		res := css
-		e.cpu.exec(prioLow, perKB(e.cost.ParseCSSPerKB, res.Bytes), func() {
-			cssscan.Parse(res.Body)
-			e.cssApplied++
-		})
+		// The parse product is already in the load plan; only the simulated
+		// parse cost is charged here.
+		e.cpu.exec(prioLow, perKB(e.cost.ParseCSSPerKB, css.Bytes), e.cssAppliedFn)
 	}
 	for _, img := range e.pendingImages {
-		res := img
-		e.cpu.exec(prioLow, perKB(e.cost.DecodeImagePerKB, res.Bytes), nil)
+		e.cpu.exec(prioLow, perKB(e.cost.DecodeImagePerKB, img.Bytes), nil)
 	}
-	e.cpu.execLazy(prioLow, func() time.Duration {
-		return perNode(e.cost.StylePerNode, e.domNodes)
-	}, nil)
-	e.cpu.execLazy(prioLow, func() time.Duration {
-		return perNode(e.cost.LayoutPerNode, e.domNodes)
-	}, nil)
-	e.cpu.execLazy(prioLow, func() time.Duration {
-		return perNode(e.cost.RenderPerNode, e.domNodes)
-	}, func() {
-		e.res.Reflows++
-		e.finish()
-	})
+	e.cpu.execLazy(prioLow, e.styleCostFn, nil)
+	e.cpu.execLazy(prioLow, e.layoutCostFn, nil)
+	e.cpu.execLazy(prioLow, e.renderCostFn, e.renderDoneFn)
+}
+
+func (e *Engine) cssAppliedTick() {
+	e.cssApplied++
+}
+
+func (e *Engine) renderDone() {
+	e.res.Reflows++
+	e.finish()
 }

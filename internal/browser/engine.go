@@ -63,6 +63,7 @@ type Engine struct {
 
 	// Per-load state.
 	page         *webpage.Page
+	plan         *loadPlan
 	res          *Result
 	doneFn       func(*Result)
 	loading      bool
@@ -82,6 +83,12 @@ type Engine struct {
 	// session driver or by the next Load.
 	activeLedger *obs.Ledger
 
+	// Result/ledger reuse (WithReusableResults): the same Result and Ledger
+	// objects serve every load, so a steady-state visit allocates neither.
+	reuseResults bool
+	resBuf       *Result
+	ledgerBuf    *obs.Ledger
+
 	// Energy-aware state.
 	scripts          []*scriptSlot
 	nextScript       int
@@ -91,15 +98,84 @@ type Engine struct {
 	scannedMainBytes int
 	simpleDrawn      bool
 	transmissionOver bool
+	mainStream       *docStream
+	simpleScanned    int
+
+	// State of the one energy-aware script execution in flight (guarded by
+	// scriptRunning, so a single set of fields suffices).
+	eaExecSlot *scriptSlot
+	eaExecEff  *jsmini.Effects
+	eaExecFrag *docStream
+	eaExecCost time.Duration
+
+	// Object free lists. The engine is single-goroutine, so plain slices do;
+	// in steady state every fetch, parser and script slot comes from here.
+	fsFree     []*fetchState
+	parserFree []*docParser
+	slotFree   []*scriptSlot
+
+	// Callbacks bound once at construction so hot-path scheduling allocates
+	// nothing.
+	reflowCostFn      func() time.Duration
+	redrawCostFn      func() time.Duration
+	styleCostFn       func() time.Duration
+	layoutCostFn      func() time.Duration
+	renderCostFn      func() time.Duration
+	simpleCostFn      func() time.Duration
+	reflowDoneNilFn   func()
+	reflowDoneCloseFn func()
+	reflowDoneEndFn   func()
+	redrawDoneCloseFn func()
+	origImageDoneFn   func()
+	origCSSParsedFn   func(*webpage.Resource)
+	origCSSStyledFn   func()
+	eaCSSScannedFn    func(*webpage.Resource)
+	addDOMNodesFn     func(int)
+	cssAppliedFn      func()
+	simpleShownFn     func()
+	renderDoneFn      func()
+	eaScriptDoneFn    func()
+	forceDormantFn    func()
+	deliverFn         func()
+	energyProbeFn     obs.EnergyProbe
 }
+
+// rrcStateNames labels the slots of the engine's energy probe: slot i carries
+// the cumulative joules of rrc.State(i).
+var rrcStateNames = func() (n obs.StateNames) {
+	for i := 1; i < rrc.NumStates; i++ {
+		n[i] = rrc.State(i).String()
+	}
+	return
+}()
+
+// The probe copies rrc's state-indexed array into an obs.EnergyVec, so the
+// vector must be at least as wide as the radio's state space.
+var _ [obs.NumEnergyStates - rrc.NumStates]struct{}
 
 type scriptSlot struct {
 	url    string
 	body   string
 	ready  bool
 	inline bool
-	close  func()
 }
+
+// arrivalKind tells the shared fetch path what to do when an object arrives.
+// It replaces the per-fetch onArrive closure: the handler code is a switch in
+// dispatchArrival and the only per-fetch state is the pooled fetchState.
+type arrivalKind int8
+
+const (
+	arriveMain arrivalKind = iota + 1
+	arriveOrigScript
+	arriveOrigImage
+	arriveOrigCSS
+	arriveOrigSubdoc
+	arriveEAImage
+	arriveEACSS
+	arriveEASubdoc
+	arriveEAScript
+)
 
 // Option configures an Engine.
 type Option interface {
@@ -158,6 +234,17 @@ func WithObserver(r *obs.Recorder) Option {
 	return optionFunc(func(e *Engine) { e.observer = r })
 }
 
+// WithReusableResults makes the engine hand out the same Result and Ledger
+// objects for every load instead of allocating fresh ones. The objects are
+// valid until the next Load on the same engine begins; callers that keep
+// results across loads (tables collecting one Result per page) must not use
+// this. Session pools and fleet replays, which consume each visit's result
+// before starting the next, turn it on to keep the per-visit allocation
+// count flat.
+func WithReusableResults() Option {
+	return optionFunc(func(e *Engine) { e.reuseResults = true })
+}
+
 // WithRIL routes dormancy requests through a Radio Interface Layer endpoint
 // (Section 4.4) instead of touching the radio directly. The request becomes
 // an asynchronous message with hop latency and can come back BUSY, in which
@@ -200,7 +287,35 @@ func NewEngine(clock *simtime.Clock, radio *rrc.Machine, link *netsim.Link,
 		return nil, errors.New("browser: invalid fetch retry policy")
 	}
 	e.cpu.observer = e.observer
+	e.bindCallbacks()
 	return e, nil
+}
+
+// bindCallbacks creates the engine's reusable callbacks once, so the load
+// hot path never allocates a closure for routine scheduling.
+func (e *Engine) bindCallbacks() {
+	e.reflowCostFn = e.reflowCost
+	e.redrawCostFn = e.redrawCost
+	e.styleCostFn = e.styleCost
+	e.layoutCostFn = e.layoutCost
+	e.renderCostFn = e.renderCost
+	e.simpleCostFn = e.simpleCost
+	e.reflowDoneNilFn = e.reflowDoneNil
+	e.reflowDoneCloseFn = e.reflowDoneClose
+	e.reflowDoneEndFn = e.reflowDoneEnd
+	e.redrawDoneCloseFn = e.redrawDoneClose
+	e.origImageDoneFn = e.origImageDecoded
+	e.origCSSParsedFn = e.origCSSParsed
+	e.origCSSStyledFn = e.origCSSStyled
+	e.eaCSSScannedFn = e.eaCSSScanned
+	e.addDOMNodesFn = e.addDOMNodes
+	e.cssAppliedFn = e.cssAppliedTick
+	e.simpleShownFn = e.simpleShown
+	e.renderDoneFn = e.renderDone
+	e.eaScriptDoneFn = e.eaScriptDone
+	e.forceDormantFn = func() { _ = e.forceDormant() }
+	e.deliverFn = e.deliver
+	e.energyProbeFn = e.energyProbe
 }
 
 // Mode returns the engine's pipeline.
@@ -222,6 +337,7 @@ func (e *Engine) Load(page *webpage.Page, done func(*Result)) error {
 		return errors.New("browser: page has no main document")
 	}
 	e.page = page
+	e.plan = planFor(page)
 	e.doneFn = done
 	e.loading = true
 	e.startAt = e.clock.Now()
@@ -230,43 +346,70 @@ func (e *Engine) Load(page *webpage.Page, done func(*Result)) error {
 	e.linkRetries0 = e.link.Retries()
 	e.linkFailed0 = e.link.FailedTransfers()
 	e.openWork = 0
-	e.fetched = make(map[string]bool, page.ResourceCount())
+	if e.fetched == nil {
+		e.fetched = make(map[string]bool, page.ResourceCount())
+	} else {
+		clear(e.fetched)
+	}
 	e.cssApplied = 0
 	e.domNodes = 0
-	e.scripts = nil
+	for i, s := range e.scripts {
+		e.putSlot(s)
+		e.scripts[i] = nil
+	}
+	e.scripts = e.scripts[:0]
 	e.nextScript = 0
 	e.scriptRunning = false
-	e.pendingCSS = nil
-	e.pendingImages = nil
+	for i := range e.pendingCSS {
+		e.pendingCSS[i] = nil
+	}
+	e.pendingCSS = e.pendingCSS[:0]
+	for i := range e.pendingImages {
+		e.pendingImages[i] = nil
+	}
+	e.pendingImages = e.pendingImages[:0]
 	e.scannedMainBytes = 0
 	e.simpleDrawn = false
 	e.transmissionOver = false
-	e.res = &Result{PageName: page.Name, Mode: e.mode, Mobile: page.Mobile}
+	e.mainStream = nil
+	e.simpleScanned = 0
+	if e.reuseResults && e.resBuf != nil {
+		r := e.resBuf
+		evs := r.Events[:0]
+		*r = Result{PageName: page.Name, Mode: e.mode, Mobile: page.Mobile, Events: evs}
+		e.res = r
+	} else {
+		e.res = &Result{PageName: page.Name, Mode: e.mode, Mobile: page.Mobile}
+		if e.reuseResults {
+			e.resBuf = e.res
+		}
+	}
 	// Every load carries a ledger (tables want the attribution column even
 	// without tracing); a still-open previous ledger ends here, so its tail
 	// phase covers the inter-load reading window.
 	e.CloseLedger()
-	e.activeLedger = obs.NewLedger(e.energyProbe)
+	if e.reuseResults && e.ledgerBuf != nil {
+		e.ledgerBuf.Reopen()
+		e.activeLedger = e.ledgerBuf
+	} else {
+		e.activeLedger = obs.NewLedger(e.energyProbeFn, &rrcStateNames)
+		if e.reuseResults {
+			e.ledgerBuf = e.activeLedger
+		}
+	}
 	e.activeLedger.Mark("transmission", e.clock.Now())
 	e.res.Ledger = e.activeLedger
 
-	e.fetch(page.MainURL, func(res *webpage.Resource, closeUnit func()) {
-		ds := buildStream(res.Body)
-		e.res.PageHeightPX = ds.heightPX
-		e.res.PageWidthPX = ds.widthPX
-		switch e.mode {
-		case ModeOriginal:
-			e.origRunDoc(ds, closeUnit)
-		case ModeEnergyAware:
-			e.eaRunDoc(ds, true, closeUnit)
-		}
-	})
+	e.fetch(page.MainURL, arriveMain, nil, nil)
 	return nil
 }
 
 // energyProbe samples the device's cumulative energy for the ledger.
-func (e *Engine) energyProbe() (map[string]float64, float64) {
-	return e.radio.EnergyByState(), e.cpu.EnergyJ()
+func (e *Engine) energyProbe() (obs.EnergyVec, float64) {
+	var v obs.EnergyVec
+	rv := e.radio.EnergyVec()
+	copy(v[:], rv[:])
+	return v, e.cpu.EnergyJ()
 }
 
 // markPhase ends the current ledger phase and opens the named one.
@@ -286,17 +429,119 @@ func (e *Engine) CloseLedger() {
 	e.activeLedger.EmitPhases(e.observer)
 }
 
+// Reset abandons any in-flight load and returns the engine to its
+// post-construction state, keeping pooled buffers and bound callbacks. The
+// caller must have reset the simulation clock first (dropping every pending
+// callback) and must also reset the radio and link the engine is wired to;
+// experiments.Session.Reset drives the full sequence.
+func (e *Engine) Reset() {
+	e.loading = false
+	e.page = nil
+	e.plan = nil
+	e.res = nil
+	e.doneFn = nil
+	e.startAt = 0
+	e.radioJ0 = 0
+	e.cpuJ0 = 0
+	e.openWork = 0
+	e.linkRetries0 = 0
+	e.linkFailed0 = 0
+	if e.fetched != nil {
+		clear(e.fetched)
+	}
+	e.cssApplied = 0
+	e.domNodes = 0
+	e.activeLedger = nil
+	for i, s := range e.scripts {
+		e.putSlot(s)
+		e.scripts[i] = nil
+	}
+	e.scripts = e.scripts[:0]
+	e.nextScript = 0
+	e.scriptRunning = false
+	for i := range e.pendingCSS {
+		e.pendingCSS[i] = nil
+	}
+	e.pendingCSS = e.pendingCSS[:0]
+	for i := range e.pendingImages {
+		e.pendingImages[i] = nil
+	}
+	e.pendingImages = e.pendingImages[:0]
+	e.scannedMainBytes = 0
+	e.simpleDrawn = false
+	e.transmissionOver = false
+	e.mainStream = nil
+	e.simpleScanned = 0
+	e.eaExecSlot = nil
+	e.eaExecEff = nil
+	e.eaExecFrag = nil
+	e.eaExecCost = 0
+	e.cpu.reset()
+}
+
 // since converts an absolute clock time into load-relative time.
 func (e *Engine) since(at time.Duration) time.Duration {
 	return at - e.startAt
 }
 
-// fetch requests url once; onArrive runs when the object has fully arrived
-// and must eventually call its closeUnit exactly once. Under fault injection
-// a fetch can fail permanently at the link layer; the engine then retries
-// with capped exponential backoff up to its attempt budget and deadline, and
-// finally abandons the object — the load completes degraded, never hangs.
-func (e *Engine) fetch(url string, onArrive func(res *webpage.Resource, closeUnit func())) {
+// fetchState is the pooled per-fetch bookkeeping: which object, which
+// arrival handler, and the retry budget. Its done and retry callbacks are
+// bound once when the object is first created, so issuing a fetch allocates
+// nothing in steady state.
+type fetchState struct {
+	e       *Engine
+	res     *webpage.Resource
+	kind    arrivalKind
+	attempt int
+	firstAt time.Duration
+	parser  *docParser
+	slot    *scriptSlot
+	doneFn  func(error)
+	retryFn func()
+}
+
+func (e *Engine) getFS() *fetchState {
+	if n := len(e.fsFree); n > 0 {
+		fs := e.fsFree[n-1]
+		e.fsFree[n-1] = nil
+		e.fsFree = e.fsFree[:n-1]
+		return fs
+	}
+	fs := &fetchState{e: e}
+	fs.doneFn = fs.done
+	fs.retryFn = fs.retry
+	return fs
+}
+
+func (e *Engine) putFS(fs *fetchState) {
+	fs.res = nil
+	fs.parser = nil
+	fs.slot = nil
+	e.fsFree = append(e.fsFree, fs)
+}
+
+func (e *Engine) getSlot() *scriptSlot {
+	if n := len(e.slotFree); n > 0 {
+		s := e.slotFree[n-1]
+		e.slotFree[n-1] = nil
+		e.slotFree = e.slotFree[:n-1]
+		return s
+	}
+	return &scriptSlot{}
+}
+
+func (e *Engine) putSlot(s *scriptSlot) {
+	*s = scriptSlot{}
+	e.slotFree = append(e.slotFree, s)
+}
+
+// fetch requests url once; when the object has fully arrived the handler for
+// kind runs (dispatchArrival) and must eventually close the discovery unit
+// exactly once. Under fault injection a fetch can fail permanently at the
+// link layer; the engine then retries with capped exponential backoff up to
+// its attempt budget and deadline, and finally abandons the object — the
+// load completes degraded, never hangs.
+func (e *Engine) fetch(url string, kind arrivalKind, parser *docParser, slot *scriptSlot) {
 	if e.fetched[url] {
 		return
 	}
@@ -307,57 +552,112 @@ func (e *Engine) fetch(url string, onArrive func(res *webpage.Resource, closeUni
 		return
 	}
 	e.openWork++
-	e.fetchAttempt(res, 1, e.clock.Now(), onArrive)
+	fs := e.getFS()
+	fs.res = res
+	fs.kind = kind
+	fs.parser = parser
+	fs.slot = slot
+	fs.attempt = 1
+	fs.firstAt = e.clock.Now()
+	fs.issue()
 }
 
-// fetchAttempt issues one engine-level attempt (the link retries internally
-// below this) and handles its outcome.
-func (e *Engine) fetchAttempt(res *webpage.Resource, attempt int, firstAt time.Duration,
-	onArrive func(res *webpage.Resource, closeUnit func())) {
-	err := e.link.FetchResult(res.URL, res.Bytes, func(ferr error) {
-		if ferr != nil {
-			e.fetchFailed(res, attempt, firstAt, onArrive)
-			return
-		}
-		e.recordArrival(res)
-		onArrive(res, e.closeUnit)
-	})
-	if err != nil {
+// issue starts one engine-level attempt (the link retries internally below
+// this).
+func (fs *fetchState) issue() {
+	e := fs.e
+	if err := e.link.FetchResult(fs.res.URL, fs.res.Bytes, fs.doneFn); err != nil {
 		// Zero-size resources cannot exist in generated pages; account and
 		// fail the unit rather than wedging the load.
 		e.res.Missing404++
+		e.putFS(fs)
 		e.closeUnit()
 	}
+}
+
+// done handles the outcome of one attempt.
+func (fs *fetchState) done(ferr error) {
+	e := fs.e
+	if ferr != nil {
+		e.fetchFailed(fs)
+		return
+	}
+	e.recordArrival(fs.res)
+	res, kind, parser, slot := fs.res, fs.kind, fs.parser, fs.slot
+	e.putFS(fs)
+	e.dispatchArrival(res, kind, parser, slot)
+}
+
+func (fs *fetchState) retry() {
+	fs.attempt++
+	fs.issue()
 }
 
 // fetchFailed decides between another backoff-delayed attempt and graceful
 // abandonment (budget spent or the per-object deadline passed).
-func (e *Engine) fetchFailed(res *webpage.Resource, attempt int, firstAt time.Duration,
-	onArrive func(res *webpage.Resource, closeUnit func())) {
-	if attempt >= e.fetchAttempts || e.clock.Now()-firstAt >= e.fetchDeadline {
+func (e *Engine) fetchFailed(fs *fetchState) {
+	if fs.attempt >= e.fetchAttempts || e.clock.Now()-fs.firstAt >= e.fetchDeadline {
 		e.res.FailedObjects++
-		e.logEvent(EventObjectFailed, res.URL)
+		e.logEvent(EventObjectFailed, fs.res.URL)
+		e.putFS(fs)
 		e.closeUnit()
 		return
 	}
-	backoff := e.fetchBackoff << (attempt - 1)
+	backoff := e.fetchBackoff << (fs.attempt - 1)
 	if backoff > e.fetchBackoffCap {
 		backoff = e.fetchBackoffCap
 	}
 	e.res.FetchRetries++
-	e.logEvent(EventFetchRetried, res.URL)
-	e.clock.After(backoff, func() {
-		e.fetchAttempt(res, attempt+1, firstAt, onArrive)
-	})
+	e.logEvent(EventFetchRetried, fs.res.URL)
+	e.clock.Defer(backoff, fs.retryFn)
 }
 
-// openUnit registers a unit of outstanding discovery work not tied to a
-// fetch (e.g. a pending inline script).
-func (e *Engine) openUnit() func() {
-	e.openWork++
-	return e.closeUnit
+// dispatchArrival routes an arrived object to its pipeline-specific handler.
+func (e *Engine) dispatchArrival(res *webpage.Resource, kind arrivalKind, parser *docParser, slot *scriptSlot) {
+	switch kind {
+	case arriveMain:
+		ds := e.plan.stream(res.URL, res.Body)
+		e.mainStream = ds
+		e.res.PageHeightPX = ds.heightPX
+		e.res.PageWidthPX = ds.widthPX
+		p := e.getParser(ds, true)
+		switch e.mode {
+		case ModeOriginal:
+			p.origStep()
+		case ModeEnergyAware:
+			p.eaStep()
+		}
+	case arriveOrigScript:
+		parser.execSP = e.plan.externalScript(res.URL)
+		parser.execBody = res.Body
+		parser.execCloseUnit = true
+		parser.startOrigExec()
+	case arriveOrigImage:
+		decode := perKB(e.cost.DecodeImagePerKB, res.Bytes)
+		e.cpu.exec(prioHigh, decode, e.origImageDoneFn)
+	case arriveOrigCSS:
+		parse := perKB(e.cost.ParseCSSPerKB, res.Bytes)
+		e.cpu.execRes(prioHigh, parse, e.origCSSParsedFn, res)
+	case arriveOrigSubdoc:
+		e.getParser(e.plan.stream(res.URL, res.Body), false).origStep()
+	case arriveEAImage:
+		e.pendingImages = append(e.pendingImages, res)
+		e.closeUnit()
+	case arriveEACSS:
+		scan := perKB(e.cost.ScanCSSPerKB, res.Bytes)
+		e.cpu.execRes(prioHigh, scan, e.eaCSSScannedFn, res)
+	case arriveEASubdoc:
+		e.getParser(e.plan.stream(res.URL, res.Body), false).eaStep()
+	case arriveEAScript:
+		slot.body = res.Body
+		slot.ready = true
+		e.eaPumpScripts()
+	}
 }
 
+// closeUnit retires one unit of outstanding discovery work (a fetched
+// object, a pending script, a document fragment being scanned). Callers that
+// open a unit not tied to a fetch increment openWork directly.
 func (e *Engine) closeUnit() {
 	e.openWork--
 	if e.openWork < 0 {
@@ -415,7 +715,7 @@ func (e *Engine) discoveryDone() {
 		e.logEvent(EventTransmissionDone, "")
 		e.markPhase("layout")
 		// One final reflow puts the complete page on screen.
-		e.scheduleReflow(func() { e.finish() })
+		e.cpu.execLazy(prioHigh, e.reflowCostFn, e.reflowDoneEndFn)
 	case ModeEnergyAware:
 		e.eaTransmissionDone()
 	}
@@ -434,35 +734,83 @@ func (e *Engine) runScript(body string) (*jsmini.Effects, time.Duration) {
 	return eff, cost
 }
 
+// scriptEffects resolves a script's effects, generated-markup stream and
+// simulated cost from the load plan, falling back to direct evaluation for
+// scripts the plan traversal missed.
+func (e *Engine) scriptEffects(sp *scriptPlan, body string) (*jsmini.Effects, *docStream, time.Duration) {
+	if sp == nil {
+		eff, cost := e.runScript(body)
+		var frag *docStream
+		if eff.HTML != "" {
+			frag = buildStream(eff.HTML)
+		}
+		return eff, frag, cost
+	}
+	cost := perKB(e.cost.ExecJSPerKB, len(body))
+	cost += time.Duration(sp.eff.ComputeMillis * float64(e.cost.JSComputeUnit))
+	return sp.eff, sp.effStream, cost
+}
+
 // countAnchor records a secondary URL (Table 1 feature).
 func (e *Engine) countAnchor() {
 	e.res.SecondURLs++
 }
 
-// scheduleReflow enqueues a reflow (layout + render over the whole DOM) and
-// runs then when it completes.
-func (e *Engine) scheduleReflow(then func()) {
-	e.cpu.execLazy(prioHigh, func() time.Duration {
-		return perNode(e.cost.LayoutPerNode+e.cost.RenderPerNode, e.domNodes)
-	}, func() {
-		e.res.Reflows++
-		e.maybeFirstDisplay()
-		if then != nil {
-			then()
-		}
-	})
+// Reflows and redraws come in a few fixed continuation shapes (nothing,
+// close a discovery unit, finish the load); each shape has a callback bound
+// once so scheduling the display update allocates nothing.
+
+func (e *Engine) reflowCost() time.Duration {
+	return perNode(e.cost.LayoutPerNode+e.cost.RenderPerNode, e.domNodes)
 }
 
-// scheduleRedraw enqueues a redraw (search all nodes, repaint).
-func (e *Engine) scheduleRedraw(then func()) {
-	e.cpu.execLazy(prioHigh, func() time.Duration {
-		return perNode(e.cost.RedrawPerNode, e.domNodes)
-	}, func() {
-		e.res.Redraws++
-		if then != nil {
-			then()
-		}
-	})
+func (e *Engine) redrawCost() time.Duration {
+	return perNode(e.cost.RedrawPerNode, e.domNodes)
+}
+
+func (e *Engine) styleCost() time.Duration {
+	return perNode(e.cost.StylePerNode, e.domNodes)
+}
+
+func (e *Engine) layoutCost() time.Duration {
+	return perNode(e.cost.LayoutPerNode, e.domNodes)
+}
+
+func (e *Engine) renderCost() time.Duration {
+	return perNode(e.cost.RenderPerNode, e.domNodes)
+}
+
+func (e *Engine) reflowDoneNil() {
+	e.res.Reflows++
+	e.maybeFirstDisplay()
+}
+
+func (e *Engine) reflowDoneClose() {
+	e.res.Reflows++
+	e.maybeFirstDisplay()
+	e.closeUnit()
+}
+
+func (e *Engine) reflowDoneEnd() {
+	e.res.Reflows++
+	e.maybeFirstDisplay()
+	e.finish()
+}
+
+func (e *Engine) redrawDoneClose() {
+	e.res.Redraws++
+	e.closeUnit()
+}
+
+// scheduleReflowNil enqueues a reflow (layout + render over the whole DOM)
+// with no continuation.
+func (e *Engine) scheduleReflowNil() {
+	e.cpu.execLazy(prioHigh, e.reflowCostFn, e.reflowDoneNilFn)
+}
+
+// addDOMNodes is the completion of a deferred (low-priority) DOM parse task.
+func (e *Engine) addDOMNodes(n int) {
+	e.domNodes += n
 }
 
 // maybeFirstDisplay records the first useful intermediate display of the
@@ -494,8 +842,15 @@ func (e *Engine) finish() {
 	e.res.LinkRetries = e.link.Retries() - e.linkRetries0
 	e.res.FailedTransfers = e.link.FailedTransfers() - e.linkFailed0
 	if e.doneFn != nil {
-		done := e.doneFn
-		res := e.res
-		e.clock.After(0, func() { done(res) })
+		e.clock.Defer(0, e.deliverFn)
 	}
+}
+
+// deliver hands the finished Result to the load's done callback. It reads
+// the fields at fire time; nothing can overwrite them between finish and the
+// zero-delay delivery event.
+func (e *Engine) deliver() {
+	done := e.doneFn
+	res := e.res
+	done(res)
 }

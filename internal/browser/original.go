@@ -1,151 +1,43 @@
 package browser
 
-import (
-	"time"
+import "eabrowse/internal/webpage"
 
-	"eabrowse/internal/cssscan"
-	"eabrowse/internal/webpage"
-)
-
-// The original pipeline (Section 2.2 / Fig. 2): the browser parses HTML
-// incrementally; every discovered object is fetched and then *fully
-// processed on arrival* — images decoded, stylesheets parsed and applied,
-// layout recalculated — before parsing continues. External scripts block the
-// parser until they are fetched and executed. Intermediate displays are
-// redrawn and reflowed frequently. Data transmissions end up spread across
-// the whole load (Fig. 4) because discovery keeps stalling on computation.
-
-// origRunDoc drives the incremental parse of one document stream. closeUnit
-// must be called exactly once when the document (and the scripts it blocks
-// on) has been fully consumed.
-func (e *Engine) origRunDoc(ds *docStream, closeUnit func()) {
-	e.origStep(ds, 0, closeUnit)
-}
-
-// origStep consumes items starting at index i: batches plain content into
-// chunks, fetches referenced objects, and suspends on scripts.
-func (e *Engine) origStep(ds *docStream, i int, closeUnit func()) {
-	if i >= len(ds.items) {
-		closeUnit()
-		return
-	}
-
-	chunkBytes := 0
-	chunkNodes := 0
-	var fetchables []item
-	anchors := 0
-	j := i
-	var blocking *item
-	for ; j < len(ds.items); j++ {
-		it := ds.items[j]
-		if it.kind == itemScript || it.kind == itemInlineScript {
-			blocking = &ds.items[j]
-			chunkBytes += it.bytes
-			chunkNodes += it.nodes
-			j++
-			break
-		}
-		chunkBytes += it.bytes
-		chunkNodes += it.nodes
-		switch it.kind {
-		case itemImage, itemCSS, itemSubdoc, itemFlash:
-			fetchables = append(fetchables, it)
-		case itemAnchor:
-			anchors++
-		}
-		if chunkBytes >= e.cost.ChunkBytes {
-			j++
-			break
-		}
-	}
-	next := j
-
-	parseCost := perKB(e.cost.ParseHTMLPerKB, chunkBytes)
-	e.cpu.exec(prioHigh, parseCost, func() {
-		e.domNodes += chunkNodes
-		for k := 0; k < anchors; k++ {
-			e.countAnchor()
-		}
-		for _, it := range fetchables {
-			e.origFetchObject(it)
-		}
-		// The original browser updates the intermediate display after each
-		// parsed chunk: a reflow over the current DOM.
-		e.scheduleReflow(nil)
-
-		if blocking == nil {
-			e.origStep(ds, next, closeUnit)
-			return
-		}
-		if blocking.kind == itemInlineScript {
-			e.origExecScript(blocking.body, func() {
-				e.origStep(ds, next, closeUnit)
-			})
-			return
-		}
-		// External script: parsing is suspended until the script is fetched
-		// and executed (classic parser-blocking <script src>).
-		e.fetch(blocking.url, func(res *webpage.Resource, scriptUnit func()) {
-			e.origExecScript(res.Body, func() {
-				scriptUnit()
-				e.origStep(ds, next, closeUnit)
-			})
-		})
-	})
-}
-
-// origExecScript executes a script body, applies its effects (new fetches,
-// document.write markup) and then continues.
-func (e *Engine) origExecScript(body string, then func()) {
-	eff, cost := e.runScript(body)
-	e.cpu.exec(prioHigh, cost, func() {
-		e.res.JSRunTime += cost
-		e.logEvent(EventScriptExecuted, "")
-		for _, u := range eff.Fetches {
-			e.origFetchObject(item{kind: itemImage, url: u})
-		}
-		if eff.HTML != "" {
-			frag := buildStream(eff.HTML)
-			unit := e.openUnit()
-			e.origRunDoc(frag, unit)
-		}
-		then()
-	})
-}
+// Original-pipeline arrival processing (the chunked parse itself lives on
+// docParser in parser.go). Every object is fully processed on arrival —
+// images decoded and redrawn, stylesheets parsed, applied and reflowed —
+// exactly as the stock browser of Section 2.2 does.
 
 // origFetchObject fetches a non-script object and processes it on arrival
 // the way the original pipeline does.
 func (e *Engine) origFetchObject(it item) {
 	switch it.kind {
 	case itemImage, itemFlash:
-		e.fetch(it.url, func(res *webpage.Resource, closeUnit func()) {
-			decode := perKB(e.cost.DecodeImagePerKB, res.Bytes)
-			e.cpu.exec(prioHigh, decode, func() {
-				// A freshly decoded image changes visibility only: redraw.
-				e.scheduleRedraw(closeUnit)
-			})
-		})
+		e.fetch(it.url, arriveOrigImage, nil, nil)
 	case itemCSS:
-		e.fetch(it.url, func(res *webpage.Resource, closeUnit func()) {
-			parse := perKB(e.cost.ParseCSSPerKB, res.Bytes)
-			e.cpu.exec(prioHigh, parse, func() {
-				sheet := cssscan.Parse(res.Body)
-				for _, u := range sheet.Refs {
-					e.origFetchObject(item{kind: itemImage, url: u})
-				}
-				// Apply the new rules: style formatting over the DOM, then
-				// a reflow (rule changes affect the whole layout).
-				e.cpu.execLazy(prioHigh, func() time.Duration {
-					return perNode(e.cost.StylePerNode, e.domNodes)
-				}, func() {
-					e.cssApplied++
-					e.scheduleReflow(closeUnit)
-				})
-			})
-		})
+		e.fetch(it.url, arriveOrigCSS, nil, nil)
 	case itemSubdoc:
-		e.fetch(it.url, func(res *webpage.Resource, closeUnit func()) {
-			e.origRunDoc(buildStream(res.Body), closeUnit)
-		})
+		e.fetch(it.url, arriveOrigSubdoc, nil, nil)
 	}
+}
+
+// origImageDecoded completes an image decode: a freshly decoded image
+// changes visibility only, so redraw and close the unit.
+func (e *Engine) origImageDecoded() {
+	e.cpu.execLazy(prioHigh, e.redrawCostFn, e.redrawDoneCloseFn)
+}
+
+// origCSSParsed completes a stylesheet parse: fetch the referenced images,
+// then apply the new rules (style formatting over the DOM, then a reflow —
+// rule changes affect the whole layout).
+func (e *Engine) origCSSParsed(res *webpage.Resource) {
+	for _, u := range e.plan.refs(res.URL, res.Body) {
+		e.origFetchObject(item{kind: itemImage, url: u})
+	}
+	e.cpu.execLazy(prioHigh, e.styleCostFn, e.origCSSStyledFn)
+}
+
+// origCSSStyled completes the style pass after a stylesheet was applied.
+func (e *Engine) origCSSStyled() {
+	e.cssApplied++
+	e.cpu.execLazy(prioHigh, e.reflowCostFn, e.reflowDoneCloseFn)
 }

@@ -1,0 +1,274 @@
+package browser
+
+import (
+	"time"
+
+	"eabrowse/internal/jsmini"
+)
+
+// docParser drives the chunked consumption of one document stream. It is the
+// explicit-state replacement for the recursive closures the pipelines used to
+// allocate per chunk: the parser object is pooled on the engine, its step and
+// completion callbacks are bound once when the object is first created, and
+// per-chunk state lives in fields. A parser is strictly sequential — at most
+// one of its CPU tasks is pending at a time — so the chunk fields are safe to
+// reuse between steps. When the stream is consumed the parser closes its
+// discovery unit and returns itself to the pool.
+type docParser struct {
+	e      *Engine
+	ds     *docStream
+	pos    int
+	isMain bool
+
+	// Current chunk, set by the scan in origStep/eaStep and consumed by the
+	// chunk-parsed completion.
+	chunkStart   int
+	chunkEnd     int
+	chunkBytes   int
+	chunkNodes   int
+	chunkAnchors int
+	blockingIdx  int
+
+	// Script-execution state for the original pipeline (the parser suspends
+	// on blocking scripts).
+	execSP        *scriptPlan
+	execBody      string
+	execEff       *jsmini.Effects
+	execFrag      *docStream
+	execCost      time.Duration
+	execCloseUnit bool
+
+	// Callbacks bound once per parser object (amortised to zero by pooling).
+	origChunkFn func()
+	origExecFn  func()
+	eaChunkFn   func()
+}
+
+// getParser checks a parser out of the engine's free list.
+func (e *Engine) getParser(ds *docStream, isMain bool) *docParser {
+	var p *docParser
+	if n := len(e.parserFree); n > 0 {
+		p = e.parserFree[n-1]
+		e.parserFree[n-1] = nil
+		e.parserFree = e.parserFree[:n-1]
+	} else {
+		p = &docParser{e: e}
+		p.origChunkFn = p.origChunkDone
+		p.origExecFn = p.origExecDone
+		p.eaChunkFn = p.eaChunkDone
+	}
+	p.ds = ds
+	p.isMain = isMain
+	p.pos = 0
+	p.blockingIdx = -1
+	return p
+}
+
+// putParser clears the parser's references and returns it to the free list.
+func (e *Engine) putParser(p *docParser) {
+	p.ds = nil
+	p.isMain = false
+	p.execSP = nil
+	p.execBody = ""
+	p.execEff = nil
+	p.execFrag = nil
+	e.parserFree = append(e.parserFree, p)
+}
+
+// --- Original pipeline ---------------------------------------------------
+//
+// (Section 2.2 / Fig. 2): the browser parses HTML incrementally; every
+// discovered object is fetched and then *fully processed on arrival* —
+// images decoded, stylesheets parsed and applied, layout recalculated —
+// before parsing continues. External scripts block the parser until they are
+// fetched and executed. Intermediate displays are redrawn and reflowed
+// frequently. Data transmissions end up spread across the whole load (Fig. 4)
+// because discovery keeps stalling on computation.
+
+// origStep scans the next chunk — batching plain content, stopping at a
+// blocking script or the chunk-size bound — and schedules its parse.
+func (p *docParser) origStep() {
+	e := p.e
+	if p.pos >= len(p.ds.items) {
+		e.putParser(p)
+		e.closeUnit()
+		return
+	}
+
+	chunkBytes, chunkNodes, anchors := 0, 0, 0
+	blockingIdx := -1
+	j := p.pos
+	for ; j < len(p.ds.items); j++ {
+		it := &p.ds.items[j]
+		if it.kind == itemScript || it.kind == itemInlineScript {
+			blockingIdx = j
+			chunkBytes += it.bytes
+			chunkNodes += it.nodes
+			j++
+			break
+		}
+		chunkBytes += it.bytes
+		chunkNodes += it.nodes
+		if it.kind == itemAnchor {
+			anchors++
+		}
+		if chunkBytes >= e.cost.ChunkBytes {
+			j++
+			break
+		}
+	}
+	p.chunkStart, p.chunkEnd = p.pos, j
+	p.chunkNodes, p.chunkAnchors = chunkNodes, anchors
+	p.blockingIdx = blockingIdx
+	p.pos = j
+
+	e.cpu.exec(prioHigh, perKB(e.cost.ParseHTMLPerKB, chunkBytes), p.origChunkFn)
+}
+
+// origChunkDone applies a parsed chunk: grow the DOM, count anchors, fetch
+// every referenced object, redraw the intermediate display, then either
+// continue parsing or suspend on the chunk's blocking script.
+func (p *docParser) origChunkDone() {
+	e := p.e
+	e.domNodes += p.chunkNodes
+	for k := 0; k < p.chunkAnchors; k++ {
+		e.countAnchor()
+	}
+	for k := p.chunkStart; k < p.chunkEnd; k++ {
+		it := &p.ds.items[k]
+		switch it.kind {
+		case itemImage, itemCSS, itemSubdoc, itemFlash:
+			e.origFetchObject(*it)
+		}
+	}
+	// The original browser updates the intermediate display after each
+	// parsed chunk: a reflow over the current DOM.
+	e.scheduleReflowNil()
+
+	if p.blockingIdx < 0 {
+		p.origStep()
+		return
+	}
+	bl := &p.ds.items[p.blockingIdx]
+	if bl.kind == itemInlineScript {
+		p.execSP = e.plan.inlineScript(bl.body)
+		p.execBody = bl.body
+		p.execCloseUnit = false
+		p.startOrigExec()
+		return
+	}
+	// External script: parsing is suspended until the script is fetched and
+	// executed (classic parser-blocking <script src>); the arrival handler
+	// resumes this parser.
+	e.fetch(bl.url, arriveOrigScript, p, nil)
+}
+
+// startOrigExec resolves the suspended script through the load plan and
+// schedules its execution.
+func (p *docParser) startOrigExec() {
+	e := p.e
+	eff, frag, cost := e.scriptEffects(p.execSP, p.execBody)
+	p.execEff, p.execFrag, p.execCost = eff, frag, cost
+	e.cpu.exec(prioHigh, cost, p.origExecFn)
+}
+
+// origExecDone applies the executed script's effects (new fetches,
+// document.write markup) and resumes parsing.
+func (p *docParser) origExecDone() {
+	e := p.e
+	e.res.JSRunTime += p.execCost
+	e.logEvent(EventScriptExecuted, "")
+	for _, u := range p.execEff.Fetches {
+		e.origFetchObject(item{kind: itemImage, url: u})
+	}
+	if p.execFrag != nil {
+		e.openWork++
+		child := e.getParser(p.execFrag, false)
+		child.origStep()
+	}
+	wasFetch := p.execCloseUnit
+	p.execSP, p.execBody, p.execEff, p.execFrag = nil, "", nil, nil
+	p.execCloseUnit = false
+	if wasFetch {
+		e.closeUnit()
+	}
+	p.origStep()
+}
+
+// --- Energy-aware pipeline ------------------------------------------------
+//
+// (Section 4.1-4.2): run every computation that can generate data
+// transmissions first — scan HTML and CSS for references, execute scripts in
+// document order — issuing fetches as early as possible so transfers group
+// together. HTML is still parsed into the DOM (scripts may need it), but as
+// lower-priority work that never delays discovery.
+
+// eaStep scans the next chunk of the stream and schedules the scan task.
+func (p *docParser) eaStep() {
+	e := p.e
+	if p.pos >= len(p.ds.items) {
+		e.putParser(p)
+		e.closeUnit()
+		return
+	}
+
+	chunkBytes, chunkNodes, anchors := 0, 0, 0
+	j := p.pos
+	for ; j < len(p.ds.items); j++ {
+		it := &p.ds.items[j]
+		chunkBytes += it.bytes
+		chunkNodes += it.nodes
+		if it.kind == itemAnchor {
+			anchors++
+		}
+		if chunkBytes >= e.cost.ChunkBytes {
+			j++
+			break
+		}
+	}
+	p.chunkStart, p.chunkEnd = p.pos, j
+	p.chunkBytes, p.chunkNodes, p.chunkAnchors = chunkBytes, chunkNodes, anchors
+	p.pos = j
+
+	e.cpu.exec(prioHigh, perKB(e.cost.ScanHTMLPerKB, chunkBytes), p.eaChunkFn)
+}
+
+// eaChunkDone runs discovery for a scanned chunk: issue every fetch found,
+// register scripts for in-order execution, defer the DOM parse to low
+// priority, and continue scanning.
+func (p *docParser) eaChunkDone() {
+	e := p.e
+	for k := 0; k < p.chunkAnchors; k++ {
+		e.countAnchor()
+	}
+	// Discovery first: issue every fetch found in this chunk.
+	for k := p.chunkStart; k < p.chunkEnd; k++ {
+		it := &p.ds.items[k]
+		switch it.kind {
+		case itemImage, itemCSS, itemSubdoc, itemFlash:
+			e.eaFetchObject(*it)
+		}
+	}
+	// Scripts are registered in document order; execution happens as soon as
+	// each is available and all earlier ones have run.
+	for k := p.chunkStart; k < p.chunkEnd; k++ {
+		if it := &p.ds.items[k]; it.kind == itemScript {
+			e.eaRegisterExternalScript(it.url)
+		}
+	}
+	for k := p.chunkStart; k < p.chunkEnd; k++ {
+		if it := &p.ds.items[k]; it.kind == itemInlineScript {
+			e.eaRegisterInlineScript(it.body)
+		}
+	}
+	// The DOM parse of this chunk is deferred work: it must happen before
+	// scripts use the DOM and before layout, but it never blocks discovery.
+	// Low priority keeps it behind all discovery tasks.
+	e.cpu.execInt(prioLow, perKB(e.cost.ParseHTMLPerKB, p.chunkBytes), e.addDOMNodesFn, p.chunkNodes)
+
+	if p.isMain {
+		e.scannedMainBytes += p.chunkBytes
+		e.eaMaybeSimpleDisplay()
+	}
+	p.eaStep()
+}

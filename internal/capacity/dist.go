@@ -1,0 +1,197 @@
+package capacity
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"eabrowse/internal/simtime"
+)
+
+// Dist is an empirical service-time distribution in compressed form: each
+// distinct value carries a weight (its observation count). Large fleets
+// produce millions of per-visit transmission times but only a bounded set of
+// distinct values (one per page/pipeline/radio-start-state template), so a
+// weighted distribution keeps the capacity model's memory independent of the
+// fleet size where a raw sample slice would grow with it.
+type Dist struct {
+	values []float64
+	counts []int64
+	total  int64
+}
+
+// Add records n observations of value v (appending a new slot or widening an
+// existing one; lookup is linear, so callers with many distinct values should
+// pre-aggregate). n must be positive and v must be a positive duration in
+// seconds.
+func (d *Dist) Add(v float64, n int64) error {
+	if n <= 0 {
+		return fmt.Errorf("capacity: non-positive weight %d", n)
+	}
+	if v <= 0 {
+		return fmt.Errorf("capacity: non-positive service time %v", v)
+	}
+	for i, have := range d.values {
+		if have == v {
+			d.counts[i] += n
+			d.total += n
+			return nil
+		}
+	}
+	d.values = append(d.values, v)
+	d.counts = append(d.counts, n)
+	d.total += n
+	return nil
+}
+
+// Merge folds other into d, value by value in other's insertion order.
+func (d *Dist) Merge(other *Dist) error {
+	for i, v := range other.values {
+		if err := d.Add(v, other.counts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// N returns the total number of observations.
+func (d *Dist) N() int64 { return d.total }
+
+// Sum returns the weighted sum of values (observations × value), accumulated
+// in insertion order so it is deterministic for deterministic insertions.
+func (d *Dist) Sum() float64 {
+	var s float64
+	for i, v := range d.values {
+		s += v * float64(d.counts[i])
+	}
+	return s
+}
+
+// Mean returns the weighted mean (0 for an empty distribution).
+func (d *Dist) Mean() float64 {
+	if d.total == 0 {
+		return 0
+	}
+	return d.Sum() / float64(d.total)
+}
+
+// sampler draws values with probability proportional to their counts via a
+// cumulative-count table and one Int63n per draw.
+type sampler struct {
+	values []float64
+	cum    []int64
+	total  int64
+}
+
+func newSampler(d *Dist) sampler {
+	cum := make([]int64, len(d.counts))
+	var run int64
+	for i, c := range d.counts {
+		run += c
+		cum[i] = run
+	}
+	return sampler{values: d.values, cum: cum, total: run}
+}
+
+func (s *sampler) draw(rng *rand.Rand) float64 {
+	target := rng.Int63n(s.total)
+	lo, hi := 0, len(s.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] <= target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return s.values[lo]
+}
+
+// SimulateDist is Simulate over a weighted service-time distribution. It is
+// a separate entry point rather than a change to Simulate because the two
+// draw from their rng differently (index vs. cumulative weight), and
+// Simulate's exact draw sequence is pinned by the Fig. 11 golden output.
+func SimulateDist(users int, d *Dist, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if users <= 0 {
+		return Result{}, errors.New("capacity: need at least one user")
+	}
+	if d == nil || d.total == 0 {
+		return Result{}, errors.New("capacity: empty service-time distribution")
+	}
+
+	clock := simtime.NewClock()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := Result{Users: users}
+	busy := 0
+	smp := newSampler(d)
+
+	nextArrival := func() time.Duration {
+		return time.Duration(rng.ExpFloat64() * float64(cfg.MeanSessionInterval))
+	}
+
+	var arrive func()
+	arrive = func() {
+		res.Offered++
+		if busy >= cfg.Channels {
+			res.Dropped++
+		} else {
+			busy++
+			if busy > res.MaxBusy {
+				res.MaxBusy = busy
+			}
+			clock.After(time.Duration(smp.draw(rng)*float64(time.Second)), func() { busy-- })
+		}
+		clock.After(nextArrival(), arrive)
+	}
+	for u := 0; u < users; u++ {
+		clock.After(nextArrival(), arrive)
+	}
+	clock.RunUntil(cfg.Duration)
+
+	if res.Offered > 0 {
+		res.DropPercent = float64(res.Dropped) / float64(res.Offered) * 100
+	}
+	return res, nil
+}
+
+// SupportedUsersDist finds (by bisection) the largest user population whose
+// dropping probability stays at or below maxDropPercent, drawing service
+// times from the weighted distribution.
+func SupportedUsersDist(d *Dist, maxDropPercent float64, cfg Config) (int, error) {
+	if maxDropPercent <= 0 || maxDropPercent >= 100 {
+		return 0, fmt.Errorf("capacity: drop target %v%% out of (0,100)", maxDropPercent)
+	}
+	lo := 1
+	hi := 1
+	for {
+		r, err := SimulateDist(hi, d, cfg)
+		if err != nil {
+			return 0, err
+		}
+		if r.DropPercent > maxDropPercent {
+			break
+		}
+		lo = hi
+		hi *= 2
+		if hi > 1<<20 {
+			return 0, errors.New("capacity: target never exceeded (degenerate service times)")
+		}
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		r, err := SimulateDist(mid, d, cfg)
+		if err != nil {
+			return 0, err
+		}
+		if r.DropPercent > maxDropPercent {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo, nil
+}

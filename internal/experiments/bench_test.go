@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"testing"
+
+	"eabrowse/internal/browser"
+)
+
+// BenchmarkVisit measures the steady-state cost of one page visit on a
+// pooled phone: check a session out, replay the m.cnn.com load to final
+// display, check it back in. With the plan cache warm and result buffers
+// reused the visit is expected to stay within single-digit allocations —
+// scripts/bench.sh records the numbers in BENCH_SIM.json and CI fails on a
+// >25% allocs/op regression.
+func BenchmarkVisit(b *testing.B) {
+	page, err := MCNNPage()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []browser.Mode{browser.ModeOriginal, browser.ModeEnergyAware} {
+		b.Run(mode.String(), func(b *testing.B) {
+			pool := NewSessionPool(mode,
+				WithEngineOptions(browser.WithReusableResults()))
+			// Warm the load-plan cache and the pool's buffers.
+			s, err := pool.Get()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.LoadToEnd(page); err != nil {
+				b.Fatal(err)
+			}
+			pool.Put(s)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := pool.Get()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.LoadToEnd(page); err != nil {
+					b.Fatal(err)
+				}
+				pool.Put(s)
+			}
+		})
+	}
+}
+
+// BenchmarkFleetReplay measures the full fleet experiment end to end —
+// streaming trace, template replay, capacity model — at a small population,
+// with the training artifacts pre-warmed so the number tracks the replay
+// engine rather than one-time GBRT training.
+func BenchmarkFleetReplay(b *testing.B) {
+	if _, err := TrainedPredictor(true); err != nil {
+		b.Fatal(err)
+	}
+	cfg := FleetConfig{Users: 50, HoursPerUser: 0.1, Seed: 20130709}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var visits int
+	for i := 0; i < b.N; i++ {
+		res, err := Fleet(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		visits = res.Visits
+	}
+	b.ReportMetric(float64(visits), "visits")
+}
+
+// BenchmarkVisitFresh is the unpooled baseline for BenchmarkVisit: a new
+// session per visit, fresh result buffers every load. The gap between the
+// two is what the pooling layer buys.
+func BenchmarkVisitFresh(b *testing.B) {
+	page, err := MCNNPage()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mode := browser.ModeEnergyAware
+	b.Run(mode.String(), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := New(mode)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.LoadToEnd(page); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

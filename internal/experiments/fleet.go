@@ -1,8 +1,8 @@
 package experiments
 
 import (
-	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"eabrowse/internal/browser"
@@ -11,9 +11,20 @@ import (
 	"eabrowse/internal/gbrt"
 	"eabrowse/internal/obs"
 	"eabrowse/internal/policy"
+	"eabrowse/internal/rrc"
 	"eabrowse/internal/runner"
 	"eabrowse/internal/trace"
 	"eabrowse/internal/webpage"
+)
+
+// Fleet population and duration bounds, enforced by FleetConfig.Validate.
+// The ceiling keeps a mistyped flag from committing the process to days of
+// simulation: 200k users at 24 h each is already ~40× the paper's whole
+// collection campaign.
+const (
+	MinFleetUsers        = 1
+	MaxFleetUsers        = 200_000
+	MaxFleetHoursPerUser = 24.0
 )
 
 // FleetConfig sizes the fleet replay.
@@ -31,13 +42,15 @@ func DefaultFleetConfig() FleetConfig {
 	return FleetConfig{Users: 300, HoursPerUser: 0.25, Seed: 20130709}
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration against the documented bounds.
 func (c FleetConfig) Validate() error {
-	switch {
-	case c.Users <= 0:
-		return errors.New("fleet: need at least one user")
-	case c.HoursPerUser <= 0:
-		return errors.New("fleet: hours per user must be positive")
+	if c.Users < MinFleetUsers || c.Users > MaxFleetUsers {
+		return fmt.Errorf("fleet: users = %d out of range [%d, %d]",
+			c.Users, MinFleetUsers, MaxFleetUsers)
+	}
+	if !(c.HoursPerUser > 0) || c.HoursPerUser > MaxFleetHoursPerUser {
+		return fmt.Errorf("fleet: hours per user = %g out of range (0, %g]",
+			c.HoursPerUser, MaxFleetHoursPerUser)
 	}
 	return nil
 }
@@ -79,28 +92,87 @@ type FleetResult struct {
 	CapacityGainPct float64
 }
 
-// fleetUserOutcome is one phone's replay under both pipelines.
-type fleetUserOutcome struct {
-	origEnergyJ  float64
-	awareEnergyJ float64
-	origTransS   []float64
-	awareTransS  []float64
-	visits       int
-	switches     int
-	predictions  int
-	predEnergyJ  float64
+// fleetShards bounds both the aggregation memory and the merge cost: each
+// shard replays a contiguous user range into one accumulator, so peak state
+// is O(shards), independent of the fleet size.
+const fleetShards = 64
+
+// transHist is a per-shard histogram of transmission times in insertion
+// order. Distinct values are bounded by the template population (pages ×
+// start states), not by the visit count.
+type transHist struct {
+	order []float64
+	count map[float64]int64
 }
 
-// Fleet replays a multi-hundred-user browsing trace concurrently, one
-// simulated phone per user per pipeline, and reports aggregate energy and
-// cell capacity. The energy-aware phones run Algorithm 2 end to end: load,
-// wait the interest threshold α, predict the reading time with the shared
-// trained GBRT, force the radio dormant when the prediction clears the
-// delay-driven threshold, and pay the Table 7 prediction cost for every
-// evaluation.
+func (h *transHist) add(v float64) {
+	if h.count == nil {
+		h.count = make(map[float64]int64, 256)
+	}
+	if _, ok := h.count[v]; !ok {
+		h.order = append(h.order, v)
+	}
+	h.count[v]++
+}
+
+// fleetShard is one shard's accumulated replay outcome.
+type fleetShard struct {
+	visits      int
+	switches    int
+	predictions int
+	origJ       float64
+	awareJ      float64
+	predJ       float64
+	origTrans   transHist
+	awareTrans  transHist
+}
+
+func (s *fleetShard) fold(o userOutcome) {
+	s.visits += o.visits
+	s.switches += o.switches
+	s.predictions += o.predictions
+	s.origJ += o.origJ
+	s.awareJ += o.awareJ
+	s.predJ += o.predJ
+}
+
+// userOutcome is one phone's replay under both pipelines. Transmission
+// times go straight into the shard histograms instead of riding here.
+type userOutcome struct {
+	visits      int
+	switches    int
+	predictions int
+	origJ       float64
+	awareJ      float64
+	predJ       float64
+}
+
+// Fleet replays a fleet-scale browsing trace, one simulated phone per user
+// per pipeline, and reports aggregate energy and cell capacity. The
+// energy-aware phones run Algorithm 2 end to end: load, wait the interest
+// threshold α, predict the reading time with the shared trained GBRT, force
+// the radio dormant when the prediction clears the delay-driven threshold,
+// and pay the Table 7 prediction cost for every evaluation.
 //
-// Every phone owns its own virtual clock, so the replay is deterministic at
-// any worker count: users run on the worker pool and aggregate in user order.
+// Users are generated on demand from independent per-user random streams
+// (trace.Stream) and replayed in fixed-size shards of contiguous user
+// ranges, so memory stays O(shards) while populations scale to 100k+. Shard
+// accumulators merge in shard order, making the result byte-identical at
+// any worker count.
+//
+// Two replay engines produce the numbers:
+//
+//   - Untraced runs use precomputed visit templates: each distinct (page,
+//     pipeline, radio-start-state) combination is simulated once on a real
+//     phone, and every further visit replays the cached load outcome with a
+//     closed-form radio walk through the reading window. This is exact up
+//     to floating-point association: the load evolution depends only on the
+//     template key (the first fetch disarms the inactivity timers at t=0),
+//     and between loads the radio follows the deterministic
+//     DCH→(T1)→FACH→(T2)→IDLE decay that the cursor mirrors.
+//   - Tracing runs (obs enabled) simulate every phone in full so the event
+//     stream is complete; they agree with the template engine to
+//     floating-point tolerance and are meant for small fleets.
 func Fleet(cfg FleetConfig) (*FleetResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -109,7 +181,7 @@ func Fleet(cfg FleetConfig) (*FleetResult, error) {
 	tcfg.Users = cfg.Users
 	tcfg.HoursPerUser = cfg.HoursPerUser
 	tcfg.Seed = cfg.Seed
-	ds, err := trace.Synthesize(tcfg)
+	stream, err := trace.NewStream(tcfg)
 	if err != nil {
 		return nil, fmt.Errorf("fleet trace: %w", err)
 	}
@@ -120,20 +192,48 @@ func Fleet(cfg FleetConfig) (*FleetResult, error) {
 		return nil, err
 	}
 
-	pages := make(map[string]*webpage.Page, len(ds.Pool))
-	for i := range ds.Pool {
-		pages[ds.Pool[i].Name] = ds.Pool[i].Page
-	}
-	// Visits arrive grouped by user and ordered within each user.
-	byUser := make([][]trace.Visit, cfg.Users)
-	for _, v := range ds.Visits {
-		byUser[v.User] = append(byUser[v.User], v)
+	pool := stream.Pool()
+	pages := make(map[string]*webpage.Page, len(pool))
+	for i := range pool {
+		pages[pool[i].Name] = pool[i].Page
 	}
 
-	params := policy.DefaultParams()
-	device := gbrt.DefaultDeviceCost()
-	outcomes, err := runner.Collect(cfg.Users, func(u int) (fleetUserOutcome, error) {
-		return replayFleetUser(u, byUser[u], pages, pred, params, device)
+	rt := &fleetRuntime{
+		stream: stream,
+		pages:  pages,
+		pred:   pred,
+		params: policy.DefaultParams(),
+		device: gbrt.DefaultDeviceCost(),
+		rcfg:   rrc.DefaultConfig(),
+		traced: obs.Default() != nil,
+	}
+	rt.predVisitJ = rt.device.PredictionEnergyJ(pred.NumTrees())
+	rt.drain = rt.rcfg.T1 + rt.rcfg.T2 + time.Second
+
+	shards := fleetShards
+	if cfg.Users < shards {
+		shards = cfg.Users
+	}
+	outs, err := runner.Collect(shards, func(sh int) (fleetShard, error) {
+		var out fleetShard
+		lo := sh * cfg.Users / shards
+		hi := (sh + 1) * cfg.Users / shards
+		var visitBuf []trace.Visit
+		for u := lo; u < hi; u++ {
+			visitBuf = rt.stream.UserVisits(u, visitBuf[:0])
+			var o userOutcome
+			var err error
+			if rt.traced {
+				o, err = rt.replayUserTraced(u, visitBuf, &out)
+			} else {
+				o, err = rt.replayUserTemplated(visitBuf, &out)
+			}
+			if err != nil {
+				return out, fmt.Errorf("fleet user %d: %w", u, err)
+			}
+			out.fold(o)
+		}
+		return out, nil
 	})
 	if err != nil {
 		return nil, err
@@ -142,16 +242,25 @@ func Fleet(cfg FleetConfig) (*FleetResult, error) {
 	res := &FleetResult{Users: cfg.Users, TraceHours: cfg.HoursPerUser}
 	res.Original.Mode = browser.ModeOriginal
 	res.Aware.Mode = browser.ModeEnergyAware
-	var origTrans, awareTrans []float64
-	for _, o := range outcomes {
+	var origDist, awareDist capacity.Dist
+	for i := range outs {
+		o := &outs[i]
 		res.Visits += o.visits
-		res.Original.EnergyJ += o.origEnergyJ
-		res.Aware.EnergyJ += o.awareEnergyJ
+		res.Original.EnergyJ += o.origJ
+		res.Aware.EnergyJ += o.awareJ
 		res.Aware.Switches += o.switches
 		res.Aware.Predictions += o.predictions
-		res.Aware.PredictionEnergyJ += o.predEnergyJ
-		origTrans = append(origTrans, o.origTransS...)
-		awareTrans = append(awareTrans, o.awareTransS...)
+		res.Aware.PredictionEnergyJ += o.predJ
+		for _, v := range o.origTrans.order {
+			if err := origDist.Add(v, o.origTrans.count[v]); err != nil {
+				return nil, err
+			}
+		}
+		for _, v := range o.awareTrans.order {
+			if err := awareDist.Add(v, o.awareTrans.count[v]); err != nil {
+				return nil, err
+			}
+		}
 	}
 	res.Original.MeanEnergyPerUserJ = res.Original.EnergyJ / float64(cfg.Users)
 	res.Aware.MeanEnergyPerUserJ = res.Aware.EnergyJ / float64(cfg.Users)
@@ -163,19 +272,15 @@ func Fleet(cfg FleetConfig) (*FleetResult, error) {
 	ccfg := capacity.DefaultConfig()
 	for _, side := range []struct {
 		stats *FleetModeStats
-		trans []float64
-	}{{&res.Original, origTrans}, {&res.Aware, awareTrans}} {
-		var sum float64
-		for _, t := range side.trans {
-			sum += t
-		}
-		side.stats.MeanTransmissionS = sum / float64(len(side.trans))
-		supported, err := capacity.SupportedUsers(side.trans, 2, ccfg)
+		dist  *capacity.Dist
+	}{{&res.Original, &origDist}, {&res.Aware, &awareDist}} {
+		side.stats.MeanTransmissionS = side.dist.Mean()
+		supported, err := capacity.SupportedUsersDist(side.dist, 2, ccfg)
 		if err != nil {
 			return nil, err
 		}
 		side.stats.SupportedAt2Pct = supported
-		atFleet, err := capacity.Simulate(cfg.Users, side.trans, ccfg)
+		atFleet, err := capacity.SimulateDist(cfg.Users, side.dist, ccfg)
 		if err != nil {
 			return nil, err
 		}
@@ -188,14 +293,332 @@ func Fleet(cfg FleetConfig) (*FleetResult, error) {
 	return res, nil
 }
 
-// replayFleetUser walks one user's visit sequence on two persistent phones —
-// one per pipeline — so radio state carries across the visits of a session
-// exactly as it would on a real handset.
-func replayFleetUser(user int, visits []trace.Visit, pages map[string]*webpage.Page,
-	pred TrainedReadingPredictor, params policy.Params,
-	device gbrt.DeviceCost) (fleetUserOutcome, error) {
+// fleetRuntime is the read-only state shared by every shard.
+type fleetRuntime struct {
+	stream     *trace.Stream
+	pages      map[string]*webpage.Page
+	pred       TrainedReadingPredictor
+	params     policy.Params
+	device     gbrt.DeviceCost
+	rcfg       rrc.Config
+	drain      time.Duration
+	predVisitJ float64
+	traced     bool
 
-	out := fleetUserOutcome{}
+	// templates caches one simulated visit per (page, mode, start state);
+	// sync.Map because shards race on first use. Duplicate builds are
+	// harmless: the build is deterministic, LoadOrStore keeps one winner.
+	templates sync.Map
+}
+
+// tmplKey identifies one distinct visit evolution. start is the radio state
+// at load begin; inactivity-timer remainders don't participate because the
+// load's first fetch disarms them at t=0 (a RELEASING start is handled as a
+// shifted IDLE template, see replayUserTemplated).
+type tmplKey struct {
+	page  string
+	mode  browser.Mode
+	start rrc.State
+}
+
+// visitTemplate is the cached outcome of simulating one visit's load.
+type visitTemplate struct {
+	transS   float64 // TransmissionTime, seconds
+	radioJ   float64 // radio energy over the load window
+	cpuJ     float64 // CPU energy over the load window
+	endState rrc.State
+	endRem   time.Duration // remaining T1/T2 in endState at load end
+	// Policy products (energy-aware templates only): the Table 1 vector,
+	// the GBRT prediction over it and Algorithm 2's decision — all pure
+	// functions of the template.
+	vec      features.Vector
+	predS    float64
+	switchOn bool
+}
+
+func (rt *fleetRuntime) template(key tmplKey) (*visitTemplate, error) {
+	if v, ok := rt.templates.Load(key); ok {
+		return v.(*visitTemplate), nil
+	}
+	t, err := rt.buildTemplate(key)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := rt.templates.LoadOrStore(key, t)
+	return actual.(*visitTemplate), nil
+}
+
+// buildTemplate simulates the keyed visit once on a real phone: prime the
+// radio into the start state, load the page, and capture the load's energy,
+// transmission time and the radio state it leaves behind.
+func (rt *fleetRuntime) buildTemplate(key tmplKey) (*visitTemplate, error) {
+	page, ok := rt.pages[key.page]
+	if !ok || page == nil {
+		return nil, fmt.Errorf("no page body for %s", key.page)
+	}
+	var opts []SessionOption
+	if key.mode == browser.ModeEnergyAware {
+		// In the policy setting the release decision belongs to Algorithm 2,
+		// not the engine's own end-of-load dormancy.
+		opts = append(opts, WithEngineOptions(browser.WithoutAutoDormancy()))
+	}
+	s, err := New(key.mode, opts...)
+	if err != nil {
+		return nil, err
+	}
+	switch key.start {
+	case rrc.StateIdle:
+		// Fresh phone.
+	case rrc.StateDCH, rrc.StateFACH:
+		promoted := false
+		s.Radio.RequestDCH(func() { promoted = true })
+		for !promoted {
+			if !s.Clock.Step() {
+				return nil, fmt.Errorf("template %v: radio priming stalled", key)
+			}
+		}
+		if key.start == rrc.StateFACH {
+			// Let T1 demote DCH→FACH; the fresh T2 it arms is irrelevant to
+			// the load (disarmed by the first fetch at t=0).
+			s.Clock.RunFor(s.Radio.Config().T1)
+		}
+	default:
+		return nil, fmt.Errorf("template %v: unsupported start state", key)
+	}
+	res, err := s.LoadToEnd(page)
+	if err != nil {
+		return nil, fmt.Errorf("template %v: %w", key, err)
+	}
+	now := s.Clock.Now()
+	t1At, t2At, t1Armed, t2Armed := s.Radio.InactivityTimers()
+	t := &visitTemplate{
+		transS:   res.TransmissionTime.Seconds(),
+		radioJ:   res.RadioEnergyJ,
+		cpuJ:     res.CPUEnergyJ,
+		endState: s.Radio.State(),
+	}
+	switch {
+	case t.endState == rrc.StateDCH && t1Armed:
+		t.endRem = t1At - now
+	case t.endState == rrc.StateFACH && t2Armed:
+		t.endRem = t2At - now
+	case t.endState == rrc.StateIdle:
+		// No pending timers.
+	default:
+		return nil, fmt.Errorf("template %v: load ended in unexpected radio state %v", key, t.endState)
+	}
+	if key.mode == browser.ModeEnergyAware {
+		vec, err := features.FromResult(res)
+		if err != nil {
+			return nil, err
+		}
+		predS, err := rt.pred.PredictSeconds(vec)
+		if err != nil {
+			return nil, err
+		}
+		t.vec = vec
+		t.predS = predS
+		t.switchOn = policy.Evaluate(time.Duration(predS*float64(time.Second)), rt.params).Switch
+	}
+	return t, nil
+}
+
+// phoneCursor is the analytic mirror of an idle phone's radio: the current
+// state plus the remaining time before its pending timer fires. Between
+// loads the radio only ever decays DCH→(T1)→FACH→(T2)→IDLE, or completes a
+// forced release RELEASING→IDLE, so this pair fully determines the walk.
+type phoneCursor struct {
+	state rrc.State
+	rem   time.Duration
+}
+
+// advance walks the cursor d forward and returns the radio energy spent.
+// A timer expiring exactly at the window boundary fires, matching
+// simtime.Clock.RunFor, which processes events due at the boundary.
+func (pc *phoneCursor) advance(d time.Duration, rc *rrc.Config) float64 {
+	var j float64
+	for d > 0 {
+		switch pc.state {
+		case rrc.StateIdle:
+			j += rc.PowerIdle * d.Seconds()
+			d = 0
+		case rrc.StateDCH:
+			if d < pc.rem {
+				j += rc.PowerDCHIdle * d.Seconds()
+				pc.rem -= d
+				d = 0
+			} else {
+				j += rc.PowerDCHIdle * pc.rem.Seconds()
+				d -= pc.rem
+				pc.state = rrc.StateFACH
+				pc.rem = rc.T2
+			}
+		case rrc.StateFACH:
+			if d < pc.rem {
+				j += rc.PowerFACH * d.Seconds()
+				pc.rem -= d
+				d = 0
+			} else {
+				j += rc.PowerFACH * pc.rem.Seconds()
+				d -= pc.rem
+				pc.state = rrc.StateIdle
+				pc.rem = 0
+			}
+		case rrc.StateReleasing:
+			if d < pc.rem {
+				j += rc.PowerRelease * d.Seconds()
+				pc.rem -= d
+				d = 0
+			} else {
+				j += rc.PowerRelease * pc.rem.Seconds()
+				d -= pc.rem
+				pc.state = rrc.StateIdle
+				pc.rem = 0
+			}
+		default:
+			// Promotion states cannot occur between loads.
+			j += rc.PowerIdle * d.Seconds()
+			d = 0
+		}
+	}
+	return j
+}
+
+// forceIdle mirrors rrc.Machine.ForceIdle for an idle phone (no transfer in
+// flight, no waiters — always the case between loads): from IDLE or
+// RELEASING it is a successful no-op; otherwise the release signaling lump
+// is charged and the radio spends ReleaseDelay in RELEASING. Every branch
+// reports success, exactly as ForceIdle returns nil in all of them.
+func (pc *phoneCursor) forceIdle(rc *rrc.Config) float64 {
+	switch pc.state {
+	case rrc.StateIdle, rrc.StateReleasing:
+		return 0
+	default:
+		pc.state = rrc.StateReleasing
+		pc.rem = rc.ReleaseDelay
+		return rc.ReleaseSignalEnergy
+	}
+}
+
+// replayUserTemplated replays one user's visits through the template cache
+// and the analytic radio cursor. No per-visit simulation, no per-visit
+// allocation beyond first-touch template builds and histogram growth.
+func (rt *fleetRuntime) replayUserTemplated(visits []trace.Visit, shard *fleetShard) (userOutcome, error) {
+	var out userOutcome
+	if len(visits) == 0 {
+		return out, nil
+	}
+	rc := &rt.rcfg
+	alpha := rt.params.Alpha
+	orig := phoneCursor{state: rrc.StateIdle}
+	aware := phoneCursor{state: rrc.StateIdle}
+	session := visits[0].Session
+	for i := range visits {
+		v := &visits[i]
+		if v.Session != session {
+			// Session breaks are minutes apart — let both radios idle out.
+			out.origJ += orig.advance(rt.drain, rc)
+			out.awareJ += aware.advance(rt.drain, rc)
+			session = v.Session
+		}
+		reading := time.Duration(v.ReadingSeconds * float64(time.Second))
+
+		// Original pipeline: load, then sit through the reading window on
+		// operator timers. A RELEASING start never happens here (the stock
+		// pipeline never forces dormancy), but the shift handles it anyway.
+		if err := rt.playLoad(&orig, browser.ModeOriginal, v.Page, &out.origJ, &shard.origTrans, nil); err != nil {
+			return out, err
+		}
+		out.origJ += orig.advance(reading, rc)
+
+		// Energy-aware pipeline: Algorithm 2.
+		var predS float64
+		havePred := false
+		if err := rt.playLoad(&aware, browser.ModeEnergyAware, v.Page, &out.awareJ, &shard.awareTrans, func(t *visitTemplate, delta time.Duration) error {
+			if delta == 0 {
+				predS = t.predS
+				havePred = true
+				return nil
+			}
+			// A delayed (RELEASING-start) load stretches the measured
+			// transmission time, which is a predictor feature — re-predict.
+			vec := t.vec
+			vec[features.TransmissionTime] += delta.Seconds()
+			var err error
+			predS, err = rt.pred.PredictSeconds(vec)
+			havePred = err == nil
+			return err
+		}); err != nil {
+			return out, err
+		}
+		if reading <= alpha {
+			// The user clicked away before the interest threshold — no
+			// prediction, timers handle the short gap.
+			out.awareJ += aware.advance(reading, rc)
+		} else {
+			out.awareJ += aware.advance(alpha, rc)
+			if !havePred {
+				return out, fmt.Errorf("no prediction for %s", v.Page)
+			}
+			out.predictions++
+			out.predJ += rt.predVisitJ
+			if policy.Evaluate(time.Duration(predS*float64(time.Second)), rt.params).Switch {
+				out.awareJ += aware.forceIdle(rc)
+				out.switches++
+			}
+			out.awareJ += aware.advance(reading-alpha, rc)
+		}
+		out.visits++
+	}
+	out.awareJ += out.predJ
+	return out, nil
+}
+
+// playLoad replays one load on the cursor: resolve the template for the
+// cursor's state (a RELEASING start reuses the IDLE template shifted by the
+// remaining release time δ — the queued DCH request waits out the release
+// in RELEASING, then evolves exactly as from IDLE), charge its energy, file
+// its transmission time, and leave the cursor in the load's end state.
+// onPredict (aware loads) receives the template and the shift.
+func (rt *fleetRuntime) playLoad(pc *phoneCursor, mode browser.Mode, page string,
+	energyJ *float64, hist *transHist,
+	onPredict func(*visitTemplate, time.Duration) error) error {
+
+	var delta time.Duration
+	start := pc.state
+	if start == rrc.StateReleasing {
+		delta = pc.rem
+		start = rrc.StateIdle
+	}
+	t, err := rt.template(tmplKey{page: page, mode: mode, start: start})
+	if err != nil {
+		return err
+	}
+	transS := t.transS
+	*energyJ += t.radioJ + t.cpuJ
+	if delta > 0 {
+		*energyJ += rt.rcfg.PowerRelease * delta.Seconds()
+		transS += delta.Seconds()
+	}
+	hist.add(transS)
+	pc.state = t.endState
+	pc.rem = t.endRem
+	if onPredict != nil {
+		if err := onPredict(t, delta); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayUserTraced walks one user's visit sequence on two fully simulated
+// persistent phones — one per pipeline — so radio state carries across the
+// visits of a session exactly as it would on a real handset, and every
+// transition, transfer and policy decision lands in the trace. Used when
+// obs tracing is enabled; agrees with the template engine to floating-point
+// tolerance.
+func (rt *fleetRuntime) replayUserTraced(user int, visits []trace.Visit, shard *fleetShard) (userOutcome, error) {
+	out := userOutcome{}
 	if len(visits) == 0 {
 		return out, nil
 	}
@@ -205,8 +628,6 @@ func replayFleetUser(user int, visits []trace.Visit, pages map[string]*webpage.P
 	if err != nil {
 		return out, err
 	}
-	// In the policy setting the release decision belongs to Algorithm 2, not
-	// the engine's own end-of-load dormancy.
 	aware, err := New(browser.ModeEnergyAware,
 		WithObsKey(fmt.Sprintf("fleet/u%03d/energy-aware", user)),
 		WithEngineOptions(browser.WithoutAutoDormancy()))
@@ -214,43 +635,37 @@ func replayFleetUser(user int, visits []trace.Visit, pages map[string]*webpage.P
 		return out, err
 	}
 
-	drain := orig.Radio.Config().T1 + orig.Radio.Config().T2 + time.Second
-	alpha := params.Alpha
+	alpha := rt.params.Alpha
 	var origCPUJ, awareCPUJ float64
 	session := visits[0].Session
-	for _, v := range visits {
-		page, ok := pages[v.Page]
+	for i := range visits {
+		v := &visits[i]
+		page, ok := rt.pages[v.Page]
 		if !ok || page == nil {
-			return out, fmt.Errorf("fleet: no page body for %s", v.Page)
+			return out, fmt.Errorf("no page body for %s", v.Page)
 		}
 		if v.Session != session {
-			// Session breaks are minutes apart — let both radios idle out.
-			orig.Clock.RunFor(drain)
-			aware.Clock.RunFor(drain)
+			orig.Clock.RunFor(rt.drain)
+			aware.Clock.RunFor(rt.drain)
 			session = v.Session
 		}
 		reading := time.Duration(v.ReadingSeconds * float64(time.Second))
 
-		// Original pipeline: load, then sit through the reading window on
-		// operator timers.
 		origRes, err := orig.LoadToEnd(page)
 		if err != nil {
-			return out, fmt.Errorf("fleet original %s: %w", v.Page, err)
+			return out, fmt.Errorf("original %s: %w", v.Page, err)
 		}
 		origCPUJ += origRes.CPUEnergyJ
-		out.origTransS = append(out.origTransS, origRes.TransmissionTime.Seconds())
+		shard.origTrans.add(origRes.TransmissionTime.Seconds())
 		orig.Clock.RunFor(reading)
 
-		// Energy-aware pipeline: Algorithm 2.
 		awareRes, err := aware.LoadToEnd(page)
 		if err != nil {
-			return out, fmt.Errorf("fleet aware %s: %w", v.Page, err)
+			return out, fmt.Errorf("aware %s: %w", v.Page, err)
 		}
 		awareCPUJ += awareRes.CPUEnergyJ
-		out.awareTransS = append(out.awareTransS, awareRes.TransmissionTime.Seconds())
+		shard.awareTrans.add(awareRes.TransmissionTime.Seconds())
 		if reading <= alpha {
-			// The user clicked away before the interest threshold — no
-			// prediction, timers handle the short gap.
 			aware.Clock.RunFor(reading)
 		} else {
 			aware.Clock.RunFor(alpha)
@@ -258,13 +673,13 @@ func replayFleetUser(user int, visits []trace.Visit, pages map[string]*webpage.P
 			if err != nil {
 				return out, err
 			}
-			predS, err := pred.PredictSeconds(vec)
+			predS, err := rt.pred.PredictSeconds(vec)
 			if err != nil {
 				return out, err
 			}
 			out.predictions++
-			out.predEnergyJ += device.PredictionEnergyJ(pred.NumTrees())
-			decision := policy.Evaluate(time.Duration(predS*float64(time.Second)), params)
+			out.predJ += rt.predVisitJ
+			decision := policy.Evaluate(time.Duration(predS*float64(time.Second)), rt.params)
 			if aware.Obs != nil {
 				aware.Obs.Record(aware.Clock.Now(), obs.Event{
 					Kind:   obs.KindPolicyDecision,
@@ -285,18 +700,17 @@ func replayFleetUser(user int, visits []trace.Visit, pages map[string]*webpage.P
 		}
 		out.visits++
 	}
-	out.origEnergyJ = orig.Radio.EnergyJ() + origCPUJ
-	out.awareEnergyJ = aware.Radio.EnergyJ() + awareCPUJ + out.predEnergyJ
+	out.origJ = orig.Radio.EnergyJ() + origCPUJ
+	out.awareJ = aware.Radio.EnergyJ() + awareCPUJ + out.predJ
 	return out, nil
 }
 
 // TrainedReadingPredictor is the slice of the predictor API Algorithm 2
 // needs; the fleet replay takes it as an interface so tests can stub the
-// model. Fleet predictions stay per-visit rather than batched: each feature
-// vector comes from the load result just simulated, and the release decision
-// feeds back into the radio state of the following visits, so there is no
-// batch to precompute — the fleet's share of the GBRT speedup comes from
-// training, which dominates its wall-clock.
+// model. Predictions stay per-visit rather than batched: each feature
+// vector comes from the load (or load template) just replayed, and the
+// release decision feeds back into the radio state of the following visits,
+// so there is no batch to precompute.
 type TrainedReadingPredictor interface {
 	PredictSeconds(v features.Vector) (float64, error)
 	NumTrees() int

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"sync"
+
+	"eabrowse/internal/browser"
+)
+
+// Reset rewinds the session to a just-built state so it can be reused for
+// another independent simulation: virtual time returns to zero and every
+// pending callback is dropped, then the radio, link, engine, RIL endpoint
+// and fault injector are rewound deterministically. A reset session behaves
+// bit-identically to a fresh one built with the same options — the only
+// difference is that queues, free lists and result buffers keep their
+// capacity, which is what makes pooled visits allocation-free.
+//
+// The clock must be reset before the substrates: their pending timers and
+// in-flight messages live in the clock's heap, so dropping it first leaves
+// nothing to fire against half-reset state.
+func (s *Session) Reset() {
+	s.Clock.Reset()
+	s.Radio.Reset()
+	s.Link.Reset()
+	s.Engine.Reset()
+	s.RIL.Reset()
+	s.Faults.Reset()
+}
+
+// SessionPool recycles phones for repeated independent simulations. Get
+// returns a ready session (fresh or reset); Put rewinds it and shelves it
+// for the next Get. Sessions built with an observer key cannot be pooled —
+// obs keys must be unique per logical session — so use the pool only for
+// untraced workloads (replay loops, benchmarks). The pool itself is safe
+// for concurrent use; each session must still be driven by one goroutine
+// at a time.
+type SessionPool struct {
+	mode browser.Mode
+	opts []SessionOption
+	pool sync.Pool
+}
+
+// NewSessionPool builds a pool whose sessions are created by
+// New(mode, opts...). Pass browser.WithReusableResults through
+// WithEngineOptions to also flatten per-visit Result allocations.
+func NewSessionPool(mode browser.Mode, opts ...SessionOption) *SessionPool {
+	return &SessionPool{mode: mode, opts: opts}
+}
+
+// Get returns a ready session: a reset pooled one when available, otherwise
+// a freshly built one.
+func (p *SessionPool) Get() (*Session, error) {
+	if s, ok := p.pool.Get().(*Session); ok && s != nil {
+		return s, nil
+	}
+	return New(p.mode, p.opts...)
+}
+
+// Put rewinds the session and shelves it. The caller must be done with every
+// object the session handed out (results, ledgers, transfer records): they
+// are rewound or overwritten by the next user.
+func (p *SessionPool) Put(s *Session) {
+	if s == nil {
+		return
+	}
+	s.Reset()
+	p.pool.Put(s)
+}

@@ -46,6 +46,11 @@ type Session struct {
 	// Obs is the session's event recorder; nil unless the session was built
 	// with WithObsKey (and tracing is enabled) or WithObsRecorder.
 	Obs *obs.Recorder
+
+	// LoadToEnd scratch: the once-bound completion callback and the result it
+	// last delivered.
+	loadDone   *browser.Result
+	loadDoneFn func(*browser.Result)
 }
 
 // sessionConfig is what SessionOptions configure; New starts from the
@@ -203,22 +208,27 @@ func NewSessionWithConfig(mode browser.Mode, radioCfg rrc.Config,
 }
 
 // LoadToEnd loads one page and runs the simulation until the final display.
+// The completion callback is bound once per session (not per call), keeping
+// repeated pooled visits allocation-free.
 func (s *Session) LoadToEnd(page *webpage.Page) (*browser.Result, error) {
-	var result *browser.Result
-	err := s.Engine.Load(page, func(r *browser.Result) { result = r })
+	if s.loadDoneFn == nil {
+		s.loadDoneFn = func(r *browser.Result) { s.loadDone = r }
+	}
+	s.loadDone = nil
+	err := s.Engine.Load(page, s.loadDoneFn)
 	if err != nil {
 		return nil, err
 	}
 	deadline := s.Clock.Now() + maxSimTime
-	for result == nil && s.Clock.Now() < deadline {
+	for s.loadDone == nil && s.Clock.Now() < deadline {
 		if !s.Clock.Step() {
 			break
 		}
 	}
-	if result == nil {
+	if s.loadDone == nil {
 		return nil, fmt.Errorf("load of %s did not finish within %v", page.Name, maxSimTime)
 	}
-	return result, nil
+	return s.loadDone, nil
 }
 
 // LoadPage loads page on a fresh phone in the given mode and then simulates

@@ -138,6 +138,10 @@ type Injector struct {
 	stats   Stats
 }
 
+// seedSalt decorrelates the injector's stream from other consumers of the
+// same experiment seed.
+const seedSalt = 0xfa_017_5eed
+
 // New creates an injector. A zero Config yields an injector that never
 // impairs anything (identical to using nil).
 func New(cfg Config) (*Injector, error) {
@@ -146,9 +150,20 @@ func New(cfg Config) (*Injector, error) {
 	}
 	return &Injector{
 		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0xfa_017_5eed)),
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ seedSalt)),
 		enabled: cfg.enabled(),
 	}, nil
+}
+
+// Reset rewinds the injector to its freshly constructed state: the random
+// source is re-seeded and the impairment counters cleared, so a pooled
+// session replays the exact fault sequence a fresh one would draw.
+func (in *Injector) Reset() {
+	if in == nil {
+		return
+	}
+	in.rng.Seed(in.cfg.Seed ^ seedSalt)
+	in.stats = Stats{}
 }
 
 // Enabled reports whether any impairment can fire. A nil injector is

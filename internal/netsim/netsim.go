@@ -112,13 +112,27 @@ func (t *Transfer) Bytes() int { return t.bytes }
 
 // Link is a FIFO radio data link bound to one RRC machine. Not safe for
 // concurrent use (single-threaded simulation).
+//
+// The link moves one transfer at a time: queued transfers wait as values in a
+// head-indexed slice and the in-flight one lives in cur, so the fault-free
+// steady state allocates nothing per transfer. The completion callbacks the
+// link schedules on the clock are bound once at construction.
 type Link struct {
 	clock *simtime.Clock
 	radio *rrc.Machine
 	cfg   Config
 
-	queue   []*Transfer
-	busy    bool
+	queue []Transfer
+	qHead int
+	cur   Transfer
+	busy  bool
+
+	// Prebound hot-path callbacks (fault paths build closures instead; they
+	// only run under injection).
+	startDCHFn func()
+	dchEndFn   func()
+	fachEndFn  func()
+
 	records []Record
 
 	bytesDown  int
@@ -147,7 +161,31 @@ func NewLink(clock *simtime.Clock, radio *rrc.Machine, cfg Config) (*Link, error
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Link{clock: clock, radio: radio, cfg: cfg, maxAttempts: DefaultTransferAttempts}, nil
+	l := &Link{clock: clock, radio: radio, cfg: cfg, maxAttempts: DefaultTransferAttempts}
+	l.startDCHFn = l.startDCHCur
+	l.dchEndFn = l.dchEnd
+	l.fachEndFn = l.fachEnd
+	return l, nil
+}
+
+// Reset returns the link to a fresh drained state, keeping queue and record
+// capacity. The owning session must Reset the shared clock first so no stale
+// completion events remain queued.
+func (l *Link) Reset() {
+	for i := range l.queue {
+		l.queue[i] = Transfer{}
+	}
+	l.queue = l.queue[:0]
+	l.qHead = 0
+	l.cur = Transfer{}
+	l.busy = false
+	l.records = l.records[:0]
+	l.bytesDown = 0
+	l.firstStart = 0
+	l.lastEnd = 0
+	l.everMoved = false
+	l.retries = 0
+	l.failed = 0
 }
 
 // SetFaults attaches an impairment injector. A nil injector (the default)
@@ -181,7 +219,7 @@ func (l *Link) Config() Config { return l.cfg }
 func (l *Link) Busy() bool { return l.busy }
 
 // QueueLen returns the number of queued (not yet started) transfers.
-func (l *Link) QueueLen() int { return len(l.queue) }
+func (l *Link) QueueLen() int { return len(l.queue) - l.qHead }
 
 // BytesDown returns the total bytes downloaded so far.
 func (l *Link) BytesDown() int { return l.bytesDown }
@@ -252,7 +290,7 @@ func (l *Link) enqueue(url string, bytes int, uplink bool, done func(error)) err
 	if bytes <= 0 {
 		return fmt.Errorf("netsim: transfer %q with %d bytes", url, bytes)
 	}
-	l.queue = append(l.queue, &Transfer{
+	l.queue = append(l.queue, Transfer{
 		url:      url,
 		bytes:    bytes,
 		uplink:   uplink,
@@ -265,21 +303,49 @@ func (l *Link) enqueue(url string, bytes int, uplink bool, done func(error)) err
 
 // pump starts the next queued transfer if the link is free.
 func (l *Link) pump() {
-	if l.busy || len(l.queue) == 0 {
+	if l.busy || l.qHead == len(l.queue) {
 		return
 	}
-	t := l.queue[0]
-	l.queue = l.queue[1:]
+	l.cur = l.queue[l.qHead]
+	l.queue[l.qHead] = Transfer{}
+	l.qHead++
+	if l.qHead == len(l.queue) {
+		l.queue = l.queue[:0]
+		l.qHead = 0
+	}
 	l.busy = true
 
 	// Tiny transfers ride FACH when the radio already sits there.
-	if t.bytes <= l.cfg.FACHMaxBytes && l.radio.State() == rrc.StateFACH {
-		l.startFACH(t)
+	if l.cur.bytes <= l.cfg.FACHMaxBytes && l.radio.State() == rrc.StateFACH {
+		l.startFACH(&l.cur)
 		return
 	}
-	l.radio.RequestDCH(func() {
-		l.startDCH(t)
-	})
+	l.radio.RequestDCH(l.startDCHFn)
+}
+
+// startDCHCur starts the in-flight transfer over DCH (the prebound form the
+// radio calls back once dedicated channels are up).
+func (l *Link) startDCHCur() {
+	l.startDCH(&l.cur)
+}
+
+// dchEnd completes a clean DCH attempt of the in-flight transfer.
+func (l *Link) dchEnd() {
+	t := &l.cur
+	if err := l.radio.EndTransfer(); err != nil {
+		// A demotion reached the radio mid-transfer (fault-injected timing
+		// can produce this); propagate instead of panicking so the transfer's
+		// completion callback learns about it.
+		l.retryOrFail(t, true, fmt.Errorf("netsim: end transfer %q: %v: %w", t.url, err, ErrTransferFailed))
+		return
+	}
+	l.finish(t, true, nil)
+}
+
+// fachEnd completes a clean FACH attempt of the in-flight transfer.
+func (l *Link) fachEnd() {
+	l.radio.TouchFACH()
+	l.finish(&l.cur, false, nil)
 }
 
 // noteStart records the start of a transfer's first attempt.
@@ -295,7 +361,7 @@ func (l *Link) startDCH(t *Transfer) {
 		// The radio was demoted between the callback being scheduled and
 		// running (cannot happen with the current machine, but fail safe):
 		// retry through a fresh DCH request.
-		l.radio.RequestDCH(func() { l.startDCH(t) })
+		l.radio.RequestDCH(l.startDCHFn)
 		return
 	}
 	t.noteStart(l.clock.Now())
@@ -312,39 +378,33 @@ func (l *Link) startDCH(t *Transfer) {
 	// longer than the watchdog aborts it once the watchdog expires. Either
 	// way the radio transfer ends early and the attempt is retried (or the
 	// transfer reported failed once the budget is spent). Short stalls are
-	// ridden out — they only lengthen the attempt.
-	abortAfter := time.Duration(-1)
-	var cause error
+	// ridden out — they only lengthen the attempt. The abort closure lives
+	// in a helper so the fault-free path stays allocation-free.
 	switch {
 	case plan.Fail:
-		abortAfter = time.Duration(float64(dur) * plan.FailFrac)
-		cause = fmt.Errorf("netsim: %q died mid-transfer: %w", t.url, ErrTransferFailed)
+		l.abortDCH(t, time.Duration(float64(dur)*plan.FailFrac),
+			fmt.Errorf("netsim: %q died mid-transfer: %w", t.url, ErrTransferFailed))
+		return
 	case plan.Stall >= StallAbortTimeout:
-		abortAfter = dur/2 + StallAbortTimeout
-		cause = fmt.Errorf("netsim: %q stalled beyond %v: %w", t.url, StallAbortTimeout, ErrTransferFailed)
+		l.abortDCH(t, dur/2+StallAbortTimeout,
+			fmt.Errorf("netsim: %q stalled beyond %v: %w", t.url, StallAbortTimeout, ErrTransferFailed))
+		return
 	case plan.Stall > 0:
 		dur += plan.Stall
 	}
-	if abortAfter >= 0 {
-		l.clock.After(abortAfter, func() {
-			if err := l.radio.EndTransfer(); err != nil {
-				// The radio state decayed under the dead attempt; the abort
-				// below retries or reports failure regardless.
-				cause = fmt.Errorf("netsim: end aborted transfer %q: %v: %w", t.url, err, ErrTransferFailed)
-			}
-			l.retryOrFail(t, true, cause)
-		})
-		return
-	}
-	l.clock.After(dur, func() {
+	l.clock.Defer(dur, l.dchEndFn)
+}
+
+// abortDCH schedules the early death of the in-flight DCH attempt (fault
+// injection only).
+func (l *Link) abortDCH(t *Transfer, after time.Duration, cause error) {
+	l.clock.After(after, func() {
 		if err := l.radio.EndTransfer(); err != nil {
-			// A demotion reached the radio mid-transfer (fault-injected
-			// timing can produce this); propagate instead of panicking so
-			// the transfer's completion callback learns about it.
-			l.retryOrFail(t, true, fmt.Errorf("netsim: end transfer %q: %v: %w", t.url, err, ErrTransferFailed))
-			return
+			// The radio state decayed under the dead attempt; the abort
+			// below retries or reports failure regardless.
+			cause = fmt.Errorf("netsim: end aborted transfer %q: %v: %w", t.url, err, ErrTransferFailed)
 		}
-		l.finish(t, true, nil)
+		l.retryOrFail(t, true, cause)
 	})
 }
 
@@ -363,10 +423,7 @@ func (l *Link) startFACH(t *Transfer) {
 		})
 		return
 	}
-	l.clock.After(dur, func() {
-		l.radio.TouchFACH()
-		l.finish(t, false, nil)
-	})
+	l.clock.Defer(dur, l.fachEndFn)
 }
 
 // noteAttempt traces the start of one transfer attempt on the given channel.
@@ -398,7 +455,7 @@ func (l *Link) retryOrFail(t *Transfer, overDCH bool, cause error) {
 		t.attempt++
 		l.retries++
 		if overDCH {
-			l.radio.RequestDCH(func() { l.startDCH(t) })
+			l.radio.RequestDCH(l.startDCHFn)
 		} else {
 			l.startFACH(t)
 		}
@@ -443,11 +500,15 @@ func (l *Link) finish(t *Transfer, overDCH bool, failure error) {
 	}
 	l.lastEnd = now
 	l.busy = false
-	if t.done != nil {
-		t.done(failure)
+	// Copy the completion callback before pump can overwrite cur: done may
+	// enqueue follow-up transfers, which start immediately on the free link.
+	done := t.done
+	t.done = nil
+	if done != nil {
+		done(failure)
 	}
 	l.pump()
-	if !l.busy && len(l.queue) == 0 && l.onAllDrained != nil {
+	if !l.busy && l.qHead == len(l.queue) && l.onAllDrained != nil {
 		l.onAllDrained()
 	}
 }

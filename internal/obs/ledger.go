@@ -5,10 +5,38 @@ import (
 	"time"
 )
 
+// NumEnergyStates is the fixed width of an EnergyVec. It must be at least as
+// large as the radio model's state count (the browser layer asserts this at
+// compile time); unused slots carry an empty name and stay zero.
+const NumEnergyStates = 8
+
+// EnergyVec is a cumulative radio-energy snapshot, one slot per RRC state.
+// Fixed-size so ledger marks hold it by value: taking a snapshot allocates
+// nothing, which keeps Mark off the per-visit allocation budget.
+type EnergyVec [NumEnergyStates]float64
+
+// StateNames labels the slots of an EnergyVec. Slots with an empty name are
+// unused and must stay zero in every snapshot.
+type StateNames [NumEnergyStates]string
+
+// sortedIdx returns the used slot indices ordered by state name. Phase totals
+// are accumulated in this order so the floating-point sums match the older
+// map-based ledger, which iterated its keys sorted.
+func (n *StateNames) sortedIdx() []int {
+	idx := make([]int, 0, NumEnergyStates)
+	for i, name := range n {
+		if name != "" {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return n[idx[a]] < n[idx[b]] })
+	return idx
+}
+
 // EnergyProbe samples the instrumented device's cumulative energy: radio
-// joules split by RRC state name, plus total CPU joules. The browser engine
-// supplies one backed by rrc.Machine.EnergyByState and the CPU model.
-type EnergyProbe func() (radioByStateJ map[string]float64, cpuJ float64)
+// joules split by RRC state, plus total CPU joules. The browser engine
+// supplies one backed by rrc.Machine.EnergyVec and the CPU model.
+type EnergyProbe func() (radioByStateJ EnergyVec, cpuJ float64)
 
 // PhaseEnergy is one closed phase of a load: the energy spent between two
 // ledger marks, attributed to RRC states and the CPU.
@@ -28,11 +56,12 @@ type PhaseEnergy struct {
 
 // ledgerMark is one raw probe snapshot; deltas between consecutive marks
 // become PhaseEnergy entries, so per-phase joules telescope exactly to the
-// device totals.
+// device totals. The snapshot is held by value: appending a mark to a ledger
+// whose marks slice has capacity allocates nothing.
 type ledgerMark struct {
 	phase  string
 	at     time.Duration
-	radioJ map[string]float64
+	radioJ EnergyVec
 	cpuJ   float64
 }
 
@@ -42,13 +71,26 @@ type ledgerMark struct {
 // A nil Ledger is inert, like a nil Recorder.
 type Ledger struct {
 	probe  EnergyProbe
+	names  *StateNames
 	marks  []ledgerMark
 	closed bool
 }
 
-// NewLedger builds a ledger over the given probe.
-func NewLedger(probe EnergyProbe) *Ledger {
-	return &Ledger{probe: probe}
+// NewLedger builds a ledger over the given probe; names labels the probe's
+// vector slots and must outlive the ledger.
+func NewLedger(probe EnergyProbe, names *StateNames) *Ledger {
+	return &Ledger{probe: probe, names: names}
+}
+
+// Reopen resets a sealed ledger for a new load, keeping the probe, the name
+// table and the marks slice's backing array. The previous load's phases are
+// discarded, so callers must have consumed (or emitted) them first.
+func (l *Ledger) Reopen() {
+	if l == nil {
+		return
+	}
+	l.marks = l.marks[:0]
+	l.closed = false
 }
 
 // Mark opens a phase named phase at simulated time at, snapshotting the
@@ -82,6 +124,7 @@ func (l *Ledger) Phases() []PhaseEnergy {
 	if l == nil || len(l.marks) < 2 {
 		return nil
 	}
+	order := l.names.sortedIdx()
 	out := make([]PhaseEnergy, 0, len(l.marks)-1)
 	for i := 0; i+1 < len(l.marks); i++ {
 		a, b := l.marks[i], l.marks[i+1]
@@ -93,12 +136,12 @@ func (l *Ledger) Phases() []PhaseEnergy {
 			CPUJ:          Round6(b.cpuJ - a.cpuJ),
 		}
 		total := b.cpuJ - a.cpuJ
-		for _, st := range stateKeys(a.radioJ, b.radioJ) {
+		for _, st := range order {
 			d := b.radioJ[st] - a.radioJ[st]
 			if d == 0 {
 				continue
 			}
-			pe.RadioByStateJ[st] = Round6(d)
+			pe.RadioByStateJ[l.names[st]] = Round6(d)
 			total += d
 		}
 		pe.TotalJ = Round6(total)
@@ -116,7 +159,7 @@ func (l *Ledger) TotalJ() float64 {
 	}
 	first, last := l.marks[0], l.marks[len(l.marks)-1]
 	total := last.cpuJ - first.cpuJ
-	for _, st := range stateKeys(first.radioJ, last.radioJ) {
+	for _, st := range l.names.sortedIdx() {
 		total += last.radioJ[st] - first.radioJ[st]
 	}
 	return total
@@ -165,22 +208,4 @@ func (l *Ledger) EmitPhases(r *Recorder) {
 			Joules: p.TotalJ,
 		})
 	}
-}
-
-// stateKeys merges the key sets of two snapshots in sorted order, so phase
-// maps are built deterministically even if a state appears mid-load.
-func stateKeys(a, b map[string]float64) []string {
-	seen := make(map[string]bool, len(a)+len(b))
-	for k := range a {
-		seen[k] = true
-	}
-	for k := range b {
-		seen[k] = true
-	}
-	keys := make([]string, 0, len(seen))
-	for k := range seen {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }

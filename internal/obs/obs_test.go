@@ -92,23 +92,30 @@ func TestHistogramBucketsAndSnapshot(t *testing.T) {
 	}
 }
 
-// fakeProbe is a scriptable EnergyProbe.
+// fakeProbe is a scriptable EnergyProbe; radio is keyed by state name and
+// converted to the vector form through fakeNames.
+var fakeNames = StateNames{1: "IDLE", 2: "FACH", 3: "DCH"}
+
 type fakeProbe struct {
 	radio map[string]float64
 	cpu   float64
 }
 
-func (p *fakeProbe) probe() (map[string]float64, float64) {
-	out := make(map[string]float64, len(p.radio))
+func (p *fakeProbe) probe() (EnergyVec, float64) {
+	var out EnergyVec
 	for k, v := range p.radio {
-		out[k] = v
+		for i, name := range fakeNames {
+			if name == k {
+				out[i] = v
+			}
+		}
 	}
 	return out, p.cpu
 }
 
 func TestLedgerPhasesTelescopeToTotal(t *testing.T) {
 	p := &fakeProbe{radio: map[string]float64{"DCH": 0, "FACH": 0}, cpu: 0}
-	l := NewLedger(p.probe)
+	l := NewLedger(p.probe, &fakeNames)
 	l.Mark("transmission", 0)
 
 	p.radio["DCH"] = 2.5
@@ -174,7 +181,7 @@ func TestLedgerNilAndEmpty(t *testing.T) {
 	l.EmitPhases(NewRecorder("x"))
 
 	p := &fakeProbe{radio: map[string]float64{}, cpu: 0}
-	l2 := NewLedger(p.probe)
+	l2 := NewLedger(p.probe, &fakeNames)
 	if l2.Phases() != nil || l2.TotalJ() != 0 {
 		t.Fatal("empty ledger not zero")
 	}
@@ -182,7 +189,7 @@ func TestLedgerNilAndEmpty(t *testing.T) {
 
 func TestLedgerEmitPhases(t *testing.T) {
 	p := &fakeProbe{radio: map[string]float64{"DCH": 0}, cpu: 0}
-	l := NewLedger(p.probe)
+	l := NewLedger(p.probe, &fakeNames)
 	l.Mark("transmission", time.Second)
 	p.radio["DCH"] = 1.5
 	l.Close(3 * time.Second)

@@ -153,6 +153,19 @@ func New(clock *simtime.Clock, radio *rrc.Machine, opts ...Option) (*Interface, 
 	return r, nil
 }
 
+// Reset rewinds the endpoint's counters and request ids to their initial
+// state. The caller must have reset the simulation clock first, dropping any
+// in-flight messages; experiments.Session.Reset drives the full sequence.
+func (r *Interface) Reset() {
+	if r == nil {
+		return
+	}
+	r.nextID = 0
+	clear(r.served)
+	r.dropped = 0
+	r.timeouts = 0
+}
+
 // Submit sends an operation request; reply (optional) is delivered after the
 // hop latency with the outcome. Returns the request id. Under fault
 // injection the response may never arrive — callers that must make progress

@@ -42,6 +42,13 @@ const (
 	StateReleasing
 )
 
+// NumStates is one past the highest State value; arrays indexed by State use
+// this length.
+const NumStates = int(StateReleasing) + 1
+
+// stateSlots sizes the fixed per-state accounting arrays.
+const stateSlots = NumStates
+
 // String returns the conventional name of the state.
 func (s State) String() string {
 	switch s {
@@ -179,18 +186,30 @@ type Machine struct {
 	state        State
 	transferring int // count of active transfers (DCH only)
 
-	t1Timer   *simtime.Event
-	t2Timer   *simtime.Event
-	promoDone *simtime.Event
+	// Inactivity timers are lazily re-armed simtime Timers: the fleet replay
+	// re-arms T1 on every one of thousands of transfers, and eager
+	// cancel-and-push would flood the event queue with dead entries.
+	t1Timer *simtime.Timer
+	t2Timer *simtime.Timer
+	// promoFinishFn/releaseDoneFn are the promotion/release completion
+	// callbacks, bound once so scheduling them does not allocate a closure
+	// per transition.
+	promoFinishFn func()
+	releaseDoneFn func()
 
-	// waiters are callbacks waiting for DCH to become available.
-	waiters []func()
+	// waiters are callbacks waiting for DCH to become available; spare is the
+	// previous generation's backing array, swapped back in by promoFinish so
+	// steady-state promotions don't reallocate the queue.
+	waiters      []func()
+	spareWaiters []func()
 
-	// Exact energy integration.
+	// Exact energy integration. Per-state accounting lives in fixed arrays
+	// indexed by State (1..6) — the map-based originals allocated on every
+	// EnergyByState probe, four-plus times per simulated visit.
 	lastChange    time.Duration
 	energyJ       float64
-	timeInState   map[State]time.Duration
-	energyInState map[State]float64
+	timeInState   [stateSlots]time.Duration
+	energyInState [stateSlots]float64
 
 	history      []Transition
 	recordTrace  bool
@@ -230,17 +249,38 @@ func NewMachine(clock *simtime.Clock, cfg Config, opts ...Option) (*Machine, err
 		return nil, err
 	}
 	m := &Machine{
-		clock:         clock,
-		cfg:           cfg,
-		state:         StateIdle,
-		lastChange:    clock.Now(),
-		timeInState:   make(map[State]time.Duration, 6),
-		energyInState: make(map[State]float64, 6),
+		clock:      clock,
+		cfg:        cfg,
+		state:      StateIdle,
+		lastChange: clock.Now(),
 	}
+	m.t1Timer = clock.NewTimer(m.t1Expired)
+	m.t2Timer = clock.NewTimer(m.t2Expired)
+	m.promoFinishFn = m.promoFinish
+	m.releaseDoneFn = m.releaseDone
 	for _, o := range opts {
 		o.apply(m)
 	}
 	return m, nil
+}
+
+// Reset returns the machine to a fresh IDLE radio at the clock's current
+// time, zeroing all accumulated energy, residency and hold-time accounting.
+// The owning session must Reset the shared clock first so no stale promotion
+// or release completions remain queued.
+func (m *Machine) Reset() {
+	m.state = StateIdle
+	m.transferring = 0
+	m.t1Timer.Disarm()
+	m.t2Timer.Disarm()
+	m.waiters = m.waiters[:0]
+	m.lastChange = m.clock.Now()
+	m.energyJ = 0
+	m.timeInState = [stateSlots]time.Duration{}
+	m.energyInState = [stateSlots]float64{}
+	m.history = m.history[:0]
+	m.dchSince = 0
+	m.dchHoldTime = 0
 }
 
 // Config returns the machine's configuration.
@@ -293,16 +333,29 @@ func (m *Machine) EnergyJ() float64 {
 // re-establishment to PROMO(IDLE→DCH). The values sum to EnergyJ up to
 // floating-point association.
 func (m *Machine) EnergyByState() map[string]float64 {
-	out := make(map[string]float64, len(m.energyInState)+1)
-	for s, e := range m.energyInState {
-		out[s.String()] = e
+	out := make(map[string]float64, stateSlots)
+	for i, e := range m.energyInState {
+		if e != 0 {
+			out[State(i).String()] = e
+		}
 	}
 	out[m.state.String()] += m.RadioPower() * sinceSeconds(m.lastChange, m.clock.Now())
 	return out
 }
 
+// EnergyVec returns the same attribution as EnergyByState as a fixed array
+// indexed by State, without allocating. Slot 0 is unused.
+func (m *Machine) EnergyVec() [NumStates]float64 {
+	out := m.energyInState
+	out[m.state] += m.RadioPower() * sinceSeconds(m.lastChange, m.clock.Now())
+	return out
+}
+
 // TimeIn returns the cumulative time spent in state s, up to now.
 func (m *Machine) TimeIn(s State) time.Duration {
+	if s < 0 || int(s) >= stateSlots {
+		return 0
+	}
 	d := m.timeInState[s]
 	if m.state == s {
 		d += m.clock.Now() - m.lastChange
@@ -313,12 +366,21 @@ func (m *Machine) TimeIn(s State) time.Duration {
 // Residency returns the cumulative time spent in every state visited so
 // far, up to now. The returned map is a copy.
 func (m *Machine) Residency() map[State]time.Duration {
-	out := make(map[State]time.Duration, len(m.timeInState)+1)
-	for s, d := range m.timeInState {
-		out[s] = d
+	out := make(map[State]time.Duration, stateSlots)
+	for i, d := range m.timeInState {
+		if d != 0 {
+			out[State(i)] = d
+		}
 	}
 	out[m.state] += m.clock.Now() - m.lastChange
 	return out
+}
+
+// InactivityTimers reports the pending demotion deadlines: whether T1 (or
+// T2) is armed and the absolute virtual time it would fire. The fleet replay
+// uses this to fast-forward a radio analytically through idle periods.
+func (m *Machine) InactivityTimers() (t1At, t2At time.Duration, t1Armed, t2Armed bool) {
+	return m.t1Timer.Deadline(), m.t2Timer.Deadline(), m.t1Timer.Armed(), m.t2Timer.Armed()
 }
 
 // DCHHoldTime returns the cumulative time dedicated channels were held
@@ -349,13 +411,13 @@ func (m *Machine) RequestDCH(ready func()) {
 	}
 	switch m.state {
 	case StateDCH:
-		m.clock.After(0, ready)
+		m.clock.Defer(0, ready)
 	case StateIdle:
 		m.waiters = append(m.waiters, ready)
 		m.startIdlePromotion()
 	case StateFACH:
 		m.waiters = append(m.waiters, ready)
-		m.cancelTimer(&m.t2Timer)
+		m.t2Timer.Disarm()
 		m.startPromotion(StatePromoFACHDCH, m.cfg.PromoFACHToDCH)
 	case StatePromoIdleDCH, StatePromoFACHDCH:
 		m.waiters = append(m.waiters, ready)
@@ -373,7 +435,7 @@ func (m *Machine) BeginTransfer() error {
 	}
 	m.accrue()
 	m.transferring++
-	m.cancelTimer(&m.t1Timer)
+	m.t1Timer.Disarm()
 	return nil
 }
 
@@ -413,12 +475,12 @@ func (m *Machine) ForceIdle() error {
 	if m.transferring > 0 || len(m.waiters) > 0 {
 		return ErrBusy
 	}
-	m.cancelTimer(&m.t1Timer)
-	m.cancelTimer(&m.t2Timer)
+	m.t1Timer.Disarm()
+	m.t2Timer.Disarm()
 	m.energyJ += m.cfg.ReleaseSignalEnergy
 	m.energyInState[StateReleasing] += m.cfg.ReleaseSignalEnergy
 	m.setState(StateReleasing)
-	m.clock.After(m.cfg.ReleaseDelay, m.releaseDone)
+	m.clock.Defer(m.cfg.ReleaseDelay, m.releaseDoneFn)
 	return nil
 }
 
@@ -448,43 +510,51 @@ func (m *Machine) startPromotion(promo State, latency time.Duration) {
 		return
 	}
 	m.setState(promo)
-	m.promoDone = m.clock.After(latency, func() {
-		m.setState(StateDCH)
-		m.armT1()
-		waiters := m.waiters
-		m.waiters = nil
-		for _, w := range waiters {
-			w()
-		}
-	})
+	m.clock.Defer(latency, m.promoFinishFn)
+}
+
+// promoFinish completes a pending promotion: the radio reaches DCH, T1 is
+// armed, and queued waiters run in arrival order.
+func (m *Machine) promoFinish() {
+	m.setState(StateDCH)
+	m.armT1()
+	// Swap in the spare backing array before running callbacks — a waiter may
+	// re-enter RequestDCH and append. The drained array is cleared (dropping
+	// closure references) and becomes the next spare.
+	waiters := m.waiters
+	m.waiters = m.spareWaiters[:0]
+	for _, w := range waiters {
+		w()
+	}
+	for i := range waiters {
+		waiters[i] = nil
+	}
+	m.spareWaiters = waiters[:0]
 }
 
 func (m *Machine) armT1() {
-	m.cancelTimer(&m.t1Timer)
-	m.t1Timer = m.clock.After(m.cfg.T1, func() {
-		if m.state != StateDCH || m.transferring > 0 {
-			return
-		}
-		m.setState(StateFACH)
-		m.armT2()
-	})
+	m.t1Timer.Arm(m.cfg.T1)
+}
+
+// t1Expired demotes an inactive DCH radio to FACH.
+func (m *Machine) t1Expired() {
+	if m.state != StateDCH || m.transferring > 0 {
+		return
+	}
+	m.setState(StateFACH)
+	m.armT2()
 }
 
 func (m *Machine) armT2() {
-	m.cancelTimer(&m.t2Timer)
-	m.t2Timer = m.clock.After(m.cfg.T2, func() {
-		if m.state != StateFACH {
-			return
-		}
-		m.setState(StateIdle)
-	})
+	m.t2Timer.Arm(m.cfg.T2)
 }
 
-func (m *Machine) cancelTimer(ev **simtime.Event) {
-	if *ev != nil {
-		(*ev).Cancel()
-		*ev = nil
+// t2Expired releases the signaling connection of an inactive FACH radio.
+func (m *Machine) t2Expired() {
+	if m.state != StateFACH {
+		return
 	}
+	m.setState(StateIdle)
 }
 
 // holdingDCH reports whether dedicated channels are currently committed to

@@ -8,7 +8,6 @@
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -44,20 +43,56 @@ func (c *Clock) Pending() int {
 	return c.pending
 }
 
+// Reset returns the clock to time zero with an empty queue, dropping every
+// pending event. Callbacks of dropped events never run; outstanding Event
+// handles stay valid but are permanently detached (cancelling them is a
+// no-op). Session pools use Reset to recycle a finished simulation.
+func (c *Clock) Reset() {
+	for i := range c.queue {
+		if ev := c.queue[i].ev; ev != nil {
+			// Detach the handle so a retained pointer cannot touch the
+			// recycled clock; mark it cancelled so Cancel stays a no-op.
+			ev.cancelled = true
+			ev.clock = nil
+		}
+		if tm := c.queue[i].tm; tm != nil {
+			// Timers stay bound to the clock and usable after Reset, but any
+			// pending firing is dropped with the queue.
+			tm.armed = false
+			tm.inHeap = false
+		}
+		c.queue[i].fn = nil
+		c.queue[i].ev = nil
+		c.queue[i].tm = nil
+	}
+	c.queue = c.queue[:0]
+	c.now = 0
+	c.seq = 0
+	c.pending = 0
+}
+
+// schedule validates and enqueues one entry, returning its heap slot inputs.
+func (c *Clock) schedule(at time.Duration, fn func(), ev *Event) error {
+	if at < c.now {
+		return fmt.Errorf("simtime: schedule at %v before now %v", at, c.now)
+	}
+	if fn == nil {
+		return fmt.Errorf("simtime: schedule nil callback at %v", at)
+	}
+	c.queue.pushEntry(entry{at: at, seq: c.seq, fn: fn, ev: ev})
+	c.seq++
+	c.pending++
+	return nil
+}
+
 // ScheduleAt schedules fn to run at the absolute virtual time at. Scheduling
 // in the past (before Now) is an error: discrete-event simulations must never
 // travel backwards.
 func (c *Clock) ScheduleAt(at time.Duration, fn func()) (*Event, error) {
-	if at < c.now {
-		return nil, fmt.Errorf("simtime: schedule at %v before now %v", at, c.now)
+	ev := &Event{at: at, clock: c}
+	if err := c.schedule(at, fn, ev); err != nil {
+		return nil, err
 	}
-	if fn == nil {
-		return nil, fmt.Errorf("simtime: schedule nil callback at %v", at)
-	}
-	ev := &Event{at: at, seq: c.seq, fn: fn, clock: c}
-	c.seq++
-	heap.Push(&c.queue, ev)
-	c.pending++
 	return ev, nil
 }
 
@@ -76,22 +111,56 @@ func (c *Clock) After(d time.Duration, fn func()) *Event {
 	return ev
 }
 
+// Defer schedules fn like After but returns no handle: the event cannot be
+// cancelled or inspected. Hot paths that never retain the handle use Defer —
+// it allocates nothing beyond the queue slot, which the steady-state
+// simulation reuses.
+func (c *Clock) Defer(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	if err := c.schedule(c.now+d, fn, nil); err != nil {
+		// Unreachable: now+d >= now; nil fn panics as After always has.
+		panic(err)
+	}
+}
+
 // Step runs the earliest pending event and advances the clock to its time.
 // It reports whether an event ran (false means the queue is empty).
 func (c *Clock) Step() bool {
 	for c.queue.Len() > 0 {
-		ev, ok := heap.Pop(&c.queue).(*Event)
-		if !ok {
-			return false
-		}
-		if ev.cancelled {
+		e := c.queue.popEntry()
+		if e.ev != nil && e.ev.cancelled {
 			// Already excluded from pending when it was cancelled.
 			continue
 		}
-		c.now = ev.at
-		ev.fired = true
+		if e.tm != nil {
+			t := e.tm
+			t.inHeap = false
+			if !t.armed {
+				// Disarmed while queued: garbage entry, drop silently.
+				continue
+			}
+			if t.deadline > e.at {
+				// The deadline moved while the entry was queued; requeue at
+				// the real deadline under the seq reserved by the last Arm,
+				// so the firing order is exactly that of an eager re-push.
+				c.queue.pushEntry(entry{at: t.deadline, seq: t.seq, fn: t.fn, tm: t})
+				t.inHeap = true
+				continue
+			}
+			c.now = e.at
+			t.armed = false
+			c.pending--
+			t.fn()
+			return true
+		}
+		c.now = e.at
+		if e.ev != nil {
+			e.ev.fired = true
+		}
 		c.pending--
-		ev.fn()
+		e.fn()
 		return true
 	}
 	return false
@@ -107,11 +176,27 @@ func (c *Clock) Run() {
 // the clock to deadline (even if the queue emptied earlier). Events scheduled
 // beyond the deadline stay queued.
 func (c *Clock) RunUntil(deadline time.Duration) {
-	for c.queue.Len() > 0 {
-		next := c.queue[0]
-		if next.cancelled {
-			heap.Pop(&c.queue)
+	for len(c.queue) > 0 {
+		next := &c.queue[0]
+		if next.ev != nil && next.ev.cancelled {
+			c.queue.popEntry()
 			continue
+		}
+		if tm := next.tm; tm != nil {
+			if !tm.armed {
+				tm.inHeap = false
+				c.queue.popEntry()
+				continue
+			}
+			if tm.deadline > next.at {
+				// Stale entry for a timer whose deadline moved later; requeue
+				// it here so the bound check below sees the real firing time.
+				e := c.queue.popEntry()
+				e.at = tm.deadline
+				e.seq = tm.seq
+				c.queue.pushEntry(e)
+				continue
+			}
 		}
 		if next.at > deadline {
 			break
@@ -131,8 +216,6 @@ func (c *Clock) RunFor(d time.Duration) {
 // Event is a handle to a scheduled callback.
 type Event struct {
 	at        time.Duration
-	seq       uint64
-	fn        func()
 	clock     *Clock
 	cancelled bool
 	fired     bool
@@ -167,34 +250,137 @@ func (e *Event) Cancelled() bool {
 	return e.cancelled
 }
 
+// Timer is a re-armable deadline bound to one callback. Unlike After, which
+// pushes a fresh heap entry per call, re-arming a Timer whose previous entry
+// is still queued only moves its deadline: the stale entry re-queues itself
+// when it surfaces. Each Arm still reserves an insertion sequence number, so
+// the eventual firing order is bit-identical to cancelling and re-pushing
+// eagerly — the RRC inactivity timers re-arm on every transfer, and this
+// keeps them from flooding the queue with cancelled entries.
+//
+// An armed Timer counts as one pending event, like an outstanding After.
+type Timer struct {
+	clock    *Clock
+	fn       func()
+	deadline time.Duration
+	seq      uint64
+	armed    bool
+	inHeap   bool
+}
+
+// NewTimer creates a disarmed timer that runs fn when it fires.
+func (c *Clock) NewTimer(fn func()) *Timer {
+	if fn == nil {
+		panic("simtime: nil timer callback")
+	}
+	return &Timer{clock: c, fn: fn}
+}
+
+// Arm (re)schedules the timer to fire d after now, replacing any earlier
+// deadline. A negative d is treated as zero.
+func (t *Timer) Arm(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c := t.clock
+	t.deadline = c.now + d
+	t.seq = c.seq
+	c.seq++
+	if !t.armed {
+		t.armed = true
+		c.pending++
+	}
+	if !t.inHeap {
+		c.queue.pushEntry(entry{at: t.deadline, seq: t.seq, fn: t.fn, tm: t})
+		t.inHeap = true
+	}
+}
+
+// Disarm stops the timer; a later Arm reuses it. Disarming an unarmed timer
+// is a no-op.
+func (t *Timer) Disarm() {
+	if !t.armed {
+		return
+	}
+	t.armed = false
+	t.clock.pending--
+}
+
+// Armed reports whether the timer is scheduled to fire.
+func (t *Timer) Armed() bool { return t.armed }
+
+// Deadline returns the absolute virtual time of the next firing (only
+// meaningful while Armed).
+func (t *Timer) Deadline() time.Duration { return t.deadline }
+
+// entry is one queued callback. Entries live inline in the heap slice so the
+// (at, seq) comparisons that dominate simulation time touch only contiguous
+// memory; ev is non-nil only for events scheduled through ScheduleAt/After,
+// which hand out a cancellable handle; tm is non-nil only for Timer entries.
+type entry struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+	ev  *Event
+	tm  *Timer
+}
+
 // eventQueue is a min-heap ordered by (at, seq) so same-time events fire in
-// scheduling order.
-type eventQueue []*Event
+// scheduling order. The heap is hand-rolled over the concrete entry type:
+// container/heap would box every entry through interface{} (one allocation
+// per scheduled event) and its comparisons would go through dynamic dispatch,
+// and the event queue is the single hottest structure in the simulator.
+type eventQueue []entry
 
 func (q eventQueue) Len() int { return len(q) }
 
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-
-func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*Event)
-	if !ok {
-		return
+// pushEntry appends e and sifts it up.
+func (q *eventQueue) pushEntry(e entry) {
+	*q = append(*q, e)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
 	}
-	*q = append(*q, ev)
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+// popEntry removes and returns the earliest entry.
+func (q *eventQueue) popEntry() entry {
+	h := *q
+	n := len(h)
+	e := h[0]
+	h[0] = h[n-1]
+	h[n-1] = entry{}
+	h = h[:n-1]
+	*q = h
+	// Sift the moved element down.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= len(h) {
+			break
+		}
+		j := left
+		if right := left + 1; right < len(h) && h.less(right, left) {
+			j = right
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	return e
 }

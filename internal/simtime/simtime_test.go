@@ -237,8 +237,8 @@ func TestPropertyClockMonotonic(t *testing.T) {
 // counter is checked against.
 func scanPending(c *Clock) int {
 	n := 0
-	for _, ev := range c.queue {
-		if !ev.cancelled {
+	for _, e := range c.queue {
+		if e.ev == nil || !e.ev.cancelled {
 			n++
 		}
 	}

@@ -1,9 +1,16 @@
 #!/usr/bin/env bash
-# Run the GBRT training/prediction benchmarks and emit BENCH_GBRT.json,
-# a machine-readable perf-trajectory snapshot future PRs diff against.
+# Run a benchmark suite and emit a machine-readable perf-trajectory snapshot
+# future PRs diff against.
 #
 # Usage:
-#   scripts/bench.sh [output.json]
+#   scripts/bench.sh [suite] [output.json]
+#
+# Suites:
+#   gbrt  (default)  GBRT training/prediction        -> BENCH_GBRT.json
+#   sim              simulation core (visit + fleet) -> BENCH_SIM.json
+#
+# For backwards compatibility a single .json argument selects the gbrt suite
+# with that output path.
 #
 # The JSON is an object with run metadata plus one record per benchmark:
 #   {"go": "...", "commit": "...", "benchmarks": [
@@ -14,15 +21,43 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_GBRT.json}"
+suite="${1:-gbrt}"
+case "$suite" in
+*.json)
+	out="$suite"
+	suite="gbrt"
+	;;
+*)
+	out="${2:-}"
+	;;
+esac
+
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-# Root-package GBRT benchmarks (train shapes + batch prediction) and the
-# in-package fleet-shape pair, which includes the preserved pre-refactor
-# reference engine so old-vs-new is always measured on the same machine.
-go test -run '^$' -bench '^BenchmarkGBRT' -benchmem -count=1 . | tee -a "$raw"
-go test -run '^$' -bench 'FleetShape' -benchmem -count=1 ./internal/gbrt | tee -a "$raw"
+case "$suite" in
+gbrt)
+	out="${out:-BENCH_GBRT.json}"
+	# Root-package GBRT benchmarks (train shapes + batch prediction) and the
+	# in-package fleet-shape pair, which includes the preserved pre-refactor
+	# reference engine so old-vs-new is always measured on the same machine.
+	go test -run '^$' -bench '^BenchmarkGBRT' -benchmem -count=1 . | tee -a "$raw"
+	go test -run '^$' -bench 'FleetShape' -benchmem -count=1 ./internal/gbrt | tee -a "$raw"
+	;;
+sim)
+	out="${out:-BENCH_SIM.json}"
+	# Steady-state pooled visit (the zero-alloc target CI gates on), its
+	# fresh-session baseline, and the fleet experiment end to end.
+	go test -run '^$' -bench '^(BenchmarkVisit|BenchmarkVisitFresh)$' \
+		-benchmem -count=1 ./internal/experiments | tee -a "$raw"
+	go test -run '^$' -bench '^BenchmarkFleetReplay$' -benchtime 3x \
+		-benchmem -count=1 ./internal/experiments | tee -a "$raw"
+	;;
+*)
+	echo "unknown suite: $suite (want gbrt or sim)" >&2
+	exit 2
+	;;
+esac
 
 gover="$(go version | awk '{print $3}')"
 commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
