@@ -16,15 +16,18 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"sort"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"eabrowse/internal/experiments"
 	"eabrowse/internal/faults"
@@ -101,12 +104,26 @@ func run(args []string) error {
 	}
 	if *pprofAddr != "" {
 		// Label pool workers so profiles attribute samples to them, and serve
-		// the standard pprof endpoints for the lifetime of the run.
+		// the standard pprof endpoints for the lifetime of the run. Binding
+		// happens synchronously so a bad address fails the run immediately
+		// instead of vanishing inside a goroutine; the server is shut down
+		// once the experiments finish.
 		runner.SetProfileLabels(true)
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: listen on %s: %w", *pprofAddr, err)
+		}
+		// The blank net/http/pprof import registers on DefaultServeMux.
+		pprofSrv := &http.Server{Handler: http.DefaultServeMux}
 		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "eabench: pprof server:", err)
+			if serr := pprofSrv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "eabench: pprof server:", serr)
 			}
+		}()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = pprofSrv.Shutdown(ctx)
 		}()
 	}
 

@@ -74,3 +74,23 @@ func TestBadFleetUsers(t *testing.T) {
 		t.Fatal("fleet accepted -fleet-users 0")
 	}
 }
+
+// TestBadPprofAddr checks an unbindable -pprof address fails the run
+// immediately instead of dying silently inside a goroutine.
+func TestBadPprofAddr(t *testing.T) {
+	if err := run([]string{"-list", "-pprof", "127.0.0.1:notaport"}); err == nil {
+		t.Fatal("nonsense pprof address accepted")
+	}
+}
+
+// TestPprofCleanShutdown checks a good -pprof address binds and the server
+// comes down with the run (a second run on the same flag set must not see
+// the port still held).
+func TestPprofCleanShutdown(t *testing.T) {
+	if err := run([]string{"-list", "-pprof", "127.0.0.1:0"}); err != nil {
+		t.Fatalf("run with pprof: %v", err)
+	}
+	if err := run([]string{"-list", "-pprof", "127.0.0.1:0"}); err != nil {
+		t.Fatalf("second run with pprof: %v", err)
+	}
+}

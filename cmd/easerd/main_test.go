@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"eabrowse/internal/predictor"
+	"eabrowse/internal/serve"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}, nil); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestTrainServeReloadShutdown walks the whole daemon lifecycle in-process:
+// train a demo model, serve it, hot-reload on SIGHUP, stop on SIGTERM with a
+// metrics flush.
+func TestTrainServeReloadShutdown(t *testing.T) {
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+
+	if err := run([]string{"-train-demo", modelPath}, nil); err != nil {
+		t.Fatalf("-train-demo: %v", err)
+	}
+	if _, err := predictor.LoadFile(modelPath); err != nil {
+		t.Fatalf("demo model does not load back: %v", err)
+	}
+
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-model", modelPath,
+			"-metrics-out", metricsPath,
+			"-drain", "5s",
+		}, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("daemon exited during startup: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	body := []byte(`{"features":[12,340,25,4,9,120,0.8,3,2800,320]}`)
+	resp, err := http.Post(base+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %d (%s)", resp.StatusCode, raw)
+	}
+
+	// SIGHUP hot-reloads the model file: the served generation advances
+	// without dropping the service.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatalf("metrics: %v", err)
+		}
+		var m serve.Metrics
+		err = json.NewDecoder(r.Body).Decode(&m)
+		r.Body.Close()
+		if err != nil {
+			t.Fatalf("metrics decode: %v", err)
+		}
+		if m.Model.Generation == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("SIGHUP reload never landed; metrics %+v", m.Model)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not stop on SIGTERM")
+	}
+
+	flushed, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("metrics flush missing: %v", err)
+	}
+	var m serve.Metrics
+	if err := json.Unmarshal(flushed, &m); err != nil {
+		t.Fatalf("flushed metrics invalid: %v", err)
+	}
+	if m.Requests == 0 || m.Model.Reloads != 1 {
+		t.Fatalf("flushed metrics: %+v", m)
+	}
+}

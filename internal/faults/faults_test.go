@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
@@ -144,5 +145,163 @@ func TestPlanBoundsAndStats(t *testing.T) {
 	}
 	if frac := float64(st.RILDrops) / n; frac < 0.3 || frac > 0.7 {
 		t.Fatalf("RIL drop rate %v far from configured 0.5", frac)
+	}
+}
+
+// TestZeroDurationOutage pins the degenerate stall window: StallRate fires
+// but StallMin = StallMax = 0, so the drawn outage has zero duration. Such a
+// plan must be indistinguishable from no stall at all — no Stall in the plan
+// and, crucially, no phantom increment of the Stalls counter.
+func TestZeroDurationOutage(t *testing.T) {
+	in, err := New(Config{Seed: 7, StallRate: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		plan := in.PlanTransfer(false, false)
+		if plan.Stall != 0 {
+			t.Fatalf("attempt %d: zero-duration outage produced stall %v", i, plan.Stall)
+		}
+	}
+	st := in.Stats()
+	if st.Transfers != 500 {
+		t.Fatalf("transfers %d, want 500", st.Transfers)
+	}
+	if st.Stalls != 0 {
+		t.Fatalf("zero-duration outages counted as %d stalls", st.Stalls)
+	}
+
+	// The same seed with a real window stalls on the same draws: the
+	// zero-width window changes magnitudes, never the decision stream.
+	wide, err := New(Config{Seed: 7, StallRate: 0.99, StallMin: time.Second, StallMax: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		plan := wide.PlanTransfer(false, false)
+		if plan.Stall != 0 && plan.Stall != time.Second {
+			t.Fatalf("attempt %d: stall %v outside the fixed window", i, plan.Stall)
+		}
+	}
+	if got := wide.Stats().Stalls; got == 0 {
+		t.Fatal("widened window never stalled; the rate draw is broken")
+	}
+}
+
+// TestRetryBudgetExhaustionOrdering emulates the netsim-style retry loop: a
+// transfer retries until it draws a non-failing plan or exhausts its budget.
+// The sequence of per-attempt verdicts must be a deterministic function of
+// the seed alone — and reading Stats/Config/Enabled between attempts (as the
+// link and reports do) must not consume randomness or shift the stream.
+func TestRetryBudgetExhaustionOrdering(t *testing.T) {
+	cfg := Config{Seed: 99, FailRate: 0.7, StallRate: 0.3, StallMin: time.Second, StallMax: 2 * time.Second}
+	const budget = 4 // attempts per transfer, as a retrying link would bound
+
+	runTransfers := func(in *Injector, observe bool) []string {
+		var log []string
+		for transfer := 0; transfer < 50; transfer++ {
+			verdict := "exhausted"
+			for attempt := 0; attempt < budget; attempt++ {
+				if observe {
+					// Accessors between attempts must be draw-free.
+					_ = in.Stats()
+					_ = in.Config()
+					_ = in.Enabled()
+				}
+				plan := in.PlanTransfer(false, false)
+				if !plan.Fail {
+					verdict = fmt.Sprintf("ok@%d stall=%v", attempt, plan.Stall)
+					break
+				}
+			}
+			log = append(log, verdict)
+		}
+		return log
+	}
+
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := runTransfers(a, false)
+	observed := runTransfers(b, true)
+	for i := range plain {
+		if plain[i] != observed[i] {
+			t.Fatalf("transfer %d: verdict %q with accessors vs %q without — accessors consumed randomness",
+				i, observed[i], plain[i])
+		}
+	}
+	var exhausted int
+	for _, v := range plain {
+		if v == "exhausted" {
+			exhausted++
+		}
+	}
+	if exhausted == 0 || exhausted == len(plain) {
+		t.Fatalf("%d/%d transfers exhausted their budget; the mix should include both outcomes", exhausted, len(plain))
+	}
+	// And the budget accounting matches the injector's own counters.
+	if st := a.Stats(); st.Transfers < 50 || st.Fails == 0 {
+		t.Fatalf("stats after retry loop: %+v", st)
+	}
+}
+
+// TestResetMidOutage rewinds the injector halfway through a fault sequence —
+// including right after a stall verdict, the worst spot — and requires the
+// replay to match a fresh injector draw for draw.
+func TestResetMidOutage(t *testing.T) {
+	cfg := Config{
+		Seed:      20130709,
+		LossRate:  0.2,
+		StallRate: 0.5,
+		StallMin:  500 * time.Millisecond,
+		StallMax:  3 * time.Second,
+		FailRate:  0.2,
+	}
+	in, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk until mid-outage: stop immediately after a stall fires.
+	stallAt := -1
+	for i := 0; i < 1000; i++ {
+		if in.PlanTransfer(false, false).Stall > 0 {
+			stallAt = i
+			break
+		}
+	}
+	if stallAt < 0 {
+		t.Fatal("no stall in 1000 draws at rate 0.5")
+	}
+	if in.Stats().Stalls != 1 {
+		t.Fatalf("stalls %d, want 1", in.Stats().Stalls)
+	}
+
+	in.Reset()
+	if in.Stats() != (Stats{}) {
+		t.Fatalf("stats survived Reset: %+v", in.Stats())
+	}
+
+	fresh, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		got := in.PlanTransfer(false, i%3 == 0)
+		want := fresh.PlanTransfer(false, i%3 == 0)
+		if got != want {
+			t.Fatalf("draw %d after mid-outage Reset: %+v, fresh %+v", i, got, want)
+		}
+		gotOp, wantOp := in.PlanOp(), fresh.PlanOp()
+		if gotOp != wantOp {
+			t.Fatalf("RIL draw %d after mid-outage Reset: %+v, fresh %+v", i, gotOp, wantOp)
+		}
+	}
+	if in.Stats() != fresh.Stats() {
+		t.Fatalf("stats diverged after Reset: %+v vs %+v", in.Stats(), fresh.Stats())
 	}
 }

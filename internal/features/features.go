@@ -13,6 +13,13 @@ import (
 // "Reading Time").
 const Num = 10
 
+// SchemaVersion identifies the meaning and order of the vector's columns.
+// Bump it whenever a feature is added, removed or reordered: saved models
+// embed it, and loaders reject a model trained against a different schema —
+// silently feeding a model features it was not trained on is the failure
+// mode this guards against.
+const SchemaVersion = 1
+
 // Indices into a Vector, in Table 1 order.
 const (
 	TransmissionTime = iota

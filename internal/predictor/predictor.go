@@ -14,6 +14,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"os"
 	"time"
 
 	"eabrowse/internal/features"
@@ -47,6 +48,10 @@ type Predictor struct {
 	// interestTrained records whether training excluded sub-α visits.
 	interestTrained bool
 	alpha           float64
+	// thresholds are the Algorithm 2 parameters this model was trained to
+	// drive; they travel with the model file so a serving process needs no
+	// separate policy configuration.
+	thresholds Thresholds
 }
 
 // Config controls training.
@@ -58,6 +63,9 @@ type Config struct {
 	UseInterestThreshold bool
 	// Alpha is the interest threshold in seconds.
 	Alpha float64
+	// Tp and Td are the Algorithm 2 thresholds stamped into the trained
+	// predictor (and its saved form). Zero means the paper's defaults.
+	Tp, Td time.Duration
 }
 
 // DefaultConfig trains the paper's configuration: interest threshold on.
@@ -90,16 +98,41 @@ func Train(visits []trace.Visit, cfg Config) (*Predictor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("train gbrt: %w", err)
 	}
+	th := Thresholds{
+		Alpha: time.Duration(cfg.Alpha * float64(time.Second)),
+		Tp:    cfg.Tp,
+		Td:    cfg.Td,
+	}
+	if th.Tp == 0 {
+		th.Tp = DefaultThresholds().Tp
+	}
+	if th.Td == 0 {
+		th.Td = DefaultThresholds().Td
+	}
 	return &Predictor{
 		model:           model,
 		interestTrained: cfg.UseInterestThreshold,
 		alpha:           cfg.Alpha,
+		thresholds:      th,
 	}, nil
+}
+
+// Thresholds returns the Algorithm 2 parameters the predictor carries.
+func (p *Predictor) Thresholds() Thresholds {
+	return p.thresholds
 }
 
 // PredictSeconds predicts the reading time for a page's feature vector.
 func (p *Predictor) PredictSeconds(v features.Vector) (float64, error) {
 	return p.model.Predict(v.Slice())
+}
+
+// PredictVecSeconds is PredictSeconds without the defensive copy: the vector
+// is read in place, so the steady-state path allocates nothing. This is the
+// per-request hot path of the resident service; results are bit-identical to
+// PredictSeconds.
+func (p *Predictor) PredictVecSeconds(v *features.Vector) (float64, error) {
+	return p.model.Predict(v[:])
 }
 
 // PredictBatchSeconds predicts reading times for many feature vectors at
@@ -260,23 +293,43 @@ func (p *Predictor) RegressionMetrics(test []trace.Visit, applyInterest bool) (M
 	return m, nil
 }
 
-// predictorJSON is the deployment envelope: the GBRT forest plus the
-// interest-threshold metadata the on-phone program needs.
+// fileVersion guards the predictor envelope's wire format. Version 2 added
+// the explicit version stamp, the feature schema, and the Tp/Td thresholds;
+// the unversioned pre-2 form is rejected with a re-save hint.
+const fileVersion = 2
+
+// predictorJSON is the deployment envelope: the GBRT forest plus everything
+// a serving process needs to answer predict/decide requests — thresholds and
+// the feature schema the model was trained against.
 type predictorJSON struct {
+	Version int `json:"version"`
+	// FeatureSchema and NumFeatures pin the input contract; a loader running
+	// a different Table 1 layout must refuse the model rather than feed it
+	// misaligned columns.
+	FeatureSchema   int             `json:"featureSchema"`
+	NumFeatures     int             `json:"numFeatures"`
 	Alpha           float64         `json:"alpha"`
+	TpS             float64         `json:"tp_s"`
+	TdS             float64         `json:"td_s"`
 	InterestTrained bool            `json:"interestTrained"`
 	Model           json.RawMessage `json:"model"`
 }
 
-// Save writes the predictor (model + α metadata) as JSON — the artifact the
-// paper deploys from the training PC to the phone's browser.
+// Save writes the predictor (model + thresholds + schema metadata) as JSON —
+// the artifact the paper deploys from the training PC to the phone's
+// browser, and the file easerd serves and hot-reloads.
 func (p *Predictor) Save(w io.Writer) error {
 	var modelBuf bytes.Buffer
 	if err := p.model.Save(&modelBuf); err != nil {
 		return err
 	}
 	out := predictorJSON{
+		Version:         fileVersion,
+		FeatureSchema:   features.SchemaVersion,
+		NumFeatures:     p.model.NumFeatures(),
 		Alpha:           p.alpha,
+		TpS:             p.thresholds.Tp.Seconds(),
+		TdS:             p.thresholds.Td.Seconds(),
 		InterestTrained: p.interestTrained,
 		Model:           json.RawMessage(bytes.TrimSpace(modelBuf.Bytes())),
 	}
@@ -286,26 +339,84 @@ func (p *Predictor) Save(w io.Writer) error {
 	return nil
 }
 
-// LoadPredictor reads a predictor previously written with Save.
+// LoadPredictor reads a predictor previously written with Save, validating
+// the envelope (version, feature schema, thresholds) and the embedded forest
+// (gbrt.Load's structural checks).
 func LoadPredictor(r io.Reader) (*Predictor, error) {
 	var in predictorJSON
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("predictor: load: %w", err)
 	}
+	if in.Version != fileVersion {
+		return nil, fmt.Errorf("predictor: unsupported model file version %d, want %d (re-save with this build)",
+			in.Version, fileVersion)
+	}
+	if in.FeatureSchema != features.SchemaVersion {
+		return nil, fmt.Errorf("predictor: model trained against feature schema %d, this build speaks %d",
+			in.FeatureSchema, features.SchemaVersion)
+	}
+	if in.NumFeatures != features.Num {
+		return nil, fmt.Errorf("predictor: saved model declares %d features, want %d",
+			in.NumFeatures, features.Num)
+	}
 	if in.Alpha < 0 {
 		return nil, errors.New("predictor: negative alpha in saved model")
+	}
+	if in.TpS <= 0 || in.TdS <= 0 || math.IsNaN(in.TpS) || math.IsNaN(in.TdS) {
+		return nil, fmt.Errorf("predictor: thresholds Tp=%v Td=%v must be positive", in.TpS, in.TdS)
+	}
+	if in.TdS < in.TpS {
+		return nil, fmt.Errorf("predictor: Td %vs below Tp %vs (Algorithm 2 needs Td >= Tp)", in.TdS, in.TpS)
 	}
 	model, err := gbrt.Load(bytes.NewReader(in.Model))
 	if err != nil {
 		return nil, err
 	}
-	if model.NumFeatures() != features.Num {
-		return nil, fmt.Errorf("predictor: saved model has %d features, want %d",
-			model.NumFeatures(), features.Num)
+	if model.NumFeatures() != in.NumFeatures {
+		return nil, fmt.Errorf("predictor: envelope declares %d features but forest wants %d",
+			in.NumFeatures, model.NumFeatures())
 	}
 	return &Predictor{
 		model:           model,
 		interestTrained: in.InterestTrained,
 		alpha:           in.Alpha,
+		thresholds: Thresholds{
+			Alpha: time.Duration(in.Alpha * float64(time.Second)),
+			Tp:    time.Duration(in.TpS * float64(time.Second)),
+			Td:    time.Duration(in.TdS * float64(time.Second)),
+		},
 	}, nil
+}
+
+// SaveFile writes the predictor to path atomically: the bytes land in a
+// temporary sibling first and are renamed into place, so a reader (easerd's
+// hot reload) never observes a half-written model.
+func (p *Predictor) SaveFile(path string) error {
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("predictor: save %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("predictor: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadFile reads a predictor previously written with SaveFile (or Save).
+func LoadFile(path string) (*Predictor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("predictor: load %s: %w", path, err)
+	}
+	defer f.Close()
+	p, err := LoadPredictor(f)
+	if err != nil {
+		return nil, fmt.Errorf("predictor: load %s: %w", path, err)
+	}
+	return p, nil
 }

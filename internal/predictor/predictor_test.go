@@ -265,15 +265,31 @@ func TestPredictorSaveLoad(t *testing.T) {
 	}
 }
 
+// narrowModel is a structurally valid 1-feature gbrt forest for envelope
+// tests.
+const narrowModel = `{"version":1,"base":5,"shrinkage":0.5,"numFeatures":1,
+	"trees":[{"nodes":[{"leaf":true,"value":1}]}]}`
+
 func TestLoadPredictorRejectsGarbage(t *testing.T) {
-	if _, err := LoadPredictor(strings.NewReader("junk")); err == nil {
-		t.Fatal("garbage accepted")
+	cases := []struct {
+		name, payload string
+	}{
+		{"not json", "junk"},
+		{"pre-versioned envelope", `{"alpha":2,"interestTrained":true,"model":` + narrowModel + `}`},
+		{"future version", `{"version":99,"featureSchema":1,"numFeatures":10,"alpha":2,"tp_s":9,"td_s":20,"model":` + narrowModel + `}`},
+		{"wrong feature schema", `{"version":2,"featureSchema":7,"numFeatures":10,"alpha":2,"tp_s":9,"td_s":20,"model":` + narrowModel + `}`},
+		{"wrong feature width", `{"version":2,"featureSchema":1,"numFeatures":1,"alpha":2,"tp_s":9,"td_s":20,"model":` + narrowModel + `}`},
+		{"envelope/forest width mismatch", `{"version":2,"featureSchema":1,"numFeatures":10,"alpha":2,"tp_s":9,"td_s":20,"model":` + narrowModel + `}`},
+		{"negative alpha", `{"version":2,"featureSchema":1,"numFeatures":10,"alpha":-1,"tp_s":9,"td_s":20,"model":` + narrowModel + `}`},
+		{"zero thresholds", `{"version":2,"featureSchema":1,"numFeatures":10,"alpha":2,"tp_s":0,"td_s":0,"model":` + narrowModel + `}`},
+		{"inverted thresholds", `{"version":2,"featureSchema":1,"numFeatures":10,"alpha":2,"tp_s":20,"td_s":9,"model":` + narrowModel + `}`},
 	}
-	// A valid gbrt model with the wrong feature width.
-	payload := `{"alpha":2,"interestTrained":true,"model":{"version":1,"base":5,"shrinkage":0.5,"numFeatures":1,
-		"trees":[{"nodes":[{"leaf":true,"value":1}]}]}}`
-	if _, err := LoadPredictor(strings.NewReader(payload)); err == nil {
-		t.Fatal("wrong feature width accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := LoadPredictor(strings.NewReader(tc.payload)); err == nil {
+				t.Fatalf("payload accepted: %s", tc.payload)
+			}
+		})
 	}
 }
 

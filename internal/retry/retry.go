@@ -1,0 +1,169 @@
+// Package retry implements context-aware retries with jittered exponential
+// backoff. It exists for the long-lived service path (easerd): a resident
+// process must ride out transient I/O failures — a model file mid-rewrite, a
+// listen address still held by the previous instance during a restart —
+// instead of dying on the first error, while still failing promptly on
+// permanent ones.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Policy describes one retry loop.
+type Policy struct {
+	// MaxAttempts is the total number of tries, including the first. Must be
+	// at least 1.
+	MaxAttempts int
+	// InitialDelay is the backoff after the first failed attempt.
+	InitialDelay time.Duration
+	// MaxDelay caps the grown backoff. 0 means "no cap".
+	MaxDelay time.Duration
+	// Multiplier grows the backoff between attempts; values below 1 are
+	// rejected (a shrinking backoff is a typo, not a strategy).
+	Multiplier float64
+	// Jitter randomizes each delay within ±Jitter·delay, in [0, 1]. Jitter
+	// decorrelates colliding clients (a fleet of easerds restarting after a
+	// deploy should not hammer the filesystem in lockstep).
+	Jitter float64
+	// PerAttemptTimeout bounds each attempt with its own context deadline.
+	// 0 means attempts inherit the loop context unchanged.
+	PerAttemptTimeout time.Duration
+}
+
+// DefaultPolicy suits startup I/O: five tries across roughly three seconds.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts:  5,
+		InitialDelay: 100 * time.Millisecond,
+		MaxDelay:     2 * time.Second,
+		Multiplier:   2,
+		Jitter:       0.2,
+	}
+}
+
+// Validate checks the policy.
+func (p Policy) Validate() error {
+	switch {
+	case p.MaxAttempts < 1:
+		return errors.New("retry: MaxAttempts must be at least 1")
+	case p.InitialDelay < 0 || p.MaxDelay < 0 || p.PerAttemptTimeout < 0:
+		return errors.New("retry: delays must be non-negative")
+	case p.Multiplier < 1:
+		return errors.New("retry: Multiplier must be at least 1")
+	case p.Jitter < 0 || p.Jitter > 1:
+		return errors.New("retry: Jitter must be in [0, 1]")
+	}
+	return nil
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Do stops immediately instead of retrying: the
+// operation failed in a way more attempts cannot fix (a corrupt model file,
+// a malformed address). A nil err returns nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked with
+// Permanent.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// randFloat is the jitter source; tests pin it for determinism.
+var randFloat = rand.Float64
+
+// sleepCtx waits for d or the context, whichever ends first.
+var sleepCtx = func(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Do runs op until it succeeds, returns a Permanent error, exhausts
+// p.MaxAttempts, or ctx is done. Each attempt sees its own context
+// (per-attempt timeout applied when configured); backoff sleeps abort as
+// soon as ctx is cancelled. The returned error wraps the last attempt's
+// error, so errors.Is/As see through it.
+func Do(ctx context.Context, p Policy, op func(context.Context) error) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("retry: not attempted: %w", err)
+	}
+	delay := p.InitialDelay
+	var last error
+	for attempt := 1; ; attempt++ {
+		last = runAttempt(ctx, p, op)
+		if last == nil {
+			return nil
+		}
+		if IsPermanent(last) {
+			return fmt.Errorf("retry: attempt %d failed permanently: %w", attempt, last)
+		}
+		if attempt >= p.MaxAttempts {
+			return fmt.Errorf("retry: all %d attempts failed: %w", p.MaxAttempts, last)
+		}
+		if err := sleepCtx(ctx, jittered(delay, p.Jitter)); err != nil {
+			return fmt.Errorf("retry: cancelled after attempt %d: %w (last error: %v)", attempt, err, last)
+		}
+		delay = nextDelay(delay, p)
+	}
+}
+
+// runAttempt executes one try under its per-attempt deadline.
+func runAttempt(ctx context.Context, p Policy, op func(context.Context) error) error {
+	if p.PerAttemptTimeout <= 0 {
+		return op(ctx)
+	}
+	actx, cancel := context.WithTimeout(ctx, p.PerAttemptTimeout)
+	defer cancel()
+	return op(actx)
+}
+
+// jittered spreads d within ±frac·d.
+func jittered(d time.Duration, frac float64) time.Duration {
+	if d <= 0 || frac <= 0 {
+		return d
+	}
+	// Uniform in [1-frac, 1+frac).
+	scale := 1 - frac + 2*frac*randFloat()
+	return time.Duration(float64(d) * scale)
+}
+
+// nextDelay grows the backoff, respecting the cap.
+func nextDelay(d time.Duration, p Policy) time.Duration {
+	if d <= 0 {
+		// A zero initial delay still needs to grow once jitter has nothing to
+		// scale; fall back to a millisecond seed so the loop cannot spin hot.
+		d = time.Millisecond
+	}
+	grown := time.Duration(float64(d) * p.Multiplier)
+	if p.MaxDelay > 0 && grown > p.MaxDelay {
+		return p.MaxDelay
+	}
+	return grown
+}

@@ -1,0 +1,254 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fastPolicy keeps tests quick: real sleeps are intercepted below.
+func fastPolicy() Policy {
+	return Policy{
+		MaxAttempts:  4,
+		InitialDelay: 10 * time.Millisecond,
+		MaxDelay:     40 * time.Millisecond,
+		Multiplier:   2,
+		Jitter:       0,
+	}
+}
+
+// captureSleeps replaces the backoff sleep with an instant recorder for the
+// duration of one test.
+func captureSleeps(t *testing.T) *[]time.Duration {
+	t.Helper()
+	var slept []time.Duration
+	orig := sleepCtx
+	sleepCtx = func(ctx context.Context, d time.Duration) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		slept = append(slept, d)
+		return nil
+	}
+	t.Cleanup(func() { sleepCtx = orig })
+	return &slept
+}
+
+func TestValidate(t *testing.T) {
+	bad := []func(*Policy){
+		func(p *Policy) { p.MaxAttempts = 0 },
+		func(p *Policy) { p.InitialDelay = -1 },
+		func(p *Policy) { p.MaxDelay = -1 },
+		func(p *Policy) { p.PerAttemptTimeout = -1 },
+		func(p *Policy) { p.Multiplier = 0.5 },
+		func(p *Policy) { p.Jitter = -0.1 },
+		func(p *Policy) { p.Jitter = 1.5 },
+	}
+	for i, mutate := range bad {
+		p := DefaultPolicy()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: bad policy accepted: %+v", i, p)
+		}
+		if err := Do(context.Background(), p, func(context.Context) error { return nil }); err == nil {
+			t.Errorf("case %d: Do accepted a bad policy", i)
+		}
+	}
+	if err := DefaultPolicy().Validate(); err != nil {
+		t.Fatalf("default policy rejected: %v", err)
+	}
+}
+
+func TestSucceedsFirstTry(t *testing.T) {
+	slept := captureSleeps(t)
+	calls := 0
+	err := Do(context.Background(), fastPolicy(), func(context.Context) error {
+		calls++
+		return nil
+	})
+	if err != nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want nil/1", err, calls)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("slept %v before a first-try success", *slept)
+	}
+}
+
+func TestRetriesThenSucceeds(t *testing.T) {
+	slept := captureSleeps(t)
+	calls := 0
+	err := Do(context.Background(), fastPolicy(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want nil/3", err, calls)
+	}
+	// Zero jitter: delays are exactly the doubled sequence.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(*slept) != len(want) {
+		t.Fatalf("slept %v, want %v", *slept, want)
+	}
+	for i, d := range want {
+		if (*slept)[i] != d {
+			t.Fatalf("sleep %d = %v, want %v", i, (*slept)[i], d)
+		}
+	}
+}
+
+func TestExhaustsAttempts(t *testing.T) {
+	captureSleeps(t)
+	base := errors.New("disk on fire")
+	calls := 0
+	err := Do(context.Background(), fastPolicy(), func(context.Context) error {
+		calls++
+		return fmt.Errorf("attempt %d: %w", calls, base)
+	})
+	if calls != 4 {
+		t.Fatalf("calls = %d, want MaxAttempts = 4", calls)
+	}
+	if !errors.Is(err, base) {
+		t.Fatalf("final error %v does not wrap the last attempt's error", err)
+	}
+}
+
+func TestDelayCapAndGrowth(t *testing.T) {
+	slept := captureSleeps(t)
+	p := fastPolicy()
+	p.MaxAttempts = 6
+	err := Do(context.Background(), p, func(context.Context) error { return errors.New("no") })
+	if err == nil {
+		t.Fatal("want failure")
+	}
+	want := []time.Duration{10, 20, 40, 40, 40} // ms: doubling, then capped
+	for i, ms := range want {
+		if (*slept)[i] != time.Duration(ms)*time.Millisecond {
+			t.Fatalf("sleep %d = %v, want %dms (all: %v)", i, (*slept)[i], ms, *slept)
+		}
+	}
+}
+
+func TestPermanentStopsImmediately(t *testing.T) {
+	captureSleeps(t)
+	base := errors.New("model file corrupt")
+	calls := 0
+	err := Do(context.Background(), fastPolicy(), func(context.Context) error {
+		calls++
+		return Permanent(base)
+	})
+	if calls != 1 {
+		t.Fatalf("permanent error retried: %d calls", calls)
+	}
+	if !errors.Is(err, base) || !IsPermanent(err) {
+		t.Fatalf("error %v lost the permanent marker or cause", err)
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+	if IsPermanent(errors.New("plain")) {
+		t.Fatal("plain error reported permanent")
+	}
+}
+
+func TestContextCancelDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := fastPolicy()
+	p.InitialDelay = time.Hour // real sleep: must be cut short by cancel
+	calls := 0
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := Do(ctx, p, func(context.Context) error {
+		calls++
+		return errors.New("transient")
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancel took %v, backoff not interrupted", elapsed)
+	}
+}
+
+func TestContextAlreadyDone(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Do(ctx, fastPolicy(), func(context.Context) error { calls++; return nil })
+	if calls != 0 {
+		t.Fatalf("op ran %d times under a dead context", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+func TestPerAttemptTimeout(t *testing.T) {
+	captureSleeps(t)
+	p := fastPolicy()
+	p.MaxAttempts = 2
+	p.PerAttemptTimeout = 10 * time.Millisecond
+	var deadlines []bool
+	err := Do(context.Background(), p, func(ctx context.Context) error {
+		_, ok := ctx.Deadline()
+		deadlines = append(deadlines, ok)
+		// Simulate an attempt that outlives its budget.
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Second):
+			return nil
+		}
+	})
+	if err == nil {
+		t.Fatal("want failure after per-attempt timeouts")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap DeadlineExceeded", err)
+	}
+	for i, ok := range deadlines {
+		if !ok {
+			t.Fatalf("attempt %d saw no deadline", i)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	defer func(f func() float64) { randFloat = f }(randFloat)
+	for _, r := range []float64{0, 0.25, 0.5, 0.999999} {
+		randFloat = func() float64 { return r }
+		d := jittered(100*time.Millisecond, 0.2)
+		lo, hi := 80*time.Millisecond, 120*time.Millisecond
+		if d < lo || d > hi {
+			t.Fatalf("rand=%v: jittered delay %v outside [%v, %v]", r, d, lo, hi)
+		}
+	}
+	if d := jittered(100*time.Millisecond, 0); d != 100*time.Millisecond {
+		t.Fatalf("zero jitter changed the delay: %v", d)
+	}
+}
+
+func TestZeroInitialDelayDoesNotSpin(t *testing.T) {
+	slept := captureSleeps(t)
+	p := fastPolicy()
+	p.InitialDelay = 0
+	p.MaxAttempts = 3
+	if err := Do(context.Background(), p, func(context.Context) error { return errors.New("no") }); err == nil {
+		t.Fatal("want failure")
+	}
+	// First backoff is the configured zero, but growth seeds at 1ms so later
+	// waits are non-zero.
+	if (*slept)[0] != 0 || (*slept)[1] <= 0 {
+		t.Fatalf("backoff sequence %v, want 0 then positive", *slept)
+	}
+}

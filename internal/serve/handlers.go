@@ -1,0 +1,569 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"eabrowse/internal/browser"
+	"eabrowse/internal/experiments"
+	"eabrowse/internal/features"
+	"eabrowse/internal/obs"
+	"eabrowse/internal/policy"
+	"eabrowse/internal/webpage"
+)
+
+// Counter and histogram names are prebuilt constants so the hot path never
+// concatenates strings.
+const (
+	counterPredict  = "serve.predict"
+	counterDecide   = "serve.decide"
+	counterSimulate = "serve.simulate"
+	counterSwitch   = "serve.decide.switch"
+	latencyPredict  = "serve.latency.predict"
+	latencyDecide   = "serve.latency.decide"
+	latencySimulate = "serve.latency.simulate"
+)
+
+// Handler returns the service's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/v1/decide", s.handleDecide)
+	mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/admin/reload", s.handleReload)
+	return s.recovered(mux)
+}
+
+// recovered is the outermost middleware: it counts requests and turns a
+// panic anywhere in the handler chain into a 500 for that request alone.
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Add(1)
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// writeWorkError maps request-path failures onto HTTP statuses; the
+// backpressure contract (429 + Retry-After on a full queue) lives here.
+func (s *Server) writeWorkError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "worker queue full, retry shortly")
+	case errors.Is(err, errShuttingDown):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+	case errors.Is(err, errNoModel):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "no model loaded yet")
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "request cancelled")
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// requestCtx derives the per-request deadline: the server default, shortened
+// (never extended) by an X-Request-Timeout-Ms header.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.RequestTimeout
+	if h := r.Header.Get("X-Request-Timeout-Ms"); h != "" {
+		if ms, err := strconv.Atoi(h); err == nil && ms > 0 {
+			if d := time.Duration(ms) * time.Millisecond; d < timeout {
+				timeout = d
+			}
+		}
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+// decodeBody reads a size-capped JSON body into v, answering 400/413 itself.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return false
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+// parseFeatures validates a request's feature array into a stack vector.
+func parseFeatures(w http.ResponseWriter, raw []float64, vec *features.Vector) bool {
+	if len(raw) != features.Num {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("need exactly %d features (Table 1 order), got %d", features.Num, len(raw)))
+		return false
+	}
+	for i, f := range raw {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("feature %d is not finite", i))
+			return false
+		}
+	}
+	copy(vec[:], raw)
+	return true
+}
+
+// --- /v1/predict -----------------------------------------------------------
+
+type predictRequest struct {
+	// Features is the Table 1 vector, in index order.
+	Features []float64 `json:"features"`
+}
+
+type predictResponse struct {
+	ReadingSeconds  float64 `json:"reading_seconds"`
+	ModelGeneration uint64  `json:"model_generation"`
+}
+
+// predictResult is the internal, allocation-free form of an answer.
+type predictResult struct {
+	seconds float64
+	gen     uint64
+}
+
+// predictCore is the steady-state hot path: one atomic model snapshot, one
+// in-place forest walk, one counter bump. Zero allocations per op — the soak
+// harness and BenchmarkPredictCore pin that.
+func (s *Server) predictCore(vec *features.Vector) (predictResult, error) {
+	lm := s.model.current()
+	if lm == nil {
+		return predictResult{}, errNoModel
+	}
+	sec, err := lm.pred.PredictVecSeconds(vec)
+	if err != nil {
+		return predictResult{}, err
+	}
+	s.count(counterPredict)
+	return predictResult{seconds: sec, gen: lm.gen}, nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req predictRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	var vec features.Vector
+	if !parseFeatures(w, req.Features, &vec) {
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	var res predictResult
+	var coreErr error
+	if err := s.submit(ctx, func() { res, coreErr = s.predictCore(&vec) }); err != nil {
+		s.writeWorkError(w, err)
+		return
+	}
+	if coreErr != nil {
+		s.writeWorkError(w, coreErr)
+		return
+	}
+	s.observe(latencyPredict, start)
+	writeJSON(w, http.StatusOK, predictResponse{
+		ReadingSeconds:  res.seconds,
+		ModelGeneration: res.gen,
+	})
+}
+
+// --- /v1/decide ------------------------------------------------------------
+
+type decideRequest struct {
+	Features []float64 `json:"features"`
+	// Mode is "delay" (default) or "power" — Algorithm 2's two operating
+	// points.
+	Mode string `json:"mode"`
+}
+
+type decideResponse struct {
+	ReadingSeconds  float64 `json:"reading_seconds"`
+	Switch          bool    `json:"switch"`
+	Reason          string  `json:"reason"`
+	Mode            string  `json:"mode"`
+	TpSeconds       float64 `json:"tp_s"`
+	TdSeconds       float64 `json:"td_s"`
+	ModelGeneration uint64  `json:"model_generation"`
+}
+
+type decideResult struct {
+	seconds float64
+	d       policy.Decision
+	tp, td  time.Duration
+	gen     uint64
+}
+
+// decideCore runs Algorithm 2's decision rule on a fresh prediction, using
+// the thresholds that travel with the model file.
+func (s *Server) decideCore(vec *features.Vector, mode policy.Mode) (decideResult, error) {
+	lm := s.model.current()
+	if lm == nil {
+		return decideResult{}, errNoModel
+	}
+	sec, err := lm.pred.PredictVecSeconds(vec)
+	if err != nil {
+		return decideResult{}, err
+	}
+	th := lm.pred.Thresholds()
+	d := policy.Evaluate(time.Duration(sec*float64(time.Second)), policy.Params{
+		Alpha: th.Alpha,
+		Tp:    th.Tp,
+		Td:    th.Td,
+		Mode:  mode,
+	})
+	s.count(counterDecide)
+	if d.Switch {
+		s.count(counterSwitch)
+	}
+	return decideResult{seconds: sec, d: d, tp: th.Tp, td: th.Td, gen: lm.gen}, nil
+}
+
+// parsePolicyMode maps the wire names onto policy modes.
+func parsePolicyMode(w http.ResponseWriter, name string) (policy.Mode, bool) {
+	switch name {
+	case "", "delay", "delay-driven":
+		return policy.ModeDelay, true
+	case "power", "power-driven":
+		return policy.ModePower, true
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown mode %q (want \"delay\" or \"power\")", name))
+		return 0, false
+	}
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req decideRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	var vec features.Vector
+	if !parseFeatures(w, req.Features, &vec) {
+		return
+	}
+	mode, ok := parsePolicyMode(w, req.Mode)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	var res decideResult
+	var coreErr error
+	if err := s.submit(ctx, func() { res, coreErr = s.decideCore(&vec, mode) }); err != nil {
+		s.writeWorkError(w, err)
+		return
+	}
+	if coreErr != nil {
+		s.writeWorkError(w, coreErr)
+		return
+	}
+	s.observe(latencyDecide, start)
+	writeJSON(w, http.StatusOK, decideResponse{
+		ReadingSeconds:  res.seconds,
+		Switch:          res.d.Switch,
+		Reason:          res.d.Reason,
+		Mode:            mode.String(),
+		TpSeconds:       res.tp.Seconds(),
+		TdSeconds:       res.td.Seconds(),
+		ModelGeneration: res.gen,
+	})
+}
+
+// --- /v1/simulate ----------------------------------------------------------
+
+// maxSimulatedReading bounds the reading window a request may ask the
+// simulator to run.
+const maxSimulatedReading = time.Hour
+
+type simulateRequest struct {
+	// Page is a benchmark page name (see eabench -list / webpage package).
+	Page string `json:"page"`
+	// Mode is "original" or "energy-aware" (default).
+	Mode string `json:"mode"`
+	// ReadingS is the simulated reading window after the final display.
+	ReadingS float64 `json:"reading_s"`
+}
+
+type simulateResponse struct {
+	Page              string  `json:"page"`
+	Mode              string  `json:"mode"`
+	LoadSeconds       float64 `json:"load_s"`
+	FirstDisplayS     float64 `json:"first_display_s"`
+	TransmissionS     float64 `json:"transmission_s"`
+	LoadEnergyJ       float64 `json:"load_energy_j"`
+	EnergyWithReading float64 `json:"energy_with_reading_j"`
+	ReadingEnergyJ    float64 `json:"reading_energy_j"`
+}
+
+// simulateCore loads the page on a pooled zero-alloc session and runs the
+// requested reading window. The session returns to the pool only after a
+// clean run; an errored or panicked simulation drops it instead of recycling
+// unknown state.
+func (s *Server) simulateCore(page *webpage.Page, mode browser.Mode, reading time.Duration) (simulateResponse, error) {
+	pool := s.pools[mode]
+	sess, err := pool.Get()
+	if err != nil {
+		return simulateResponse{}, err
+	}
+	res, err := sess.LoadToEnd(page)
+	if err != nil {
+		return simulateResponse{}, fmt.Errorf("serve: simulate %s: %w", page.Name, err)
+	}
+	energyAtFinal := sess.Radio.EnergyJ() + res.CPUEnergyJ
+	if reading > 0 {
+		sess.Clock.RunFor(reading)
+	}
+	total := sess.Radio.EnergyJ() + res.CPUEnergyJ
+	sess.Engine.CloseLedger()
+	out := simulateResponse{
+		Page:              page.Name,
+		Mode:              mode.String(),
+		LoadSeconds:       res.FinalDisplayAt.Seconds(),
+		FirstDisplayS:     res.FirstDisplayAt.Seconds(),
+		TransmissionS:     res.TransmissionTime.Seconds(),
+		LoadEnergyJ:       obs.Round6(res.TotalEnergyJ()),
+		EnergyWithReading: obs.Round6(total),
+		ReadingEnergyJ:    obs.Round6(total - energyAtFinal),
+	}
+	s.count(counterSimulate)
+	pool.Put(sess)
+	return out, nil
+}
+
+// parseBrowserMode maps the wire names onto browser modes.
+func parseBrowserMode(w http.ResponseWriter, name string) (browser.Mode, bool) {
+	switch name {
+	case "", "energy-aware":
+		return browser.ModeEnergyAware, true
+	case "original":
+		return browser.ModeOriginal, true
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown mode %q (want \"original\" or \"energy-aware\")", name))
+		return 0, false
+	}
+}
+
+// pageByName resolves and caches a benchmark page (generation is pure CPU;
+// the cache makes repeated requests cheap).
+func (s *Server) pageByName(name string) (*webpage.Page, error) {
+	s.pagesMu.Lock()
+	defer s.pagesMu.Unlock()
+	if p, ok := s.pages[name]; ok {
+		return p, nil
+	}
+	p, err := experiments.PageByName(name)
+	if err != nil {
+		return nil, err
+	}
+	s.pages[name] = p
+	return p, nil
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req simulateRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	mode, ok := parseBrowserMode(w, req.Mode)
+	if !ok {
+		return
+	}
+	if math.IsNaN(req.ReadingS) || req.ReadingS < 0 || req.ReadingS > maxSimulatedReading.Seconds() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("reading_s must be in [0, %v]", maxSimulatedReading.Seconds()))
+		return
+	}
+	page, err := s.pageByName(req.Page)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	reading := time.Duration(req.ReadingS * float64(time.Second))
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	var res simulateResponse
+	var coreErr error
+	if err := s.submit(ctx, func() { res, coreErr = s.simulateCore(page, mode, reading) }); err != nil {
+		s.writeWorkError(w, err)
+		return
+	}
+	if coreErr != nil {
+		s.writeWorkError(w, coreErr)
+		return
+	}
+	s.observe(latencySimulate, start)
+	writeJSON(w, http.StatusOK, res)
+}
+
+// --- health, metrics, admin ------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.Ready() {
+		w.Header().Set("Retry-After", "5")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		if s.model.current() == nil {
+			_, _ = io.WriteString(w, "not ready: no model loaded\n")
+		} else {
+			_, _ = io.WriteString(w, "not ready: shutting down\n")
+		}
+		return
+	}
+	_, _ = io.WriteString(w, "ready\n")
+}
+
+// ModelStatus describes the serving model in the metrics snapshot.
+type ModelStatus struct {
+	Ready          bool   `json:"ready"`
+	Path           string `json:"path,omitempty"`
+	Generation     uint64 `json:"generation"`
+	Trees          int    `json:"trees,omitempty"`
+	LoadedAtUnixMS int64  `json:"loaded_at_unix_ms,omitempty"`
+	Reloads        uint64 `json:"reloads"`
+	ReloadFailures uint64 `json:"reload_failures"`
+}
+
+// Metrics is the /metrics document: the service gauges the soak harness and
+// operators watch, plus the obs counters/histograms snapshot.
+type Metrics struct {
+	UptimeSeconds float64     `json:"uptime_s"`
+	QueueDepth    int         `json:"queue_depth"`
+	QueueCapacity int         `json:"queue_capacity"`
+	InFlight      int64       `json:"in_flight"`
+	Requests      uint64      `json:"requests"`
+	Rejects       uint64      `json:"rejects"`
+	Panics        uint64      `json:"panics"`
+	Model         ModelStatus `json:"model"`
+	Obs           obs.Metrics `json:"obs"`
+}
+
+// MetricsSnapshot assembles the current metrics document.
+func (s *Server) MetricsSnapshot() Metrics {
+	m := Metrics{
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		InFlight:      s.inFlight.Load(),
+		Requests:      s.requests.Load(),
+		Rejects:       s.rejects.Load(),
+		Panics:        s.panics.Load(),
+	}
+	if !s.startedAt.IsZero() {
+		m.UptimeSeconds = time.Since(s.startedAt).Seconds()
+	}
+	m.Model.ReloadFailures = s.model.failures.Load()
+	if lm := s.model.current(); lm != nil {
+		m.Model.Ready = s.Ready()
+		m.Model.Path = lm.path
+		m.Model.Generation = lm.gen
+		m.Model.Trees = lm.pred.NumTrees()
+		m.Model.LoadedAtUnixMS = lm.loadedAt.UnixMilli()
+		m.Model.Reloads = lm.gen - 1
+	}
+	// The obs recorder is written under obsMu; snapshotting must hold it too.
+	s.obsMu.Lock()
+	m.Obs = s.col.Snapshot()
+	s.obsMu.Unlock()
+	return m
+}
+
+// WriteMetrics writes the metrics document as indented JSON — the shutdown
+// flush path for cmd/easerd.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.MetricsSnapshot())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+type reloadResponse struct {
+	Generation uint64 `json:"generation"`
+	Trees      int    `json:"trees,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// handleReload swaps in a revalidated model. It runs on the admin plane —
+// not through the worker queue — so operators can still reload a saturated
+// server.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	gen, err := s.Reload()
+	if err != nil {
+		// The old model (generation gen) is still serving: reloads roll
+		// back, they do not break the service.
+		writeJSON(w, http.StatusInternalServerError, reloadResponse{
+			Generation: gen,
+			Error:      err.Error(),
+		})
+		return
+	}
+	resp := reloadResponse{Generation: gen}
+	if lm := s.model.current(); lm != nil {
+		resp.Trees = lm.pred.NumTrees()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

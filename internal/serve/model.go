@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eabrowse/internal/features"
+	"eabrowse/internal/predictor"
+	"eabrowse/internal/retry"
+)
+
+// errNoModel is returned on the request path before a model has been loaded.
+var errNoModel = errors.New("serve: no model loaded")
+
+// loadedModel is one immutable generation of the served model. Requests read
+// the holder's atomic pointer once and keep the snapshot for their whole
+// lifetime, so a reload mid-request can never mix two models' answers.
+type loadedModel struct {
+	pred *predictor.Predictor
+	path string
+	// gen counts successful loads from 1; it is echoed in responses and
+	// metrics so clients and the soak harness can tell which model answered.
+	gen      uint64
+	loadedAt time.Time
+}
+
+// modelHolder owns the served model pointer. Loads are validate-then-swap:
+// the candidate file is parsed, structurally validated and probe-evaluated
+// off to the side, and only a fully usable model is atomically published.
+// A bad file therefore rolls back for free — the old pointer was never
+// touched, and requests in flight never observe a partial model.
+type modelHolder struct {
+	// mu serializes loaders (SIGHUP racing an admin reload); readers never
+	// take it.
+	mu  sync.Mutex
+	cur atomic.Pointer[loadedModel]
+	// failures counts rejected load attempts (the old model kept serving).
+	failures atomic.Uint64
+}
+
+// current returns the serving model, or nil before the first load.
+func (h *modelHolder) current() *loadedModel {
+	return h.cur.Load()
+}
+
+// generation returns the serving model's generation (0 before the first
+// load). Successful reloads = generation - 1.
+func (h *modelHolder) generation() uint64 {
+	if lm := h.cur.Load(); lm != nil {
+		return lm.gen
+	}
+	return 0
+}
+
+// load reads, validates and publishes the model at path. On any error the
+// previously served model stays published untouched.
+func (h *modelHolder) load(path string) (*loadedModel, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	pred, err := readModel(path)
+	if err != nil {
+		h.failures.Add(1)
+		return nil, err
+	}
+	old := h.cur.Load()
+	lm := &loadedModel{
+		pred:     pred,
+		path:     path,
+		gen:      1,
+		loadedAt: time.Now(),
+	}
+	if old != nil {
+		lm.gen = old.gen + 1
+	}
+	h.cur.Store(lm)
+	return lm, nil
+}
+
+// readModel parses and probe-evaluates a candidate model file without
+// touching the served pointer. I/O errors come back plain (a retry loop may
+// ride out a file mid-rewrite); validation errors are marked permanent —
+// rereading a corrupt file cannot fix it.
+func readModel(path string) (*predictor.Predictor, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: read model: %w", err)
+	}
+	pred, err := predictor.LoadPredictor(bytes.NewReader(raw))
+	if err != nil {
+		return nil, retry.Permanent(fmt.Errorf("serve: invalid model file %s: %w", path, err))
+	}
+	// Belt and braces: the envelope validated, now prove the forest answers
+	// a real feature vector with a finite number before anyone serves it.
+	var probe features.Vector
+	sec, err := pred.PredictVecSeconds(&probe)
+	if err != nil {
+		return nil, retry.Permanent(fmt.Errorf("serve: candidate model failed probe prediction: %w", err))
+	}
+	if sec != sec { // NaN
+		return nil, retry.Permanent(errors.New("serve: candidate model predicts NaN"))
+	}
+	return pred, nil
+}

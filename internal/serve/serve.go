@@ -1,0 +1,354 @@
+// Package serve is the resident prediction service behind cmd/easerd: it
+// loads a trained GBRT reading-time model and answers the paper's core loop
+// — predict reading time, decide fast dormancy per page visit — over HTTP,
+// staying up for days while models are retrained and swapped underneath it.
+//
+// The robustness contracts, in one place:
+//
+//   - Bounded work. Every request body is size-capped, carries a deadline
+//     propagated via context, and runs on a fixed worker pool behind a
+//     bounded queue. A full queue answers 429 with Retry-After instead of
+//     growing goroutines or memory.
+//   - Fail one request, not the process. A panic on the work path is
+//     recovered per request (500), counted, and the worker lives on.
+//   - Hot reload by validate-then-swap. A candidate model file is parsed,
+//     validated and probe-evaluated before an atomic pointer swap publishes
+//     it; a bad file leaves the old model serving (rollback is the default,
+//     not a recovery step). Requests snapshot the pointer once, so none ever
+//     observes a partially swapped model.
+//   - Graceful shutdown. Stop accepting, drain in-flight requests, then
+//     stop the workers; /readyz flips to 503 first so load balancers move on.
+//
+// Health and introspection: /healthz (process up), /readyz (model loaded and
+// accepting), /metrics (obs counters/histograms plus queue depth, in-flight
+// count, reloads and rejects).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eabrowse/internal/browser"
+	"eabrowse/internal/experiments"
+	"eabrowse/internal/obs"
+	"eabrowse/internal/retry"
+	"eabrowse/internal/webpage"
+)
+
+// Config describes one service instance.
+type Config struct {
+	// Addr is the listen address (host:port; ":0" picks a free port).
+	Addr string
+	// ModelPath is the predictor file loaded at startup and on reload. Empty
+	// means "start without a model": /readyz stays 503 until a reload
+	// succeeds.
+	ModelPath string
+	// Workers is the prediction worker-pool size. <= 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the backlog between the HTTP front and the workers.
+	// <= 0 means 256. A full queue rejects with 429 + Retry-After.
+	QueueDepth int
+	// RequestTimeout is the per-request deadline propagated via context.
+	// <= 0 means 5 s. Clients may shorten (never extend) it with an
+	// X-Request-Timeout-Ms header.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies. <= 0 means 1 MiB.
+	MaxBodyBytes int64
+	// Retry governs startup model loading and listener binding, so a file
+	// mid-rewrite or an address still held by the previous instance does not
+	// kill the service.
+	Retry retry.Policy
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Retry.MaxAttempts == 0 {
+		c.Retry = retry.DefaultPolicy()
+	}
+	return c
+}
+
+// Sentinel errors of the request path, mapped to HTTP statuses by the
+// handlers.
+var (
+	errQueueFull    = errors.New("serve: worker queue full")
+	errShuttingDown = errors.New("serve: shutting down")
+)
+
+// job is one unit of work handed to the pool. The handler goroutine waits on
+// done (or its context); the worker closes done exactly once.
+type job struct {
+	ctx  context.Context
+	fn   func()
+	done chan struct{}
+	err  error
+}
+
+// Server is the resident service. Build with New, bring up with Start, stop
+// with Shutdown.
+type Server struct {
+	cfg   Config
+	model modelHolder
+
+	queue    chan *job
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	ln      net.Listener
+	httpSrv *http.Server
+
+	accepting atomic.Bool
+	started   atomic.Bool
+	startedAt time.Time
+
+	inFlight atomic.Int64
+	requests atomic.Uint64
+	rejects  atomic.Uint64
+	panics   atomic.Uint64
+
+	// Service-level counters and latency histograms ride the obs layer; the
+	// recorder is single-threaded by contract, so a mutex serializes it.
+	obsMu sync.Mutex
+	col   *obs.Collector
+	rec   *obs.Recorder
+
+	// Per-request simulation machinery: benchmark pages cached by name,
+	// pooled zero-alloc sessions per browser mode.
+	pagesMu sync.Mutex
+	pages   map[string]*webpage.Page
+	pools   map[browser.Mode]*experiments.SessionPool
+}
+
+// New builds a server; no I/O happens until Start.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Retry.Validate(); err != nil {
+		return nil, err
+	}
+	col := obs.NewCollector()
+	rec, err := col.NewRecorder("easerd")
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *job, cfg.QueueDepth),
+		stop:  make(chan struct{}),
+		col:   col,
+		rec:   rec,
+		pages: make(map[string]*webpage.Page),
+		pools: map[browser.Mode]*experiments.SessionPool{
+			browser.ModeOriginal:    experiments.NewSessionPool(browser.ModeOriginal),
+			browser.ModeEnergyAware: experiments.NewSessionPool(browser.ModeEnergyAware),
+		},
+	}
+	s.httpSrv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return s, nil
+}
+
+// Start loads the configured model (retrying transient I/O), binds the
+// listener (retrying a busy address), and begins serving. It returns once
+// the service is accepting; serving continues in the background until
+// Shutdown.
+func (s *Server) Start(ctx context.Context) error {
+	if s.started.Swap(true) {
+		return errors.New("serve: already started")
+	}
+	if s.cfg.ModelPath != "" {
+		err := retry.Do(ctx, s.cfg.Retry, func(context.Context) error {
+			_, err := s.model.load(s.cfg.ModelPath)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("serve: load model: %w", err)
+		}
+	}
+	err := retry.Do(ctx, s.cfg.Retry, func(context.Context) error {
+		ln, lerr := net.Listen("tcp", s.cfg.Addr)
+		if lerr != nil {
+			if isAddrError(lerr) {
+				// A malformed address never binds, no matter how patiently
+				// it is retried.
+				return retry.Permanent(lerr)
+			}
+			return lerr
+		}
+		s.ln = ln
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("serve: bind %s: %w", s.cfg.Addr, err)
+	}
+
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	s.startedAt = time.Now()
+	s.accepting.Store(true)
+	go func() {
+		// ErrServerClosed is the normal Shutdown path; anything else would
+		// surface through failing requests and /healthz probes.
+		_ = s.httpSrv.Serve(s.ln)
+	}()
+	return nil
+}
+
+// isAddrError reports a structurally bad listen address (vs a transiently
+// unavailable one).
+func isAddrError(err error) bool {
+	var ae *net.AddrError
+	if errors.As(err, &ae) {
+		return true
+	}
+	// "missing port", "too many colons", unknown host in tests...
+	var de *net.DNSError
+	return errors.As(err, &de) && de.IsNotFound
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Reload loads cfg.ModelPath again and swaps it in if — and only if — it
+// validates; otherwise the old model keeps serving and the error is
+// returned. Safe to call concurrently (SIGHUP racing POST /admin/reload).
+func (s *Server) Reload() (uint64, error) {
+	if s.cfg.ModelPath == "" {
+		return s.model.generation(), errors.New("serve: no model path configured")
+	}
+	lm, err := s.model.load(s.cfg.ModelPath)
+	if err != nil {
+		return s.model.generation(), err
+	}
+	return lm.gen, nil
+}
+
+// Ready reports whether the service is accepting work and has a model.
+func (s *Server) Ready() bool {
+	return s.accepting.Load() && s.model.current() != nil
+}
+
+// Shutdown stops the service gracefully: readiness flips first (load
+// balancers drain), the HTTP server stops accepting and waits for in-flight
+// requests up to ctx, then the workers finish whatever is still queued and
+// exit. The obs collector's final snapshot remains readable via
+// MetricsSnapshot/WriteMetrics after Shutdown returns.
+// Shutdown is idempotent: later calls wait for the same drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.accepting.Store(false)
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	// All connections are done (or ctx expired and stragglers will be cut
+	// off); tell the workers to drain the queue and exit.
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+	return err
+}
+
+// submit enqueues fn and waits for it to run, honoring backpressure and the
+// request deadline. It never blocks on a full queue.
+func (s *Server) submit(ctx context.Context, fn func()) error {
+	if !s.accepting.Load() {
+		s.rejects.Add(1)
+		return errShuttingDown
+	}
+	j := &job{ctx: ctx, fn: fn, done: make(chan struct{})}
+	select {
+	case s.queue <- j:
+	default:
+		s.rejects.Add(1)
+		return errQueueFull
+	}
+	select {
+	case <-j.done:
+		return j.err
+	case <-ctx.Done():
+		// The worker will see the dead context and skip the job; the
+		// response goes out now either way.
+		return ctx.Err()
+	}
+}
+
+// worker executes queued jobs until told to stop, then drains what is left
+// (skipping jobs whose requesters have given up) and exits.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.runJob(j)
+		default:
+			select {
+			case j := <-s.queue:
+				s.runJob(j)
+			case <-s.stop:
+				return
+			}
+		}
+	}
+}
+
+// runJob runs one job with per-request panic recovery: a panicking request
+// fails alone; the worker — and the process — live on.
+func (s *Server) runJob(j *job) {
+	defer close(j.done)
+	if j.ctx != nil && j.ctx.Err() != nil {
+		j.err = j.ctx.Err()
+		return
+	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			j.err = fmt.Errorf("serve: request panicked: %v", r)
+		}
+	}()
+	j.fn()
+}
+
+// count bumps a service-level obs counter.
+func (s *Server) count(name string) {
+	s.obsMu.Lock()
+	s.rec.Count(name, 1)
+	s.obsMu.Unlock()
+}
+
+// observe records one completed request's wall latency under a prebuilt
+// histogram name (the callers pass constants so the hot path never builds
+// strings).
+func (s *Server) observe(name string, start time.Time) {
+	s.obsMu.Lock()
+	s.rec.ObserveDur(name, time.Since(start))
+	s.obsMu.Unlock()
+}
