@@ -34,6 +34,7 @@ import (
 	"eabrowse/internal/features"
 	"eabrowse/internal/obs"
 	"eabrowse/internal/report"
+	"eabrowse/internal/rrc"
 	"eabrowse/internal/runner"
 )
 
@@ -70,6 +71,7 @@ func run(args []string) error {
 	traceOut := fs.String("trace", "", "write the merged simulated-time event trace (JSON lines) to this file")
 	metricsOut := fs.String("metrics", "", "write the counters/histograms/ledger snapshot (JSON) to this file")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while experiments run")
+	radio := fs.String("radio", "", "radio profile the simulated phones run: "+strings.Join(rrc.Profiles(), ", ")+" (default umts; experiments that measure the UMTS machine itself — fig1, fig3, table5, timers, ablation — pin it explicitly and are unaffected)")
 
 	opts := benchOptions{
 		profile: experiments.DefaultChaosProfile(),
@@ -79,6 +81,7 @@ func run(args []string) error {
 	fs.IntVar(&opts.fleet.Users, "fleet-users", opts.fleet.Users, "fleet: number of simulated phones")
 	fs.Float64Var(&opts.fleet.HoursPerUser, "fleet-hours", opts.fleet.HoursPerUser, "fleet: browsing hours replayed per phone")
 	fs.Int64Var(&opts.fleet.Seed, "fleet-seed", opts.fleet.Seed, "fleet: trace seed")
+	fs.StringVar(&opts.fleet.RadioMix, "fleet-radio-mix", "", "fleet: mixed-RAN population as name:weight pairs, e.g. \"umts:0.6,lte:0.4\" (default: the -radio profile fleet-wide)")
 
 	// Fault-injection profile for the chaos experiment. Loss is the swept
 	// variable (0 up to -fault-loss); the other rates form the constant
@@ -91,6 +94,11 @@ func run(args []string) error {
 	fs.Float64Var(&opts.profile.RILErrorRate, "fault-ril-error", opts.profile.RILErrorRate, "chaos: probability the RIL daemon rejects an operation")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *radio != "" {
+		if err := experiments.SetDefaultRadioProfile(*radio); err != nil {
+			return err
+		}
 	}
 	runner.SetWorkers(*parallel)
 
@@ -174,6 +182,14 @@ func writeObsOutputs(c *obs.Collector, tracePath, metricsPath string) error {
 		f, err := os.Create(tracePath)
 		if err != nil {
 			return err
+		}
+		// The run header names the active radio profile ahead of the event
+		// stream. It is written here, not by the collector, so session-level
+		// trace files (and their committed goldens) keep their exact bytes.
+		if _, err := fmt.Fprintf(f, "{\"kind\":\"run-header\",\"radio_profile\":%q}\n",
+			experiments.DefaultRadioSpec().Profile()); err != nil {
+			f.Close()
+			return fmt.Errorf("write trace: %w", err)
 		}
 		if err := c.WriteTrace(f); err != nil {
 			f.Close()
@@ -262,6 +278,7 @@ func allExperiments(opts benchOptions) []experiment {
 		{name: "fig16", desc: "power and delay savings of the six cases", run: runFig16},
 		{name: "table7", desc: "prediction cost vs number of decision trees",
 			run: func(p *printer) error { return runTable7(p, opts.timing) }},
+		{name: "reorder", desc: "reordering+dormancy savings per radio backend (umts, lte, nr)", run: runReorder},
 		{name: "ablation", desc: "design-choice ablations (guard, timers, reordering-only)", run: runAblation},
 		{name: "ablation-pred", desc: "predictor ablations (GBRT vs linear, M, J, alpha)", run: runPredictorAblation},
 		{name: "timers", desc: "T1/T2 timer sweep on the original browser vs energy-aware", run: runTimerSweep},
@@ -545,6 +562,24 @@ func runFig16(p *printer) error {
 	return nil
 }
 
+func runReorder(p *printer) error {
+	res, err := experiments.Reorder()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(p.w, "page: %s, reading window %v, one phone per radio backend per pipeline\n",
+		res.Page, experiments.Fig10ReadingTime)
+	p.table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "radio\toriginal(J)\tenergy-aware(J)\tsaving\torig load(s)\tEA load(s)\tEA dormant in window")
+		for _, r := range res.Rows {
+			fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f%%\t%.1f\t%.1f\t%v\n",
+				r.Profile, r.OriginalJ, r.AwareJ, r.SavingPct, r.OrigLoadS, r.AwareLoadS, r.AwareDormant)
+		}
+	})
+	fmt.Fprintln(p.w, "the reordering wins on every generation; the saving shrinks as the native tail gets shorter")
+	return nil
+}
+
 func runTable7(p *printer, timing bool) error {
 	rows, err := experiments.Table7()
 	if err != nil {
@@ -660,6 +695,9 @@ func runFleet(p *printer, cfg experiments.FleetConfig) error {
 	}
 	fmt.Fprintf(p.w, "fleet: %d phones, %.2f h of browsing each, %d visits replayed per pipeline\n",
 		res.Users, res.TraceHours, res.Visits)
+	if res.Radio != "umts" {
+		fmt.Fprintf(p.w, "radio: %s\n", res.Radio)
+	}
 	p.table(func(w *tabwriter.Writer) {
 		fmt.Fprintln(w, "pipeline\ttotal energy (J)\tper phone (J)\tmean trans (s)\tdrop% at fleet\tusers at 2% drop")
 		for _, s := range []*experiments.FleetModeStats{&res.Original, &res.Aware} {

@@ -75,6 +75,33 @@ func TestBadFleetUsers(t *testing.T) {
 	}
 }
 
+func TestBadRadioProfile(t *testing.T) {
+	if err := run([]string{"-exp", "table5", "-radio", "wimax"}); err == nil {
+		t.Fatal("unknown -radio profile accepted")
+	}
+}
+
+func TestRadioFlag(t *testing.T) {
+	// -radio switches the process-wide default; restore it for later tests.
+	defer func() {
+		if err := experiments.SetDefaultRadioProfile("umts"); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := run([]string{"-exp", "table5", "-radio", "lte"}); err != nil {
+		t.Fatalf("run(table5 -radio lte): %v", err)
+	}
+}
+
+func TestBadFleetRadioMix(t *testing.T) {
+	if err := run([]string{"-exp", "fleet", "-fleet-radio-mix", "umts"}); err == nil {
+		t.Fatal("fleet accepted a weightless radio mix")
+	}
+	if err := run([]string{"-exp", "fleet", "-fleet-radio-mix", "umts:0.5,zz:0.5"}); err == nil {
+		t.Fatal("fleet accepted an unknown profile in the radio mix")
+	}
+}
+
 // TestBadPprofAddr checks an unbindable -pprof address fails the run
 // immediately instead of dying silently inside a goroutine.
 func TestBadPprofAddr(t *testing.T) {

@@ -9,7 +9,13 @@
 //
 //	curl -s localhost:8723/v1/predict -d '{"features":[12,340,25,4,9,120,0.8,3,2800,320]}'
 //	curl -s localhost:8723/v1/decide  -d '{"features":[...],"mode":"power"}'
+//	curl -s localhost:8723/v1/simulate -d '{"page":"m.cnn.com","radio":"lte","reading_s":20}'
 //	curl -s -X POST localhost:8723/admin/reload
+//
+// predict and simulate accept an optional "radio" profile name ("umts",
+// "lte", "nr"; default "umts"): simulate runs the load on that backend,
+// predict validates and echoes it so mixed-RAN clients can correlate
+// responses. /metrics lists the registered profiles.
 //
 // SIGHUP reloads the model file in place (validate-then-swap; a bad file is
 // rejected and the old model keeps serving). SIGINT/SIGTERM shut down

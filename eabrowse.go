@@ -68,10 +68,22 @@ type (
 	// PageSpec parameterizes the page generator.
 	PageSpec = webpage.Spec
 
-	// RadioConfig holds the RRC timers, latencies and Table 5 powers.
+	// RadioConfig holds the UMTS RRC timers, latencies and Table 5 powers.
 	RadioConfig = rrc.Config
-	// RadioState is an RRC state (IDLE/FACH/DCH and transients).
+	// RadioState is a radio state index. For UMTS these are IDLE/FACH/DCH
+	// and transients; other backends define their own ladders. State 1
+	// (RadioIdle) is the terminal idle state on every backend.
 	RadioState = rrc.State
+	// RadioModel is the radio-backend abstraction: any implementation of
+	// the RRC-style state machine the phone's energy accounting runs on.
+	RadioModel = rrc.RadioModel
+	// RadioModelSpec is a validated radio configuration that can mint
+	// RadioModel instances — what WithRadioModel accepts and
+	// RadioProfileSpec returns.
+	RadioModelSpec = rrc.ModelSpec
+	// RadioTailProfile is a backend's declarative tail shape (per-stage
+	// powers, dwell times and promotion costs) for policy arithmetic.
+	RadioTailProfile = rrc.TailProfile
 	// LinkConfig holds the radio-link bandwidth and RTT parameters.
 	LinkConfig = netsim.Config
 
@@ -138,7 +150,17 @@ var (
 
 // Phone options for New.
 var (
-	// WithRadioConfig overrides the RRC timers, latencies and Table 5 powers.
+	// WithRadioModel selects the radio backend a phone simulates: any
+	// RadioModelSpec, typically one of the named profiles from
+	// RadioProfileSpec ("umts", "lte", "nr") or a customized
+	// RadioConfig/LTEConfig/NRConfig value.
+	WithRadioModel = experiments.WithRadioModel
+	// WithRadioConfig overrides the UMTS RRC timers, latencies and Table 5
+	// powers.
+	//
+	// Deprecated: use WithRadioModel — RadioConfig implements
+	// RadioModelSpec, so WithRadioModel(cfg) is a drop-in replacement that
+	// also accepts the LTE and NR backends.
 	WithRadioConfig = experiments.WithRadioConfig
 	// WithLinkConfig overrides the radio-link bandwidth and RTT parameters.
 	WithLinkConfig = experiments.WithLinkConfig
@@ -162,7 +184,35 @@ func Parallelism() int { return runner.Workers() }
 
 // DefaultRadioConfig returns the calibrated UMTS parameters (Table 5 powers,
 // T1 = 4 s, T2 = 15 s, Fig. 3 crossover at 9 s).
+//
+// Deprecated: use RadioProfileSpec("umts") (or keep this when you need the
+// concrete RadioConfig to tweak timers; it still implements RadioModelSpec).
 func DefaultRadioConfig() RadioConfig { return rrc.DefaultConfig() }
+
+// RadioProfiles lists the registered radio backends ("lte", "nr", "umts"),
+// sorted. Every name is valid for RadioProfileSpec, eabench -radio, the
+// easerd "radio" request field and fleet radio mixes.
+func RadioProfiles() []string { return rrc.Profiles() }
+
+// RadioProfileSpec resolves a named radio profile to its calibrated spec for
+// WithRadioModel. Unknown names error with the valid-name list.
+func RadioProfileSpec(name string) (RadioModelSpec, error) { return rrc.ProfileSpec(name) }
+
+// DefaultLTEConfig returns the calibrated LTE DRX parameters (CONNECTED,
+// short-DRX, long-DRX, IDLE with 3GPP-style cycle timers).
+func DefaultLTEConfig() rrc.ChainSpec { return rrc.DefaultLTEConfig() }
+
+// DefaultNRConfig returns the calibrated 5G NR parameters (CONNECTED,
+// RRC_INACTIVE, IDLE).
+func DefaultNRConfig() rrc.ChainSpec { return rrc.DefaultNRConfig() }
+
+// SetDefaultRadioProfile sets the backend phones and experiments use when no
+// explicit radio option is given (process-wide; starts as "umts"). The
+// session-based experiments follow it — that is how the evaluation re-runs
+// on another radio generation — while the experiments that measure the UMTS
+// machine itself (Fig1, Fig3, Table5, the timer sweep, the ablations) pin
+// their radio explicitly and never move.
+func SetDefaultRadioProfile(name string) error { return experiments.SetDefaultRadioProfile(name) }
 
 // DefaultLinkConfig returns the calibrated link (760 KB in ≈8 s over DCH).
 func DefaultLinkConfig() LinkConfig { return netsim.DefaultConfig() }
@@ -362,6 +412,12 @@ func (Experiments) Table5() []experiments.Table5Row { return experiments.Table5(
 
 // Table7 — prediction cost by forest size.
 func (Experiments) Table7() ([]experiments.Table7Row, error) { return experiments.Table7() }
+
+// Reorder — the reordering+dormancy intervention re-run on every radio
+// backend (UMTS, LTE DRX, 5G NR).
+func (Experiments) Reorder() (*experiments.ReorderResult, error) {
+	return experiments.Reorder()
+}
 
 // Ablations — design-choice ablation sweep.
 func (Experiments) Ablations() (*experiments.AblationResult, error) {

@@ -1,6 +1,8 @@
 // Radiotrace: a walkthrough of the UMTS RRC machinery the whole paper rests
 // on — promotions, the T1/T2 inactivity timers, fast dormancy, and what each
-// state costs. Prints a timeline like Fig. 1.
+// state costs. Prints a timeline like Fig. 1, then replays the same transfer
+// on every registered radio backend (UMTS, LTE DRX, 5G NR) to show how each
+// generation's tail decays and what fast dormancy is still worth.
 package main
 
 import (
@@ -87,5 +89,65 @@ func run() error {
 	fmt.Printf("radio is now %v; the transfer plus 20 s window cost %.1f J "+
 		"(the timers would have burned the full DCH+FACH tail instead)\n",
 		radio.State(), radio.EnergyJ()-before)
+
+	return crossBackend()
+}
+
+// crossBackend is the LTE/NR quickstart: resolve each registered profile by
+// name through the RadioModel interface, run one 100 KB transfer plus a 20 s
+// reading window, and compare letting the tail timers decay against forcing
+// dormancy right after the transfer.
+func crossBackend() error {
+	fmt.Println("\nsame transfer + 20 s read on every backend (timers vs fast dormancy):")
+	for _, name := range rrc.Profiles() {
+		spec, err := rrc.ProfileSpec(name)
+		if err != nil {
+			return err
+		}
+		timersJ, err := transferAndRead(spec, false)
+		if err != nil {
+			return err
+		}
+		dormantJ, err := transferAndRead(spec, true)
+		if err != nil {
+			return err
+		}
+		tail := spec.Tail()
+		fmt.Printf("  %-4s  timers %5.1f J   forced-idle %5.1f J   saving %4.1f%%   (tail %v)\n",
+			name, timersJ, dormantJ, (timersJ-dormantJ)/timersJ*100, tail.TotalDwell())
+	}
 	return nil
+}
+
+// transferAndRead fetches 100 KB on a fresh phone of the given backend, then
+// reads for 20 s, optionally forcing dormancy the moment the transfer ends.
+func transferAndRead(spec rrc.ModelSpec, forceIdle bool) (float64, error) {
+	clock := simtime.NewClock()
+	radio, err := spec.New(clock)
+	if err != nil {
+		return 0, err
+	}
+	link, err := netsim.NewLink(clock, radio, netsim.DefaultConfig())
+	if err != nil {
+		return 0, err
+	}
+	done := false
+	err = link.Fetch("object", 100*1024, func() {
+		if forceIdle {
+			if ferr := radio.ForceIdle(); ferr != nil {
+				log.Print(ferr)
+			}
+		}
+		done = true
+	})
+	if err != nil {
+		return 0, err
+	}
+	for !done {
+		if !clock.Step() {
+			return 0, fmt.Errorf("%s: transfer stalled", spec.Profile())
+		}
+	}
+	clock.RunFor(20 * time.Second)
+	return radio.EnergyJ(), nil
 }

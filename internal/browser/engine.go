@@ -3,6 +3,7 @@ package browser
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"eabrowse/internal/jsmini"
@@ -43,7 +44,7 @@ const (
 // for sequential loads. Not safe for concurrent use.
 type Engine struct {
 	clock *simtime.Clock
-	radio *rrc.Machine
+	radio rrc.RadioModel
 	link  *netsim.Link
 	cost  CostModel
 	mode  Mode
@@ -138,20 +139,32 @@ type Engine struct {
 	forceDormantFn    func()
 	deliverFn         func()
 	energyProbeFn     obs.EnergyProbe
+
+	// stateNames labels the radio's energy-probe slots, cached per profile.
+	stateNames *obs.StateNames
 }
 
-// rrcStateNames labels the slots of the engine's energy probe: slot i carries
-// the cumulative joules of rrc.State(i).
-var rrcStateNames = func() (n obs.StateNames) {
-	for i := 1; i < rrc.NumStates; i++ {
-		n[i] = rrc.State(i).String()
+// stateNamesCache holds one obs.StateNames per radio profile: slot i carries
+// the cumulative joules of the backend's rrc.State(i). Ledgers share the
+// cached table, so per-load ledger setup never rebuilds name strings.
+var stateNamesCache sync.Map // profile string -> *obs.StateNames
+
+// stateNamesFor returns the cached slot labels for the radio's profile.
+func stateNamesFor(radio rrc.RadioModel) *obs.StateNames {
+	if v, ok := stateNamesCache.Load(radio.Profile()); ok {
+		return v.(*obs.StateNames)
 	}
-	return
-}()
+	var n obs.StateNames
+	for i := 1; i < radio.NumStates(); i++ {
+		n[i] = radio.StateName(rrc.State(i))
+	}
+	v, _ := stateNamesCache.LoadOrStore(radio.Profile(), &n)
+	return v.(*obs.StateNames)
+}
 
 // The probe copies rrc's state-indexed array into an obs.EnergyVec, so the
-// vector must be at least as wide as the radio's state space.
-var _ [obs.NumEnergyStates - rrc.NumStates]struct{}
+// vector must be at least as wide as any radio backend's state space.
+var _ [obs.NumEnergyStates - rrc.MaxStates]struct{}
 
 type scriptSlot struct {
 	url    string
@@ -254,8 +267,9 @@ func WithRIL(iface *ril.Interface) Option {
 	return optionFunc(func(e *Engine) { e.radioIface = iface })
 }
 
-// NewEngine builds an engine over the given simulated radio and link.
-func NewEngine(clock *simtime.Clock, radio *rrc.Machine, link *netsim.Link,
+// NewEngine builds an engine over the given simulated radio (any
+// rrc.RadioModel backend) and link.
+func NewEngine(clock *simtime.Clock, radio rrc.RadioModel, link *netsim.Link,
 	cost CostModel, mode Mode, opts ...Option) (*Engine, error) {
 	if clock == nil || radio == nil || link == nil {
 		return nil, errors.New("browser: nil clock, radio or link")
@@ -286,6 +300,7 @@ func NewEngine(clock *simtime.Clock, radio *rrc.Machine, link *netsim.Link,
 	if e.fetchAttempts < 1 || e.fetchBackoff < 0 || e.fetchBackoffCap < e.fetchBackoff || e.fetchDeadline <= 0 {
 		return nil, errors.New("browser: invalid fetch retry policy")
 	}
+	e.stateNames = stateNamesFor(radio)
 	e.cpu.observer = e.observer
 	e.bindCallbacks()
 	return e, nil
@@ -392,7 +407,7 @@ func (e *Engine) Load(page *webpage.Page, done func(*Result)) error {
 		e.ledgerBuf.Reopen()
 		e.activeLedger = e.ledgerBuf
 	} else {
-		e.activeLedger = obs.NewLedger(e.energyProbeFn, &rrcStateNames)
+		e.activeLedger = obs.NewLedger(e.energyProbeFn, e.stateNames)
 		if e.reuseResults {
 			e.ledgerBuf = e.activeLedger
 		}

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -35,6 +37,13 @@ type FleetConfig struct {
 	HoursPerUser float64
 	// Seed makes the fleet trace reproducible.
 	Seed int64
+	// Radio names the radio profile every phone runs ("umts", "lte", "nr").
+	// Empty means the session default (see SetDefaultRadioProfile).
+	Radio string
+	// RadioMix assigns profiles across the fleet, e.g. "umts:0.6,lte:0.4":
+	// each user is drawn one profile, deterministically in (Seed, user).
+	// Mutually exclusive with Radio.
+	RadioMix string
 }
 
 // DefaultFleetConfig replays a 300-phone fleet for a quarter hour each.
@@ -52,7 +61,113 @@ func (c FleetConfig) Validate() error {
 		return fmt.Errorf("fleet: hours per user = %g out of range (0, %g]",
 			c.HoursPerUser, MaxFleetHoursPerUser)
 	}
+	if _, err := c.fleetRadios(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// fleetRadio is one resolved radio profile of the fleet: the spec that
+// mints phones, the precomputed tail its analytic cursors replay on, the
+// drain window that settles it between sessions, and the cumulative mix
+// weight used for the per-user draw (user u runs the first radio whose cum
+// exceeds the user's draw).
+type fleetRadio struct {
+	name   string
+	spec   rrc.ModelSpec
+	tail   rrc.TailProfile
+	drain  time.Duration
+	weight float64
+	cum    float64
+}
+
+func newFleetRadio(spec rrc.ModelSpec) fleetRadio {
+	tail := spec.Tail()
+	return fleetRadio{
+		name:   spec.Profile(),
+		spec:   spec,
+		tail:   tail,
+		drain:  tail.TotalDwell() + time.Second,
+		weight: 1,
+		cum:    1,
+	}
+}
+
+// parseRadioMix parses a "name:weight,name:weight" mix into resolved radios
+// with normalized cumulative weights. Entry order follows the mix string,
+// so equal strings produce identical per-user assignments.
+func parseRadioMix(mix string) ([]fleetRadio, error) {
+	parts := strings.Split(mix, ",")
+	out := make([]fleetRadio, 0, len(parts))
+	seen := make(map[string]bool, len(parts))
+	total := 0.0
+	for _, part := range parts {
+		name, weightStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("fleet: radio mix entry %q is not name:weight", strings.TrimSpace(part))
+		}
+		name = strings.TrimSpace(name)
+		spec, err := rrc.ProfileSpec(name)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("fleet: radio mix lists %q twice", name)
+		}
+		seen[name] = true
+		w, err := strconv.ParseFloat(strings.TrimSpace(weightStr), 64)
+		if err != nil || !(w > 0) || w > 1e9 {
+			return nil, fmt.Errorf("fleet: radio mix weight %q for %s must be a positive number", strings.TrimSpace(weightStr), name)
+		}
+		fr := newFleetRadio(spec)
+		fr.weight = w
+		out = append(out, fr)
+		total += w
+	}
+	cum := 0.0
+	for i := range out {
+		out[i].weight /= total
+		cum += out[i].weight
+		out[i].cum = cum
+	}
+	// Draws are in [0, 1); pin the last bound so rounding can't strand one.
+	out[len(out)-1].cum = 1
+	return out, nil
+}
+
+// fleetRadios resolves the configured radio selection: an explicit mix, a
+// single named profile, or the session default.
+func (c FleetConfig) fleetRadios() ([]fleetRadio, error) {
+	switch {
+	case c.RadioMix != "":
+		if c.Radio != "" {
+			return nil, fmt.Errorf("fleet: Radio %q and RadioMix %q are mutually exclusive", c.Radio, c.RadioMix)
+		}
+		return parseRadioMix(c.RadioMix)
+	case c.Radio != "":
+		spec, err := rrc.ProfileSpec(c.Radio)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+		return []fleetRadio{newFleetRadio(spec)}, nil
+	default:
+		return []fleetRadio{newFleetRadio(DefaultRadioSpec())}, nil
+	}
+}
+
+// describeRadios renders the resolved selection for FleetResult.Radio.
+func describeRadios(radios []fleetRadio) string {
+	if len(radios) == 1 {
+		return radios[0].name
+	}
+	var b strings.Builder
+	for i := range radios {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s:%.2f", radios[i].name, radios[i].weight)
+	}
+	return b.String()
 }
 
 // FleetModeStats aggregates one pipeline's behaviour across the fleet.
@@ -84,8 +199,11 @@ type FleetResult struct {
 	Visits int
 	// TraceHours is the per-user browsing time replayed.
 	TraceHours float64
-	Original   FleetModeStats
-	Aware      FleetModeStats
+	// Radio describes the resolved radio selection: a single profile name,
+	// or a normalized "name:weight,…" list for mixed-RAN fleets.
+	Radio    string
+	Original FleetModeStats
+	Aware    FleetModeStats
 	// EnergySavingPct is the fleet-wide energy saving.
 	EnergySavingPct float64
 	// CapacityGainPct is the Fig. 11-style capacity gain at 2% dropping.
@@ -198,17 +316,21 @@ func Fleet(cfg FleetConfig) (*FleetResult, error) {
 		pages[pool[i].Name] = pool[i].Page
 	}
 
+	radios, err := cfg.fleetRadios()
+	if err != nil {
+		return nil, err
+	}
 	rt := &fleetRuntime{
-		stream: stream,
-		pages:  pages,
-		pred:   pred,
-		params: policy.DefaultParams(),
-		device: gbrt.DefaultDeviceCost(),
-		rcfg:   rrc.DefaultConfig(),
-		traced: obs.Default() != nil,
+		stream:  stream,
+		pages:   pages,
+		pred:    pred,
+		params:  policy.DefaultParams(),
+		device:  gbrt.DefaultDeviceCost(),
+		radios:  radios,
+		mixSeed: cfg.Seed,
+		traced:  obs.Default() != nil,
 	}
 	rt.predVisitJ = rt.device.PredictionEnergyJ(pred.NumTrees())
-	rt.drain = rt.rcfg.T1 + rt.rcfg.T2 + time.Second
 
 	shards := fleetShards
 	if cfg.Users < shards {
@@ -226,7 +348,7 @@ func Fleet(cfg FleetConfig) (*FleetResult, error) {
 			if rt.traced {
 				o, err = rt.replayUserTraced(u, visitBuf, &out)
 			} else {
-				o, err = rt.replayUserTemplated(visitBuf, &out)
+				o, err = rt.replayUserTemplated(u, visitBuf, &out)
 			}
 			if err != nil {
 				return out, fmt.Errorf("fleet user %d: %w", u, err)
@@ -239,7 +361,7 @@ func Fleet(cfg FleetConfig) (*FleetResult, error) {
 		return nil, err
 	}
 
-	res := &FleetResult{Users: cfg.Users, TraceHours: cfg.HoursPerUser}
+	res := &FleetResult{Users: cfg.Users, TraceHours: cfg.HoursPerUser, Radio: describeRadios(radios)}
 	res.Original.Mode = browser.ModeOriginal
 	res.Aware.Mode = browser.ModeEnergyAware
 	var origDist, awareDist capacity.Dist
@@ -300,34 +422,56 @@ type fleetRuntime struct {
 	pred       TrainedReadingPredictor
 	params     policy.Params
 	device     gbrt.DeviceCost
-	rcfg       rrc.Config
-	drain      time.Duration
+	radios     []fleetRadio
+	mixSeed    int64
 	predVisitJ float64
 	traced     bool
 
-	// templates caches one simulated visit per (page, mode, start state);
-	// sync.Map because shards race on first use. Duplicate builds are
-	// harmless: the build is deterministic, LoadOrStore keeps one winner.
+	// templates caches one simulated visit per (page, mode, radio, start
+	// stage); sync.Map because shards race on first use. Duplicate builds
+	// are harmless: the build is deterministic, LoadOrStore keeps one winner.
 	templates sync.Map
 }
 
-// tmplKey identifies one distinct visit evolution. start is the radio state
-// at load begin; inactivity-timer remainders don't participate because the
-// load's first fetch disarms them at t=0 (a RELEASING start is handled as a
-// shifted IDLE template, see replayUserTemplated).
+// radioMixDrawTag keys the per-user profile draw inside the trace seed's
+// splitmix64 chain ("radio" in hex), decorrelating it from the visit
+// streams and from any future per-user assignment.
+const radioMixDrawTag = 0x726164696f
+
+// radioFor picks user u's radio. Single-profile fleets skip the draw, so a
+// fleet without a mix replays exactly as it did before mixes existed.
+func (rt *fleetRuntime) radioFor(u int) *fleetRadio {
+	if len(rt.radios) == 1 {
+		return &rt.radios[0]
+	}
+	d := trace.UserDraw(rt.mixSeed, radioMixDrawTag, u)
+	for i := range rt.radios {
+		if d < rt.radios[i].cum {
+			return &rt.radios[i]
+		}
+	}
+	return &rt.radios[len(rt.radios)-1]
+}
+
+// tmplKey identifies one distinct visit evolution. start is the tail-stage
+// index of the radio at load begin; inactivity-timer remainders don't
+// participate because the load's first fetch disarms them at t=0 (a
+// RELEASING start is handled as a shifted terminal-stage template, see
+// replayUserTemplated).
 type tmplKey struct {
 	page  string
 	mode  browser.Mode
-	start rrc.State
+	radio string
+	start int
 }
 
 // visitTemplate is the cached outcome of simulating one visit's load.
 type visitTemplate struct {
-	transS   float64 // TransmissionTime, seconds
-	radioJ   float64 // radio energy over the load window
-	cpuJ     float64 // CPU energy over the load window
-	endState rrc.State
-	endRem   time.Duration // remaining T1/T2 in endState at load end
+	transS   float64       // TransmissionTime, seconds
+	radioJ   float64       // radio energy over the load window
+	cpuJ     float64       // CPU energy over the load window
+	endStage int           // tail-stage index at load end
+	endRem   time.Duration // remaining dwell in endStage at load end
 	// Policy products (energy-aware templates only): the Table 1 vector,
 	// the GBRT prediction over it and Algorithm 2's decision — all pure
 	// functions of the template.
@@ -336,11 +480,11 @@ type visitTemplate struct {
 	switchOn bool
 }
 
-func (rt *fleetRuntime) template(key tmplKey) (*visitTemplate, error) {
+func (rt *fleetRuntime) template(fr *fleetRadio, key tmplKey) (*visitTemplate, error) {
 	if v, ok := rt.templates.Load(key); ok {
 		return v.(*visitTemplate), nil
 	}
-	t, err := rt.buildTemplate(key)
+	t, err := rt.buildTemplate(fr, key)
 	if err != nil {
 		return nil, err
 	}
@@ -349,14 +493,14 @@ func (rt *fleetRuntime) template(key tmplKey) (*visitTemplate, error) {
 }
 
 // buildTemplate simulates the keyed visit once on a real phone: prime the
-// radio into the start state, load the page, and capture the load's energy,
+// radio into the start stage, load the page, and capture the load's energy,
 // transmission time and the radio state it leaves behind.
-func (rt *fleetRuntime) buildTemplate(key tmplKey) (*visitTemplate, error) {
+func (rt *fleetRuntime) buildTemplate(fr *fleetRadio, key tmplKey) (*visitTemplate, error) {
 	page, ok := rt.pages[key.page]
 	if !ok || page == nil {
 		return nil, fmt.Errorf("no page body for %s", key.page)
 	}
-	var opts []SessionOption
+	opts := []SessionOption{WithRadioModel(fr.spec)}
 	if key.mode == browser.ModeEnergyAware {
 		// In the policy setting the release decision belongs to Algorithm 2,
 		// not the engine's own end-of-load dormancy.
@@ -366,46 +510,53 @@ func (rt *fleetRuntime) buildTemplate(key tmplKey) (*visitTemplate, error) {
 	if err != nil {
 		return nil, err
 	}
-	switch key.start {
-	case rrc.StateIdle:
+	tp := &fr.tail
+	switch {
+	case key.start == tp.TerminalIndex():
 		// Fresh phone.
-	case rrc.StateDCH, rrc.StateFACH:
+	case key.start >= 0 && key.start < tp.TerminalIndex():
 		promoted := false
-		s.Radio.RequestDCH(func() { promoted = true })
+		s.Radio.RequestActive(func() { promoted = true })
 		for !promoted {
 			if !s.Clock.Step() {
 				return nil, fmt.Errorf("template %v: radio priming stalled", key)
 			}
 		}
-		if key.start == rrc.StateFACH {
-			// Let T1 demote DCH→FACH; the fresh T2 it arms is irrelevant to
-			// the load (disarmed by the first fetch at t=0).
-			s.Clock.RunFor(s.Radio.Config().T1)
+		// Let each inactivity timer fire at its stage boundary, demoting the
+		// radio one stage at a time down to the start stage; the fresh timer
+		// the last demotion arms is irrelevant to the load (disarmed by the
+		// first fetch at t=0).
+		for k := 1; k <= key.start; k++ {
+			s.Clock.RunFor(tp.Stage(k - 1).Dwell)
 		}
 	default:
-		return nil, fmt.Errorf("template %v: unsupported start state", key)
+		return nil, fmt.Errorf("template %v: unsupported start stage", key)
 	}
 	res, err := s.LoadToEnd(page)
 	if err != nil {
 		return nil, fmt.Errorf("template %v: %w", key, err)
 	}
 	now := s.Clock.Now()
-	t1At, t2At, t1Armed, t2Armed := s.Radio.InactivityTimers()
+	endState := s.Radio.State()
 	t := &visitTemplate{
 		transS:   res.TransmissionTime.Seconds(),
 		radioJ:   res.RadioEnergyJ,
 		cpuJ:     res.CPUEnergyJ,
-		endState: s.Radio.State(),
+		endStage: tp.StageIndexOf(endState),
 	}
 	switch {
-	case t.endState == rrc.StateDCH && t1Armed:
-		t.endRem = t1At - now
-	case t.endState == rrc.StateFACH && t2Armed:
-		t.endRem = t2At - now
-	case t.endState == rrc.StateIdle:
+	case t.endStage < 0:
+		return nil, fmt.Errorf("template %v: load ended in unexpected radio state %s",
+			key, s.Radio.StateName(endState))
+	case t.endStage == tp.TerminalIndex():
 		// No pending timers.
 	default:
-		return nil, fmt.Errorf("template %v: load ended in unexpected radio state %v", key, t.endState)
+		at, armed := s.Radio.NextDemotion()
+		if !armed {
+			return nil, fmt.Errorf("template %v: no demotion armed in %s",
+				key, s.Radio.StateName(endState))
+		}
+		t.endRem = at - now
 	}
 	if key.mode == browser.ModeEnergyAware {
 		vec, err := features.FromResult(res)
@@ -423,102 +574,99 @@ func (rt *fleetRuntime) buildTemplate(key tmplKey) (*visitTemplate, error) {
 	return t, nil
 }
 
+// cursorReleasing marks a cursor completing a forced release; it is not a
+// tail-stage index, so it lives below the valid range.
+const cursorReleasing = -1
+
 // phoneCursor is the analytic mirror of an idle phone's radio: the current
-// state plus the remaining time before its pending timer fires. Between
-// loads the radio only ever decays DCH→(T1)→FACH→(T2)→IDLE, or completes a
-// forced release RELEASING→IDLE, so this pair fully determines the walk.
+// tail-stage index (cursorReleasing during a forced release, TerminalIndex
+// at rest) plus the remaining time before its pending timer fires. Between
+// loads the radio only ever decays stage by stage down the backend's tail
+// (UMTS DCH→(T1)→FACH→(T2)→IDLE, LTE CONNECTED→DRX→IDLE, …) or completes
+// a forced release, so this pair fully determines the walk.
 type phoneCursor struct {
-	state rrc.State
+	stage int
 	rem   time.Duration
 }
 
 // advance walks the cursor d forward and returns the radio energy spent.
 // A timer expiring exactly at the window boundary fires, matching
 // simtime.Clock.RunFor, which processes events due at the boundary.
-func (pc *phoneCursor) advance(d time.Duration, rc *rrc.Config) float64 {
+func (pc *phoneCursor) advance(d time.Duration, tp *rrc.TailProfile) float64 {
 	var j float64
+	terminal := tp.TerminalIndex()
 	for d > 0 {
-		switch pc.state {
-		case rrc.StateIdle:
-			j += rc.PowerIdle * d.Seconds()
+		switch {
+		case pc.stage == cursorReleasing:
+			if d < pc.rem {
+				j += tp.ReleasePowerW * d.Seconds()
+				pc.rem -= d
+				d = 0
+			} else {
+				j += tp.ReleasePowerW * pc.rem.Seconds()
+				d -= pc.rem
+				pc.stage = terminal
+				pc.rem = 0
+			}
+		case pc.stage >= terminal:
+			j += tp.Terminal().PowerW * d.Seconds()
 			d = 0
-		case rrc.StateDCH:
-			if d < pc.rem {
-				j += rc.PowerDCHIdle * d.Seconds()
-				pc.rem -= d
-				d = 0
-			} else {
-				j += rc.PowerDCHIdle * pc.rem.Seconds()
-				d -= pc.rem
-				pc.state = rrc.StateFACH
-				pc.rem = rc.T2
-			}
-		case rrc.StateFACH:
-			if d < pc.rem {
-				j += rc.PowerFACH * d.Seconds()
-				pc.rem -= d
-				d = 0
-			} else {
-				j += rc.PowerFACH * pc.rem.Seconds()
-				d -= pc.rem
-				pc.state = rrc.StateIdle
-				pc.rem = 0
-			}
-		case rrc.StateReleasing:
-			if d < pc.rem {
-				j += rc.PowerRelease * d.Seconds()
-				pc.rem -= d
-				d = 0
-			} else {
-				j += rc.PowerRelease * pc.rem.Seconds()
-				d -= pc.rem
-				pc.state = rrc.StateIdle
-				pc.rem = 0
-			}
 		default:
-			// Promotion states cannot occur between loads.
-			j += rc.PowerIdle * d.Seconds()
-			d = 0
+			st := tp.Stage(pc.stage)
+			if d < pc.rem {
+				j += st.PowerW * d.Seconds()
+				pc.rem -= d
+				d = 0
+			} else {
+				j += st.PowerW * pc.rem.Seconds()
+				d -= pc.rem
+				pc.stage++
+				if pc.stage < terminal {
+					pc.rem = tp.Stage(pc.stage).Dwell
+				} else {
+					pc.rem = 0
+				}
+			}
 		}
 	}
 	return j
 }
 
-// forceIdle mirrors rrc.Machine.ForceIdle for an idle phone (no transfer in
-// flight, no waiters — always the case between loads): from IDLE or
-// RELEASING it is a successful no-op; otherwise the release signaling lump
-// is charged and the radio spends ReleaseDelay in RELEASING. Every branch
-// reports success, exactly as ForceIdle returns nil in all of them.
-func (pc *phoneCursor) forceIdle(rc *rrc.Config) float64 {
-	switch pc.state {
-	case rrc.StateIdle, rrc.StateReleasing:
+// forceIdle mirrors RadioModel.ForceIdle for an idle phone (no transfer in
+// flight, no waiters — always the case between loads): when already at the
+// terminal stage or releasing it is a successful no-op; otherwise the
+// release signaling lump is charged and the radio spends ReleaseDelay in
+// the releasing state. Every branch reports success, exactly as ForceIdle
+// returns nil in all of them.
+func (pc *phoneCursor) forceIdle(tp *rrc.TailProfile) float64 {
+	if pc.stage == cursorReleasing || pc.stage == tp.TerminalIndex() {
 		return 0
-	default:
-		pc.state = rrc.StateReleasing
-		pc.rem = rc.ReleaseDelay
-		return rc.ReleaseSignalEnergy
 	}
+	pc.stage = cursorReleasing
+	pc.rem = tp.ReleaseDelay
+	return tp.ReleaseLumpJ
 }
 
 // replayUserTemplated replays one user's visits through the template cache
 // and the analytic radio cursor. No per-visit simulation, no per-visit
 // allocation beyond first-touch template builds and histogram growth.
-func (rt *fleetRuntime) replayUserTemplated(visits []trace.Visit, shard *fleetShard) (userOutcome, error) {
+func (rt *fleetRuntime) replayUserTemplated(u int, visits []trace.Visit, shard *fleetShard) (userOutcome, error) {
 	var out userOutcome
 	if len(visits) == 0 {
 		return out, nil
 	}
-	rc := &rt.rcfg
+	fr := rt.radioFor(u)
+	tp := &fr.tail
 	alpha := rt.params.Alpha
-	orig := phoneCursor{state: rrc.StateIdle}
-	aware := phoneCursor{state: rrc.StateIdle}
+	orig := phoneCursor{stage: tp.TerminalIndex()}
+	aware := phoneCursor{stage: tp.TerminalIndex()}
 	session := visits[0].Session
 	for i := range visits {
 		v := &visits[i]
 		if v.Session != session {
 			// Session breaks are minutes apart — let both radios idle out.
-			out.origJ += orig.advance(rt.drain, rc)
-			out.awareJ += aware.advance(rt.drain, rc)
+			out.origJ += orig.advance(fr.drain, tp)
+			out.awareJ += aware.advance(fr.drain, tp)
 			session = v.Session
 		}
 		reading := time.Duration(v.ReadingSeconds * float64(time.Second))
@@ -526,15 +674,15 @@ func (rt *fleetRuntime) replayUserTemplated(visits []trace.Visit, shard *fleetSh
 		// Original pipeline: load, then sit through the reading window on
 		// operator timers. A RELEASING start never happens here (the stock
 		// pipeline never forces dormancy), but the shift handles it anyway.
-		if err := rt.playLoad(&orig, browser.ModeOriginal, v.Page, &out.origJ, &shard.origTrans, nil); err != nil {
+		if err := rt.playLoad(fr, &orig, browser.ModeOriginal, v.Page, &out.origJ, &shard.origTrans, nil); err != nil {
 			return out, err
 		}
-		out.origJ += orig.advance(reading, rc)
+		out.origJ += orig.advance(reading, tp)
 
 		// Energy-aware pipeline: Algorithm 2.
 		var predS float64
 		havePred := false
-		if err := rt.playLoad(&aware, browser.ModeEnergyAware, v.Page, &out.awareJ, &shard.awareTrans, func(t *visitTemplate, delta time.Duration) error {
+		if err := rt.playLoad(fr, &aware, browser.ModeEnergyAware, v.Page, &out.awareJ, &shard.awareTrans, func(t *visitTemplate, delta time.Duration) error {
 			if delta == 0 {
 				predS = t.predS
 				havePred = true
@@ -554,19 +702,19 @@ func (rt *fleetRuntime) replayUserTemplated(visits []trace.Visit, shard *fleetSh
 		if reading <= alpha {
 			// The user clicked away before the interest threshold — no
 			// prediction, timers handle the short gap.
-			out.awareJ += aware.advance(reading, rc)
+			out.awareJ += aware.advance(reading, tp)
 		} else {
-			out.awareJ += aware.advance(alpha, rc)
+			out.awareJ += aware.advance(alpha, tp)
 			if !havePred {
 				return out, fmt.Errorf("no prediction for %s", v.Page)
 			}
 			out.predictions++
 			out.predJ += rt.predVisitJ
 			if policy.Evaluate(time.Duration(predS*float64(time.Second)), rt.params).Switch {
-				out.awareJ += aware.forceIdle(rc)
+				out.awareJ += aware.forceIdle(tp)
 				out.switches++
 			}
-			out.awareJ += aware.advance(reading-alpha, rc)
+			out.awareJ += aware.advance(reading-alpha, tp)
 		}
 		out.visits++
 	}
@@ -575,33 +723,34 @@ func (rt *fleetRuntime) replayUserTemplated(visits []trace.Visit, shard *fleetSh
 }
 
 // playLoad replays one load on the cursor: resolve the template for the
-// cursor's state (a RELEASING start reuses the IDLE template shifted by the
-// remaining release time δ — the queued DCH request waits out the release
-// in RELEASING, then evolves exactly as from IDLE), charge its energy, file
-// its transmission time, and leave the cursor in the load's end state.
+// cursor's stage (a RELEASING start reuses the terminal-stage template
+// shifted by the remaining release time δ — the queued active request waits
+// out the release, then evolves exactly as from idle), charge its energy,
+// file its transmission time, and leave the cursor in the load's end stage.
 // onPredict (aware loads) receives the template and the shift.
-func (rt *fleetRuntime) playLoad(pc *phoneCursor, mode browser.Mode, page string,
+func (rt *fleetRuntime) playLoad(fr *fleetRadio, pc *phoneCursor, mode browser.Mode, page string,
 	energyJ *float64, hist *transHist,
 	onPredict func(*visitTemplate, time.Duration) error) error {
 
+	tp := &fr.tail
 	var delta time.Duration
-	start := pc.state
-	if start == rrc.StateReleasing {
+	start := pc.stage
+	if start == cursorReleasing {
 		delta = pc.rem
-		start = rrc.StateIdle
+		start = tp.TerminalIndex()
 	}
-	t, err := rt.template(tmplKey{page: page, mode: mode, start: start})
+	t, err := rt.template(fr, tmplKey{page: page, mode: mode, radio: fr.name, start: start})
 	if err != nil {
 		return err
 	}
 	transS := t.transS
 	*energyJ += t.radioJ + t.cpuJ
 	if delta > 0 {
-		*energyJ += rt.rcfg.PowerRelease * delta.Seconds()
+		*energyJ += tp.ReleasePowerW * delta.Seconds()
 		transS += delta.Seconds()
 	}
 	hist.add(transS)
-	pc.state = t.endState
+	pc.stage = t.endStage
 	pc.rem = t.endRem
 	if onPredict != nil {
 		if err := onPredict(t, delta); err != nil {
@@ -623,12 +772,15 @@ func (rt *fleetRuntime) replayUserTraced(user int, visits []trace.Visit, shard *
 		return out, nil
 	}
 
+	fr := rt.radioFor(user)
 	orig, err := New(browser.ModeOriginal,
+		WithRadioModel(fr.spec),
 		WithObsKey(fmt.Sprintf("fleet/u%03d/original", user)))
 	if err != nil {
 		return out, err
 	}
 	aware, err := New(browser.ModeEnergyAware,
+		WithRadioModel(fr.spec),
 		WithObsKey(fmt.Sprintf("fleet/u%03d/energy-aware", user)),
 		WithEngineOptions(browser.WithoutAutoDormancy()))
 	if err != nil {
@@ -645,8 +797,8 @@ func (rt *fleetRuntime) replayUserTraced(user int, visits []trace.Visit, shard *
 			return out, fmt.Errorf("no page body for %s", v.Page)
 		}
 		if v.Session != session {
-			orig.Clock.RunFor(rt.drain)
-			aware.Clock.RunFor(rt.drain)
+			orig.Clock.RunFor(fr.drain)
+			aware.Clock.RunFor(fr.drain)
 			session = v.Session
 		}
 		reading := time.Duration(v.ReadingSeconds * float64(time.Second))

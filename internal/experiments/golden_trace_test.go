@@ -11,6 +11,7 @@ import (
 
 	"eabrowse/internal/browser"
 	"eabrowse/internal/obs"
+	"eabrowse/internal/rrc"
 )
 
 // update rewrites the committed golden files instead of comparing against
@@ -110,5 +111,77 @@ func TestGoldenTraceStability(t *testing.T) {
 	b := goldenTrace(t)
 	if !bytes.Equal(a, b) {
 		t.Error(traceDiff(a, b))
+	}
+}
+
+// goldenTraceFor is goldenTrace on an explicit radio backend: the same
+// m.cnn.com double load, routed through WithRadioModel.
+func goldenTraceFor(t *testing.T, profile string) []byte {
+	t.Helper()
+	spec, err := rrc.ProfileSpec(profile)
+	if err != nil {
+		t.Fatalf("ProfileSpec(%q): %v", profile, err)
+	}
+	c := obs.NewCollector()
+	page, err := MCNNPage()
+	if err != nil {
+		t.Fatalf("MCNNPage: %v", err)
+	}
+	for _, mode := range []browser.Mode{browser.ModeOriginal, browser.ModeEnergyAware} {
+		rec, err := c.NewRecorder("golden/" + mode.String())
+		if err != nil {
+			t.Fatalf("NewRecorder(%v): %v", mode, err)
+		}
+		_, err = LoadPageSession(page, mode, Fig10ReadingTime, nil,
+			WithRadioModel(spec), WithObsRecorder(rec))
+		if err != nil {
+			t.Fatalf("load %v on %s: %v", mode, profile, err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := c.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenTraceBackends pins one golden trace per non-UMTS radio backend
+// (UMTS is the main golden_trace.jsonl). Each backend's event stream —
+// state names, tail timings, ledger columns — is its own committed contract.
+func TestGoldenTraceBackends(t *testing.T) {
+	for _, profile := range []string{"lte", "nr"} {
+		t.Run(profile, func(t *testing.T) {
+			path := fmt.Sprintf("testdata/golden_trace_%s.jsonl", profile)
+			got := goldenTraceFor(t, profile)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden file: %v\n(generate it with: go test ./internal/experiments -run TestGoldenTraceBackends -update)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Error(traceDiff(want, got))
+			}
+		})
+	}
+}
+
+// TestGoldenTraceUMTSExplicitMatchesDefault proves the named "umts" profile
+// routed through the RadioModel interface is byte-identical to the default
+// path pinned by golden_trace.jsonl — the refactor's no-regression contract
+// at the event-stream level.
+func TestGoldenTraceUMTSExplicitMatchesDefault(t *testing.T) {
+	def := goldenTrace(t)
+	explicit := goldenTraceFor(t, "umts")
+	if !bytes.Equal(def, explicit) {
+		t.Error(traceDiff(def, explicit))
 	}
 }

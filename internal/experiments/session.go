@@ -7,6 +7,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"eabrowse/internal/browser"
@@ -38,7 +39,7 @@ type LoadOutcome struct {
 // WithFaultInjector.
 type Session struct {
 	Clock  *simtime.Clock
-	Radio  *rrc.Machine
+	Radio  rrc.RadioModel
 	Link   *netsim.Link
 	Engine *browser.Engine
 	RIL    *ril.Interface
@@ -56,7 +57,7 @@ type Session struct {
 // sessionConfig is what SessionOptions configure; New starts from the
 // calibrated defaults.
 type sessionConfig struct {
-	radio      rrc.Config
+	radio      rrc.ModelSpec
 	link       netsim.Config
 	cost       browser.CostModel
 	faults     *faults.Config
@@ -68,9 +69,46 @@ type sessionConfig struct {
 // SessionOption configures one aspect of a session built by New.
 type SessionOption func(*sessionConfig)
 
-// WithRadioConfig overrides the RRC timers, latencies and per-state powers.
+// defaultRadioSpec is the process-wide default radio backend, settable once
+// at startup (eabench -radio); nil means UMTS with the paper's parameters.
+var defaultRadioSpec atomic.Value // stores *rrc.ModelSpec
+
+// SetDefaultRadioProfile selects the radio backend sessions use when built
+// without an explicit WithRadioModel/WithRadioConfig option. Unknown names
+// fail with the valid-profile list.
+func SetDefaultRadioProfile(name string) error {
+	spec, err := rrc.ProfileSpec(name)
+	if err != nil {
+		return err
+	}
+	defaultRadioSpec.Store(&spec)
+	return nil
+}
+
+// DefaultRadioSpec returns the process-wide default radio backend: the
+// profile selected by SetDefaultRadioProfile, or the paper's UMTS
+// parameters.
+func DefaultRadioSpec() rrc.ModelSpec {
+	if v := defaultRadioSpec.Load(); v != nil {
+		return *(v.(*rrc.ModelSpec))
+	}
+	return rrc.DefaultConfig()
+}
+
+// WithRadioModel selects the radio backend (and its parameters) for the
+// session: any rrc.ModelSpec, typically resolved from a named profile via
+// rrc.ProfileSpec("lte").
+func WithRadioModel(spec rrc.ModelSpec) SessionOption {
+	return func(c *sessionConfig) { c.radio = spec }
+}
+
+// WithRadioConfig overrides the RRC timers, latencies and per-state powers
+// of the UMTS backend.
+//
+// Deprecated: use WithRadioModel, which accepts any backend; rrc.Config is
+// itself a ModelSpec, so WithRadioModel(cfg) is the direct replacement.
 func WithRadioConfig(cfg rrc.Config) SessionOption {
-	return func(c *sessionConfig) { c.radio = cfg }
+	return WithRadioModel(cfg)
 }
 
 // WithLinkConfig overrides the radio-link bandwidth and RTT parameters.
@@ -124,12 +162,14 @@ func WithObsRecorder(r *obs.Recorder) SessionOption {
 // goroutine its own.
 func New(mode browser.Mode, opts ...SessionOption) (*Session, error) {
 	cfg := sessionConfig{
-		radio: rrc.DefaultConfig(),
-		link:  netsim.DefaultConfig(),
-		cost:  browser.DefaultCostModel(),
+		link: netsim.DefaultConfig(),
+		cost: browser.DefaultCostModel(),
 	}
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	if cfg.radio == nil {
+		cfg.radio = DefaultRadioSpec()
 	}
 
 	var inj *faults.Injector
@@ -149,15 +189,16 @@ func New(mode browser.Mode, opts ...SessionOption) (*Session, error) {
 	clock := simtime.NewClock()
 	var radioOpts []rrc.Option
 	if rec != nil {
+		spec := cfg.radio
 		radioOpts = append(radioOpts, rrc.WithTransitionHook(func(tr rrc.Transition) {
 			rec.Record(tr.At, obs.Event{
 				Kind: obs.KindTransition,
-				From: tr.From.String(),
-				To:   tr.To.String(),
+				From: spec.StateName(tr.From),
+				To:   spec.StateName(tr.To),
 			})
 		}))
 	}
-	radio, err := rrc.NewMachine(clock, cfg.radio, radioOpts...)
+	radio, err := cfg.radio.New(clock, radioOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("new radio: %w", err)
 	}

@@ -119,7 +119,7 @@ func (t *Transfer) Bytes() int { return t.bytes }
 // link schedules on the clock are bound once at construction.
 type Link struct {
 	clock *simtime.Clock
-	radio *rrc.Machine
+	radio rrc.RadioModel
 	cfg   Config
 
 	queue []Transfer
@@ -150,8 +150,8 @@ type Link struct {
 	observer *obs.Recorder
 }
 
-// NewLink creates a link over the given radio.
-func NewLink(clock *simtime.Clock, radio *rrc.Machine, cfg Config) (*Link, error) {
+// NewLink creates a link over the given radio (any rrc.RadioModel backend).
+func NewLink(clock *simtime.Clock, radio rrc.RadioModel, cfg Config) (*Link, error) {
 	if clock == nil {
 		return nil, errors.New("netsim: nil clock")
 	}
@@ -315,12 +315,13 @@ func (l *Link) pump() {
 	}
 	l.busy = true
 
-	// Tiny transfers ride FACH when the radio already sits there.
-	if l.cur.bytes <= l.cfg.FACHMaxBytes && l.radio.State() == rrc.StateFACH {
+	// Tiny transfers ride the shared channel when the backend has one and
+	// the radio already sits there (UMTS FACH).
+	if l.cur.bytes <= l.cfg.FACHMaxBytes && l.radio.SharedReady() {
 		l.startFACH(&l.cur)
 		return
 	}
-	l.radio.RequestDCH(l.startDCHFn)
+	l.radio.RequestActive(l.startDCHFn)
 }
 
 // startDCHCur starts the in-flight transfer over DCH (the prebound form the
@@ -344,7 +345,7 @@ func (l *Link) dchEnd() {
 
 // fachEnd completes a clean FACH attempt of the in-flight transfer.
 func (l *Link) fachEnd() {
-	l.radio.TouchFACH()
+	l.radio.TouchShared()
 	l.finish(&l.cur, false, nil)
 }
 
@@ -360,8 +361,8 @@ func (l *Link) startDCH(t *Transfer) {
 	if err := l.radio.BeginTransfer(); err != nil {
 		// The radio was demoted between the callback being scheduled and
 		// running (cannot happen with the current machine, but fail safe):
-		// retry through a fresh DCH request.
-		l.radio.RequestDCH(l.startDCHFn)
+		// retry through a fresh active-state request.
+		l.radio.RequestActive(l.startDCHFn)
 		return
 	}
 	t.noteStart(l.clock.Now())
@@ -411,14 +412,14 @@ func (l *Link) abortDCH(t *Transfer, after time.Duration, cause error) {
 func (l *Link) startFACH(t *Transfer) {
 	t.noteStart(l.clock.Now())
 	l.noteAttempt(t, "FACH")
-	l.radio.TouchFACH()
+	l.radio.TouchShared()
 	plan := l.faults.PlanTransfer(t.uplink, true)
 	dur := l.cfg.RTT + plan.ExtraRTT + plan.Stall +
 		kbDuration(t.bytes, l.cfg.FACHDownKBps*plan.ThroughputFactor)
 	if plan.Fail {
 		at := time.Duration(float64(dur) * plan.FailFrac)
 		l.clock.After(at, func() {
-			l.radio.TouchFACH()
+			l.radio.TouchShared()
 			l.retryOrFail(t, false, fmt.Errorf("netsim: %q died on FACH: %w", t.url, ErrTransferFailed))
 		})
 		return
@@ -455,7 +456,7 @@ func (l *Link) retryOrFail(t *Transfer, overDCH bool, cause error) {
 		t.attempt++
 		l.retries++
 		if overDCH {
-			l.radio.RequestDCH(l.startDCHFn)
+			l.radio.RequestActive(l.startDCHFn)
 		} else {
 			l.startFACH(t)
 		}

@@ -98,32 +98,43 @@ type pageCost struct {
 
 // Evaluator replays a browsing trace under each case.
 type Evaluator struct {
-	ds       *trace.Dataset
-	pred     *predictor.Predictor
-	radioCfg rrc.Config
-	params   Params
-	costs    map[string]pageCost
-	device   gbrt.DeviceCost
+	ds     *trace.Dataset
+	pred   *predictor.Predictor
+	spec   rrc.ModelSpec
+	tail   rrc.TailProfile
+	params Params
+	costs  map[string]pageCost
+	device gbrt.DeviceCost
 }
 
-// NewEvaluator loads every pool page once through each pipeline (the
-// energy-aware pipeline without automatic dormancy: in the policy setting
-// the release decision belongs to Algorithm 2, not the engine) and prepares
-// the case replays.
+// NewEvaluator prepares the case replays on the paper's UMTS radio. It is
+// NewEvaluatorWithRadio with rrc.DefaultConfig().
 func NewEvaluator(ds *trace.Dataset, pred *predictor.Predictor, params Params) (*Evaluator, error) {
+	return NewEvaluatorWithRadio(ds, pred, params, rrc.DefaultConfig())
+}
+
+// NewEvaluatorWithRadio loads every pool page once through each pipeline on
+// the given radio backend (the energy-aware pipeline without automatic
+// dormancy: in the policy setting the release decision belongs to
+// Algorithm 2, not the engine) and prepares the case replays.
+func NewEvaluatorWithRadio(ds *trace.Dataset, pred *predictor.Predictor, params Params, spec rrc.ModelSpec) (*Evaluator, error) {
 	if ds == nil || len(ds.Visits) == 0 {
 		return nil, errors.New("policy: empty dataset")
 	}
 	if pred == nil {
 		return nil, errors.New("policy: nil predictor")
 	}
+	if spec == nil {
+		return nil, errors.New("policy: nil radio spec")
+	}
 	ev := &Evaluator{
-		ds:       ds,
-		pred:     pred,
-		radioCfg: rrc.DefaultConfig(),
-		params:   params,
-		costs:    make(map[string]pageCost, len(ds.Pool)),
-		device:   gbrt.DefaultDeviceCost(),
+		ds:     ds,
+		pred:   pred,
+		spec:   spec,
+		tail:   spec.Tail(),
+		params: params,
+		costs:  make(map[string]pageCost, len(ds.Pool)),
+		device: gbrt.DefaultDeviceCost(),
 	}
 	// Each pool page loads on two fresh simulated phones — independent work,
 	// run on the worker pool and folded into the cost map in pool order.
@@ -133,14 +144,14 @@ func NewEvaluator(ds *trace.Dataset, pred *predictor.Predictor, params Params) (
 			return pageCost{}, fmt.Errorf("policy: pool page %s has no page body", pp.Name)
 		}
 		var cost pageCost
-		origRes, err := loadOnce(pp, browser.ModeOriginal)
+		origRes, err := loadOnce(pp, browser.ModeOriginal, spec)
 		if err != nil {
 			return pageCost{}, fmt.Errorf("load %s original: %w", pp.Name, err)
 		}
 		cost.origLoadS = origRes.FinalDisplayAt.Seconds()
 		cost.origEnergyJ = origRes.TotalEnergyJ()
 		cost.origTailS = origRes.LayoutTime().Seconds()
-		eaRes, err := loadOnce(pp, browser.ModeEnergyAware)
+		eaRes, err := loadOnce(pp, browser.ModeEnergyAware, spec)
 		if err != nil {
 			return pageCost{}, fmt.Errorf("load %s energy-aware: %w", pp.Name, err)
 		}
@@ -158,9 +169,9 @@ func NewEvaluator(ds *trace.Dataset, pred *predictor.Predictor, params Params) (
 	return ev, nil
 }
 
-func loadOnce(pp *trace.PoolPage, mode browser.Mode) (*browser.Result, error) {
+func loadOnce(pp *trace.PoolPage, mode browser.Mode, spec rrc.ModelSpec) (*browser.Result, error) {
 	clock := simtime.NewClock()
-	radio, err := rrc.NewMachine(clock, rrc.DefaultConfig())
+	radio, err := spec.New(clock)
 	if err != nil {
 		return nil, err
 	}
@@ -226,7 +237,7 @@ func (ev *Evaluator) Evaluate(c Case) (CaseResult, error) {
 // up front (tree-major, cache-friendly) and consumed in visit order, which
 // leaves the replay — energy accumulation order included — unchanged.
 func (ev *Evaluator) replay(c Case) (CaseResult, error) {
-	cfg := ev.radioCfg
+	tp := &ev.tail
 	alpha := ev.params.Alpha.Seconds()
 	res := CaseResult{Case: c}
 
@@ -246,7 +257,7 @@ func (ev *Evaluator) replay(c Case) (CaseResult, error) {
 
 	prevUser := -1
 	prevSession := -1
-	state := TailIdle
+	stage := tp.TerminalIndex()
 	for _, v := range ev.ds.Visits {
 		cost, ok := ev.costs[v.Page]
 		if !ok {
@@ -254,7 +265,7 @@ func (ev *Evaluator) replay(c Case) (CaseResult, error) {
 		}
 		if v.User != prevUser || v.Session != prevSession {
 			// Session boundaries are minutes apart: the radio has idled out.
-			state = TailIdle
+			stage = tp.TerminalIndex()
 			prevUser, prevSession = v.User, v.Session
 		}
 
@@ -262,7 +273,7 @@ func (ev *Evaluator) replay(c Case) (CaseResult, error) {
 		if c == CaseOriginal || c == CaseOrigAlwaysOff {
 			loadS, loadJ, tailS = cost.origLoadS, cost.origEnergyJ, cost.origTailS
 		}
-		dt, dj := promoAdjust(cfg, state)
+		dt, dj := promoAdjustStage(tp, stage)
 		res.DelayS += loadS + dt
 		res.EnergyJ += loadJ + dj
 
@@ -298,12 +309,12 @@ func (ev *Evaluator) replay(c Case) (CaseResult, error) {
 		}
 
 		if switchAt >= 0 && switchAt < reading {
-			res.EnergyJ += switchedWindowEnergyJ(cfg, tailS, reading, switchAt)
+			res.EnergyJ += switchedWindowEnergy(tp, tailS, reading, switchAt)
 			res.Switches++
-			state = TailIdle
+			stage = tp.TerminalIndex()
 		} else {
-			res.EnergyJ += tailEnergyJ(cfg, tailS, reading)
-			state = stateAfter(cfg, tailS+reading)
+			res.EnergyJ += tailEnergy(tp, tailS, reading)
+			stage = stageAfter(tp, tailS+reading)
 		}
 	}
 	return res, nil

@@ -5,12 +5,102 @@ import (
 )
 
 // The radio-tail model: closed-form energy and state of a radio that
-// finished its last data transfer and is left to the T1/T2 inactivity
-// timers. Used by the trace-driven case comparison, where re-simulating
-// thousands of reading windows event-by-event would be wasteful; its
-// agreement with the event-driven rrc.Machine is asserted by tests.
+// finished its last data transfer and is left to its inactivity timers.
+// Used by the trace-driven case comparison, where re-simulating thousands
+// of reading windows event-by-event would be wasteful; its agreement with
+// the event-driven radio machines is asserted by tests.
+//
+// The generic functions walk an rrc.TailProfile by stage index (0 = active,
+// TerminalIndex = terminal idle), so they work for any backend; the
+// rrc.Config-taking wrappers below keep the original UMTS vocabulary for
+// callers and tests that think in DCH/FACH/IDLE.
 
-// TailState describes the radio some time after the last transfer.
+// stageAfter returns the tail-stage index elapsed seconds after the last
+// transfer ended, with the radio following its timers.
+func stageAfter(tp *rrc.TailProfile, elapsed float64) int {
+	b := tp.Active.Dwell.Seconds()
+	if elapsed < b {
+		return 0
+	}
+	for i := 0; i < tp.TerminalIndex()-1; i++ {
+		b += tp.Stages[i].Dwell.Seconds()
+		if elapsed < b {
+			return i + 1
+		}
+	}
+	return tp.TerminalIndex()
+}
+
+// tailEnergy integrates radio power over the window [from, from+dur)
+// seconds after the last transfer, with the radio following its timers.
+func tailEnergy(tp *rrc.TailProfile, from, dur float64) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	end := from + dur
+	total := 0.0
+	lo, hi := 0.0, tp.Active.Dwell.Seconds()
+	total += overlap(from, end, lo, hi) * tp.Active.PowerW
+	for i := 0; i < tp.TerminalIndex()-1; i++ {
+		lo, hi = hi, hi+tp.Stages[i].Dwell.Seconds()
+		total += overlap(from, end, lo, hi) * tp.Stages[i].PowerW
+	}
+	if end > hi {
+		total += (end - max(from, hi)) * tp.Terminal().PowerW
+	}
+	return total
+}
+
+// releaseEnergy is the cost of a fast-dormancy release (delay at release
+// power plus the signaling lump).
+func releaseEnergy(tp *rrc.TailProfile) float64 {
+	return tp.ReleaseDelay.Seconds()*tp.ReleasePowerW + tp.ReleaseLumpJ
+}
+
+// switchedWindowEnergy integrates a reading window of dur seconds (starting
+// tailElapsed after the last transfer) during which the radio is forced to
+// the terminal stage switchAt seconds into the window.
+func switchedWindowEnergy(tp *rrc.TailProfile, tailElapsed, dur, switchAt float64) float64 {
+	if switchAt >= dur {
+		return tailEnergy(tp, tailElapsed, dur)
+	}
+	if switchAt < 0 {
+		switchAt = 0
+	}
+	before := tailEnergy(tp, tailElapsed, switchAt)
+	rel := tp.ReleaseDelay.Seconds()
+	relWindow := min(rel, dur-switchAt)
+	release := relWindow*tp.ReleasePowerW + tp.ReleaseLumpJ
+	idle := (dur - switchAt - relWindow) * tp.Terminal().PowerW
+	if idle < 0 {
+		idle = 0
+	}
+	return before + release + idle
+}
+
+// promoAdjustStage returns the load-time and load-energy adjustment for a
+// page load that was measured starting from the terminal stage but actually
+// starts from the given stage. Warmer stages promote faster and skip (part
+// of) the signaling re-establishment lump.
+func promoAdjustStage(tp *rrc.TailProfile, stage int) (deltaSeconds, deltaJ float64) {
+	if stage == tp.TerminalIndex() {
+		return 0, 0
+	}
+	term := tp.Terminal()
+	idlePromoS := term.PromoLatency.Seconds()
+	idlePromoJ := term.PromoLumpJ + idlePromoS*tp.PromoPowerW
+	if stage == 0 {
+		return -idlePromoS, -idlePromoJ
+	}
+	st := tp.Stage(stage)
+	sS := st.PromoLatency.Seconds()
+	return sS - idlePromoS, (st.PromoLumpJ + sS*tp.PromoPowerW) - idlePromoJ
+}
+
+// --- UMTS-named wrappers ------------------------------------------------------
+
+// TailState describes the radio some time after the last transfer, in UMTS
+// vocabulary: it is the tail-stage index shifted by one.
 type TailState int
 
 const (
@@ -25,61 +115,30 @@ const (
 // stateAfter returns the radio tail state elapsed seconds after the last
 // transfer ended.
 func stateAfter(cfg rrc.Config, elapsed float64) TailState {
-	t1 := cfg.T1.Seconds()
-	t2 := cfg.T2.Seconds()
-	switch {
-	case elapsed < t1:
-		return TailDCH
-	case elapsed < t1+t2:
-		return TailFACH
-	default:
-		return TailIdle
-	}
+	tail := cfg.Tail()
+	return TailState(stageAfter(&tail, elapsed) + 1)
 }
 
 // tailEnergyJ integrates radio power over the window [from, from+dur)
 // seconds after the last transfer, with the radio following its timers.
 func tailEnergyJ(cfg rrc.Config, from, dur float64) float64 {
-	if dur <= 0 {
-		return 0
-	}
-	t1 := cfg.T1.Seconds()
-	t2 := cfg.T2.Seconds()
-	end := from + dur
-	total := 0.0
-	total += overlap(from, end, 0, t1) * cfg.PowerDCHIdle
-	total += overlap(from, end, t1, t1+t2) * cfg.PowerFACH
-	if end > t1+t2 {
-		total += (end - max(from, t1+t2)) * cfg.PowerIdle
-	}
-	return total
+	tail := cfg.Tail()
+	return tailEnergy(&tail, from, dur)
 }
 
 // releaseEnergyJ is the cost of a fast-dormancy release (delay at release
 // power plus the signaling lump).
 func releaseEnergyJ(cfg rrc.Config) float64 {
-	return cfg.ReleaseDelay.Seconds()*cfg.PowerRelease + cfg.ReleaseSignalEnergy
+	tail := cfg.Tail()
+	return releaseEnergy(&tail)
 }
 
 // switchedWindowEnergyJ integrates a reading window of dur seconds (starting
 // tailElapsed after the last transfer) during which the radio is forced to
 // IDLE switchAt seconds into the window.
 func switchedWindowEnergyJ(cfg rrc.Config, tailElapsed, dur, switchAt float64) float64 {
-	if switchAt >= dur {
-		return tailEnergyJ(cfg, tailElapsed, dur)
-	}
-	if switchAt < 0 {
-		switchAt = 0
-	}
-	before := tailEnergyJ(cfg, tailElapsed, switchAt)
-	rel := cfg.ReleaseDelay.Seconds()
-	relWindow := min(rel, dur-switchAt)
-	release := relWindow*cfg.PowerRelease + cfg.ReleaseSignalEnergy
-	idle := (dur - switchAt - relWindow) * cfg.PowerIdle
-	if idle < 0 {
-		idle = 0
-	}
-	return before + release + idle
+	tail := cfg.Tail()
+	return switchedWindowEnergy(&tail, tailElapsed, dur, switchAt)
 }
 
 // promoAdjust returns the load-time and load-energy adjustment for a page
@@ -87,18 +146,8 @@ func switchedWindowEnergyJ(cfg rrc.Config, tailElapsed, dur, switchAt float64) f
 // given tail state. Warmer states promote faster and skip the signaling
 // re-establishment lump.
 func promoAdjust(cfg rrc.Config, s TailState) (deltaSeconds, deltaJ float64) {
-	idlePromoS := cfg.PromoIdleToDCH.Seconds()
-	fachPromoS := cfg.PromoFACHToDCH.Seconds()
-	idlePromoJ := cfg.PromoIdleSignalEnergy + idlePromoS*cfg.PowerPromo
-	fachPromoJ := fachPromoS * cfg.PowerPromo
-	switch s {
-	case TailFACH:
-		return fachPromoS - idlePromoS, fachPromoJ - idlePromoJ
-	case TailDCH:
-		return -idlePromoS, -idlePromoJ
-	default:
-		return 0, 0
-	}
+	tail := cfg.Tail()
+	return promoAdjustStage(&tail, int(s)-1)
 }
 
 func overlap(a0, a1, b0, b1 float64) float64 {

@@ -102,7 +102,7 @@ const DefaultOpTimeout = 1 * time.Second
 // Interface is the simulated RIL daemon endpoint.
 type Interface struct {
 	clock   *simtime.Clock
-	radio   *rrc.Machine
+	radio   rrc.RadioModel
 	latency time.Duration
 	nextID  uint64
 
@@ -133,8 +133,9 @@ func WithFaults(in *faults.Injector) Option {
 	return optionFunc(func(r *Interface) { r.faults = in })
 }
 
-// New creates a RIL endpoint over the given radio.
-func New(clock *simtime.Clock, radio *rrc.Machine, opts ...Option) (*Interface, error) {
+// New creates a RIL endpoint over the given radio (any rrc.RadioModel
+// backend).
+func New(clock *simtime.Clock, radio rrc.RadioModel, opts ...Option) (*Interface, error) {
 	if clock == nil || radio == nil {
 		return nil, errors.New("ril: nil clock or radio")
 	}

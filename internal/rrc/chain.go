@@ -1,0 +1,565 @@
+// chain.go implements the table-driven demotion-chain radio backend behind
+// the LTE and 5G NR profiles. Where UMTS has a bespoke machine (rrc.go) with
+// a shared FACH channel and two promotion paths, LTE DRX and NR are pure
+// chains: one active state at the top, a ladder of progressively cheaper
+// stable states below it, each with its own inactivity dwell, promotion
+// latency and promotion signaling cost. A ChainSpec is that ladder as data;
+// chainMachine executes it with the same event discipline as the UMTS
+// machine (lazily re-armed timers, prebound completion callbacks,
+// double-buffered waiter queue, exact piecewise-constant energy
+// integration) so pooled sessions stay allocation-free on any backend.
+package rrc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"eabrowse/internal/simtime"
+)
+
+// ChainState is one stable state in a demotion chain.
+type ChainState struct {
+	// Name labels the state ("CONNECTED", "DRX_SHORT", ...).
+	Name string
+	// PowerW is the idle power draw in this state.
+	PowerW float64
+	// Dwell is the inactivity time before demoting one rung down (zero on
+	// the terminal idle state, which never demotes).
+	Dwell time.Duration
+	// PromoLatency is the promotion delay from this state to the active
+	// state (zero on the active state itself).
+	PromoLatency time.Duration
+	// PromoLumpJ is the lump signaling energy of that promotion, on top of
+	// PromoPowerW over PromoLatency.
+	PromoLumpJ float64
+}
+
+// ChainSpec describes a demotion-chain radio backend. Stable lists the
+// stable states from the terminal idle state (index 0) up to the active
+// state (last index); state indices are assigned 1..len(Stable) in that
+// order, with PROMO and RELEASING transients above them.
+type ChainSpec struct {
+	// Name is the profile name ("lte", "nr").
+	Name string
+	// Stable is the chain, terminal idle first, active last.
+	Stable []ChainState
+	// TxPowerW is the active-state power while a transfer is in flight.
+	TxPowerW float64
+	// PromoPowerW is the power draw during promotions.
+	PromoPowerW float64
+	// ReleaseDelay, ReleasePowerW and ReleaseLumpJ parameterize the fast
+	// dormancy release, as in the UMTS Config.
+	ReleaseDelay  time.Duration
+	ReleasePowerW float64
+	ReleaseLumpJ  float64
+}
+
+// DefaultLTEConfig returns a stylized LTE DRX profile: CONNECTED with a
+// short inactivity timer, short-cycle and long-cycle DRX rungs, and a cheap
+// reconnect relative to UMTS (no expensive signaling-connection
+// re-establishment; RRC connection setup from IDLE is ~260 ms). Power and
+// timer shapes follow the published LTE power-model measurements (e.g.
+// Huang et al., MobiSys 2012), rounded to the same stylization level as the
+// paper's Table 5.
+func DefaultLTEConfig() ChainSpec {
+	return ChainSpec{
+		Name: "lte",
+		Stable: []ChainState{
+			{Name: "IDLE", PowerW: 0.12, PromoLatency: 260 * time.Millisecond, PromoLumpJ: 0.90},
+			{Name: "DRX_LONG", PowerW: 0.70, Dwell: 9500 * time.Millisecond, PromoLatency: 50 * time.Millisecond},
+			{Name: "DRX_SHORT", PowerW: 0.95, Dwell: 1500 * time.Millisecond, PromoLatency: 20 * time.Millisecond},
+			{Name: "CONNECTED", PowerW: 1.25, Dwell: 500 * time.Millisecond},
+		},
+		TxPowerW:      1.60,
+		PromoPowerW:   1.40,
+		ReleaseDelay:  150 * time.Millisecond,
+		ReleasePowerW: 1.00,
+		ReleaseLumpJ:  0.10,
+	}
+}
+
+// DefaultNRConfig returns a simple 5G NR profile: CONNECTED, the
+// RRC_INACTIVE suspend state (context retained in the RAN, so resuming is
+// nearly free — the feature that most changes the dormancy trade-off), and
+// IDLE.
+func DefaultNRConfig() ChainSpec {
+	return ChainSpec{
+		Name: "nr",
+		Stable: []ChainState{
+			{Name: "IDLE", PowerW: 0.10, PromoLatency: 180 * time.Millisecond, PromoLumpJ: 0.45},
+			{Name: "INACTIVE", PowerW: 0.35, Dwell: 7 * time.Second, PromoLatency: 25 * time.Millisecond, PromoLumpJ: 0.02},
+			{Name: "CONNECTED", PowerW: 1.10, Dwell: 800 * time.Millisecond},
+		},
+		TxPowerW:      1.75,
+		PromoPowerW:   1.30,
+		ReleaseDelay:  100 * time.Millisecond,
+		ReleasePowerW: 0.90,
+		ReleaseLumpJ:  0.05,
+	}
+}
+
+// Profile names the backend.
+func (c ChainSpec) Profile() string { return c.Name }
+
+// NumStates is one past the highest state index: len(Stable) stable states,
+// then PROMO and RELEASING.
+func (c ChainSpec) NumStates() int { return len(c.Stable) + 3 }
+
+// active, promo and releasing are the spec's state indices.
+func (c ChainSpec) active() State    { return State(len(c.Stable)) }
+func (c ChainSpec) promo() State     { return State(len(c.Stable) + 1) }
+func (c ChainSpec) releasing() State { return State(len(c.Stable) + 2) }
+
+// StateName labels a state of this chain.
+func (c ChainSpec) StateName(s State) string {
+	switch {
+	case s >= 1 && int(s) <= len(c.Stable):
+		return c.Stable[s-1].Name
+	case s == c.promo():
+		return "PROMO"
+	case s == c.releasing():
+		return "RELEASING"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Validate checks that the chain is physically sensible and fits the fixed
+// accounting width.
+func (c ChainSpec) Validate() error {
+	switch {
+	case c.Name == "":
+		return errors.New("rrc: chain spec needs a profile name")
+	case len(c.Stable) < 2:
+		return errors.New("rrc: chain needs at least an idle and an active state")
+	case c.NumStates() > MaxStates:
+		return fmt.Errorf("rrc: chain %q needs %d state slots, max %d", c.Name, c.NumStates(), MaxStates)
+	case c.ReleaseDelay < 0 || c.ReleaseLumpJ < 0 || c.ReleasePowerW < 0:
+		return errors.New("rrc: release parameters must be non-negative")
+	case c.TxPowerW < c.Stable[len(c.Stable)-1].PowerW:
+		return errors.New("rrc: transmit power below active idle power")
+	}
+	for i, st := range c.Stable {
+		if st.Name == "" {
+			return fmt.Errorf("rrc: chain %q stable state %d has no name", c.Name, i)
+		}
+		if st.PowerW < 0 || st.PromoLumpJ < 0 {
+			return fmt.Errorf("rrc: chain %q state %s has negative power or lump", c.Name, st.Name)
+		}
+		if i > 0 && st.PowerW < c.Stable[i-1].PowerW {
+			return fmt.Errorf("rrc: chain %q powers must be non-decreasing toward active (%s < %s)",
+				c.Name, st.Name, c.Stable[i-1].Name)
+		}
+		if i > 0 && st.Dwell <= 0 {
+			return fmt.Errorf("rrc: chain %q state %s needs a positive dwell", c.Name, st.Name)
+		}
+		if i < len(c.Stable)-1 && st.PromoLatency <= 0 {
+			return fmt.Errorf("rrc: chain %q state %s needs a positive promotion latency", c.Name, st.Name)
+		}
+	}
+	return nil
+}
+
+// Tail describes the chain's demotion ladder in backend-neutral form.
+func (c ChainSpec) Tail() TailProfile {
+	n := len(c.Stable)
+	act := c.Stable[n-1]
+	tp := TailProfile{
+		Profile:       c.Name,
+		Active:        TailStage{State: c.active(), Name: act.Name, PowerW: act.PowerW, Dwell: act.Dwell},
+		Stages:        make([]TailStage, 0, n-1),
+		PromoPowerW:   c.PromoPowerW,
+		Releasing:     c.releasing(),
+		ReleaseDelay:  c.ReleaseDelay,
+		ReleasePowerW: c.ReleasePowerW,
+		ReleaseLumpJ:  c.ReleaseLumpJ,
+	}
+	for i := n - 2; i >= 0; i-- {
+		st := c.Stable[i]
+		tp.Stages = append(tp.Stages, TailStage{
+			State:        State(i + 1),
+			Name:         st.Name,
+			PowerW:       st.PowerW,
+			Dwell:        st.Dwell,
+			PromoLatency: st.PromoLatency,
+			PromoLumpJ:   st.PromoLumpJ,
+		})
+	}
+	return tp
+}
+
+// New builds a chain radio on the given clock, in the terminal idle state.
+func (c ChainSpec) New(clock *simtime.Clock, opts ...Option) (RadioModel, error) {
+	if clock == nil {
+		return nil, errors.New("rrc: nil clock")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	cm := &chainMachine{
+		clock:      clock,
+		spec:       c,
+		active:     c.active(),
+		promo:      c.promo(),
+		releasing:  c.releasing(),
+		state:      StateIdle,
+		lastChange: clock.Now(),
+	}
+	for i := 1; i < cm.spec.NumStates(); i++ {
+		cm.names[i] = c.StateName(State(i))
+	}
+	cm.demoteTimer = clock.NewTimer(cm.demoteExpired)
+	cm.promoFinishFn = cm.promoFinish
+	cm.releaseDoneFn = cm.releaseDone
+	var o options
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	cm.recordTrace = o.recordTrace
+	cm.onTransition = o.onTransition
+	return cm, nil
+}
+
+var (
+	_ ModelSpec  = ChainSpec{}
+	_ RadioModel = (*chainMachine)(nil)
+)
+
+// chainMachine executes a ChainSpec. It mirrors the UMTS Machine's event
+// discipline exactly; see the package comment above.
+type chainMachine struct {
+	clock *simtime.Clock
+	spec  ChainSpec
+
+	active    State
+	promo     State
+	releasing State
+	// names caches the per-state labels so EnergyByState and error paths
+	// never rebuild strings.
+	names [MaxStates]string
+
+	state        State
+	transferring int
+
+	// demoteTimer is the single inactivity timer: only the current stable
+	// state's dwell can be pending, so one lazily re-armed timer covers the
+	// whole ladder.
+	demoteTimer   *simtime.Timer
+	promoFinishFn func()
+	releaseDoneFn func()
+
+	waiters      []func()
+	spareWaiters []func()
+
+	lastChange    time.Duration
+	energyJ       float64
+	timeInState   [MaxStates]time.Duration
+	energyInState [MaxStates]float64
+
+	history      []Transition
+	recordTrace  bool
+	onTransition func(Transition)
+
+	// holdSince/holdTime track time with channels committed (active state
+	// plus promotions), the capacity model's service time.
+	holdSince time.Duration
+	holdTime  time.Duration
+}
+
+// Profile names the backend.
+func (cm *chainMachine) Profile() string { return cm.spec.Name }
+
+// NumStates is one past the highest state index this chain uses.
+func (cm *chainMachine) NumStates() int { return cm.spec.NumStates() }
+
+// StateName labels a state from the cached table.
+func (cm *chainMachine) StateName(s State) string {
+	if s >= 1 && int(s) < cm.spec.NumStates() {
+		return cm.names[s]
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// StableState reports whether s is one of the chain's stable states.
+func (cm *chainMachine) StableState(s State) bool { return s >= 1 && s <= cm.active }
+
+// State returns the current state.
+func (cm *chainMachine) State() State { return cm.state }
+
+// Transferring reports whether user data is actively moving.
+func (cm *chainMachine) Transferring() bool { return cm.transferring > 0 }
+
+// RadioPower returns the instantaneous power draw in watts.
+func (cm *chainMachine) RadioPower() float64 {
+	switch {
+	case cm.state == cm.active:
+		if cm.transferring > 0 {
+			return cm.spec.TxPowerW
+		}
+		return cm.spec.Stable[cm.state-1].PowerW
+	case cm.state >= 1 && cm.state < cm.active:
+		return cm.spec.Stable[cm.state-1].PowerW
+	case cm.state == cm.promo:
+		return cm.spec.PromoPowerW
+	case cm.state == cm.releasing:
+		return cm.spec.ReleasePowerW
+	default:
+		return 0
+	}
+}
+
+// EnergyJ returns total radio energy so far, integrated exactly to now.
+func (cm *chainMachine) EnergyJ() float64 {
+	return cm.energyJ + cm.RadioPower()*sinceSeconds(cm.lastChange, cm.clock.Now())
+}
+
+// EnergyVec attributes EnergyJ to states without allocating.
+func (cm *chainMachine) EnergyVec() [MaxStates]float64 {
+	out := cm.energyInState
+	out[cm.state] += cm.RadioPower() * sinceSeconds(cm.lastChange, cm.clock.Now())
+	return out
+}
+
+// EnergyByState is the map form of EnergyVec, keyed by the cached names.
+func (cm *chainMachine) EnergyByState() map[string]float64 {
+	out := make(map[string]float64, cm.spec.NumStates())
+	for i, e := range cm.energyInState {
+		if e != 0 {
+			out[cm.names[i]] = e
+		}
+	}
+	out[cm.names[cm.state]] += cm.RadioPower() * sinceSeconds(cm.lastChange, cm.clock.Now())
+	return out
+}
+
+// TimeIn returns the cumulative time spent in state s, up to now.
+func (cm *chainMachine) TimeIn(s State) time.Duration {
+	if s < 0 || int(s) >= MaxStates {
+		return 0
+	}
+	d := cm.timeInState[s]
+	if cm.state == s {
+		d += cm.clock.Now() - cm.lastChange
+	}
+	return d
+}
+
+// Residency copies the cumulative residency of every visited state.
+func (cm *chainMachine) Residency() map[State]time.Duration {
+	out := make(map[State]time.Duration, cm.spec.NumStates())
+	for i, d := range cm.timeInState {
+		if d != 0 {
+			out[State(i)] = d
+		}
+	}
+	out[cm.state] += cm.clock.Now() - cm.lastChange
+	return out
+}
+
+// HoldTime is the cumulative time with channels committed to this radio.
+func (cm *chainMachine) HoldTime() time.Duration {
+	d := cm.holdTime
+	if cm.holdingActive() {
+		d += cm.clock.Now() - cm.holdSince
+	}
+	return d
+}
+
+// NextDemotion reports the pending demotion deadline, if armed.
+func (cm *chainMachine) NextDemotion() (time.Duration, bool) {
+	return cm.demoteTimer.Deadline(), cm.demoteTimer.Armed()
+}
+
+// RequestActive asks for the active state and calls ready once reached.
+func (cm *chainMachine) RequestActive(ready func()) {
+	if ready == nil {
+		return
+	}
+	switch {
+	case cm.state == cm.active:
+		cm.clock.Defer(0, ready)
+	case cm.state == cm.promo || cm.state == cm.releasing:
+		// Queue; promotion completion (or the release completion's fresh
+		// promotion) will run it.
+		cm.waiters = append(cm.waiters, ready)
+	default: // a stable state below active
+		cm.waiters = append(cm.waiters, ready)
+		cm.demoteTimer.Disarm()
+		cm.startPromotionFrom(cm.state)
+	}
+}
+
+// startPromotionFrom begins a promotion from stable state s, charging its
+// lump signaling energy to the PROMO slot.
+func (cm *chainMachine) startPromotionFrom(s State) {
+	st := &cm.spec.Stable[s-1]
+	cm.energyJ += st.PromoLumpJ
+	cm.energyInState[cm.promo] += st.PromoLumpJ
+	cm.setState(cm.promo)
+	cm.clock.Defer(st.PromoLatency, cm.promoFinishFn)
+}
+
+// promoFinish completes a pending promotion; queued waiters run in arrival
+// order on the same double-buffered backing array as the UMTS machine.
+func (cm *chainMachine) promoFinish() {
+	cm.setState(cm.active)
+	cm.armDemote(cm.active)
+	waiters := cm.waiters
+	cm.waiters = cm.spareWaiters[:0]
+	for _, w := range waiters {
+		w()
+	}
+	for i := range waiters {
+		waiters[i] = nil
+	}
+	cm.spareWaiters = waiters[:0]
+}
+
+// armDemote arms the inactivity timer with stable state s's dwell.
+func (cm *chainMachine) armDemote(s State) {
+	cm.demoteTimer.Arm(cm.spec.Stable[s-1].Dwell)
+}
+
+// demoteExpired steps the radio one rung down the ladder and re-arms for
+// the next rung (unless the terminal stage was reached).
+func (cm *chainMachine) demoteExpired() {
+	if cm.state > cm.active || cm.state == StateIdle {
+		return
+	}
+	if cm.state == cm.active && cm.transferring > 0 {
+		return
+	}
+	next := cm.state - 1
+	cm.setState(next)
+	if next > StateIdle {
+		cm.armDemote(next)
+	}
+}
+
+// BeginTransfer marks the start of a user-data transfer (active only).
+func (cm *chainMachine) BeginTransfer() error {
+	if cm.state != cm.active {
+		return fmt.Errorf("rrc: begin transfer in %v, need %s", cm.StateName(cm.state), cm.names[cm.active])
+	}
+	cm.accrue()
+	cm.transferring++
+	cm.demoteTimer.Disarm()
+	return nil
+}
+
+// EndTransfer marks the end of a transfer; the last one arms demotion.
+func (cm *chainMachine) EndTransfer() error {
+	if cm.state != cm.active || cm.transferring == 0 {
+		return fmt.Errorf("rrc: end transfer in %v with %d active", cm.StateName(cm.state), cm.transferring)
+	}
+	cm.accrue()
+	cm.transferring--
+	if cm.transferring == 0 {
+		cm.armDemote(cm.active)
+	}
+	return nil
+}
+
+// SharedReady reports false: DRX chains have no FACH-like shared channel.
+func (cm *chainMachine) SharedReady() bool { return false }
+
+// TouchShared is a no-op on chain backends.
+func (cm *chainMachine) TouchShared() {}
+
+// ForceIdle releases the connection early (fast dormancy), with the same
+// busy rules as the UMTS machine.
+func (cm *chainMachine) ForceIdle() error {
+	if cm.state == StateIdle || cm.state == cm.releasing {
+		return nil
+	}
+	if cm.state == cm.promo {
+		return ErrBusy
+	}
+	if cm.transferring > 0 || len(cm.waiters) > 0 {
+		return ErrBusy
+	}
+	cm.demoteTimer.Disarm()
+	cm.energyJ += cm.spec.ReleaseLumpJ
+	cm.energyInState[cm.releasing] += cm.spec.ReleaseLumpJ
+	cm.setState(cm.releasing)
+	cm.clock.Defer(cm.spec.ReleaseDelay, cm.releaseDoneFn)
+	return nil
+}
+
+func (cm *chainMachine) releaseDone() {
+	if cm.state != cm.releasing {
+		return
+	}
+	cm.setState(StateIdle)
+	if len(cm.waiters) > 0 {
+		cm.startPromotionFrom(StateIdle)
+	}
+}
+
+// Tail describes this chain's demotion ladder.
+func (cm *chainMachine) Tail() TailProfile { return cm.spec.Tail() }
+
+// Reset returns the chain to a fresh terminal-idle radio at the clock's
+// current time. The owning session must Reset the shared clock first.
+func (cm *chainMachine) Reset() {
+	cm.state = StateIdle
+	cm.transferring = 0
+	cm.demoteTimer.Disarm()
+	cm.waiters = cm.waiters[:0]
+	cm.lastChange = cm.clock.Now()
+	cm.energyJ = 0
+	cm.timeInState = [MaxStates]time.Duration{}
+	cm.energyInState = [MaxStates]float64{}
+	cm.history = cm.history[:0]
+	cm.holdSince = 0
+	cm.holdTime = 0
+}
+
+// History returns recorded transitions (WithTransitionTrace only); a copy.
+func (cm *chainMachine) History() []Transition {
+	out := make([]Transition, len(cm.history))
+	copy(out, cm.history)
+	return out
+}
+
+// holdingActive reports whether channels are committed (active or PROMO).
+func (cm *chainMachine) holdingActive() bool {
+	return cm.state == cm.active || cm.state == cm.promo
+}
+
+func (cm *chainMachine) setState(next State) {
+	if next == cm.state {
+		return
+	}
+	wasHolding := cm.holdingActive()
+	cm.accrue()
+	tr := Transition{At: cm.clock.Now(), From: cm.state, To: next}
+	cm.state = next
+	nowHolding := cm.holdingActive()
+	switch {
+	case !wasHolding && nowHolding:
+		cm.holdSince = cm.clock.Now()
+	case wasHolding && !nowHolding:
+		cm.holdTime += cm.clock.Now() - cm.holdSince
+	}
+	if cm.recordTrace {
+		cm.history = append(cm.history, tr)
+	}
+	if cm.onTransition != nil {
+		cm.onTransition(tr)
+	}
+}
+
+// accrue integrates energy and residency up to now at the current power.
+func (cm *chainMachine) accrue() {
+	now := cm.clock.Now()
+	if now == cm.lastChange {
+		return
+	}
+	e := cm.RadioPower() * sinceSeconds(cm.lastChange, now)
+	cm.energyJ += e
+	cm.energyInState[cm.state] += e
+	cm.timeInState[cm.state] += now - cm.lastChange
+	cm.lastChange = now
+}

@@ -1,0 +1,486 @@
+package rrc
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"eabrowse/internal/simtime"
+)
+
+// allSpecs returns every built-in backend spec, in registry order.
+func allSpecs(t *testing.T) []ModelSpec {
+	t.Helper()
+	out := make([]ModelSpec, 0, len(Profiles()))
+	for _, name := range Profiles() {
+		spec, err := ProfileSpec(name)
+		if err != nil {
+			t.Fatalf("ProfileSpec(%q): %v", name, err)
+		}
+		if spec.Profile() != name {
+			t.Fatalf("ProfileSpec(%q).Profile() = %q", name, spec.Profile())
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("spec %q invalid: %v", name, err)
+		}
+		out = append(out, spec)
+	}
+	return out
+}
+
+func newModel(t *testing.T, spec ModelSpec) (*simtime.Clock, RadioModel) {
+	t.Helper()
+	clock := simtime.NewClock()
+	m, err := spec.New(clock)
+	if err != nil {
+		t.Fatalf("%s: New: %v", spec.Profile(), err)
+	}
+	return clock, m
+}
+
+// transferOnce promotes, runs one d-long transfer, and returns to inactivity.
+func transferOnce(t *testing.T, clock *simtime.Clock, m RadioModel, d time.Duration) {
+	t.Helper()
+	active := false
+	m.RequestActive(func() { active = true })
+	// Step, don't Run: draining the whole queue would also fire the
+	// inactivity demotions and settle the radio back to idle.
+	for !active && clock.Step() {
+	}
+	if !active {
+		t.Fatalf("%s: RequestActive callback never ran", m.Profile())
+	}
+	if err := m.BeginTransfer(); err != nil {
+		t.Fatalf("%s: BeginTransfer: %v", m.Profile(), err)
+	}
+	clock.RunFor(d)
+	if err := m.EndTransfer(); err != nil {
+		t.Fatalf("%s: EndTransfer: %v", m.Profile(), err)
+	}
+}
+
+func TestProfileSpecUnknownNameListsValid(t *testing.T) {
+	_, err := ProfileSpec("wimax")
+	if err == nil {
+		t.Fatal("ProfileSpec(wimax) succeeded")
+	}
+	want := `rrc: unknown radio profile "wimax" (have: lte, nr, umts)`
+	if err.Error() != want {
+		t.Fatalf("error = %q, want %q", err.Error(), want)
+	}
+}
+
+// TestConformanceEnergyMonotone drives each backend through a busy script
+// and checks that EnergyJ never decreases and EnergyVec always sums to it.
+func TestConformanceEnergyMonotone(t *testing.T) {
+	for _, spec := range allSpecs(t) {
+		t.Run(spec.Profile(), func(t *testing.T) {
+			clock, m := newModel(t, spec)
+			last := 0.0
+			check := func(where string) {
+				e := m.EnergyJ()
+				if e < last-1e-12 {
+					t.Fatalf("%s: energy decreased %v -> %v", where, last, e)
+				}
+				last = e
+				sum := 0.0
+				for _, v := range m.EnergyVec() {
+					sum += v
+				}
+				if math.Abs(sum-e) > 1e-9*(1+e) {
+					t.Fatalf("%s: EnergyVec sums to %v, EnergyJ %v", where, sum, e)
+				}
+				bySum := 0.0
+				for _, v := range m.EnergyByState() {
+					bySum += v
+				}
+				if math.Abs(bySum-e) > 1e-9*(1+e) {
+					t.Fatalf("%s: EnergyByState sums to %v, EnergyJ %v", where, bySum, e)
+				}
+			}
+			check("fresh")
+			clock.RunFor(2 * time.Second)
+			check("idle wait")
+			transferOnce(t, clock, m, 700*time.Millisecond)
+			check("first transfer")
+			tail := m.Tail()
+			clock.RunFor(tail.TotalDwell() / 2)
+			check("mid tail")
+			transferOnce(t, clock, m, 50*time.Millisecond)
+			check("second transfer")
+			clock.RunFor(tail.TotalDwell() + time.Second)
+			check("full tail")
+			if err := m.ForceIdle(); err != nil {
+				t.Fatalf("ForceIdle after settling: %v", err)
+			}
+			clock.Run()
+			check("after force idle")
+		})
+	}
+}
+
+// TestConformanceReset checks Reset restores a fresh radio: a reset model
+// must reproduce a fresh model's energy trace exactly.
+func TestConformanceReset(t *testing.T) {
+	script := func(clock *simtime.Clock, m RadioModel) []float64 {
+		var samples []float64
+		transferOnce(t, clock, m, 300*time.Millisecond)
+		samples = append(samples, m.EnergyJ())
+		clock.RunFor(3 * time.Second)
+		samples = append(samples, m.EnergyJ())
+		transferOnce(t, clock, m, 90*time.Millisecond)
+		tail := m.Tail()
+		clock.RunFor(tail.TotalDwell() + 500*time.Millisecond)
+		samples = append(samples, m.EnergyJ(), m.RadioPower(), float64(m.State()))
+		return samples
+	}
+	for _, spec := range allSpecs(t) {
+		t.Run(spec.Profile(), func(t *testing.T) {
+			clock, m := newModel(t, spec)
+			fresh := script(clock, m)
+
+			clock.Reset()
+			m.Reset()
+			if m.State() != StateIdle {
+				t.Fatalf("state after Reset = %v", m.State())
+			}
+			if e := m.EnergyJ(); e != 0 {
+				t.Fatalf("EnergyJ after Reset = %v", e)
+			}
+			if h := m.HoldTime(); h != 0 {
+				t.Fatalf("HoldTime after Reset = %v", h)
+			}
+			if len(m.Residency()) != 1 {
+				// Only the zero-duration current state entry.
+				t.Fatalf("Residency after Reset = %v", m.Residency())
+			}
+			if _, armed := m.NextDemotion(); armed {
+				t.Fatal("demotion timer still armed after Reset")
+			}
+			again := script(clock, m)
+			if len(fresh) != len(again) {
+				t.Fatalf("sample counts differ: %d vs %d", len(fresh), len(again))
+			}
+			for i := range fresh {
+				if fresh[i] != again[i] {
+					t.Fatalf("sample %d differs after Reset: %v vs %v", i, fresh[i], again[i])
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceTransferInvariants checks the BeginTransfer/EndTransfer/
+// ForceIdle/StableState contract on every backend.
+func TestConformanceTransferInvariants(t *testing.T) {
+	for _, spec := range allSpecs(t) {
+		t.Run(spec.Profile(), func(t *testing.T) {
+			clock, m := newModel(t, spec)
+			tail := m.Tail()
+
+			if !m.StableState(m.State()) || m.State() != StateIdle {
+				t.Fatalf("fresh radio in %v", m.State())
+			}
+			if err := m.BeginTransfer(); err == nil {
+				t.Fatal("BeginTransfer succeeded outside the active state")
+			}
+			if err := m.ForceIdle(); err != nil {
+				t.Fatalf("ForceIdle when idle: %v", err)
+			}
+
+			m.RequestActive(func() {})
+			if m.StableState(m.State()) {
+				t.Fatalf("promotion state %v reported stable", m.State())
+			}
+			if err := m.ForceIdle(); err != ErrBusy {
+				t.Fatalf("ForceIdle mid-promotion = %v, want ErrBusy", err)
+			}
+			for m.State() != tail.Active.State && clock.Step() {
+			}
+			if m.State() != tail.Active.State || !m.StableState(m.State()) {
+				t.Fatalf("after promotion in %v, want active %v", m.State(), tail.Active.State)
+			}
+			if _, armed := m.NextDemotion(); !armed {
+				t.Fatal("no demotion armed in idle active state")
+			}
+
+			if err := m.BeginTransfer(); err != nil {
+				t.Fatalf("BeginTransfer: %v", err)
+			}
+			if !m.Transferring() {
+				t.Fatal("Transferring false during transfer")
+			}
+			if _, armed := m.NextDemotion(); armed {
+				t.Fatal("demotion armed during transfer")
+			}
+			if err := m.ForceIdle(); err != ErrBusy {
+				t.Fatalf("ForceIdle mid-transfer = %v, want ErrBusy", err)
+			}
+			clock.RunFor(200 * time.Millisecond)
+			if err := m.EndTransfer(); err != nil {
+				t.Fatalf("EndTransfer: %v", err)
+			}
+			if err := m.EndTransfer(); err == nil {
+				t.Fatal("second EndTransfer succeeded")
+			}
+			at, armed := m.NextDemotion()
+			if !armed {
+				t.Fatal("demotion not re-armed after last transfer")
+			}
+			if want := clock.Now() + tail.Active.Dwell; at != want {
+				t.Fatalf("demotion deadline %v, want %v", at, want)
+			}
+
+			// Walk the whole ladder: the radio must settle in the terminal
+			// stage, visiting each stage for exactly its dwell.
+			clock.RunFor(tail.TotalDwell() + time.Second)
+			if m.State() != tail.Terminal().State {
+				t.Fatalf("settled in %v, want terminal %v", m.State(), tail.Terminal().State)
+			}
+			for i := 0; i < tail.NumStages()-1; i++ {
+				st := tail.Stage(i)
+				got := m.TimeIn(st.State)
+				if got < st.Dwell {
+					t.Fatalf("stage %s residency %v < dwell %v", st.Name, got, st.Dwell)
+				}
+			}
+			if hold := m.HoldTime(); hold <= 0 {
+				t.Fatal("HoldTime is zero after holding the active state")
+			}
+		})
+	}
+}
+
+// TestConformanceTailMatchesMachine checks the closed-form TailProfile
+// against the event-driven machine: energy over the settle-out window after
+// a transfer must equal the sum of stage dwell x power plus terminal power
+// for the remainder.
+func TestConformanceTailMatchesMachine(t *testing.T) {
+	const extra = 5 * time.Second
+	for _, spec := range allSpecs(t) {
+		t.Run(spec.Profile(), func(t *testing.T) {
+			clock, m := newModel(t, spec)
+			tail := m.Tail()
+			transferOnce(t, clock, m, time.Second)
+			before := m.EnergyJ()
+			clock.RunFor(tail.TotalDwell() + extra)
+			got := m.EnergyJ() - before
+
+			want := 0.0
+			for i := 0; i < tail.NumStages(); i++ {
+				st := tail.Stage(i)
+				want += st.PowerW * st.Dwell.Seconds()
+			}
+			want += tail.Terminal().PowerW * extra.Seconds()
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("tail energy %v, closed form %v", got, want)
+			}
+		})
+	}
+}
+
+// TestConformanceTailShape sanity-checks every Tail description against its
+// spec's naming and indexing.
+func TestConformanceTailShape(t *testing.T) {
+	for _, spec := range allSpecs(t) {
+		t.Run(spec.Profile(), func(t *testing.T) {
+			tail := spec.Tail()
+			if tail.Profile != spec.Profile() {
+				t.Fatalf("tail profile %q, spec %q", tail.Profile, spec.Profile())
+			}
+			if got := tail.StageIndexOf(tail.Active.State); got != 0 {
+				t.Fatalf("StageIndexOf(active) = %d", got)
+			}
+			if tail.Terminal().State != StateIdle {
+				t.Fatalf("terminal state %v, want %v", tail.Terminal().State, StateIdle)
+			}
+			if tail.Terminal().Dwell != 0 {
+				t.Fatalf("terminal dwell %v, want 0", tail.Terminal().Dwell)
+			}
+			if got := tail.StageIndexOf(tail.Releasing); got != -1 {
+				t.Fatalf("StageIndexOf(releasing) = %d, want -1", got)
+			}
+			for i := 0; i < tail.NumStages(); i++ {
+				st := tail.Stage(i)
+				if got := spec.StateName(st.State); got != st.Name {
+					t.Fatalf("stage %d name %q, StateName %q", i, st.Name, got)
+				}
+				if got := tail.StageIndexOf(st.State); got != i {
+					t.Fatalf("StageIndexOf(%s) = %d, want %d", st.Name, got, i)
+				}
+				if i > 0 && st.PowerW > tail.Stage(i-1).PowerW {
+					t.Fatalf("power increases down the tail at stage %d", i)
+				}
+				if i > 0 && st.PromoLatency <= 0 {
+					t.Fatalf("stage %s has no promotion latency", st.Name)
+				}
+			}
+			if spec.NumStates() > MaxStates {
+				t.Fatalf("NumStates %d exceeds MaxStates", spec.NumStates())
+			}
+		})
+	}
+}
+
+// TestUMTSInterfaceBitIdentity drives the same scripted workload through a
+// *Machine directly (pre-refactor surface) and through the RadioModel
+// interface, asserting bit-identical energy, residency and state at every
+// step: the interface extraction adds nothing to the UMTS numbers.
+func TestUMTSInterfaceBitIdentity(t *testing.T) {
+	type step func(clock *simtime.Clock, direct *Machine, iface RadioModel)
+	run := func(d time.Duration) step {
+		return func(clock *simtime.Clock, _ *Machine, _ RadioModel) { clock.RunFor(d) }
+	}
+	script := []step{
+		run(1 * time.Second),
+		func(clock *simtime.Clock, direct *Machine, iface RadioModel) {
+			direct.RequestDCH(func() {})
+			iface.RequestActive(func() {})
+			for (direct.State() != StateDCH || iface.State() != StateDCH) && clock.Step() {
+			}
+		},
+		func(_ *simtime.Clock, direct *Machine, iface RadioModel) {
+			if err := direct.BeginTransfer(); err != nil {
+				t.Fatal(err)
+			}
+			if err := iface.BeginTransfer(); err != nil {
+				t.Fatal(err)
+			}
+		},
+		run(800 * time.Millisecond),
+		func(_ *simtime.Clock, direct *Machine, iface RadioModel) {
+			if err := direct.EndTransfer(); err != nil {
+				t.Fatal(err)
+			}
+			if err := iface.EndTransfer(); err != nil {
+				t.Fatal(err)
+			}
+		},
+		run(2 * time.Second),
+		func(_ *simtime.Clock, direct *Machine, iface RadioModel) {
+			direct.TouchFACH()
+			iface.TouchShared()
+		},
+		run(25 * time.Second),
+		func(_ *simtime.Clock, direct *Machine, iface RadioModel) {
+			_ = direct.ForceIdle()
+			_ = iface.ForceIdle()
+		},
+		run(3 * time.Second),
+	}
+
+	clock := simtime.NewClock()
+	direct, err := NewMachine(clock, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface, err := DefaultConfig().New(clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range script {
+		s(clock, direct, iface)
+		if direct.EnergyJ() != iface.EnergyJ() {
+			t.Fatalf("step %d: EnergyJ %v vs %v", i, direct.EnergyJ(), iface.EnergyJ())
+		}
+		if direct.State() != iface.State() {
+			t.Fatalf("step %d: state %v vs %v", i, direct.State(), iface.State())
+		}
+		dv, iv := direct.EnergyVec(), iface.EnergyVec()
+		if dv != iv {
+			t.Fatalf("step %d: EnergyVec %v vs %v", i, dv, iv)
+		}
+		if direct.DCHHoldTime() != iface.HoldTime() {
+			t.Fatalf("step %d: hold time %v vs %v", i, direct.DCHHoldTime(), iface.HoldTime())
+		}
+	}
+}
+
+// TestChainSpecValidate exercises the chain validation errors.
+func TestChainSpecValidate(t *testing.T) {
+	base := DefaultLTEConfig()
+
+	bad := base
+	bad.Name = ""
+	if err := bad.Validate(); err == nil {
+		t.Fatal("nameless chain validated")
+	}
+
+	bad = base
+	bad.Stable = bad.Stable[:1]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("single-state chain validated")
+	}
+
+	bad = base
+	bad.Stable = make([]ChainState, len(base.Stable))
+	copy(bad.Stable, base.Stable)
+	bad.Stable[2].Dwell = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero mid-chain dwell validated")
+	}
+
+	bad = base
+	bad.Stable = make([]ChainState, len(base.Stable))
+	copy(bad.Stable, base.Stable)
+	bad.Stable[1].PowerW = 2.0 // above DRX_SHORT: ordering broken
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-monotone powers validated")
+	}
+
+	bad = base
+	bad.TxPowerW = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("tx below active idle power validated")
+	}
+
+	bad = base
+	six := base.Stable[0]
+	bad.Stable = append([]ChainState{six, six, six}, base.Stable...)
+	bad.Stable[0].Dwell = 0
+	for i := 1; i < len(bad.Stable); i++ {
+		if bad.Stable[i].Dwell == 0 {
+			bad.Stable[i].Dwell = time.Second
+		}
+	}
+	if bad.NumStates() <= MaxStates {
+		t.Fatalf("test chain should exceed MaxStates, has %d", bad.NumStates())
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("over-wide chain validated")
+	}
+}
+
+// TestChainQueuedWaitersDuringRelease checks the release→re-promotion path:
+// a RequestActive while RELEASING must queue and promote from idle after
+// the release completes, charging the idle promotion lump.
+func TestChainQueuedWaitersDuringRelease(t *testing.T) {
+	for _, name := range []string{"lte", "nr"} {
+		t.Run(name, func(t *testing.T) {
+			spec, err := ProfileSpec(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clock, m := newModel(t, spec)
+			transferOnce(t, clock, m, 100*time.Millisecond)
+			clock.RunFor(100 * time.Millisecond) // still mid-tail, not yet idle
+			if err := m.ForceIdle(); err != nil {
+				t.Fatalf("ForceIdle: %v", err)
+			}
+			if m.State() != m.Tail().Releasing {
+				t.Fatalf("state %v, want releasing", m.State())
+			}
+			ready := false
+			m.RequestActive(func() { ready = true })
+			for !ready && clock.Step() {
+			}
+			if !ready {
+				t.Fatal("waiter queued during release never ran")
+			}
+			tail := m.Tail()
+			if m.State() != tail.Active.State {
+				t.Fatalf("state %v after release+promotion", m.State())
+			}
+		})
+	}
+}

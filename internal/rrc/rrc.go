@@ -221,23 +221,29 @@ type Machine struct {
 	dchHoldTime time.Duration
 }
 
-// Option configures a Machine.
-type Option interface {
-	apply(*Machine)
+// options collects construction-time settings shared by every backend.
+type options struct {
+	recordTrace  bool
+	onTransition func(Transition)
 }
 
-type optionFunc func(*Machine)
+// Option configures a radio model at construction time.
+type Option interface {
+	apply(*options)
+}
 
-func (f optionFunc) apply(m *Machine) { f(m) }
+type optionFunc func(*options)
+
+func (f optionFunc) apply(o *options) { f(o) }
 
 // WithTransitionTrace records every state change in History.
 func WithTransitionTrace() Option {
-	return optionFunc(func(m *Machine) { m.recordTrace = true })
+	return optionFunc(func(o *options) { o.recordTrace = true })
 }
 
 // WithTransitionHook invokes fn on every state change.
 func WithTransitionHook(fn func(Transition)) Option {
-	return optionFunc(func(m *Machine) { m.onTransition = fn })
+	return optionFunc(func(o *options) { o.onTransition = fn })
 }
 
 // NewMachine creates a radio in IDLE at the clock's current time.
@@ -258,9 +264,12 @@ func NewMachine(clock *simtime.Clock, cfg Config, opts ...Option) (*Machine, err
 	m.t2Timer = clock.NewTimer(m.t2Expired)
 	m.promoFinishFn = m.promoFinish
 	m.releaseDoneFn = m.releaseDone
-	for _, o := range opts {
-		o.apply(m)
+	var o options
+	for _, opt := range opts {
+		opt.apply(&o)
 	}
+	m.recordTrace = o.recordTrace
+	m.onTransition = o.onTransition
 	return m, nil
 }
 
@@ -336,17 +345,30 @@ func (m *Machine) EnergyByState() map[string]float64 {
 	out := make(map[string]float64, stateSlots)
 	for i, e := range m.energyInState {
 		if e != 0 {
-			out[State(i).String()] = e
+			out[umtsStateNames[i]] = e
 		}
 	}
-	out[m.state.String()] += m.RadioPower() * sinceSeconds(m.lastChange, m.clock.Now())
+	out[umtsStateNames[m.state]] += m.RadioPower() * sinceSeconds(m.lastChange, m.clock.Now())
 	return out
 }
 
+// umtsStateNames caches the State.String() labels so EnergyByState reuses
+// the backend's state names instead of re-deriving them per entry on the
+// metrics path.
+var umtsStateNames = func() (out [stateSlots]string) {
+	for i := range out {
+		out[i] = State(i).String()
+	}
+	return
+}()
+
 // EnergyVec returns the same attribution as EnergyByState as a fixed array
-// indexed by State, without allocating. Slot 0 is unused.
-func (m *Machine) EnergyVec() [NumStates]float64 {
-	out := m.energyInState
+// indexed by State, without allocating. Slot 0 is unused, as are slots at
+// and above NumStates (the array is MaxStates wide so every backend shares
+// one snapshot shape).
+func (m *Machine) EnergyVec() [MaxStates]float64 {
+	var out [MaxStates]float64
+	copy(out[:], m.energyInState[:])
 	out[m.state] += m.RadioPower() * sinceSeconds(m.lastChange, m.clock.Now())
 	return out
 }

@@ -16,6 +16,7 @@ import (
 	"eabrowse/internal/features"
 	"eabrowse/internal/obs"
 	"eabrowse/internal/policy"
+	"eabrowse/internal/rrc"
 	"eabrowse/internal/webpage"
 )
 
@@ -137,6 +138,20 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	return true
 }
 
+// parseRadio validates an optional radio profile name, defaulting to UMTS.
+// Unknown names answer 400 with the valid-name list, mirroring the
+// benchmark-page errors.
+func parseRadio(w http.ResponseWriter, name string) (string, bool) {
+	if name == "" {
+		return "umts", true
+	}
+	if _, err := rrc.ProfileSpec(name); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return "", false
+	}
+	return name, true
+}
+
 // parseFeatures validates a request's feature array into a stack vector.
 func parseFeatures(w http.ResponseWriter, raw []float64, vec *features.Vector) bool {
 	if len(raw) != features.Num {
@@ -159,11 +174,17 @@ func parseFeatures(w http.ResponseWriter, raw []float64, vec *features.Vector) b
 type predictRequest struct {
 	// Features is the Table 1 vector, in index order.
 	Features []float64 `json:"features"`
+	// Radio optionally names the radio profile the caller's phone runs; it
+	// does not change the prediction (Table 1 features are radio-agnostic)
+	// but is validated and echoed back so mixed-RAN clients can correlate
+	// responses. Empty means "umts".
+	Radio string `json:"radio"`
 }
 
 type predictResponse struct {
 	ReadingSeconds  float64 `json:"reading_seconds"`
 	ModelGeneration uint64  `json:"model_generation"`
+	Radio           string  `json:"radio"`
 }
 
 // predictResult is the internal, allocation-free form of an answer.
@@ -198,6 +219,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !parseFeatures(w, req.Features, &vec) {
 		return
 	}
+	radio, ok := parseRadio(w, req.Radio)
+	if !ok {
+		return
+	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	var res predictResult
@@ -214,6 +239,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, predictResponse{
 		ReadingSeconds:  res.seconds,
 		ModelGeneration: res.gen,
+		Radio:           radio,
 	})
 }
 
@@ -331,6 +357,9 @@ type simulateRequest struct {
 	Page string `json:"page"`
 	// Mode is "original" or "energy-aware" (default).
 	Mode string `json:"mode"`
+	// Radio is the radio profile the simulated phone runs ("umts", "lte",
+	// "nr"); empty means "umts".
+	Radio string `json:"radio"`
 	// ReadingS is the simulated reading window after the final display.
 	ReadingS float64 `json:"reading_s"`
 }
@@ -338,6 +367,7 @@ type simulateRequest struct {
 type simulateResponse struct {
 	Page              string  `json:"page"`
 	Mode              string  `json:"mode"`
+	Radio             string  `json:"radio"`
 	LoadSeconds       float64 `json:"load_s"`
 	FirstDisplayS     float64 `json:"first_display_s"`
 	TransmissionS     float64 `json:"transmission_s"`
@@ -350,8 +380,11 @@ type simulateResponse struct {
 // requested reading window. The session returns to the pool only after a
 // clean run; an errored or panicked simulation drops it instead of recycling
 // unknown state.
-func (s *Server) simulateCore(page *webpage.Page, mode browser.Mode, reading time.Duration) (simulateResponse, error) {
-	pool := s.pools[mode]
+func (s *Server) simulateCore(page *webpage.Page, mode browser.Mode, radio string, reading time.Duration) (simulateResponse, error) {
+	pool, err := s.pool(mode, radio)
+	if err != nil {
+		return simulateResponse{}, err
+	}
 	sess, err := pool.Get()
 	if err != nil {
 		return simulateResponse{}, err
@@ -369,6 +402,7 @@ func (s *Server) simulateCore(page *webpage.Page, mode browser.Mode, reading tim
 	out := simulateResponse{
 		Page:              page.Name,
 		Mode:              mode.String(),
+		Radio:             radio,
 		LoadSeconds:       res.FinalDisplayAt.Seconds(),
 		FirstDisplayS:     res.FirstDisplayAt.Seconds(),
 		TransmissionS:     res.TransmissionTime.Seconds(),
@@ -421,6 +455,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	radio, ok := parseRadio(w, req.Radio)
+	if !ok {
+		return
+	}
 	if math.IsNaN(req.ReadingS) || req.ReadingS < 0 || req.ReadingS > maxSimulatedReading.Seconds() {
 		writeError(w, http.StatusBadRequest,
 			fmt.Sprintf("reading_s must be in [0, %v]", maxSimulatedReading.Seconds()))
@@ -436,7 +474,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	var res simulateResponse
 	var coreErr error
-	if err := s.submit(ctx, func() { res, coreErr = s.simulateCore(page, mode, reading) }); err != nil {
+	if err := s.submit(ctx, func() { res, coreErr = s.simulateCore(page, mode, radio, reading) }); err != nil {
 		s.writeWorkError(w, err)
 		return
 	}
@@ -481,6 +519,14 @@ type ModelStatus struct {
 	ReloadFailures uint64 `json:"reload_failures"`
 }
 
+// RadioStatus surfaces the radio-backend registry in the metrics snapshot:
+// the profile new simulations default to and every name a request may ask
+// for.
+type RadioStatus struct {
+	DefaultProfile string   `json:"default_profile"`
+	Profiles       []string `json:"profiles"`
+}
+
 // Metrics is the /metrics document: the service gauges the soak harness and
 // operators watch, plus the obs counters/histograms snapshot.
 type Metrics struct {
@@ -492,6 +538,7 @@ type Metrics struct {
 	Rejects       uint64      `json:"rejects"`
 	Panics        uint64      `json:"panics"`
 	Model         ModelStatus `json:"model"`
+	Radio         RadioStatus `json:"radio"`
 	Obs           obs.Metrics `json:"obs"`
 }
 
@@ -504,6 +551,10 @@ func (s *Server) MetricsSnapshot() Metrics {
 		Requests:      s.requests.Load(),
 		Rejects:       s.rejects.Load(),
 		Panics:        s.panics.Load(),
+		Radio: RadioStatus{
+			DefaultProfile: experiments.DefaultRadioSpec().Profile(),
+			Profiles:       rrc.Profiles(),
+		},
 	}
 	if !s.startedAt.IsZero() {
 		m.UptimeSeconds = time.Since(s.startedAt).Seconds()

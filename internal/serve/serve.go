@@ -39,6 +39,7 @@ import (
 	"eabrowse/internal/experiments"
 	"eabrowse/internal/obs"
 	"eabrowse/internal/retry"
+	"eabrowse/internal/rrc"
 	"eabrowse/internal/webpage"
 )
 
@@ -133,10 +134,36 @@ type Server struct {
 	rec   *obs.Recorder
 
 	// Per-request simulation machinery: benchmark pages cached by name,
-	// pooled zero-alloc sessions per browser mode.
+	// pooled zero-alloc sessions per (browser mode, radio profile).
 	pagesMu sync.Mutex
 	pages   map[string]*webpage.Page
-	pools   map[browser.Mode]*experiments.SessionPool
+	poolsMu sync.Mutex
+	pools   map[poolKey]*experiments.SessionPool
+}
+
+// poolKey identifies one session pool: pooled sessions are homogeneous in
+// both pipeline mode and radio backend.
+type poolKey struct {
+	mode  browser.Mode
+	radio string
+}
+
+// pool returns the session pool for (mode, radio), building non-UMTS pools
+// lazily on first use. The radio name must already be validated.
+func (s *Server) pool(mode browser.Mode, radio string) (*experiments.SessionPool, error) {
+	key := poolKey{mode: mode, radio: radio}
+	s.poolsMu.Lock()
+	defer s.poolsMu.Unlock()
+	if p, ok := s.pools[key]; ok {
+		return p, nil
+	}
+	spec, err := rrc.ProfileSpec(radio)
+	if err != nil {
+		return nil, err
+	}
+	p := experiments.NewSessionPool(mode, experiments.WithRadioModel(spec))
+	s.pools[key] = p
+	return p, nil
 }
 
 // New builds a server; no I/O happens until Start.
@@ -157,9 +184,11 @@ func New(cfg Config) (*Server, error) {
 		col:   col,
 		rec:   rec,
 		pages: make(map[string]*webpage.Page),
-		pools: map[browser.Mode]*experiments.SessionPool{
-			browser.ModeOriginal:    experiments.NewSessionPool(browser.ModeOriginal),
-			browser.ModeEnergyAware: experiments.NewSessionPool(browser.ModeEnergyAware),
+		pools: map[poolKey]*experiments.SessionPool{
+			{browser.ModeOriginal, "umts"}: experiments.NewSessionPool(
+				browser.ModeOriginal, experiments.WithRadioModel(rrc.DefaultConfig())),
+			{browser.ModeEnergyAware, "umts"}: experiments.NewSessionPool(
+				browser.ModeEnergyAware, experiments.WithRadioModel(rrc.DefaultConfig())),
 		},
 	}
 	s.httpSrv = &http.Server{

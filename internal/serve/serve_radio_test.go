@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestServeRadioField exercises the radio profile plumbing end to end: the
+// field defaults to "umts", echoes back next to the model generation, routes
+// simulations onto the right backend pool, and rejects unknown names with the
+// valid-name list.
+func TestServeRadioField(t *testing.T) {
+	s, base := startServer(t, Config{ModelPath: goldenModelPath})
+
+	// Predict echoes the validated profile (default and explicit).
+	var pr predictResponse
+	if code := postJSON(t, base+"/v1/predict", predictRequest{Features: probeVec[:]}, &pr); code != http.StatusOK {
+		t.Fatalf("predict: status %d", code)
+	}
+	if pr.Radio != "umts" {
+		t.Fatalf("default radio echoed %q, want umts", pr.Radio)
+	}
+	if code := postJSON(t, base+"/v1/predict",
+		predictRequest{Features: probeVec[:], Radio: "lte"}, &pr); code != http.StatusOK {
+		t.Fatalf("predict lte: status %d", code)
+	}
+	if pr.Radio != "lte" {
+		t.Fatalf("radio echoed %q, want lte", pr.Radio)
+	}
+
+	// Simulate runs on the named backend: same page, different radio, a
+	// different (and for newer generations lower) energy figure.
+	energies := map[string]float64{}
+	for _, radio := range []string{"umts", "lte", "nr"} {
+		var sr simulateResponse
+		req := simulateRequest{Page: "m.cnn.com", Radio: radio, ReadingS: 20}
+		if code := postJSON(t, base+"/v1/simulate", req, &sr); code != http.StatusOK {
+			t.Fatalf("simulate(%s): status %d", radio, code)
+		}
+		if sr.Radio != radio {
+			t.Fatalf("simulate(%s): echoed radio %q", radio, sr.Radio)
+		}
+		if sr.EnergyWithReading <= 0 {
+			t.Fatalf("simulate(%s): energy %v", radio, sr.EnergyWithReading)
+		}
+		energies[radio] = sr.EnergyWithReading
+	}
+	if energies["lte"] >= energies["umts"] || energies["nr"] >= energies["lte"] {
+		t.Fatalf("expected newer generations to spend less: %+v", energies)
+	}
+
+	// Unknown names answer 400 and name the valid profiles.
+	for _, url := range []string{"/v1/predict", "/v1/simulate"} {
+		body := `{"features":[1,2,3,4,5,6,7,8,9,10],"radio":"wimax"}`
+		if url == "/v1/simulate" {
+			body = `{"page":"m.cnn.com","radio":"wimax"}`
+		}
+		resp, err := http.Post(base+url, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var er errorResponse
+		err = json.NewDecoder(resp.Body).Decode(&er)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s with bad radio: status %d", url, resp.StatusCode)
+		}
+		for _, want := range []string{"unknown radio profile", "lte", "nr", "umts"} {
+			if !strings.Contains(er.Error, want) {
+				t.Fatalf("%s error %q does not mention %q", url, er.Error, want)
+			}
+		}
+	}
+
+	// The metrics document surfaces the registry.
+	m := s.MetricsSnapshot()
+	if m.Radio.DefaultProfile != "umts" {
+		t.Fatalf("metrics default profile %q, want umts", m.Radio.DefaultProfile)
+	}
+	if want := []string{"lte", "nr", "umts"}; !reflect.DeepEqual(m.Radio.Profiles, want) {
+		t.Fatalf("metrics profiles %v, want %v", m.Radio.Profiles, want)
+	}
+}

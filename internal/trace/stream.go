@@ -90,3 +90,17 @@ func userSeed(seed int64, u int) int64 {
 	z ^= z >> 31
 	return int64(z)
 }
+
+// UserDraw returns one uniform [0, 1) draw that is a pure function of
+// (seed, tag, u). Fleet-level per-user assignments (mixed-RAN profile
+// picks) use it instead of consuming from the user's visit rng, so adding
+// an assignment never perturbs the visit sequences; the tag decorrelates
+// independent assignment families from each other and from userSeed.
+func UserDraw(seed int64, tag uint64, u int) float64 {
+	z := uint64(seed) ^ (tag * 0x9e3779b97f4a7c15)
+	z += 0x9e3779b97f4a7c15 * uint64(u+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
