@@ -29,6 +29,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"eabrowse/internal/channel"
 	"eabrowse/internal/experiments"
 	"eabrowse/internal/faults"
 	"eabrowse/internal/features"
@@ -82,6 +83,8 @@ func run(args []string) error {
 	fs.Float64Var(&opts.fleet.HoursPerUser, "fleet-hours", opts.fleet.HoursPerUser, "fleet: browsing hours replayed per phone")
 	fs.Int64Var(&opts.fleet.Seed, "fleet-seed", opts.fleet.Seed, "fleet: trace seed")
 	fs.StringVar(&opts.fleet.RadioMix, "fleet-radio-mix", "", "fleet: mixed-RAN population as name:weight pairs, e.g. \"umts:0.6,lte:0.4\" (default: the -radio profile fleet-wide)")
+	fs.StringVar(&opts.fleet.Channel, "fleet-channel", "", "fleet: channel scenario every phone browses through: "+strings.Join(channel.Scenarios(), ", ")+" (default: fixed ideal link)")
+	fs.StringVar(&opts.fleet.Policy, "fleet-policy", "", "fleet: energy-aware release rule, static or adaptive (default static)")
 
 	// Fault-injection profile for the chaos experiment. Loss is the swept
 	// variable (0 up to -fault-loss); the other rates form the constant
@@ -287,6 +290,9 @@ func allExperiments(opts benchOptions) []experiment {
 		{name: "fleet", desc: "concurrent multi-user fleet replay with Algorithm 2 (see -fleet-* flags)",
 			heavy: true,
 			run:   func(p *printer) error { return runFleet(p, opts.fleet) }},
+		{name: "scenarios", desc: "scenario×policy matrix: static vs adaptive vs oracle under time-varying channels",
+			heavy: true,
+			run:   runScenarios},
 	}
 }
 
@@ -688,6 +694,24 @@ func runChaos(p *printer, profile faults.Config, maxLoss float64) error {
 	return nil
 }
 
+func runScenarios(p *printer) error {
+	res, err := experiments.Scenarios()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(p.w, "radio: %s — each scenario replayed under the paper's static thresholds,\n", res.Radio)
+	fmt.Fprintln(p.w, "the per-user adaptive estimator, and the counterfactual oracle lower bound")
+	p.table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "scenario\tpolicy\tenergy (J)\tdelay (s)\tsaving vs static\tswitches\tpredictions")
+		for _, r := range res.Rows {
+			fmt.Fprintf(w, "%s\t%s\t%.1f\t%.1f\t%+.1f%%\t%d\t%d\n",
+				r.Scenario, r.Policy, r.EnergyJ, r.DelayS, r.SavingPct, r.Switches, r.Predictions)
+		}
+	})
+	fmt.Fprintln(p.w, "invariant: oracle <= adaptive <= static on every scenario (the golden matrix pins the bytes)")
+	return nil
+}
+
 func runFleet(p *printer, cfg experiments.FleetConfig) error {
 	res, err := experiments.Fleet(cfg)
 	if err != nil {
@@ -697,6 +721,13 @@ func runFleet(p *printer, cfg experiments.FleetConfig) error {
 		res.Users, res.TraceHours, res.Visits)
 	if res.Radio != "umts" {
 		fmt.Fprintf(p.w, "radio: %s\n", res.Radio)
+	}
+	if res.Channel != "" || res.Policy != "static" {
+		ch := res.Channel
+		if ch == "" {
+			ch = "ideal"
+		}
+		fmt.Fprintf(p.w, "channel: %s, policy: %s\n", ch, res.Policy)
 	}
 	p.table(func(w *tabwriter.Writer) {
 		fmt.Fprintln(w, "pipeline\ttotal energy (J)\tper phone (J)\tmean trans (s)\tdrop% at fleet\tusers at 2% drop")

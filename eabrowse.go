@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"eabrowse/internal/browser"
+	"eabrowse/internal/channel"
 	"eabrowse/internal/experiments"
 	"eabrowse/internal/faults"
 	"eabrowse/internal/features"
@@ -89,6 +90,22 @@ type (
 
 	// FaultConfig is a fault-injection profile for the link and RIL daemon.
 	FaultConfig = faults.Config
+
+	// ChannelSchedule is a deterministic piecewise time-varying channel: a
+	// validated sequence of bandwidth/latency/loss segments the link replays.
+	ChannelSchedule = channel.Schedule
+	// ChannelConditions is one segment's link impairment (bandwidth factor,
+	// extra RTT, loss rate).
+	ChannelConditions = channel.Conditions
+	// ChannelSegment is one timed span of a channel schedule.
+	ChannelSegment = channel.Segment
+
+	// AdaptivePolicy is the per-user recursive release-threshold estimator —
+	// the alternative to Algorithm 2's static thresholds under time-varying
+	// channels.
+	AdaptivePolicy = policy.Adaptive
+	// AdaptivePolicyConfig tunes the estimator's gain and clamp.
+	AdaptivePolicyConfig = policy.AdaptiveConfig
 
 	// PhoneOption configures one aspect of a phone built by New.
 	PhoneOption = experiments.SessionOption
@@ -172,7 +189,47 @@ var (
 	// WithEngineOptions appends browser-engine options (dormancy guard,
 	// event log, ...).
 	WithEngineOptions = experiments.WithEngineOptions
+	// WithChannel drives the phone's link from a time-varying channel
+	// schedule (built-in scenario, parsed trace, or NewChannelSchedule);
+	// composes with WithFaultInjector the way toxics stack on a proxy.
+	WithChannel = experiments.WithChannel
 )
+
+// ChannelScenarios lists the built-in channel scenarios ("bursty-loss",
+// "cell-handover", "congestion-ramp", "fading", "steady-3g"), sorted. Every
+// name is valid for ChannelScenario, eabench -fleet-channel and the easerd
+// "channel" request field.
+func ChannelScenarios() []string { return channel.Scenarios() }
+
+// ChannelScenario resolves a named built-in scenario to its schedule.
+// Unknown names error with the valid-name list.
+func ChannelScenario(name string) (*ChannelSchedule, error) { return channel.ScenarioSchedule(name) }
+
+// NewChannelSchedule builds a validated schedule from explicit segments;
+// repeat makes it cycle instead of holding the last segment forever.
+func NewChannelSchedule(name string, repeat bool, segments ...ChannelSegment) (*ChannelSchedule, error) {
+	return channel.New(name, repeat, segments...)
+}
+
+// ParseChannelTrace reads a JSONL channel trace (one segment per line, with
+// an optional header naming the trace) into a schedule.
+func ParseChannelTrace(r io.Reader) (*ChannelSchedule, error) { return channel.ParseTrace(r) }
+
+// FormatChannelTrace writes a schedule back out in the JSONL trace format;
+// ParseChannelTrace(FormatChannelTrace(s)) reproduces s exactly.
+func FormatChannelTrace(w io.Writer, s *ChannelSchedule) error { return channel.FormatTrace(w, s) }
+
+// NewAdaptivePolicy builds a per-user adaptive threshold estimator for a
+// radio tail, seeded with the profile's closed-form priors.
+func NewAdaptivePolicy(cfg AdaptivePolicyConfig, tail RadioTailProfile) (*AdaptivePolicy, error) {
+	return policy.NewAdaptive(cfg, tail)
+}
+
+// DefaultAdaptivePolicyConfig derives the estimator's default gain and clamp
+// from Algorithm 2's parameters.
+func DefaultAdaptivePolicyConfig(p PolicyParams) AdaptivePolicyConfig {
+	return policy.DefaultAdaptiveConfig(p)
+}
 
 // SetParallelism sizes the worker pool experiments fan out on. n <= 0 resets
 // to GOMAXPROCS. Results are byte-identical at any setting; only wall-clock
@@ -427,6 +484,13 @@ func (Experiments) Ablations() (*experiments.AblationResult, error) {
 // Fleet — concurrent multi-hundred-user fleet replay with Algorithm 2.
 func (Experiments) Fleet(cfg experiments.FleetConfig) (*experiments.FleetResult, error) {
 	return experiments.Fleet(cfg)
+}
+
+// Scenarios — the scenario×policy matrix: every built-in channel scenario
+// replayed under the static thresholds, the adaptive estimator and the
+// counterfactual oracle, on the process-default radio backend.
+func (Experiments) Scenarios() (*experiments.ScenarioMatrix, error) {
+	return experiments.Scenarios()
 }
 
 // DefaultFleetConfig returns the 300-phone fleet setup.

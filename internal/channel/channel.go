@@ -1,0 +1,350 @@
+// Package channel models deterministic time-varying radio channels: a
+// Schedule is a piecewise-constant sequence of link conditions (bandwidth
+// factor, extra latency, loss rate) that netsim.Link consults as simulated
+// time advances. Real cells fade, congest and hand over — the paper's fixed
+// Td/Tp thresholds were tuned on one static T-Mobile link, and the
+// measurement literature shows energy results are highly sensitive to these
+// conditions — so the scenario matrix replays the same workloads under named
+// condition profiles instead of a single calibrated constant.
+//
+// Everything here is a pure function of simulated time: no random source, no
+// internal state. Composition with the seed-driven fault injector follows the
+// toxiproxy model of stacking "toxics" — the channel scales bandwidth and
+// adds latency first, then the injector's per-attempt plan applies on top —
+// so two runs with the same schedule, seed and workload are byte-identical.
+//
+// Schedules come from three places: the named built-in scenarios
+// (ScenarioSchedule), hand-built segment lists (New), and parsed JSONL
+// traces (ParseTrace — the eatrace-style interchange format, fuzzed).
+package channel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Validation bounds. Factors below MinBandwidthFactor would let a schedule
+// wedge the simulation (a 1 MB transfer at 96 KB/s × 1e-6 outlives the
+// 30-minute load watchdog); the caps on the other knobs keep parsed traces
+// from encoding nonsense.
+const (
+	MinBandwidthFactor = 0.001
+	MaxBandwidthFactor = 1000.0
+	MaxExtraRTT        = 10 * time.Minute
+	MaxSegmentDur      = 24 * time.Hour
+	MaxSegments        = 100_000
+)
+
+// Conditions are the link impairments in force over one schedule segment.
+// The zero value is invalid (bandwidth factor 0); Clear is the identity.
+type Conditions struct {
+	// BandwidthFactor scales the link's configured bandwidth, in
+	// [MinBandwidthFactor, MaxBandwidthFactor]. 1 leaves it untouched.
+	BandwidthFactor float64
+	// ExtraRTT is added to every transfer's per-request overhead.
+	ExtraRTT time.Duration
+	// LossRate is the packet-loss probability in [0, 1). Loss degrades
+	// throughput deterministically (Mathis-style steady-state goodput, no
+	// randomness — the fault injector owns stochastic loss).
+	LossRate float64
+}
+
+// Clear is the identity condition: full bandwidth, no extra latency, no loss.
+var Clear = Conditions{BandwidthFactor: 1}
+
+// Validate checks the conditions against the documented bounds.
+func (c Conditions) Validate() error {
+	switch {
+	case math.IsNaN(c.BandwidthFactor) || c.BandwidthFactor < MinBandwidthFactor || c.BandwidthFactor > MaxBandwidthFactor:
+		return fmt.Errorf("channel: bandwidth factor %g out of [%g, %g]",
+			c.BandwidthFactor, MinBandwidthFactor, MaxBandwidthFactor)
+	case c.ExtraRTT < 0 || c.ExtraRTT > MaxExtraRTT:
+		return fmt.Errorf("channel: extra RTT %v out of [0, %v]", c.ExtraRTT, MaxExtraRTT)
+	case math.IsNaN(c.LossRate) || c.LossRate < 0 || c.LossRate >= 1:
+		return fmt.Errorf("channel: loss rate %g out of [0, 1)", c.LossRate)
+	}
+	return nil
+}
+
+// EffectiveFactor is the combined throughput multiplier: the bandwidth
+// factor degraded by the deterministic loss model. Always positive.
+func (c Conditions) EffectiveFactor() float64 {
+	return c.BandwidthFactor * lossFactor(c.LossRate)
+}
+
+// lossFactor maps a loss rate onto a Mathis-style steady-state goodput
+// fraction — the same shape the fault injector draws around, but with no
+// jitter: the channel layer is strictly deterministic.
+func lossFactor(p float64) float64 {
+	if p <= 0 {
+		return 1
+	}
+	f := (1 - p) / (1 + 3*math.Sqrt(p))
+	if f < 0.01 {
+		return 0.01
+	}
+	return f
+}
+
+// Segment is one constant-condition span of a schedule.
+type Segment struct {
+	// Start is the segment's offset from the schedule origin.
+	Start time.Duration
+	// Dur is the segment length; must be positive.
+	Dur time.Duration
+	// Cond are the conditions in force throughout the segment.
+	Cond Conditions
+}
+
+// End is the segment's exclusive end offset.
+func (s Segment) End() time.Duration { return s.Start + s.Dur }
+
+// Schedule is a validated piecewise-constant channel: contiguous segments
+// starting at offset zero. A repeating schedule cycles forever; a
+// non-repeating one holds its last segment's conditions past the end.
+// Schedules are immutable after New and safe for concurrent readers.
+type Schedule struct {
+	name     string
+	segments []Segment
+	cycle    time.Duration
+	repeat   bool
+}
+
+// New builds a schedule from contiguous segments. Segment starts are
+// validated, not inferred: a zero-length segment, a gap, or an overlap is
+// rejected so trace files that disagree with their own offsets fail loudly.
+func New(name string, repeat bool, segments ...Segment) (*Schedule, error) {
+	if name == "" {
+		return nil, errors.New("channel: schedule needs a name")
+	}
+	if len(segments) == 0 {
+		return nil, fmt.Errorf("channel: schedule %q has no segments", name)
+	}
+	if len(segments) > MaxSegments {
+		return nil, fmt.Errorf("channel: schedule %q has %d segments (max %d)",
+			name, len(segments), MaxSegments)
+	}
+	var end time.Duration
+	for i, seg := range segments {
+		if seg.Dur <= 0 || seg.Dur > MaxSegmentDur {
+			return nil, fmt.Errorf("channel: schedule %q segment %d duration %v out of (0, %v]",
+				name, i, seg.Dur, MaxSegmentDur)
+		}
+		switch {
+		case seg.Start < end:
+			return nil, fmt.Errorf("channel: schedule %q segment %d starts at %v, overlapping the previous end %v",
+				name, i, seg.Start, end)
+		case seg.Start > end:
+			return nil, fmt.Errorf("channel: schedule %q segment %d starts at %v, leaving a gap after %v",
+				name, i, seg.Start, end)
+		}
+		if err := seg.Cond.Validate(); err != nil {
+			return nil, fmt.Errorf("channel: schedule %q segment %d: %w", name, i, err)
+		}
+		end = seg.End()
+	}
+	segs := make([]Segment, len(segments))
+	copy(segs, segments)
+	return &Schedule{name: name, segments: segs, cycle: end, repeat: repeat}, nil
+}
+
+// Constant wraps one condition set as a schedule that holds forever — the
+// degenerate channel the epoch-quantized fleet templates simulate under.
+func Constant(name string, cond Conditions) (*Schedule, error) {
+	return New(name, false, Segment{Dur: time.Second, Cond: cond})
+}
+
+// Name returns the schedule's name.
+func (s *Schedule) Name() string { return s.name }
+
+// Repeat reports whether the schedule cycles.
+func (s *Schedule) Repeat() bool { return s.repeat }
+
+// Cycle is the total length of one pass over the segments.
+func (s *Schedule) Cycle() time.Duration { return s.cycle }
+
+// NumSegments returns the segment count.
+func (s *Schedule) NumSegments() int { return len(s.segments) }
+
+// Segment returns the i-th segment.
+func (s *Schedule) Segment(i int) Segment { return s.segments[i] }
+
+// SegmentIndexAt returns the index of the segment in force at offset t
+// (cycle-folded for repeating schedules, clamped to the last segment past
+// the end of a non-repeating one). Negative offsets clamp to zero.
+func (s *Schedule) SegmentIndexAt(t time.Duration) int {
+	t = s.fold(t)
+	// Binary search over starts; len is typically single digits but trace
+	// files can be long.
+	i := sort.Search(len(s.segments), func(i int) bool {
+		return s.segments[i].Start > t
+	})
+	return i - 1
+}
+
+// At returns the conditions in force at offset t.
+func (s *Schedule) At(t time.Duration) Conditions {
+	return s.segments[s.SegmentIndexAt(t)].Cond
+}
+
+// fold maps an arbitrary offset into [0, cycle): modulo for repeating
+// schedules, clamped into the last segment otherwise.
+func (s *Schedule) fold(t time.Duration) time.Duration {
+	if t < 0 {
+		return 0
+	}
+	if t >= s.cycle {
+		if !s.repeat {
+			return s.cycle - 1 // inside the last segment
+		}
+		t %= s.cycle
+	}
+	return t
+}
+
+// XferDuration integrates the transfer of bytes at base rate baseKBps
+// starting at schedule offset start: each segment contributes bytes at the
+// base rate scaled by its effective factor, so a transfer spanning a segment
+// boundary moves exactly the bytes each side of the boundary allows.
+// BytesOver is the inverse; their agreement is a tested invariant.
+func (s *Schedule) XferDuration(start time.Duration, bytes int, baseKBps float64) time.Duration {
+	if bytes <= 0 || baseKBps <= 0 {
+		return 0
+	}
+	remaining := float64(bytes)
+	elapsed := 0.0
+	at := start
+	for {
+		seg := s.segments[s.SegmentIndexAt(at)]
+		rate := baseKBps * seg.Cond.EffectiveFactor() * 1024 // bytes/s
+		span := s.spanWithin(at, seg)
+		if span <= 0 {
+			// Unbounded tail (last segment of a non-repeating schedule).
+			return durationSeconds(elapsed + remaining/rate)
+		}
+		spanS := span.Seconds()
+		capacity := rate * spanS
+		if remaining <= capacity {
+			return durationSeconds(elapsed + remaining/rate)
+		}
+		remaining -= capacity
+		elapsed += spanS
+		at += span
+	}
+}
+
+// BytesOver integrates the deliverable bytes at base rate baseKBps over the
+// window [start, start+dur) — the inverse of XferDuration.
+func (s *Schedule) BytesOver(start, dur time.Duration, baseKBps float64) float64 {
+	if dur <= 0 || baseKBps <= 0 {
+		return 0
+	}
+	total := 0.0
+	at := start
+	left := dur
+	for left > 0 {
+		seg := s.segments[s.SegmentIndexAt(at)]
+		rate := baseKBps * seg.Cond.EffectiveFactor() * 1024
+		span := s.spanWithin(at, seg)
+		if span <= 0 || span > left {
+			span = left
+		}
+		total += rate * span.Seconds()
+		at += span
+		left -= span
+	}
+	return total
+}
+
+// spanWithin returns the time left inside seg from offset at, or 0 when the
+// segment extends forever (non-repeating tail).
+func (s *Schedule) spanWithin(at time.Duration, seg Segment) time.Duration {
+	folded := s.fold(at)
+	if !s.repeat && seg.End() >= s.cycle {
+		return 0
+	}
+	return seg.End() - folded
+}
+
+func durationSeconds(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second))
+}
+
+// --- built-in scenarios -------------------------------------------------------
+
+// Scenarios lists the built-in scenario names, sorted. Every name is valid
+// for ScenarioSchedule, eabench -exp scenarios, fleet channel configs and the
+// easerd "channel" request field.
+func Scenarios() []string {
+	return []string{"bursty-loss", "cell-handover", "congestion-ramp", "fading", "steady-3g"}
+}
+
+// ScenarioSchedule resolves a built-in scenario by name. Unknown names fail
+// with the valid-name list, mirroring the radio-profile and benchmark-page
+// errors.
+func ScenarioSchedule(name string) (*Schedule, error) {
+	if build, ok := scenarioBuilders[name]; ok {
+		return build()
+	}
+	return nil, fmt.Errorf("channel: unknown scenario %q (have: %s)",
+		name, strings.Join(Scenarios(), ", "))
+}
+
+// seq builds a schedule from durations and conditions alone, deriving the
+// contiguous starts. The built-ins are constructed at package init-by-use and
+// must validate; a broken table is a programming error.
+func seq(name string, repeat bool, parts ...Segment) func() (*Schedule, error) {
+	return func() (*Schedule, error) {
+		segs := make([]Segment, len(parts))
+		var at time.Duration
+		for i, p := range parts {
+			segs[i] = Segment{Start: at, Dur: p.Dur, Cond: p.Cond}
+			at += p.Dur
+		}
+		return New(name, repeat, segs...)
+	}
+}
+
+// span is a Start-less segment for the scenario tables.
+func span(dur time.Duration, factor float64, extraRTT time.Duration, loss float64) Segment {
+	return Segment{Dur: dur, Cond: Conditions{BandwidthFactor: factor, ExtraRTT: extraRTT, LossRate: loss}}
+}
+
+// scenarioBuilders holds the built-in condition profiles, calibrated around
+// the paper's 96 KB/s DCH link:
+//
+//   - steady-3g: the paper's fixed link, as a schedule (regression anchor).
+//   - fading: a slow signal swell and trough, stepped sinusoid-style.
+//   - congestion-ramp: rush-hour cell load ramping up, saturating, easing.
+//   - cell-handover: long good intervals cut by a deep multi-second gap.
+//   - bursty-loss: clean air interrupted by short high-loss bursts.
+var scenarioBuilders = map[string]func() (*Schedule, error){
+	"steady-3g": seq("steady-3g", false,
+		span(time.Minute, 1, 0, 0)),
+	"fading": seq("fading", true,
+		span(10*time.Second, 1.0, 0, 0),
+		span(8*time.Second, 0.65, 20*time.Millisecond, 0),
+		span(6*time.Second, 0.35, 60*time.Millisecond, 0.01),
+		span(6*time.Second, 0.15, 150*time.Millisecond, 0.03),
+		span(6*time.Second, 0.35, 60*time.Millisecond, 0.01),
+		span(8*time.Second, 0.65, 20*time.Millisecond, 0),
+		span(10*time.Second, 1.1, 0, 0)),
+	"congestion-ramp": seq("congestion-ramp", true,
+		span(30*time.Second, 1.0, 0, 0),
+		span(20*time.Second, 0.6, 80*time.Millisecond, 0.02),
+		span(25*time.Second, 0.35, 200*time.Millisecond, 0.05),
+		span(15*time.Second, 0.6, 80*time.Millisecond, 0.02)),
+	"cell-handover": seq("cell-handover", true,
+		span(25*time.Second, 1.0, 0, 0),
+		span(3*time.Second, 0.05, 400*time.Millisecond, 0.10),
+		span(12*time.Second, 0.5, 100*time.Millisecond, 0.02)),
+	"bursty-loss": seq("bursty-loss", true,
+		span(10*time.Second, 1.0, 0, 0),
+		span(5*time.Second, 0.9, 30*time.Millisecond, 0.15),
+		span(8*time.Second, 1.0, 0, 0),
+		span(4*time.Second, 0.8, 60*time.Millisecond, 0.30)),
+}

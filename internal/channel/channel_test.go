@@ -1,0 +1,198 @@
+package channel
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustSchedule(t *testing.T, name string, repeat bool, segs ...Segment) *Schedule {
+	t.Helper()
+	s, err := New(name, repeat, segs...)
+	if err != nil {
+		t.Fatalf("New(%q): %v", name, err)
+	}
+	return s
+}
+
+func seg(start, dur time.Duration, factor float64) Segment {
+	return Segment{Start: start, Dur: dur, Cond: Conditions{BandwidthFactor: factor}}
+}
+
+func TestNewRejectsBadSchedules(t *testing.T) {
+	cases := []struct {
+		name string
+		segs []Segment
+		want string
+	}{
+		{"empty", nil, "no segments"},
+		{"zero-length", []Segment{seg(0, 0, 1)}, "duration"},
+		{"negative-length", []Segment{seg(0, -time.Second, 1)}, "duration"},
+		{"overlap", []Segment{seg(0, 10*time.Second, 1), seg(5*time.Second, 10*time.Second, 1)}, "overlapping"},
+		{"gap", []Segment{seg(0, 10*time.Second, 1), seg(15*time.Second, 10*time.Second, 1)}, "gap"},
+		{"late-start", []Segment{seg(5*time.Second, 10*time.Second, 1)}, "gap"},
+		{"zero-factor", []Segment{seg(0, time.Second, 0)}, "bandwidth factor"},
+		{"nan-factor", []Segment{seg(0, time.Second, math.NaN())}, "bandwidth factor"},
+		{"huge-factor", []Segment{seg(0, time.Second, 1e9)}, "bandwidth factor"},
+		{"loss-one", []Segment{{Dur: time.Second, Cond: Conditions{BandwidthFactor: 1, LossRate: 1}}}, "loss rate"},
+		{"negative-rtt", []Segment{{Dur: time.Second, Cond: Conditions{BandwidthFactor: 1, ExtraRTT: -time.Second}}}, "extra RTT"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New("bad", false, tc.segs...); err == nil {
+				t.Fatalf("New accepted %s schedule", tc.name)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	if _, err := New("", false, seg(0, time.Second, 1)); err == nil {
+		t.Fatal("New accepted empty name")
+	}
+}
+
+func TestAtFoldsAndClamps(t *testing.T) {
+	rep := mustSchedule(t, "rep", true,
+		seg(0, 10*time.Second, 1),
+		seg(10*time.Second, 5*time.Second, 0.5))
+	if got := rep.At(12 * time.Second).BandwidthFactor; got != 0.5 {
+		t.Fatalf("At(12s) factor = %g, want 0.5", got)
+	}
+	// 27s folds to 12s in the 15s cycle.
+	if got := rep.At(27 * time.Second).BandwidthFactor; got != 0.5 {
+		t.Fatalf("At(27s) factor = %g, want 0.5 (cycle fold)", got)
+	}
+	if got := rep.At(-time.Second).BandwidthFactor; got != 1 {
+		t.Fatalf("At(-1s) factor = %g, want 1 (clamped)", got)
+	}
+
+	once := mustSchedule(t, "once", false,
+		seg(0, 10*time.Second, 1),
+		seg(10*time.Second, 5*time.Second, 0.5))
+	// Past the end, a non-repeating schedule holds its last segment.
+	if got := once.At(time.Hour).BandwidthFactor; got != 0.5 {
+		t.Fatalf("At(1h) factor = %g, want 0.5 (last segment holds)", got)
+	}
+	if got := once.SegmentIndexAt(time.Hour); got != 1 {
+		t.Fatalf("SegmentIndexAt(1h) = %d, want 1", got)
+	}
+}
+
+func TestEffectiveFactorLossModel(t *testing.T) {
+	if got := (Conditions{BandwidthFactor: 1}).EffectiveFactor(); got != 1 {
+		t.Fatalf("lossless factor = %g, want 1", got)
+	}
+	lossy := Conditions{BandwidthFactor: 1, LossRate: 0.04}
+	want := (1 - 0.04) / (1 + 3*math.Sqrt(0.04))
+	if got := lossy.EffectiveFactor(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("loss 4%% factor = %g, want %g", got, want)
+	}
+	// The floor keeps heavy loss from wedging transfers entirely.
+	floor := Conditions{BandwidthFactor: 1, LossRate: 0.999}
+	if got := floor.EffectiveFactor(); got < 0.009 {
+		t.Fatalf("heavy-loss factor = %g, want >= 0.01 floor", got)
+	}
+}
+
+// TestBytesConservedAcrossBoundaries is the core property: integrating a
+// transfer's duration and integrating bytes over that duration are inverse,
+// so no bytes are created or lost when a transfer spans segment boundaries.
+func TestBytesConservedAcrossBoundaries(t *testing.T) {
+	schedules := []*Schedule{
+		mustSchedule(t, "two-step", false,
+			seg(0, 4*time.Second, 1), seg(4*time.Second, 4*time.Second, 0.25)),
+		mustSchedule(t, "cycle", true,
+			seg(0, 3*time.Second, 1),
+			seg(3*time.Second, 2*time.Second, 0.2),
+			seg(5*time.Second, 4*time.Second, 0.6)),
+	}
+	for _, name := range Scenarios() {
+		s, err := ScenarioSchedule(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schedules = append(schedules, s)
+	}
+
+	const baseKBps = 96.0
+	starts := []time.Duration{0, 1500 * time.Millisecond, 4 * time.Second, 29 * time.Second, 3 * time.Minute}
+	sizes := []int{100, 4096, 100_000, 760 * 1024}
+	for _, s := range schedules {
+		for _, start := range starts {
+			for _, bytes := range sizes {
+				dur := s.XferDuration(start, bytes, baseKBps)
+				if dur <= 0 {
+					t.Fatalf("%s: XferDuration(%v, %d) = %v", s.Name(), start, bytes, dur)
+				}
+				got := s.BytesOver(start, dur, baseKBps)
+				if math.Abs(got-float64(bytes)) > 1 { // 1 byte of FP slack
+					t.Fatalf("%s: start %v, %d bytes -> dur %v -> %.3f bytes back",
+						s.Name(), start, bytes, dur, got)
+				}
+			}
+		}
+	}
+}
+
+// TestXferDurationSplitsAtBoundary pins the integration arithmetic with a
+// hand-computed boundary crossing: 96 KB at 96 KB/s under a schedule that
+// halves bandwidth after 0.5 s must take 0.5 s + (48 KB / 48 KB/s) = 1.5 s.
+func TestXferDurationSplitsAtBoundary(t *testing.T) {
+	s := mustSchedule(t, "halve", false,
+		seg(0, 500*time.Millisecond, 1),
+		seg(500*time.Millisecond, time.Minute, 0.5))
+	got := s.XferDuration(0, 96*1024, 96)
+	want := 1500 * time.Millisecond
+	if diff := got - want; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("XferDuration = %v, want %v", got, want)
+	}
+}
+
+func TestConstantHoldsForever(t *testing.T) {
+	s, err := Constant("const", Conditions{BandwidthFactor: 0.5, ExtraRTT: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []time.Duration{0, time.Second, time.Hour} {
+		if got := s.At(at).BandwidthFactor; got != 0.5 {
+			t.Fatalf("At(%v) factor = %g, want 0.5", at, got)
+		}
+	}
+	// Constant rate: duration proportional to bytes even far past the
+	// nominal segment end.
+	d1 := s.XferDuration(time.Hour, 1024, 1)
+	if diff := d1 - 2*time.Second; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Fatalf("constant 1 KB at 0.5 KB/s = %v, want 2s", d1)
+	}
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	names := Scenarios()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Scenarios() not sorted: %v", names)
+	}
+	for _, name := range names {
+		s, err := ScenarioSchedule(name)
+		if err != nil {
+			t.Fatalf("ScenarioSchedule(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Fatalf("schedule %q reports name %q", name, s.Name())
+		}
+		if s.Cycle() <= 0 {
+			t.Fatalf("scenario %q has cycle %v", name, s.Cycle())
+		}
+	}
+
+	_, err := ScenarioSchedule("nope")
+	if err == nil {
+		t.Fatal("ScenarioSchedule accepted unknown name")
+	}
+	for _, name := range names {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("unknown-scenario error %q does not list %q", err, name)
+		}
+	}
+}

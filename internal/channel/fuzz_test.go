@@ -1,0 +1,86 @@
+package channel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzParseTrace drives the JSONL trace parser with hostile input. Contract:
+// never panic; on success the schedule is fully validated (usable by netsim
+// without further checks) and survives a Format → Parse round trip.
+func FuzzParseTrace(f *testing.F) {
+	// Seed corpus: well-formed traces first.
+	for _, name := range Scenarios() {
+		s, err := ScenarioSchedule(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := FormatTrace(&buf, s); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.String())
+	}
+	f.Add(`{"kind":"channel-trace","name":"t","repeat":true}` + "\n" + `{"dur_ms":1000}`)
+	f.Add(`{"at_ms":0,"dur_ms":5000,"bw_factor":0.5,"extra_rtt_ms":100,"loss":0.02}`)
+	f.Add("# comment\n\n{\"dur_ms\":1}")
+	// Hostile shapes: truncated JSON, wrong types, boundary numbers.
+	f.Add(`{"dur_ms":`)
+	f.Add(`{"dur_ms":"1000"}`)
+	f.Add(`{"dur_ms":1e308,"bw_factor":1e-308}`)
+	f.Add(`{"dur_ms":1000,"loss":-0.0}`)
+	f.Add(`{"dur_ms":1000,"at_ms":null}`)
+	f.Add(`{"kind":"channel-trace"}` + "\n" + `{"kind":"channel-trace"}`)
+
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseTrace(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Parsed schedules honour every documented invariant.
+		if s.Name() == "" || s.NumSegments() == 0 || s.Cycle() <= 0 {
+			t.Fatalf("invalid schedule from %q: %+v", in, s)
+		}
+		var end time.Duration
+		for i := 0; i < s.NumSegments(); i++ {
+			seg := s.Segment(i)
+			if seg.Start != end || seg.Dur <= 0 {
+				t.Fatalf("non-contiguous segment %d from %q: %+v", i, in, seg)
+			}
+			if err := seg.Cond.Validate(); err != nil {
+				t.Fatalf("invalid conditions survived parse of %q: %v", in, err)
+			}
+			end = seg.End()
+		}
+		// The schedule is usable: lookups and integration terminate and give
+		// sane answers anywhere on the timeline.
+		for _, at := range []time.Duration{0, end / 2, end, 10 * end} {
+			if f := s.At(at).EffectiveFactor(); f <= 0 {
+				t.Fatalf("EffectiveFactor %g at %v from %q", f, at, in)
+			}
+		}
+		if d := s.XferDuration(0, 4096, 96); d <= 0 {
+			t.Fatalf("XferDuration %v from %q", d, in)
+		}
+		// Round trip preserves the schedule exactly.
+		var buf bytes.Buffer
+		if err := FormatTrace(&buf, s); err != nil {
+			t.Fatalf("FormatTrace after parse of %q: %v", in, err)
+		}
+		back, err := ParseTrace(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of formatted %q: %v", in, err)
+		}
+		if back.Name() != s.Name() || back.Repeat() != s.Repeat() || back.NumSegments() != s.NumSegments() {
+			t.Fatalf("round trip changed shape for %q", in)
+		}
+		for i := 0; i < s.NumSegments(); i++ {
+			if s.Segment(i) != back.Segment(i) {
+				t.Fatalf("round trip changed segment %d for %q: %+v -> %+v",
+					i, in, s.Segment(i), back.Segment(i))
+			}
+		}
+	})
+}

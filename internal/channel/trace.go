@@ -1,0 +1,164 @@
+package channel
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// The JSONL trace format mirrors eatrace's output style: one JSON object per
+// line. An optional first line is a header:
+//
+//	{"kind":"channel-trace","name":"commute","repeat":true}
+//
+// and every other line is a segment:
+//
+//	{"dur_ms":5000,"bw_factor":0.5,"extra_rtt_ms":100,"loss":0.02}
+//
+// Segment starts are implied contiguous; a line may pin its own offset with
+// "at_ms", in which case the offset must agree with the running end (the
+// schedule validator rejects gaps and overlaps). Omitted fields default to
+// the identity (bw_factor 1, extra_rtt_ms 0, loss 0); dur_ms is required.
+
+// TraceKind is the header "kind" discriminator.
+const TraceKind = "channel-trace"
+
+// maxTraceLine bounds one JSONL line; longer lines are a parse error, not an
+// unbounded allocation.
+const maxTraceLine = 1 << 20
+
+// traceLine is the wire shape of both header and segment lines.
+type traceLine struct {
+	Kind   string `json:"kind,omitempty"`
+	Name   string `json:"name,omitempty"`
+	Repeat bool   `json:"repeat,omitempty"`
+
+	AtMs       *float64 `json:"at_ms,omitempty"`
+	DurMs      *float64 `json:"dur_ms,omitempty"`
+	BwFactor   *float64 `json:"bw_factor,omitempty"`
+	ExtraRTTMs float64  `json:"extra_rtt_ms,omitempty"`
+	Loss       float64  `json:"loss,omitempty"`
+}
+
+// ParseTrace reads a JSONL channel trace into a validated schedule. Errors
+// carry the 1-based line number. The parser never panics on hostile input
+// (fuzzed); it bounds line length and segment count instead.
+func ParseTrace(r io.Reader) (*Schedule, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), maxTraceLine)
+
+	name := "trace"
+	repeat := false
+	var segs []Segment
+	var end time.Duration
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" || strings.HasPrefix(raw, "#") {
+			continue
+		}
+		var ln traceLine
+		if err := json.Unmarshal([]byte(raw), &ln); err != nil {
+			return nil, fmt.Errorf("channel: trace line %d: %w", lineNo, err)
+		}
+		if ln.Kind != "" {
+			if ln.Kind != TraceKind {
+				return nil, fmt.Errorf("channel: trace line %d: kind %q, want %q", lineNo, ln.Kind, TraceKind)
+			}
+			if len(segs) > 0 {
+				return nil, fmt.Errorf("channel: trace line %d: header after segments", lineNo)
+			}
+			if ln.Name != "" {
+				name = ln.Name
+			}
+			repeat = ln.Repeat
+			continue
+		}
+		seg, err := ln.segment(end)
+		if err != nil {
+			return nil, fmt.Errorf("channel: trace line %d: %w", lineNo, err)
+		}
+		if len(segs) >= MaxSegments {
+			return nil, fmt.Errorf("channel: trace line %d: more than %d segments", lineNo, MaxSegments)
+		}
+		segs = append(segs, seg)
+		end = seg.End()
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("channel: trace line %d: line exceeds %d bytes", lineNo+1, maxTraceLine)
+		}
+		return nil, fmt.Errorf("channel: trace: %w", err)
+	}
+	return New(name, repeat, segs...)
+}
+
+// segment converts a wire line into a Segment starting (by default) at the
+// running end.
+func (ln traceLine) segment(end time.Duration) (Segment, error) {
+	if ln.DurMs == nil {
+		return Segment{}, errors.New("segment needs dur_ms")
+	}
+	dur, err := msDuration("dur_ms", *ln.DurMs)
+	if err != nil {
+		return Segment{}, err
+	}
+	start := end
+	if ln.AtMs != nil {
+		if start, err = msDuration("at_ms", *ln.AtMs); err != nil {
+			return Segment{}, err
+		}
+	}
+	bw := 1.0
+	if ln.BwFactor != nil {
+		bw = *ln.BwFactor
+	}
+	extra, err := msDuration("extra_rtt_ms", ln.ExtraRTTMs)
+	if err != nil {
+		return Segment{}, err
+	}
+	return Segment{
+		Start: start,
+		Dur:   dur,
+		Cond:  Conditions{BandwidthFactor: bw, ExtraRTT: extra, LossRate: ln.Loss},
+	}, nil
+}
+
+// msDuration converts a millisecond count to a duration, rejecting values a
+// Duration cannot faithfully hold. Rounding to the nearest nanosecond makes
+// FormatTrace → ParseTrace lossless for durations up to MaxSegmentDur.
+func msDuration(field string, ms float64) (time.Duration, error) {
+	if math.IsNaN(ms) || ms < 0 || ms > float64(MaxSegmentDur/time.Millisecond) {
+		return 0, fmt.Errorf("%s %g out of [0, %g]", field, ms, float64(MaxSegmentDur/time.Millisecond))
+	}
+	return time.Duration(math.Round(ms * float64(time.Millisecond))), nil
+}
+
+// FormatTrace writes the schedule in the JSONL trace format: a header line
+// followed by one contiguous segment per line (no at_ms — offsets are
+// implied, so a reformatted trace always re-parses cleanly).
+func FormatTrace(w io.Writer, s *Schedule) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(traceLine{Kind: TraceKind, Name: s.Name(), Repeat: s.Repeat()}); err != nil {
+		return err
+	}
+	for i := 0; i < s.NumSegments(); i++ {
+		seg := s.Segment(i)
+		dur := float64(seg.Dur) / float64(time.Millisecond)
+		line := traceLine{DurMs: &dur, ExtraRTTMs: float64(seg.Cond.ExtraRTT) / float64(time.Millisecond), Loss: seg.Cond.LossRate}
+		if seg.Cond.BandwidthFactor != 1 {
+			f := seg.Cond.BandwidthFactor
+			line.BwFactor = &f
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package channel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseTraceRoundTrip(t *testing.T) {
+	for _, name := range Scenarios() {
+		s, err := ScenarioSchedule(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := FormatTrace(&buf, s); err != nil {
+			t.Fatalf("FormatTrace(%q): %v", name, err)
+		}
+		back, err := ParseTrace(&buf)
+		if err != nil {
+			t.Fatalf("ParseTrace(%q): %v", name, err)
+		}
+		if back.Name() != s.Name() || back.Repeat() != s.Repeat() || back.NumSegments() != s.NumSegments() {
+			t.Fatalf("%q round trip changed shape: %+v vs %+v", name, back, s)
+		}
+		for i := 0; i < s.NumSegments(); i++ {
+			if s.Segment(i) != back.Segment(i) {
+				t.Fatalf("%q segment %d changed: %+v -> %+v", name, i, s.Segment(i), back.Segment(i))
+			}
+		}
+	}
+}
+
+func TestParseTraceFormats(t *testing.T) {
+	in := `# commute trace
+{"kind":"channel-trace","name":"commute","repeat":true}
+
+{"dur_ms":5000}
+{"at_ms":5000,"dur_ms":2500,"bw_factor":0.5,"extra_rtt_ms":100,"loss":0.02}
+`
+	s, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "commute" || !s.Repeat() || s.NumSegments() != 2 {
+		t.Fatalf("parsed %q repeat=%v n=%d", s.Name(), s.Repeat(), s.NumSegments())
+	}
+	want := Segment{
+		Start: 5 * time.Second,
+		Dur:   2500 * time.Millisecond,
+		Cond:  Conditions{BandwidthFactor: 0.5, ExtraRTT: 100 * time.Millisecond, LossRate: 0.02},
+	}
+	if got := s.Segment(1); got != want {
+		t.Fatalf("segment 1 = %+v, want %+v", got, want)
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"bad-json", "{nope", "line 1"},
+		{"missing-dur", `{"bw_factor":0.5}`, "dur_ms"},
+		{"negative-dur", `{"dur_ms":-5}`, "dur_ms"},
+		{"nan-loss", `{"dur_ms":1000,"loss":5}`, "loss rate"},
+		{"overlap-at", "{\"dur_ms\":5000}\n{\"at_ms\":1000,\"dur_ms\":1000}", "overlapping"},
+		{"gap-at", "{\"dur_ms\":5000}\n{\"at_ms\":9000,\"dur_ms\":1000}", "gap"},
+		{"wrong-kind", `{"kind":"not-a-trace"}`, "kind"},
+		{"late-header", "{\"dur_ms\":1000}\n{\"kind\":\"channel-trace\"}", "header after segments"},
+		{"empty", "", "no segments"},
+		{"huge-line", `{"dur_ms":1000,"name":"` + strings.Repeat("x", maxTraceLine+10) + `"}`, "exceeds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseTrace(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("ParseTrace accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"eabrowse/internal/channel"
+	"eabrowse/internal/policy"
 	"eabrowse/internal/predictor"
+	"eabrowse/internal/rrc"
 	"eabrowse/internal/runner"
 	"eabrowse/internal/trace"
 	"eabrowse/internal/webpage"
@@ -30,6 +33,17 @@ type artifactStore struct {
 	// predictors is keyed by whether the interest threshold was applied in
 	// training (the only predictor variants shared across experiments).
 	predictors runner.KeyedMemo[bool, *predictor.Predictor]
+	// scenTrace is the smaller trace the scenario×policy matrix replays;
+	// scenEvals caches the per-(scenario, radio) evaluators, whose segment
+	// cost tables are the expensive part.
+	scenTrace runner.Memo[*trace.Dataset]
+	scenEvals runner.KeyedMemo[scenEvalKey, *policy.ScenarioEvaluator]
+}
+
+// scenEvalKey identifies one cached scenario evaluator.
+type scenEvalKey struct {
+	scenario string
+	radio    string
 }
 
 type traceSplit struct {
@@ -113,6 +127,45 @@ func DefaultSplit() (train, test []trace.Visit, err error) {
 		return nil, nil, err
 	}
 	return s.train, s.test, nil
+}
+
+// ScenarioTraceConfig sizes the trace the scenario×policy matrix replays: a
+// quarter of the paper's collection, so the matrix (5 scenarios × up to 7
+// segments × pool loads per radio backend) stays a few seconds per backend.
+func ScenarioTraceConfig() trace.Config {
+	cfg := trace.DefaultConfig()
+	cfg.Users = 12
+	cfg.HoursPerUser = 1
+	cfg.PoolSize = 24
+	return cfg
+}
+
+// ScenarioTrace returns the shared trace the scenario matrix replays.
+func ScenarioTrace() (*trace.Dataset, error) {
+	return artifacts.scenTrace.Get(func() (*trace.Dataset, error) {
+		return trace.Synthesize(ScenarioTraceConfig())
+	})
+}
+
+// scenarioEvaluator returns the shared (memoized) evaluator for one
+// scenario on one radio backend.
+func scenarioEvaluator(scenario string, spec rrc.ModelSpec) (*policy.ScenarioEvaluator, error) {
+	return artifacts.scenEvals.Get(scenEvalKey{scenario, spec.Profile()},
+		func() (*policy.ScenarioEvaluator, error) {
+			sched, err := channel.ScenarioSchedule(scenario)
+			if err != nil {
+				return nil, err
+			}
+			ds, err := ScenarioTrace()
+			if err != nil {
+				return nil, err
+			}
+			pred, err := TrainedPredictor(true)
+			if err != nil {
+				return nil, err
+			}
+			return policy.NewScenarioEvaluator(ds, pred, policy.DefaultParams(), spec, sched)
+		})
 }
 
 // TrainedPredictor returns the shared GBRT predictor trained on the default

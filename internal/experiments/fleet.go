@@ -9,6 +9,7 @@ import (
 
 	"eabrowse/internal/browser"
 	"eabrowse/internal/capacity"
+	"eabrowse/internal/channel"
 	"eabrowse/internal/features"
 	"eabrowse/internal/gbrt"
 	"eabrowse/internal/obs"
@@ -44,6 +45,15 @@ type FleetConfig struct {
 	// each user is drawn one profile, deterministically in (Seed, user).
 	// Mutually exclusive with Radio.
 	RadioMix string
+	// Channel names a built-in channel scenario (see channel.Scenarios) every
+	// phone browses through; its clock starts at each user's first visit and
+	// advances with the user's browsing. Empty means a fixed ideal link —
+	// exactly the pre-channel fleet, bit for bit.
+	Channel string
+	// Policy selects the energy-aware release rule: "static" (the paper's
+	// fixed thresholds, the default) or "adaptive" (a per-user recursive
+	// threshold estimator, see policy.Adaptive).
+	Policy string
 }
 
 // DefaultFleetConfig replays a 300-phone fleet for a quarter hour each.
@@ -64,7 +74,45 @@ func (c FleetConfig) Validate() error {
 	if _, err := c.fleetRadios(); err != nil {
 		return err
 	}
+	if _, err := c.fleetChannel(); err != nil {
+		return err
+	}
+	if _, err := c.fleetAdaptive(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// fleetChannel resolves the optional channel scenario (nil when unset).
+func (c FleetConfig) fleetChannel() (*channel.Schedule, error) {
+	if c.Channel == "" {
+		return nil, nil
+	}
+	sched, err := channel.ScenarioSchedule(c.Channel)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	return sched, nil
+}
+
+// fleetAdaptive resolves the policy selection to "run adaptive?".
+func (c FleetConfig) fleetAdaptive() (bool, error) {
+	switch c.Policy {
+	case "", "static":
+		return false, nil
+	case "adaptive":
+		return true, nil
+	default:
+		return false, fmt.Errorf("fleet: unknown policy %q (have: adaptive, static)", c.Policy)
+	}
+}
+
+// policyName is the resolved policy for FleetResult.Policy.
+func (c FleetConfig) policyName() string {
+	if c.Policy == "" {
+		return "static"
+	}
+	return c.Policy
 }
 
 // fleetRadio is one resolved radio profile of the fleet: the spec that
@@ -201,7 +249,11 @@ type FleetResult struct {
 	TraceHours float64
 	// Radio describes the resolved radio selection: a single profile name,
 	// or a normalized "name:weight,…" list for mixed-RAN fleets.
-	Radio    string
+	Radio string
+	// Channel is the channel scenario replayed ("" for a fixed ideal link);
+	// Policy is the energy-aware release rule ("static" or "adaptive").
+	Channel  string
+	Policy   string
 	Original FleetModeStats
 	Aware    FleetModeStats
 	// EnergySavingPct is the fleet-wide energy saving.
@@ -320,17 +372,42 @@ func Fleet(cfg FleetConfig) (*FleetResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	sched, err := cfg.fleetChannel()
+	if err != nil {
+		return nil, err
+	}
+	adaptive, err := cfg.fleetAdaptive()
+	if err != nil {
+		return nil, err
+	}
 	rt := &fleetRuntime{
-		stream:  stream,
-		pages:   pages,
-		pred:    pred,
-		params:  policy.DefaultParams(),
-		device:  gbrt.DefaultDeviceCost(),
-		radios:  radios,
-		mixSeed: cfg.Seed,
-		traced:  obs.Default() != nil,
+		stream:   stream,
+		pages:    pages,
+		pred:     pred,
+		params:   policy.DefaultParams(),
+		device:   gbrt.DefaultDeviceCost(),
+		radios:   radios,
+		mixSeed:  cfg.Seed,
+		sched:    sched,
+		adaptive: adaptive,
+		traced:   obs.Default() != nil,
 	}
 	rt.predVisitJ = rt.device.PredictionEnergyJ(pred.NumTrees())
+	rt.acfg = policy.DefaultAdaptiveConfig(rt.params)
+	if sched != nil {
+		// One constant schedule per segment: a load replayed from a template
+		// sees the conditions of the segment its user's channel clock is in
+		// at load start, held for the whole load (the epoch approximation;
+		// tracing runs shape every transfer against the full schedule).
+		rt.segScheds = make([]*channel.Schedule, sched.NumSegments())
+		for i := range rt.segScheds {
+			cs, err := channel.Constant(fmt.Sprintf("%s#%d", sched.Name(), i), sched.Segment(i).Cond)
+			if err != nil {
+				return nil, fmt.Errorf("fleet channel: %w", err)
+			}
+			rt.segScheds[i] = cs
+		}
+	}
 
 	shards := fleetShards
 	if cfg.Users < shards {
@@ -361,7 +438,13 @@ func Fleet(cfg FleetConfig) (*FleetResult, error) {
 		return nil, err
 	}
 
-	res := &FleetResult{Users: cfg.Users, TraceHours: cfg.HoursPerUser, Radio: describeRadios(radios)}
+	res := &FleetResult{
+		Users:      cfg.Users,
+		TraceHours: cfg.HoursPerUser,
+		Radio:      describeRadios(radios),
+		Channel:    cfg.Channel,
+		Policy:     cfg.policyName(),
+	}
 	res.Original.Mode = browser.ModeOriginal
 	res.Aware.Mode = browser.ModeEnergyAware
 	var origDist, awareDist capacity.Dist
@@ -427,6 +510,15 @@ type fleetRuntime struct {
 	predVisitJ float64
 	traced     bool
 
+	// sched is the fleet's channel scenario (nil for a fixed link);
+	// segScheds holds one constant schedule per segment for template builds.
+	// adaptive switches the energy-aware pipeline to per-user recursive
+	// thresholds, configured by acfg.
+	sched     *channel.Schedule
+	segScheds []*channel.Schedule
+	adaptive  bool
+	acfg      policy.AdaptiveConfig
+
 	// templates caches one simulated visit per (page, mode, radio, start
 	// stage); sync.Map because shards race on first use. Duplicate builds
 	// are harmless: the build is deterministic, LoadOrStore keeps one winner.
@@ -457,17 +549,20 @@ func (rt *fleetRuntime) radioFor(u int) *fleetRadio {
 // index of the radio at load begin; inactivity-timer remainders don't
 // participate because the load's first fetch disarms them at t=0 (a
 // RELEASING start is handled as a shifted terminal-stage template, see
-// replayUserTemplated).
+// replayUserTemplated). seg is the channel segment the user's channel clock
+// is in at load start (-1 when the fleet runs without a channel).
 type tmplKey struct {
 	page  string
 	mode  browser.Mode
 	radio string
 	start int
+	seg   int
 }
 
 // visitTemplate is the cached outcome of simulating one visit's load.
 type visitTemplate struct {
 	transS   float64       // TransmissionTime, seconds
+	loadS    float64       // load wall-clock duration, seconds
 	radioJ   float64       // radio energy over the load window
 	cpuJ     float64       // CPU energy over the load window
 	endStage int           // tail-stage index at load end
@@ -506,6 +601,9 @@ func (rt *fleetRuntime) buildTemplate(fr *fleetRadio, key tmplKey) (*visitTempla
 		// not the engine's own end-of-load dormancy.
 		opts = append(opts, WithEngineOptions(browser.WithoutAutoDormancy()))
 	}
+	if key.seg >= 0 {
+		opts = append(opts, WithChannel(rt.segScheds[key.seg]))
+	}
 	s, err := New(key.mode, opts...)
 	if err != nil {
 		return nil, err
@@ -532,6 +630,7 @@ func (rt *fleetRuntime) buildTemplate(fr *fleetRadio, key tmplKey) (*visitTempla
 	default:
 		return nil, fmt.Errorf("template %v: unsupported start stage", key)
 	}
+	loadFrom := s.Clock.Now()
 	res, err := s.LoadToEnd(page)
 	if err != nil {
 		return nil, fmt.Errorf("template %v: %w", key, err)
@@ -540,6 +639,7 @@ func (rt *fleetRuntime) buildTemplate(fr *fleetRadio, key tmplKey) (*visitTempla
 	endState := s.Radio.State()
 	t := &visitTemplate{
 		transS:   res.TransmissionTime.Seconds(),
+		loadS:    (now - loadFrom).Seconds(),
 		radioJ:   res.RadioEnergyJ,
 		cpuJ:     res.CPUEnergyJ,
 		endStage: tp.StageIndexOf(endState),
@@ -647,9 +747,36 @@ func (pc *phoneCursor) forceIdle(tp *rrc.TailProfile) float64 {
 	return tp.ReleaseLumpJ
 }
 
+// sessionCursor snapshots a live phone's radio into an analytic cursor —
+// the tail stage it sits in and the remaining dwell before its pending
+// demotion. The traced adaptive path advances a copy of it to price the
+// counterfactual "had the radio been left to its timers" window. States
+// outside the tail (mid-release) map to the terminal stage, the
+// conservative floor.
+func sessionCursor(s *Session, tp *rrc.TailProfile) phoneCursor {
+	stage := tp.StageIndexOf(s.Radio.State())
+	if stage < 0 || stage >= tp.TerminalIndex() {
+		return phoneCursor{stage: tp.TerminalIndex()}
+	}
+	pc := phoneCursor{stage: stage}
+	if at, armed := s.Radio.NextDemotion(); armed {
+		pc.rem = at - s.Clock.Now()
+	} else {
+		pc.rem = tp.Stage(stage).Dwell
+	}
+	return pc
+}
+
 // replayUserTemplated replays one user's visits through the template cache
 // and the analytic radio cursor. No per-visit simulation, no per-visit
 // allocation beyond first-touch template builds and histogram growth.
+//
+// With a channel configured, a per-user channel clock tracks where in the
+// schedule the user's browsing has reached: it selects the segment each load
+// replays under (the template key's seg, the epoch approximation) and
+// advances by the original pipeline's load duration plus the reading window
+// — decision-independent, so both pipelines browse the same channel and the
+// energy-aware policy cannot shift its own conditions by releasing.
 func (rt *fleetRuntime) replayUserTemplated(u int, visits []trace.Visit, shard *fleetShard) (userOutcome, error) {
 	var out userOutcome
 	if len(visits) == 0 {
@@ -660,6 +787,14 @@ func (rt *fleetRuntime) replayUserTemplated(u int, visits []trace.Visit, shard *
 	alpha := rt.params.Alpha
 	orig := phoneCursor{stage: tp.TerminalIndex()}
 	aware := phoneCursor{stage: tp.TerminalIndex()}
+	var ad *policy.Adaptive
+	if rt.adaptive {
+		var err error
+		if ad, err = policy.NewAdaptive(rt.acfg, fr.tail); err != nil {
+			return out, err
+		}
+	}
+	var chT time.Duration
 	session := visits[0].Session
 	for i := range visits {
 		v := &visits[i]
@@ -667,14 +802,20 @@ func (rt *fleetRuntime) replayUserTemplated(u int, visits []trace.Visit, shard *
 			// Session breaks are minutes apart — let both radios idle out.
 			out.origJ += orig.advance(fr.drain, tp)
 			out.awareJ += aware.advance(fr.drain, tp)
+			chT += fr.drain
 			session = v.Session
 		}
 		reading := time.Duration(v.ReadingSeconds * float64(time.Second))
+		seg := -1
+		if rt.sched != nil {
+			seg = rt.sched.SegmentIndexAt(chT)
+		}
 
 		// Original pipeline: load, then sit through the reading window on
 		// operator timers. A RELEASING start never happens here (the stock
 		// pipeline never forces dormancy), but the shift handles it anyway.
-		if err := rt.playLoad(fr, &orig, browser.ModeOriginal, v.Page, &out.origJ, &shard.origTrans, nil); err != nil {
+		loadS, err := rt.playLoad(fr, &orig, browser.ModeOriginal, v.Page, seg, &out.origJ, &shard.origTrans, nil)
+		if err != nil {
 			return out, err
 		}
 		out.origJ += orig.advance(reading, tp)
@@ -682,7 +823,7 @@ func (rt *fleetRuntime) replayUserTemplated(u int, visits []trace.Visit, shard *
 		// Energy-aware pipeline: Algorithm 2.
 		var predS float64
 		havePred := false
-		if err := rt.playLoad(fr, &aware, browser.ModeEnergyAware, v.Page, &out.awareJ, &shard.awareTrans, func(t *visitTemplate, delta time.Duration) error {
+		if _, err := rt.playLoad(fr, &aware, browser.ModeEnergyAware, v.Page, seg, &out.awareJ, &shard.awareTrans, func(t *visitTemplate, delta time.Duration) error {
 			if delta == 0 {
 				predS = t.predS
 				havePred = true
@@ -710,12 +851,34 @@ func (rt *fleetRuntime) replayUserTemplated(u int, visits []trace.Visit, shard *
 			}
 			out.predictions++
 			out.predJ += rt.predVisitJ
-			if policy.Evaluate(time.Duration(predS*float64(time.Second)), rt.params).Switch {
-				out.awareJ += aware.forceIdle(tp)
-				out.switches++
+			predD := time.Duration(predS * float64(time.Second))
+			var dec policy.Decision
+			if ad != nil {
+				dec = ad.Decide(predD)
+			} else {
+				dec = policy.Evaluate(predD, rt.params)
 			}
-			out.awareJ += aware.advance(reading-alpha, tp)
+			window := reading - alpha
+			if dec.Switch {
+				held := aware // the stage the timers would have reached
+				lumpJ := aware.forceIdle(tp)
+				out.awareJ += lumpJ
+				out.switches++
+				winJ := aware.advance(window, tp)
+				out.awareJ += winJ
+				if ad != nil {
+					held.advance(window, tp)
+					ad.ObserveRelease(lumpJ+winJ, window.Seconds(), held.stage)
+				}
+			} else {
+				winJ := aware.advance(window, tp)
+				out.awareJ += winJ
+				if ad != nil {
+					ad.ObserveHold(winJ, window.Seconds())
+				}
+			}
 		}
+		chT += time.Duration(loadS*float64(time.Second)) + reading
 		out.visits++
 	}
 	out.awareJ += out.predJ
@@ -727,10 +890,12 @@ func (rt *fleetRuntime) replayUserTemplated(u int, visits []trace.Visit, shard *
 // shifted by the remaining release time δ — the queued active request waits
 // out the release, then evolves exactly as from idle), charge its energy,
 // file its transmission time, and leave the cursor in the load's end stage.
-// onPredict (aware loads) receives the template and the shift.
+// seg is the channel segment the load runs under (-1 without a channel).
+// onPredict (aware loads) receives the template and the shift. The return is
+// the load's wall-clock duration in seconds, shift included.
 func (rt *fleetRuntime) playLoad(fr *fleetRadio, pc *phoneCursor, mode browser.Mode, page string,
-	energyJ *float64, hist *transHist,
-	onPredict func(*visitTemplate, time.Duration) error) error {
+	seg int, energyJ *float64, hist *transHist,
+	onPredict func(*visitTemplate, time.Duration) error) (float64, error) {
 
 	tp := &fr.tail
 	var delta time.Duration
@@ -739,9 +904,9 @@ func (rt *fleetRuntime) playLoad(fr *fleetRadio, pc *phoneCursor, mode browser.M
 		delta = pc.rem
 		start = tp.TerminalIndex()
 	}
-	t, err := rt.template(fr, tmplKey{page: page, mode: mode, radio: fr.name, start: start})
+	t, err := rt.template(fr, tmplKey{page: page, mode: mode, radio: fr.name, start: start, seg: seg})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	transS := t.transS
 	*energyJ += t.radioJ + t.cpuJ
@@ -754,10 +919,10 @@ func (rt *fleetRuntime) playLoad(fr *fleetRadio, pc *phoneCursor, mode browser.M
 	pc.rem = t.endRem
 	if onPredict != nil {
 		if err := onPredict(t, delta); err != nil {
-			return err
+			return 0, err
 		}
 	}
-	return nil
+	return t.loadS + delta.Seconds(), nil
 }
 
 // replayUserTraced walks one user's visit sequence on two fully simulated
@@ -773,18 +938,32 @@ func (rt *fleetRuntime) replayUserTraced(user int, visits []trace.Visit, shard *
 	}
 
 	fr := rt.radioFor(user)
-	orig, err := New(browser.ModeOriginal,
+	origOpts := []SessionOption{
 		WithRadioModel(fr.spec),
-		WithObsKey(fmt.Sprintf("fleet/u%03d/original", user)))
+		WithObsKey(fmt.Sprintf("fleet/u%03d/original", user)),
+	}
+	awareOpts := []SessionOption{
+		WithRadioModel(fr.spec),
+		WithObsKey(fmt.Sprintf("fleet/u%03d/energy-aware", user)),
+		WithEngineOptions(browser.WithoutAutoDormancy()),
+	}
+	if rt.sched != nil {
+		origOpts = append(origOpts, WithChannel(rt.sched))
+		awareOpts = append(awareOpts, WithChannel(rt.sched))
+	}
+	orig, err := New(browser.ModeOriginal, origOpts...)
 	if err != nil {
 		return out, err
 	}
-	aware, err := New(browser.ModeEnergyAware,
-		WithRadioModel(fr.spec),
-		WithObsKey(fmt.Sprintf("fleet/u%03d/energy-aware", user)),
-		WithEngineOptions(browser.WithoutAutoDormancy()))
+	aware, err := New(browser.ModeEnergyAware, awareOpts...)
 	if err != nil {
 		return out, err
+	}
+	var ad *policy.Adaptive
+	if rt.adaptive {
+		if ad, err = policy.NewAdaptive(rt.acfg, fr.tail); err != nil {
+			return out, err
+		}
 	}
 
 	alpha := rt.params.Alpha
@@ -831,7 +1010,12 @@ func (rt *fleetRuntime) replayUserTraced(user int, visits []trace.Visit, shard *
 			}
 			out.predictions++
 			out.predJ += rt.predVisitJ
-			decision := policy.Evaluate(time.Duration(predS*float64(time.Second)), rt.params)
+			var decision policy.Decision
+			if ad != nil {
+				decision = ad.Decide(time.Duration(predS * float64(time.Second)))
+			} else {
+				decision = policy.Evaluate(time.Duration(predS*float64(time.Second)), rt.params)
+			}
 			if aware.Obs != nil {
 				aware.Obs.Record(aware.Clock.Now(), obs.Event{
 					Kind:   obs.KindPolicyDecision,
@@ -840,15 +1024,29 @@ func (rt *fleetRuntime) replayUserTraced(user int, visits []trace.Visit, shard *
 					DurNS:  int64(decision.Predicted),
 				})
 			}
+			window := reading - alpha
+			winFromJ := aware.Radio.EnergyJ()
+			held := sessionCursor(aware, &fr.tail)
+			released := false
 			if decision.Switch {
 				// A busy radio (ErrBusy) degrades to the inactivity timers,
 				// exactly as on a real handset; only a successful release
 				// counts as a switch.
 				if err := aware.Engine.ForceDormantNow(); err == nil {
 					out.switches++
+					released = true
 				}
 			}
-			aware.Clock.RunFor(reading - alpha)
+			aware.Clock.RunFor(window)
+			if ad != nil {
+				winJ := aware.Radio.EnergyJ() - winFromJ
+				if released {
+					held.advance(window, &fr.tail)
+					ad.ObserveRelease(winJ, window.Seconds(), held.stage)
+				} else {
+					ad.ObserveHold(winJ, window.Seconds())
+				}
+			}
 		}
 		out.visits++
 	}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"eabrowse/internal/rrc"
+)
+
+const goldenScenariosPath = "testdata/golden_scenarios.tsv"
+
+// goldenScenarioMatrix renders the full scenario×policy×radio table as TSV.
+// Every number in it is simulated-time deterministic and folds in index
+// order, so the bytes must be stable across runs, worker counts and
+// architectures — the same contract as the golden event trace.
+func goldenScenarioMatrix(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, "radio\tscenario\tpolicy\tenergy_j\tdelay_s\tsaving_pct\tswitches\tpredictions")
+	for _, profile := range rrc.Profiles() {
+		spec, err := rrc.ProfileSpec(profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := ScenariosWithRadio(spec)
+		if err != nil {
+			t.Fatalf("ScenariosWithRadio(%s): %v", profile, err)
+		}
+		for _, r := range m.Rows {
+			fmt.Fprintf(&buf, "%s\t%s\t%s\t%.6f\t%.6f\t%.6f\t%d\t%d\n",
+				m.Radio, r.Scenario, r.Policy, r.EnergyJ, r.DelayS, r.SavingPct, r.Switches, r.Predictions)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenScenarioMatrix is the regression guard for the channel and
+// adaptive-policy stack: any change to the channel scenarios, the transfer
+// shaping, the closed-form replay, the adaptive estimator or the oracle
+// shows up as a cell-level diff against the committed matrix. Intended
+// behaviour changes update the file with -update and show the reviewer the
+// exact numeric delta in the commit.
+func TestGoldenScenarioMatrix(t *testing.T) {
+	got := goldenScenarioMatrix(t)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenScenariosPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenScenariosPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenScenariosPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenScenariosPath)
+	if err != nil {
+		t.Fatalf("read golden file: %v\n(generate it with: go test ./internal/experiments -run TestGoldenScenarioMatrix -update)", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	t.Error(traceDiff(want, got))
+}

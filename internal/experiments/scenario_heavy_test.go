@@ -1,0 +1,133 @@
+//go:build scenario
+
+// Heavy scenario suite, excluded from `go test ./...` by the build tag and
+// run by the scenario-smoke CI job:
+//
+//	go test -race -tags scenario -run TestScenarioHeavy ./internal/experiments/
+//
+// These runs trade minutes of wall clock for coverage the tier-1 tests
+// cannot afford: a full simulated phone browsing through many fading cycles,
+// and a 10k-user mixed-scenario fleet at the population scale the capacity
+// model is meant for.
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"eabrowse/internal/browser"
+	"eabrowse/internal/channel"
+	"eabrowse/internal/policy"
+	"eabrowse/internal/rrc"
+)
+
+// TestScenarioHeavyLongFadingRun drives one fully simulated phone through
+// dozens of fading cycles and checks the long-horizon invariants the short
+// tests only sample: energy strictly accumulates, the radio always returns
+// to its terminal state between sessions, and an identical second run is
+// bit-identical.
+func TestScenarioHeavyLongFadingRun(t *testing.T) {
+	sched, err := channel.ScenarioSchedule("fading")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := MCNNPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (float64, time.Duration) {
+		s, err := New(browser.ModeEnergyAware, WithChannel(sched))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail := DefaultRadioSpec().Tail()
+		lastJ := -1.0
+		for i := 0; i < 40; i++ {
+			if _, err := s.LoadToEnd(page); err != nil {
+				t.Fatalf("load %d: %v", i, err)
+			}
+			// A full tail drain plus slack: the radio must be back at its
+			// terminal stage before the next session starts.
+			s.Clock.RunFor(tail.TotalDwell() + 5*time.Second)
+			j := s.Radio.EnergyJ()
+			if !(j > lastJ) {
+				t.Fatalf("energy not strictly increasing at load %d: %v then %v", i, lastJ, j)
+			}
+			lastJ = j
+			if got, want := s.Radio.State(), rrc.StateIdle; got != want {
+				t.Fatalf("load %d: radio in state %v after drain, want %v", i, got, want)
+			}
+		}
+		return s.Radio.EnergyJ(), s.Clock.Now()
+	}
+	j1, t1 := run()
+	j2, t2 := run()
+	if j1 != j2 || t1 != t2 {
+		t.Fatalf("long fading runs diverge: %.9f J/%v vs %.9f J/%v", j1, t1, j2, t2)
+	}
+}
+
+// TestScenarioHeavyMixedFleet replays a 10k-user mixed-RAN fleet through a
+// channel scenario with the adaptive policy — the full stack at population
+// scale. The energy-aware pipeline must still win, and the capacity model
+// must report a coherent population.
+func TestScenarioHeavyMixedFleet(t *testing.T) {
+	cfg := FleetConfig{
+		Users:        10_000,
+		HoursPerUser: 0.05,
+		Seed:         20130709,
+		RadioMix:     "umts:0.5,lte:0.3,nr:0.2",
+		Channel:      "congestion-ramp",
+		Policy:       "adaptive",
+	}
+	res, err := Fleet(cfg)
+	if err != nil {
+		t.Fatalf("Fleet: %v", err)
+	}
+	if res.Users != cfg.Users || res.Visits == 0 {
+		t.Fatalf("fleet replayed %d users / %d visits", res.Users, res.Visits)
+	}
+	if !(res.Aware.EnergyJ < res.Original.EnergyJ) {
+		t.Errorf("adaptive pipeline did not save energy at scale: aware %.0f J, original %.0f J",
+			res.Aware.EnergyJ, res.Original.EnergyJ)
+	}
+	if res.Aware.Switches == 0 || res.Aware.Predictions == 0 {
+		t.Errorf("policy never engaged: %d switches, %d predictions",
+			res.Aware.Switches, res.Aware.Predictions)
+	}
+	if res.Original.SupportedAt2Pct <= 0 || res.Aware.SupportedAt2Pct < res.Original.SupportedAt2Pct {
+		t.Errorf("capacity incoherent: original supports %d, aware %d",
+			res.Original.SupportedAt2Pct, res.Aware.SupportedAt2Pct)
+	}
+}
+
+// TestScenarioHeavyAdaptiveConvergence runs the adaptive estimator over a
+// long synthetic observation stream and checks it converges into its clamp
+// band and stays there — no drift, no oscillation blow-up.
+func TestScenarioHeavyAdaptiveConvergence(t *testing.T) {
+	p := policy.DefaultParams()
+	for _, profile := range rrc.Profiles() {
+		spec, err := rrc.ProfileSpec(profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail := spec.Tail()
+		a, err := policy.NewAdaptive(policy.DefaultAdaptiveConfig(p), tail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := policy.DefaultAdaptiveConfig(p)
+		for i := 0; i < 100_000; i++ {
+			switch i % 3 {
+			case 0:
+				a.ObserveRelease(float64(i%23)+1, float64(i%11)+5, tail.TerminalIndex())
+			default:
+				a.ObserveHold(float64(i%17)+2, float64(i%13)+4)
+			}
+			if th := a.Threshold(); th < cfg.Floor || th > cfg.Ceil {
+				t.Fatalf("%s: threshold %v escaped clamp [%v, %v] at step %d",
+					profile, th, cfg.Floor, cfg.Ceil, i)
+			}
+		}
+	}
+}

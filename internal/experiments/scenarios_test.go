@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"eabrowse/internal/channel"
+	"eabrowse/internal/rrc"
+	"eabrowse/internal/runner"
+)
+
+// TestScenarioPolicyOrdering is the acceptance property of the adaptive
+// estimator: on every built-in scenario the oracle is a lower bound and the
+// adaptive policy lands between it and the static thresholds.
+func TestScenarioPolicyOrdering(t *testing.T) {
+	for _, profile := range rrc.Profiles() {
+		spec, err := rrc.ProfileSpec(profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := ScenariosWithRadio(spec)
+		if err != nil {
+			t.Fatalf("ScenariosWithRadio(%s): %v", profile, err)
+		}
+		wantRows := len(channel.Scenarios()) * 3
+		if len(m.Rows) != wantRows {
+			t.Fatalf("%s: %d rows, want %d", profile, len(m.Rows), wantRows)
+		}
+		for i := 0; i < len(m.Rows); i += 3 {
+			static, adaptive, oracle := m.Rows[i], m.Rows[i+1], m.Rows[i+2]
+			if static.Policy != "static" || adaptive.Policy != "adaptive" || oracle.Policy != "oracle" {
+				t.Fatalf("%s: unexpected policy order at row %d: %s/%s/%s",
+					profile, i, static.Policy, adaptive.Policy, oracle.Policy)
+			}
+			if static.Scenario != adaptive.Scenario || static.Scenario != oracle.Scenario {
+				t.Fatalf("%s: scenario mismatch at row %d", profile, i)
+			}
+			if !(adaptive.EnergyJ <= static.EnergyJ) {
+				t.Errorf("%s/%s: adaptive %.1f J > static %.1f J",
+					profile, static.Scenario, adaptive.EnergyJ, static.EnergyJ)
+			}
+			if !(oracle.EnergyJ <= adaptive.EnergyJ) {
+				t.Errorf("%s/%s: oracle %.1f J > adaptive %.1f J",
+					profile, static.Scenario, oracle.EnergyJ, adaptive.EnergyJ)
+			}
+			if oracle.Predictions != 0 {
+				t.Errorf("%s/%s: oracle made %d predictions",
+					profile, static.Scenario, oracle.Predictions)
+			}
+		}
+	}
+}
+
+// TestScenariosParallelDeterminism: the matrix is byte-identical at any
+// worker count (the cost tables fold in index order).
+func TestScenariosParallelDeterminism(t *testing.T) {
+	defer runner.SetWorkers(runner.Workers())
+	spec := rrc.DefaultConfig()
+
+	runner.SetWorkers(1)
+	ResetArtifacts()
+	seq, err := ScenariosWithRadio(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner.SetWorkers(8)
+	ResetArtifacts()
+	par, err := ScenariosWithRadio(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetArtifacts()
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("matrix differs between 1 and 8 workers:\n%v\nvs\n%v", seq, par)
+	}
+}
+
+// TestScenarioEvaluatorErrors pins the valid-name-list error contract.
+func TestScenarioEvaluatorErrors(t *testing.T) {
+	_, err := channel.ScenarioSchedule("warp-drive")
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	for _, name := range channel.Scenarios() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q missing scenario %q", err, name)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"eabrowse/internal/browser"
+	"eabrowse/internal/channel"
 	"eabrowse/internal/faults"
 	"eabrowse/internal/netsim"
 	"eabrowse/internal/obs"
@@ -61,6 +62,7 @@ type sessionConfig struct {
 	link       netsim.Config
 	cost       browser.CostModel
 	faults     *faults.Config
+	channel    *channel.Schedule
 	engineOpts []browser.Option
 	obsKey     string
 	obsRec     *obs.Recorder
@@ -126,6 +128,15 @@ func WithCostModel(cost browser.CostModel) SessionOption {
 // (flaky) RIL, exercising the whole Section 4.4 path under impairment.
 func WithFaultInjector(cfg faults.Config) SessionOption {
 	return func(c *sessionConfig) { c.faults = &cfg }
+}
+
+// WithChannel attaches a time-varying channel schedule to the session's
+// link: bandwidth, latency and loss follow the schedule as simulated time
+// advances (origin = clock zero). A nil schedule keeps the calibrated fixed
+// link bit-for-bit. Composes with WithFaultInjector — the channel shapes the
+// link first, injected faults stack on top.
+func WithChannel(sched *channel.Schedule) SessionOption {
+	return func(c *sessionConfig) { c.channel = sched }
 }
 
 // WithEngineOptions appends browser-engine options (dormancy guard,
@@ -207,6 +218,9 @@ func New(mode browser.Mode, opts ...SessionOption) (*Session, error) {
 		return nil, fmt.Errorf("new link: %w", err)
 	}
 	link.SetObserver(rec)
+	if cfg.channel != nil {
+		link.SetChannel(cfg.channel)
+	}
 	s := &Session{Clock: clock, Radio: radio, Link: link, Obs: rec}
 	engineOpts := cfg.engineOpts
 	if rec != nil {

@@ -1,0 +1,196 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"eabrowse/internal/channel"
+	"eabrowse/internal/faults"
+	"eabrowse/internal/obs"
+	"eabrowse/internal/rrc"
+	"eabrowse/internal/simtime"
+)
+
+func constantChannel(t *testing.T, cond channel.Conditions) *channel.Schedule {
+	t.Helper()
+	s, err := channel.Constant("const", cond)
+	if err != nil {
+		t.Fatalf("channel.Constant: %v", err)
+	}
+	return s
+}
+
+// TestChannelScalesTransferTime pins the shaped DCH arithmetic: promo 1.75 s
+// + RTT 0.3 s + payload, with the payload stretched by the bandwidth factor
+// and the segment's extra RTT added to the overhead.
+func TestChannelScalesTransferTime(t *testing.T) {
+	cases := []struct {
+		name string
+		cond channel.Conditions
+		want time.Duration
+	}{
+		{"unit", channel.Clear, 1750*time.Millisecond + 300*time.Millisecond + time.Second},
+		{"half-bandwidth", channel.Conditions{BandwidthFactor: 0.5},
+			1750*time.Millisecond + 300*time.Millisecond + 2*time.Second},
+		{"extra-rtt", channel.Conditions{BandwidthFactor: 1, ExtraRTT: 200 * time.Millisecond},
+			1750*time.Millisecond + 500*time.Millisecond + time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clock, _, link := newTestLink(t)
+			link.SetChannel(constantChannel(t, tc.cond))
+			var doneAt time.Duration
+			if err := link.Fetch("obj", 96*1024, func() { doneAt = clock.Now() }); err != nil {
+				t.Fatalf("Fetch: %v", err)
+			}
+			clock.Run()
+			if diff := doneAt - tc.want; diff < -time.Millisecond || diff > time.Millisecond {
+				t.Fatalf("done at %v, want %v (±1ms)", doneAt, tc.want)
+			}
+		})
+	}
+}
+
+// TestChannelBoundaryCrossing drives a transfer across a segment boundary:
+// the payload must take exactly the piecewise time, not the conditions at
+// the start of the transfer.
+func TestChannelBoundaryCrossing(t *testing.T) {
+	// Full bandwidth until the payload's halfway point, then half bandwidth:
+	// promo 1.75 s + RTT 0.3 s puts the payload start at 2.05 s; 96 KB at
+	// 96 KB/s would finish in 1 s, but bandwidth halves at 2.55 s, so the
+	// second 48 KB takes 1 s instead of 0.5 s.
+	sched, err := channel.New("boundary", false,
+		channel.Segment{Dur: 2550 * time.Millisecond, Cond: channel.Clear},
+		channel.Segment{Start: 2550 * time.Millisecond, Dur: time.Hour,
+			Cond: channel.Conditions{BandwidthFactor: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock, _, link := newTestLink(t)
+	link.SetChannel(sched)
+	var doneAt time.Duration
+	if err := link.Fetch("obj", 96*1024, func() { doneAt = clock.Now() }); err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	clock.Run()
+	want := 2050*time.Millisecond + 500*time.Millisecond + time.Second
+	if diff := doneAt - want; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Fatalf("done at %v, want %v (±1ms)", doneAt, want)
+	}
+}
+
+// channelFaultRun drives one fetch issued at issueAt over a fading schedule
+// with an aggressive fault injector, returning the obs event stream.
+func channelFaultRun(t *testing.T, issueAt time.Duration) ([]obs.Event, []Record) {
+	t.Helper()
+	clock := simtime.NewClock()
+	radio, err := rrc.NewMachine(clock, rrc.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	link, err := NewLink(clock, radio, DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	// Peak for 20 s, deep trough for 20 s, repeating.
+	sched, err := channel.New("peak-trough", true,
+		channel.Segment{Dur: 20 * time.Second, Cond: channel.Clear},
+		channel.Segment{Start: 20 * time.Second, Dur: 20 * time.Second,
+			Cond: channel.Conditions{BandwidthFactor: 0.1, ExtraRTT: 150 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link.SetChannel(sched)
+	in, err := faults.New(faults.Config{Seed: 42, FailRate: 0.8})
+	if err != nil {
+		t.Fatalf("faults.New: %v", err)
+	}
+	link.SetFaults(in)
+	rec := obs.NewRecorder("chan-fault")
+	link.SetObserver(rec)
+	clock.After(issueAt, func() {
+		if err := link.FetchResult("obj", 96*1024, func(error) {}); err != nil {
+			t.Errorf("FetchResult: %v", err)
+		}
+	})
+	clock.Run()
+	return rec.Events(), link.Records()
+}
+
+// TestFaultsChannelComposition is the toxiproxy-style stacking contract: an
+// injected outage during a fading trough vs. a peak produces ordered,
+// deterministic retry events in the obs stream — byte-identical across runs,
+// with the trough's attempts visibly stretched by the channel.
+func TestFaultsChannelComposition(t *testing.T) {
+	peakEvents, peakRecs := channelFaultRun(t, 0)
+	troughEvents, _ := channelFaultRun(t, 22*time.Second)
+
+	for name, evs := range map[string][]obs.Event{"peak": peakEvents, "trough": troughEvents} {
+		if len(evs) < 3 {
+			t.Fatalf("%s: want at least start/retry/terminal events, got %d", name, len(evs))
+		}
+		// Events are ordered in simulated time, attempts count up from 1,
+		// and every retry is followed by a fresh start.
+		attempts := 0
+		for i, ev := range evs {
+			if i > 0 && ev.AtNS < evs[i-1].AtNS {
+				t.Fatalf("%s: event %d at %d before predecessor %d", name, i, ev.AtNS, evs[i-1].AtNS)
+			}
+			switch ev.Kind {
+			case obs.KindXferStart:
+				attempts++
+				if ev.Attempt != attempts {
+					t.Fatalf("%s: start event %d has attempt %d, want %d", name, i, ev.Attempt, attempts)
+				}
+			case obs.KindXferRetry:
+				if ev.Attempt != attempts {
+					t.Fatalf("%s: retry event %d has attempt %d, want %d", name, i, ev.Attempt, attempts)
+				}
+			}
+		}
+		if attempts < 2 {
+			t.Fatalf("%s: fault injection produced no retries (attempts=%d)", name, attempts)
+		}
+		last := evs[len(evs)-1].Kind
+		if last != obs.KindXferEnd && last != obs.KindXferFailed {
+			t.Fatalf("%s: stream ends with %q", name, last)
+		}
+	}
+
+	// Determinism: replaying either run reproduces it byte-for-byte.
+	peakAgain, peakRecsAgain := channelFaultRun(t, 0)
+	if !reflect.DeepEqual(peakEvents, peakAgain) || !reflect.DeepEqual(peakRecs, peakRecsAgain) {
+		t.Fatal("peak run is not deterministic")
+	}
+	troughAgain, _ := channelFaultRun(t, 22*time.Second)
+	if !reflect.DeepEqual(troughEvents, troughAgain) {
+		t.Fatal("trough run is not deterministic")
+	}
+
+	// The channel composes with the injector: the same fault plan sequence
+	// plays out on a 10× slower link in the trough, so its attempts take
+	// longer than the peak's (compare first-attempt spans via the stream).
+	span := func(evs []obs.Event) int64 {
+		var start int64 = -1
+		for _, ev := range evs {
+			switch ev.Kind {
+			case obs.KindXferStart:
+				if start < 0 {
+					start = ev.AtNS
+				}
+			case obs.KindXferRetry, obs.KindXferEnd, obs.KindXferFailed:
+				if start >= 0 {
+					return ev.AtNS - start
+				}
+			}
+		}
+		t.Fatal("no attempt span found")
+		return 0
+	}
+	peakSpan, troughSpan := span(peakEvents), span(troughEvents)
+	if troughSpan <= peakSpan {
+		t.Fatalf("trough attempt (%v) not slower than peak attempt (%v)",
+			time.Duration(troughSpan), time.Duration(peakSpan))
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"eabrowse/internal/channel"
 	"eabrowse/internal/faults"
 	"eabrowse/internal/obs"
 	"eabrowse/internal/rrc"
@@ -143,6 +144,7 @@ type Link struct {
 	onAllDrained func()
 
 	faults      *faults.Injector
+	channel     *channel.Schedule
 	maxAttempts int
 	retries     int
 	failed      int
@@ -199,6 +201,36 @@ func (l *Link) SetFaults(in *faults.Injector) {
 // disables transfer tracing at the cost of a pointer test per hook.
 func (l *Link) SetObserver(r *obs.Recorder) {
 	l.observer = r
+}
+
+// SetChannel attaches a time-varying channel schedule; the schedule's origin
+// is the clock's zero, so attach before the simulation starts. A nil schedule
+// (the default) keeps the fixed-link arithmetic bit-for-bit unchanged.
+//
+// The channel composes with fault injection toxiproxy-style: the schedule
+// first scales bandwidth and adds latency deterministically, then the
+// injector's per-attempt plan stacks its own factor, extra RTT, stalls and
+// failures on top. Like the injector and observer, the channel survives
+// Reset — it is part of the link's wiring, not its per-run state.
+func (l *Link) SetChannel(s *channel.Schedule) {
+	l.channel = s
+}
+
+// Channel returns the attached schedule, or nil for the fixed link.
+func (l *Link) Channel() *channel.Schedule { return l.channel }
+
+// attemptDur computes one attempt's duration: per-request overhead plus the
+// payload time at rate kbps (already scaled by the fault plan's factor).
+// Under a channel schedule the payload is integrated piecewise across
+// segment boundaries so each segment carries exactly the bytes its
+// conditions allow; without one this is the original fixed-link arithmetic.
+func (l *Link) attemptDur(t *Transfer, plan faults.TransferPlan, kbps float64) time.Duration {
+	if l.channel == nil {
+		return l.cfg.RTT + plan.ExtraRTT + kbDuration(t.bytes, kbps)
+	}
+	now := l.clock.Now()
+	overhead := l.cfg.RTT + plan.ExtraRTT + l.channel.At(now).ExtraRTT
+	return overhead + l.channel.XferDuration(now+overhead, t.bytes, kbps)
 }
 
 // FaultsActive reports whether an enabled injector is attached.
@@ -373,7 +405,7 @@ func (l *Link) startDCH(t *Transfer) {
 		bw = l.cfg.DCHUpKBps
 	}
 	bw *= plan.ThroughputFactor
-	dur := l.cfg.RTT + plan.ExtraRTT + kbDuration(t.bytes, bw)
+	dur := l.attemptDur(t, plan, bw)
 
 	// An injected hard failure kills the attempt partway through; a stall
 	// longer than the watchdog aborts it once the watchdog expires. Either
@@ -414,8 +446,7 @@ func (l *Link) startFACH(t *Transfer) {
 	l.noteAttempt(t, "FACH")
 	l.radio.TouchShared()
 	plan := l.faults.PlanTransfer(t.uplink, true)
-	dur := l.cfg.RTT + plan.ExtraRTT + plan.Stall +
-		kbDuration(t.bytes, l.cfg.FACHDownKBps*plan.ThroughputFactor)
+	dur := plan.Stall + l.attemptDur(t, plan, l.cfg.FACHDownKBps*plan.ThroughputFactor)
 	if plan.Fail {
 		at := time.Duration(float64(dur) * plan.FailFrac)
 		l.clock.After(at, func() {

@@ -1,0 +1,166 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"eabrowse/internal/rrc"
+)
+
+// The paper's Td/Tp thresholds are constants tuned for one fixed 3G link;
+// under time-varying channels and non-UMTS tails the energy crossover moves.
+// Adaptive replaces the constant with a per-user recursive estimate of the
+// break-even reading time
+//
+//	T̂ = reconnect-cost Ĵ / excess-hold-power Ŵ
+//
+// where Ĵ is the running (EWMA) estimate of what a release costs (the
+// fast-dormancy overhead plus the extra promotion energy the next load pays
+// for starting cold) and Ŵ is the running estimate of the tail power wasted
+// above the idle floor while holding. Both start from the radio profile's
+// closed-form priors — for the paper's UMTS tail the prior T̂ lands near the
+// Fig. 3 crossover that motivated Tp — and are updated from observed window
+// outcomes, so users whose channels or habits shift see their threshold
+// follow. The estimator is plain sequential arithmetic: replays that feed it
+// identical observations in identical order stay byte-identical.
+
+// AdaptiveConfig tunes the recursive threshold estimator.
+type AdaptiveConfig struct {
+	// Gain is the EWMA weight of each new observation, in (0, 1].
+	Gain float64
+	// Floor and Ceil clamp the learned threshold. Floor guards against a
+	// burst of cheap-release observations collapsing the threshold below
+	// the interest window; Ceil (typically Td) keeps the estimator from
+	// drifting into never-release territory.
+	Floor, Ceil time.Duration
+}
+
+// DefaultAdaptiveConfig clamps the threshold to [Alpha, 30·Td] with gain
+// 0.25. The ceiling is deliberately far above Td: on radios with short
+// native tails (5G NR) the true break-even sits beyond the paper's
+// delay-driven threshold, and the estimator must be free to learn
+// "holding is cheaper here" instead of being forced down to Td.
+func DefaultAdaptiveConfig(p Params) AdaptiveConfig {
+	return AdaptiveConfig{Gain: 0.25, Floor: p.Alpha, Ceil: 30 * p.Td}
+}
+
+// Validate checks the estimator configuration.
+func (c AdaptiveConfig) Validate() error {
+	switch {
+	case c.Gain <= 0 || c.Gain > 1:
+		return fmt.Errorf("policy: adaptive gain %g out of (0, 1]", c.Gain)
+	case c.Floor <= 0 || c.Ceil < c.Floor:
+		return fmt.Errorf("policy: adaptive clamp [%v, %v] invalid", c.Floor, c.Ceil)
+	}
+	return nil
+}
+
+// Adaptive is one user's recursive threshold estimator. Not safe for
+// concurrent use — it belongs to a single simulated phone, like the radio.
+type Adaptive struct {
+	cfg  AdaptiveConfig
+	tail rrc.TailProfile
+
+	excessW    float64 // Ŵ: EWMA excess hold power above idle, J/s
+	reconnectJ float64 // Ĵ: EWMA release cost, J
+	holds      int
+	releases   int
+}
+
+// minExcessW keeps the threshold ratio finite when a run of very long held
+// windows dilutes the excess-power estimate toward zero.
+const minExcessW = 1e-6
+
+// NewAdaptive builds an estimator for the given radio tail, seeded with the
+// profile's closed-form priors.
+func NewAdaptive(cfg AdaptiveConfig, tail rrc.TailProfile) (*Adaptive, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tail.Active.Dwell <= 0 {
+		return nil, errors.New("policy: adaptive needs a radio tail profile")
+	}
+	a := &Adaptive{cfg: cfg, tail: tail}
+	tp := &a.tail
+	idleW := tp.Terminal().PowerW
+	// Prior Ŵ: the full tail's average power above idle.
+	dwellS := tp.TotalDwell().Seconds()
+	a.excessW = (tailEnergy(tp, 0, dwellS) - idleW*dwellS) / dwellS
+	if a.excessW < minExcessW {
+		a.excessW = minExcessW
+	}
+	// Prior Ĵ: the dormancy release above the idle floor, plus the cold
+	// promotion the next load pays relative to the warmest held state.
+	relS := tp.ReleaseDelay.Seconds()
+	a.reconnectJ = releaseEnergy(tp) - idleW*relS + coldPromoExtraJ(tp, 0)
+	return a, nil
+}
+
+// coldPromoExtraJ is the extra promotion energy a load starting from the
+// terminal stage pays compared to one starting from heldStage (≥ 0; zero
+// when the held radio would have idled out anyway).
+func coldPromoExtraJ(tp *rrc.TailProfile, heldStage int) float64 {
+	_, dj := promoAdjustStage(tp, heldStage)
+	return -dj
+}
+
+// Threshold returns the current learned release threshold T̂, clamped.
+func (a *Adaptive) Threshold() time.Duration {
+	t := time.Duration(a.reconnectJ / a.excessW * float64(time.Second))
+	if t < a.cfg.Floor {
+		return a.cfg.Floor
+	}
+	if t > a.cfg.Ceil {
+		return a.cfg.Ceil
+	}
+	return t
+}
+
+// Decide applies the adaptive rule to a predicted reading time.
+func (a *Adaptive) Decide(predictedReading time.Duration) Decision {
+	d := Decision{Predicted: predictedReading}
+	if predictedReading > a.Threshold() {
+		d.Switch = true
+		d.Reason = "beyond-adaptive"
+	} else {
+		d.Reason = "keep"
+	}
+	return d
+}
+
+// Observations returns how many held and released windows have been fed in.
+func (a *Adaptive) Observations() (holds, releases int) {
+	return a.holds, a.releases
+}
+
+// ObserveHold feeds the outcome of a window where the radio was left to its
+// timers: windowJ joules of radio energy over windowS seconds.
+func (a *Adaptive) ObserveHold(windowJ, windowS float64) {
+	if windowS <= 0 {
+		return
+	}
+	excess := windowJ/windowS - a.tail.Terminal().PowerW
+	if excess < minExcessW {
+		excess = minExcessW
+	}
+	a.excessW += a.cfg.Gain * (excess - a.excessW)
+	a.holds++
+}
+
+// ObserveRelease feeds the outcome of a window where the radio was released:
+// windowJ joules over windowS seconds, with heldStage the tail stage the
+// radio would have reached had it been left to its timers (it prices the
+// promotion energy the release shifted onto the next load).
+func (a *Adaptive) ObserveRelease(windowJ, windowS float64, heldStage int) {
+	if windowS <= 0 {
+		return
+	}
+	tp := &a.tail
+	cost := windowJ - tp.Terminal().PowerW*windowS + coldPromoExtraJ(tp, heldStage)
+	if cost < 0 {
+		cost = 0
+	}
+	a.reconnectJ += a.cfg.Gain * (cost - a.reconnectJ)
+	a.releases++
+}

@@ -1,0 +1,133 @@
+package policy
+
+import (
+	"testing"
+	"time"
+
+	"eabrowse/internal/rrc"
+)
+
+func newTestAdaptive(t *testing.T) *Adaptive {
+	t.Helper()
+	a, err := NewAdaptive(DefaultAdaptiveConfig(DefaultParams()), rrc.DefaultConfig().Tail())
+	if err != nil {
+		t.Fatalf("NewAdaptive: %v", err)
+	}
+	return a
+}
+
+func TestAdaptivePriorNearCrossover(t *testing.T) {
+	a := newTestAdaptive(t)
+	// The closed-form prior must land in the useful band: above the
+	// interest threshold, at or below Td (the static delay-driven bound) —
+	// the same region the paper's Fig. 3 crossover Tp = 9 s lives in.
+	th := a.Threshold()
+	p := DefaultParams()
+	if th <= p.Alpha || th > p.Td {
+		t.Fatalf("prior threshold %v outside (%v, %v]", th, p.Alpha, p.Td)
+	}
+}
+
+func TestAdaptiveConfigValidate(t *testing.T) {
+	p := DefaultParams()
+	bad := []AdaptiveConfig{
+		{Gain: 0, Floor: p.Alpha, Ceil: p.Td},
+		{Gain: 1.5, Floor: p.Alpha, Ceil: p.Td},
+		{Gain: 0.2, Floor: 0, Ceil: p.Td},
+		{Gain: 0.2, Floor: p.Td, Ceil: p.Alpha},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("config %d validated: %+v", i, cfg)
+		}
+	}
+	if _, err := NewAdaptive(DefaultAdaptiveConfig(p), rrc.TailProfile{}); err == nil {
+		t.Fatal("NewAdaptive accepted an empty tail profile")
+	}
+}
+
+func TestAdaptiveThresholdTracksObservations(t *testing.T) {
+	a := newTestAdaptive(t)
+	base := a.Threshold()
+
+	// Expensive releases push the threshold up (holding looks better)...
+	for i := 0; i < 20; i++ {
+		a.ObserveRelease(100, 10, a.tail.TerminalIndex())
+	}
+	up := a.Threshold()
+	if up <= base {
+		t.Fatalf("threshold %v did not rise from %v after costly releases", up, base)
+	}
+
+	// ...and hot held windows push it back down (holding looks worse).
+	for i := 0; i < 50; i++ {
+		a.ObserveHold(500, 10)
+	}
+	down := a.Threshold()
+	if down >= up {
+		t.Fatalf("threshold %v did not fall from %v after wasteful holds", down, up)
+	}
+
+	holds, releases := a.Observations()
+	if holds != 50 || releases != 20 {
+		t.Fatalf("observations = (%d, %d), want (50, 20)", holds, releases)
+	}
+}
+
+func TestAdaptiveThresholdClamped(t *testing.T) {
+	a := newTestAdaptive(t)
+	p := DefaultParams()
+	// Saturate in both directions; the clamp must hold.
+	for i := 0; i < 200; i++ {
+		a.ObserveRelease(1e6, 10, a.tail.TerminalIndex())
+	}
+	if got := a.Threshold(); got != 30*p.Td {
+		t.Fatalf("threshold %v, want ceil %v", got, 30*p.Td)
+	}
+	for i := 0; i < 400; i++ {
+		a.ObserveRelease(1e-9, 10, a.tail.TerminalIndex())
+		a.ObserveHold(1e6, 10)
+	}
+	if got := a.Threshold(); got != p.Alpha {
+		t.Fatalf("threshold %v, want floor %v", got, p.Alpha)
+	}
+	// Degenerate observations are ignored, not divided by.
+	before := a.Threshold()
+	a.ObserveHold(10, 0)
+	a.ObserveRelease(10, -1, 0)
+	if a.Threshold() != before {
+		t.Fatal("zero-length window changed the estimate")
+	}
+}
+
+func TestAdaptiveDecide(t *testing.T) {
+	a := newTestAdaptive(t)
+	th := a.Threshold()
+	d := a.Decide(th + time.Second)
+	if !d.Switch || d.Reason != "beyond-adaptive" {
+		t.Fatalf("Decide(th+1s) = %+v", d)
+	}
+	d = a.Decide(th - time.Second)
+	if d.Switch || d.Reason != "keep" {
+		t.Fatalf("Decide(th-1s) = %+v", d)
+	}
+}
+
+// TestAdaptiveDeterminism: identical observation sequences give bit-equal
+// thresholds — the property the byte-identical replay contract rests on.
+func TestAdaptiveDeterminism(t *testing.T) {
+	run := func() time.Duration {
+		a := newTestAdaptive(t)
+		for i := 0; i < 100; i++ {
+			if i%3 == 0 {
+				a.ObserveRelease(float64(i%17)+3, 10, a.tail.TerminalIndex())
+			} else {
+				a.ObserveHold(float64(i%13)+1, 8)
+			}
+		}
+		return a.Threshold()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("thresholds diverge: %v vs %v", a, b)
+	}
+}

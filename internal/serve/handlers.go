@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"eabrowse/internal/browser"
+	"eabrowse/internal/channel"
 	"eabrowse/internal/experiments"
 	"eabrowse/internal/features"
 	"eabrowse/internal/obs"
@@ -362,12 +363,17 @@ type simulateRequest struct {
 	Radio string `json:"radio"`
 	// ReadingS is the simulated reading window after the final display.
 	ReadingS float64 `json:"reading_s"`
+	// Channel optionally names a built-in channel scenario (see
+	// channel.Scenarios) the simulated load runs under; empty means the
+	// fixed ideal link.
+	Channel string `json:"channel"`
 }
 
 type simulateResponse struct {
 	Page              string  `json:"page"`
 	Mode              string  `json:"mode"`
 	Radio             string  `json:"radio"`
+	Channel           string  `json:"channel,omitempty"`
 	LoadSeconds       float64 `json:"load_s"`
 	FirstDisplayS     float64 `json:"first_display_s"`
 	TransmissionS     float64 `json:"transmission_s"`
@@ -376,18 +382,33 @@ type simulateResponse struct {
 	ReadingEnergyJ    float64 `json:"reading_energy_j"`
 }
 
-// simulateCore loads the page on a pooled zero-alloc session and runs the
-// requested reading window. The session returns to the pool only after a
-// clean run; an errored or panicked simulation drops it instead of recycling
-// unknown state.
-func (s *Server) simulateCore(page *webpage.Page, mode browser.Mode, radio string, reading time.Duration) (simulateResponse, error) {
-	pool, err := s.pool(mode, radio)
-	if err != nil {
-		return simulateResponse{}, err
-	}
-	sess, err := pool.Get()
-	if err != nil {
-		return simulateResponse{}, err
+// simulateCore loads the page and runs the requested reading window. Without
+// a channel the session comes from the zero-alloc pool and returns to it only
+// after a clean run; an errored or panicked simulation drops it instead of
+// recycling unknown state. Channel-shaped requests build a fresh session —
+// the pools stay homogeneous (fixed ideal link) so a scenario request can
+// never leave shaped state behind for the next caller.
+func (s *Server) simulateCore(page *webpage.Page, mode browser.Mode, radio string, sched *channel.Schedule, reading time.Duration) (simulateResponse, error) {
+	var sess *experiments.Session
+	var pool *experiments.SessionPool
+	if sched == nil {
+		var err error
+		if pool, err = s.pool(mode, radio); err != nil {
+			return simulateResponse{}, err
+		}
+		if sess, err = pool.Get(); err != nil {
+			return simulateResponse{}, err
+		}
+	} else {
+		spec, err := rrc.ProfileSpec(radio)
+		if err != nil {
+			return simulateResponse{}, err
+		}
+		if sess, err = experiments.New(mode,
+			experiments.WithRadioModel(spec),
+			experiments.WithChannel(sched)); err != nil {
+			return simulateResponse{}, err
+		}
 	}
 	res, err := sess.LoadToEnd(page)
 	if err != nil {
@@ -410,9 +431,28 @@ func (s *Server) simulateCore(page *webpage.Page, mode browser.Mode, radio strin
 		EnergyWithReading: obs.Round6(total),
 		ReadingEnergyJ:    obs.Round6(total - energyAtFinal),
 	}
+	if sched != nil {
+		out.Channel = sched.Name()
+	}
 	s.count(counterSimulate)
-	pool.Put(sess)
+	if pool != nil {
+		pool.Put(sess)
+	}
 	return out, nil
+}
+
+// parseChannel validates an optional channel scenario name. Unknown names
+// answer 400 with the valid-name list, like parseRadio.
+func parseChannel(w http.ResponseWriter, name string) (*channel.Schedule, bool) {
+	if name == "" {
+		return nil, true
+	}
+	sched, err := channel.ScenarioSchedule(name)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return nil, false
+	}
+	return sched, true
 }
 
 // parseBrowserMode maps the wire names onto browser modes.
@@ -459,6 +499,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	sched, ok := parseChannel(w, req.Channel)
+	if !ok {
+		return
+	}
 	if math.IsNaN(req.ReadingS) || req.ReadingS < 0 || req.ReadingS > maxSimulatedReading.Seconds() {
 		writeError(w, http.StatusBadRequest,
 			fmt.Sprintf("reading_s must be in [0, %v]", maxSimulatedReading.Seconds()))
@@ -474,7 +518,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	var res simulateResponse
 	var coreErr error
-	if err := s.submit(ctx, func() { res, coreErr = s.simulateCore(page, mode, radio, reading) }); err != nil {
+	if err := s.submit(ctx, func() { res, coreErr = s.simulateCore(page, mode, radio, sched, reading) }); err != nil {
 		s.writeWorkError(w, err)
 		return
 	}

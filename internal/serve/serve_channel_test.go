@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"eabrowse/internal/channel"
+)
+
+// TestServeChannelField exercises the channel scenario plumbing: requests
+// without a channel keep the pooled fixed-link behaviour, a degraded
+// scenario stretches the simulated transmission, the scenario name echoes
+// back, and unknown names answer 400 with the valid-name list.
+func TestServeChannelField(t *testing.T) {
+	_, base := startServer(t, Config{ModelPath: goldenModelPath})
+
+	// Baseline: the fixed ideal link, pooled.
+	var ideal simulateResponse
+	req := simulateRequest{Page: "espn.go.com/sports", Mode: "original", ReadingS: 10}
+	if code := postJSON(t, base+"/v1/simulate", req, &ideal); code != http.StatusOK {
+		t.Fatalf("simulate (ideal): status %d", code)
+	}
+	if ideal.Channel != "" {
+		t.Fatalf("ideal simulate echoed channel %q", ideal.Channel)
+	}
+
+	// Fading troughs must slow the same load down.
+	req.Channel = "fading"
+	var shaped simulateResponse
+	if code := postJSON(t, base+"/v1/simulate", req, &shaped); code != http.StatusOK {
+		t.Fatalf("simulate (fading): status %d", code)
+	}
+	if shaped.Channel != "fading" {
+		t.Fatalf("shaped simulate echoed channel %q", shaped.Channel)
+	}
+	if !(shaped.TransmissionS > ideal.TransmissionS) {
+		t.Errorf("fading did not stretch transmission: %.3fs vs ideal %.3fs",
+			shaped.TransmissionS, ideal.TransmissionS)
+	}
+
+	// Channel requests must not contaminate the pool: the next pooled
+	// request sees ideal-link numbers again.
+	req.Channel = ""
+	var again simulateResponse
+	if code := postJSON(t, base+"/v1/simulate", req, &again); code != http.StatusOK {
+		t.Fatalf("simulate (ideal again): status %d", code)
+	}
+	if again.TransmissionS != ideal.TransmissionS {
+		t.Errorf("pooled session changed after a channel request: %.6fs vs %.6fs",
+			again.TransmissionS, ideal.TransmissionS)
+	}
+
+	// Unknown scenarios answer 400 and name the valid ones.
+	resp, err := http.Post(base+"/v1/simulate", "application/json",
+		strings.NewReader(`{"page":"m.cnn.com","channel":"warp-drive"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er errorResponse
+	err = json.NewDecoder(resp.Body).Decode(&er)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad channel: status %d", resp.StatusCode)
+	}
+	for _, want := range channel.Scenarios() {
+		if !strings.Contains(er.Error, want) {
+			t.Fatalf("error %q does not mention scenario %q", er.Error, want)
+		}
+	}
+}
