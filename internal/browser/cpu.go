@@ -73,7 +73,14 @@ type cpu struct {
 }
 
 func newCPU(clock *simtime.Clock, watts float64) *cpu {
-	c := &cpu{clock: clock, watts: watts}
+	// Queue capacity covers a typical page load outright, so a fresh CPU
+	// never reallocates mid-visit.
+	c := &cpu{
+		clock: clock,
+		watts: watts,
+		high:  make([]cpuTask, 0, 32),
+		low:   make([]cpuTask, 0, 8),
+	}
 	c.finishFn = c.finishSlice
 	return c
 }

@@ -362,7 +362,13 @@ func (e *Engine) Load(page *webpage.Page, done func(*Result)) error {
 	e.linkFailed0 = e.link.FailedTransfers()
 	e.openWork = 0
 	if e.fetched == nil {
-		e.fetched = make(map[string]bool, page.ResourceCount())
+		// First load on this engine: size the discovery structures from the
+		// page so the visit never grows them incrementally.
+		n := page.ResourceCount()
+		e.fetched = make(map[string]bool, n)
+		e.scripts = make([]*scriptSlot, 0, fsSlabSize)
+		e.pendingCSS = make([]*webpage.Resource, 0, fsSlabSize)
+		e.pendingImages = make([]*webpage.Resource, 0, n)
 	} else {
 		clear(e.fetched)
 	}
@@ -501,8 +507,8 @@ func (e *Engine) since(at time.Duration) time.Duration {
 
 // fetchState is the pooled per-fetch bookkeeping: which object, which
 // arrival handler, and the retry budget. Its done and retry callbacks are
-// bound once when the object is first created, so issuing a fetch allocates
-// nothing in steady state.
+// bound once on the object's first issue, so steady-state fetches allocate
+// nothing.
 type fetchState struct {
 	e       *Engine
 	res     *webpage.Resource
@@ -515,6 +521,10 @@ type fetchState struct {
 	retryFn func()
 }
 
+// fsSlabSize is how many fetchStates the free list grows by at a time: one
+// backing allocation serves the next several fetches instead of one each.
+const fsSlabSize = 8
+
 func (e *Engine) getFS() *fetchState {
 	if n := len(e.fsFree); n > 0 {
 		fs := e.fsFree[n-1]
@@ -522,10 +532,17 @@ func (e *Engine) getFS() *fetchState {
 		e.fsFree = e.fsFree[:n-1]
 		return fs
 	}
-	fs := &fetchState{e: e}
-	fs.doneFn = fs.done
-	fs.retryFn = fs.retry
-	return fs
+	slab := make([]fetchState, fsSlabSize)
+	if e.fsFree == nil {
+		e.fsFree = make([]*fetchState, 0, 2*fsSlabSize)
+	}
+	for i := range slab {
+		slab[i].e = e
+	}
+	for i := 1; i < len(slab); i++ {
+		e.fsFree = append(e.fsFree, &slab[i])
+	}
+	return &slab[0]
 }
 
 func (e *Engine) putFS(fs *fetchState) {
@@ -542,7 +559,14 @@ func (e *Engine) getSlot() *scriptSlot {
 		e.slotFree = e.slotFree[:n-1]
 		return s
 	}
-	return &scriptSlot{}
+	slab := make([]scriptSlot, fsSlabSize)
+	if e.slotFree == nil {
+		e.slotFree = make([]*scriptSlot, 0, 2*fsSlabSize)
+	}
+	for i := 1; i < len(slab); i++ {
+		e.slotFree = append(e.slotFree, &slab[i])
+	}
+	return &slab[0]
 }
 
 func (e *Engine) putSlot(s *scriptSlot) {
@@ -568,6 +592,10 @@ func (e *Engine) fetch(url string, kind arrivalKind, parser *docParser, slot *sc
 	}
 	e.openWork++
 	fs := e.getFS()
+	if fs.doneFn == nil {
+		fs.doneFn = fs.done
+		fs.retryFn = fs.retry
+	}
 	fs.res = res
 	fs.kind = kind
 	fs.parser = parser

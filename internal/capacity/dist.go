@@ -5,8 +5,6 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
-
-	"eabrowse/internal/simtime"
 )
 
 // Dist is an empirical service-time distribution in compressed form: each
@@ -108,10 +106,76 @@ func (s *sampler) draw(rng *rand.Rand) float64 {
 	return s.values[lo]
 }
 
+// distEvent is one entry of SimulateDist's inline event heap: an arrival or
+// departure at simulated time at, ordered by (at, seq) exactly as
+// simtime.Clock orders its queue, so the fast loop replays the identical
+// event sequence.
+type distEvent struct {
+	at  time.Duration
+	seq uint64
+	dep bool
+}
+
+// distHeap is a min-heap of events by (at, seq). It is hand-rolled (as
+// simtime's is) so push/pop touch only the preallocated backing slice — the
+// closure-based Clock version allocated two closures plus a queue entry per
+// arrival, which dominated the fleet's capacity phase at 100k+ users.
+type distHeap []distEvent
+
+func (h distHeap) less(a, b int) bool {
+	if h[a].at != h[b].at {
+		return h[a].at < h[b].at
+	}
+	return h[a].seq < h[b].seq
+}
+
+func (h *distHeap) push(e distEvent) {
+	q := append(*h, e)
+	for i := len(q) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	*h = q
+}
+
+func (h *distHeap) pop() distEvent {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q = q[:last]
+	for i := 0; ; {
+		m := i
+		if l := 2*i + 1; l < len(q) && q.less(l, m) {
+			m = l
+		}
+		if r := 2*i + 2; r < len(q) && q.less(r, m) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	*h = q
+	return top
+}
+
 // SimulateDist is Simulate over a weighted service-time distribution. It is
 // a separate entry point rather than a change to Simulate because the two
 // draw from their rng differently (index vs. cumulative weight), and
 // Simulate's exact draw sequence is pinned by the Fig. 11 golden output.
+//
+// The event loop is an inlined allocation-free replica of the
+// simtime.Clock-based formulation (preserved as simulateDistReference in the
+// test suite, which pins bit-identity): same rng draw order — service draw
+// then next-arrival draw on accepted arrivals, next-arrival draw alone on
+// drops — same (at, seq) tie order, same deadline-inclusive cutoff.
 func SimulateDist(users int, d *Dist, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -123,18 +187,32 @@ func SimulateDist(users int, d *Dist, cfg Config) (Result, error) {
 		return Result{}, errors.New("capacity: empty service-time distribution")
 	}
 
-	clock := simtime.NewClock()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := Result{Users: users}
 	busy := 0
 	smp := newSampler(d)
 
-	nextArrival := func() time.Duration {
-		return time.Duration(rng.ExpFloat64() * float64(cfg.MeanSessionInterval))
+	// Each user always has exactly one pending arrival; at most Channels
+	// departures are in flight — so the heap never outgrows this.
+	h := make(distHeap, 0, users+cfg.Channels)
+	var seq uint64
+	schedule := func(now, d time.Duration, dep bool) {
+		if d < 0 {
+			d = 0 // simtime.After clamps the same way
+		}
+		h.push(distEvent{at: now + d, seq: seq, dep: dep})
+		seq++
 	}
-
-	var arrive func()
-	arrive = func() {
+	interval := float64(cfg.MeanSessionInterval)
+	for u := 0; u < users; u++ {
+		schedule(0, time.Duration(rng.ExpFloat64()*interval), false)
+	}
+	for len(h) > 0 && h[0].at <= cfg.Duration {
+		ev := h.pop()
+		if ev.dep {
+			busy--
+			continue
+		}
 		res.Offered++
 		if busy >= cfg.Channels {
 			res.Dropped++
@@ -143,19 +221,45 @@ func SimulateDist(users int, d *Dist, cfg Config) (Result, error) {
 			if busy > res.MaxBusy {
 				res.MaxBusy = busy
 			}
-			clock.After(time.Duration(smp.draw(rng)*float64(time.Second)), func() { busy-- })
+			schedule(ev.at, time.Duration(smp.draw(rng)*float64(time.Second)), true)
 		}
-		clock.After(nextArrival(), arrive)
+		schedule(ev.at, time.Duration(rng.ExpFloat64()*interval), false)
 	}
-	for u := 0; u < users; u++ {
-		clock.After(nextArrival(), arrive)
-	}
-	clock.RunUntil(cfg.Duration)
 
 	if res.Offered > 0 {
 		res.DropPercent = float64(res.Dropped) / float64(res.Offered) * 100
 	}
 	return res, nil
+}
+
+// MaxSimulatedFleet is the largest population DropPercentAt walks
+// event-by-event. It matches the fleet-size ceiling that existed before the
+// million-user bound was raised, so every previously expressible
+// configuration still takes the simulated path and stays byte-identical.
+const MaxSimulatedFleet = 200_000
+
+// DropPercentAt returns the dropping probability (percent) for a population
+// of the given size. Populations up to MaxSimulatedFleet run the full
+// discrete-event simulation; beyond that the cost of walking hundreds of
+// millions of arrivals buys nothing — the Erlang-B formula is exact for
+// M/G/N/N loss systems regardless of the service-time shape (insensitivity
+// property), so larger populations are answered analytically from the
+// distribution's mean.
+func DropPercentAt(users int, d *Dist, cfg Config) (float64, error) {
+	if users <= MaxSimulatedFleet {
+		r, err := SimulateDist(users, d, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return r.DropPercent, nil
+	}
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if d == nil || d.total == 0 {
+		return 0, errors.New("capacity: empty service-time distribution")
+	}
+	return cfg.AnalyticDropPercent(users, d.Mean())
 }
 
 // SupportedUsersDist finds (by bisection) the largest user population whose

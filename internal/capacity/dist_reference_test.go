@@ -1,0 +1,165 @@
+package capacity
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"eabrowse/internal/simtime"
+)
+
+// simulateDistReference is the pre-optimization SimulateDist, verbatim: the
+// simtime.Clock closure-based event loop. It is kept as the oracle the
+// inlined-heap rewrite is pinned against — the two must agree bit-for-bit on
+// every field for every (dist, users, seed) combination, since fleet output
+// determinism depends on the capacity phase being an exact function of its
+// inputs.
+func simulateDistReference(users int, d *Dist, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	clock := simtime.NewClock()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := Result{Users: users}
+	busy := 0
+	smp := newSampler(d)
+
+	nextArrival := func() time.Duration {
+		return time.Duration(rng.ExpFloat64() * float64(cfg.MeanSessionInterval))
+	}
+
+	var arrive func()
+	arrive = func() {
+		res.Offered++
+		if busy >= cfg.Channels {
+			res.Dropped++
+		} else {
+			busy++
+			if busy > res.MaxBusy {
+				res.MaxBusy = busy
+			}
+			clock.After(time.Duration(smp.draw(rng)*float64(time.Second)), func() { busy-- })
+		}
+		clock.After(nextArrival(), arrive)
+	}
+	for u := 0; u < users; u++ {
+		clock.After(nextArrival(), arrive)
+	}
+	clock.RunUntil(cfg.Duration)
+
+	if res.Offered > 0 {
+		res.DropPercent = float64(res.Dropped) / float64(res.Offered) * 100
+	}
+	return res, nil
+}
+
+func referenceDists(t *testing.T) []*Dist {
+	t.Helper()
+	single := &Dist{}
+	if err := single.Add(2.5, 10); err != nil {
+		t.Fatal(err)
+	}
+	spread := &Dist{}
+	for i, v := range []float64{0.4, 1.2, 2.8, 5.5, 9.1, 14.7} {
+		if err := spread.Add(v, int64(3+i*7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	skewed := &Dist{}
+	if err := skewed.Add(0.25, 100000); err != nil {
+		t.Fatal(err)
+	}
+	if err := skewed.Add(30, 3); err != nil {
+		t.Fatal(err)
+	}
+	return []*Dist{single, spread, skewed}
+}
+
+func TestSimulateDistMatchesReferenceBitIdentical(t *testing.T) {
+	for di, d := range referenceDists(t) {
+		for _, users := range []int{1, 7, 150, 900} {
+			for _, seed := range []int64{1, 42, 987654321} {
+				cfg := Config{
+					Channels:            40,
+					MeanSessionInterval: 25 * time.Second,
+					Duration:            30 * time.Minute,
+					Seed:                seed,
+				}
+				got, err := SimulateDist(users, d, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := simulateDistReference(users, d, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("dist %d users %d seed %d: fast %+v != reference %+v",
+						di, users, seed, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSimulateDistMatchesReferencePaperConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-duration run")
+	}
+	d := referenceDists(t)[1]
+	cfg := DefaultConfig()
+	got, err := SimulateDist(3000, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := simulateDistReference(3000, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("paper config: fast %+v != reference %+v", got, want)
+	}
+}
+
+func TestDropPercentAt(t *testing.T) {
+	d := referenceDists(t)[1]
+	cfg := Config{
+		Channels:            40,
+		MeanSessionInterval: 25 * time.Second,
+		Duration:            20 * time.Minute,
+		Seed:                42,
+	}
+	// At or below the cap: exactly the simulated figure.
+	simmed, err := SimulateDist(500, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DropPercentAt(500, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != simmed.DropPercent {
+		t.Fatalf("below cap: DropPercentAt %v != SimulateDist %v", got, simmed.DropPercent)
+	}
+	// Above the cap: exactly the Erlang-B figure from the dist mean.
+	analytic, err := cfg.AnalyticDropPercent(MaxSimulatedFleet+1, d.Mean())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DropPercentAt(MaxSimulatedFleet+1, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != analytic {
+		t.Fatalf("above cap: DropPercentAt %v != AnalyticDropPercent %v", got, analytic)
+	}
+	if _, err := DropPercentAt(10, &Dist{}, cfg); err == nil {
+		t.Fatal("empty dist accepted")
+	}
+	if _, err := DropPercentAt(MaxSimulatedFleet+1, &Dist{}, cfg); err == nil {
+		t.Fatal("empty dist accepted on analytic path")
+	}
+	if _, err := DropPercentAt(0, d, cfg); err == nil {
+		t.Fatal("zero users accepted")
+	}
+}

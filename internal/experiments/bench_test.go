@@ -1,6 +1,10 @@
 package experiments
 
 import (
+	"bufio"
+	"os"
+	"strconv"
+	"strings"
 	"testing"
 
 	"eabrowse/internal/browser"
@@ -66,6 +70,52 @@ func BenchmarkFleetReplay(b *testing.B) {
 		visits = res.Visits
 	}
 	b.ReportMetric(float64(visits), "visits")
+}
+
+// BenchmarkFleetScale measures fleet throughput at a population large enough
+// for the counted-multiplicity fold to dominate (every visit after the first
+// few thousand hits an existing template). scripts/bench.sh records
+// users_per_sec, visits, and the process peak RSS in BENCH_FLEET.json; CI
+// gates on allocs/visit.
+func BenchmarkFleetScale(b *testing.B) {
+	if _, err := TrainedPredictor(true); err != nil {
+		b.Fatal(err)
+	}
+	cfg := FleetConfig{Users: 20_000, HoursPerUser: 0.25, Seed: 20130709}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var visits int
+	for i := 0; i < b.N; i++ {
+		res, err := Fleet(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		visits = res.Visits
+	}
+	b.StopTimer()
+	sec := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(float64(cfg.Users)/sec, "users_per_sec")
+	b.ReportMetric(float64(visits), "visits")
+	b.ReportMetric(float64(benchVmHWM())/1024, "peak_rss_mb")
+}
+
+// benchVmHWM reads the process peak resident set (kB) from
+// /proc/self/status; 0 when the file is unavailable (non-Linux).
+func benchVmHWM() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) >= 2 && fields[0] == "VmHWM:" {
+			kb, _ := strconv.ParseInt(fields[1], 10, 64)
+			return kb
+		}
+	}
+	return 0
 }
 
 // BenchmarkVisitFresh is the unpooled baseline for BenchmarkVisit: a new

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"strconv"
 	"strings"
 	"sync"
@@ -16,17 +17,21 @@ import (
 	"eabrowse/internal/policy"
 	"eabrowse/internal/rrc"
 	"eabrowse/internal/runner"
+	"eabrowse/internal/stats"
 	"eabrowse/internal/trace"
 	"eabrowse/internal/webpage"
 )
 
 // Fleet population and duration bounds, enforced by FleetConfig.Validate.
 // The ceiling keeps a mistyped flag from committing the process to days of
-// simulation: 200k users at 24 h each is already ~40× the paper's whole
-// collection campaign.
+// simulation. The counted-multiplicity replay handles 2M users in minutes on
+// one core (visits beyond the first per (template, reading-bucket) cell are
+// one int64 increment), so the bound sits an order of magnitude above the
+// paper's million-user framing rather than at the old per-visit-replay limit
+// of 200k.
 const (
 	MinFleetUsers        = 1
-	MaxFleetUsers        = 200_000
+	MaxFleetUsers        = 2_000_000
 	MaxFleetHoursPerUser = 24.0
 )
 
@@ -54,6 +59,12 @@ type FleetConfig struct {
 	// fixed thresholds, the default) or "adaptive" (a per-user recursive
 	// threshold estimator, see policy.Adaptive).
 	Policy string
+	// Progress, when non-nil, is called after each shard finishes with the
+	// number of completed shards and the shard total. Calls are serialized
+	// but may come from any worker goroutine. It does not affect the replay
+	// (eabench wires it to stderr under -timing so long fleets aren't
+	// silent).
+	Progress func(done, total int) `json:"-"`
 }
 
 // DefaultFleetConfig replays a 300-phone fleet for a quarter hour each.
@@ -267,47 +278,50 @@ type FleetResult struct {
 // is O(shards), independent of the fleet size.
 const fleetShards = 64
 
-// transHist is a per-shard histogram of transmission times in insertion
-// order. Distinct values are bounded by the template population (pages ×
-// start states), not by the visit count.
-type transHist struct {
-	order []float64
-	count map[float64]int64
-}
+// fleetSketchBudget is the centroid budget of the per-shard and merged
+// transmission-time sketches. Distinct values are normally bounded by the
+// template population, but delayed-release loads contribute one distinct
+// shifted value each, so the sketch compresses when a fleet produces more.
+// A var (not const) so equivalence tests can raise it to force exact mode.
+var fleetSketchBudget = 512
 
-func (h *transHist) add(v float64) {
-	if h.count == nil {
-		h.count = make(map[float64]int64, 256)
+// FleetShardCount returns how many shards a fleet of this size replays
+// (shard indices are 0..count-1). Exposed so multi-process coordinators can
+// split the shard range across workers.
+func FleetShardCount(cfg FleetConfig) int {
+	if cfg.Users < fleetShards {
+		return cfg.Users
 	}
-	if _, ok := h.count[v]; !ok {
-		h.order = append(h.order, v)
-	}
-	h.count[v]++
+	return fleetShards
 }
 
-// fleetShard is one shard's accumulated replay outcome.
-type fleetShard struct {
-	visits      int
-	switches    int
-	predictions int
-	origJ       float64
-	awareJ      float64
-	predJ       float64
-	origTrans   transHist
-	awareTrans  transHist
+// FleetShardResult is one shard's accumulated replay outcome: counters,
+// energies, and the two transmission-time sketches. Shards are pure
+// functions of (config, shard index), so any process can compute any shard
+// and a coordinator can merge them in shard order with FleetFromShards.
+type FleetShardResult struct {
+	Shard       int
+	Visits      int64
+	Switches    int64
+	Predictions int64
+	OrigJ       float64
+	AwareJ      float64
+	PredJ       float64
+	OrigTrans   *stats.Sketch
+	AwareTrans  *stats.Sketch
 }
 
-func (s *fleetShard) fold(o userOutcome) {
-	s.visits += o.visits
-	s.switches += o.switches
-	s.predictions += o.predictions
-	s.origJ += o.origJ
-	s.awareJ += o.awareJ
-	s.predJ += o.predJ
+func (s *FleetShardResult) fold(o userOutcome) {
+	s.Visits += int64(o.visits)
+	s.Switches += int64(o.switches)
+	s.Predictions += int64(o.predictions)
+	s.OrigJ += o.origJ
+	s.AwareJ += o.awareJ
+	s.PredJ += o.predJ
 }
 
 // userOutcome is one phone's replay under both pipelines. Transmission
-// times go straight into the shard histograms instead of riding here.
+// times go straight into the shard sketches instead of riding here.
 type userOutcome struct {
 	visits      int
 	switches    int
@@ -344,6 +358,35 @@ type userOutcome struct {
 //     stream is complete; they agree with the template engine to
 //     floating-point tolerance and are meant for small fleets.
 func Fleet(cfg FleetConfig) (*FleetResult, error) {
+	rt, err := newFleetRuntime(cfg)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := rt.runShards(cfg, 0, FleetShardCount(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return FleetFromShards(cfg, outs)
+}
+
+// RunFleetShards replays shards [lo, hi) of the fleet and returns their
+// accumulators. It is the worker half of the multi-process mode: each worker
+// builds its own runtime (template cache, predictor) for its contiguous
+// shard range, and the coordinator merges the results with FleetFromShards.
+// Because each shard is a pure function of (config, shard index), the merge
+// is byte-identical to a single-process run.
+func RunFleetShards(cfg FleetConfig, lo, hi int) ([]FleetShardResult, error) {
+	rt, err := newFleetRuntime(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return rt.runShards(cfg, lo, hi)
+}
+
+// newFleetRuntime validates the config and builds the shared read-only
+// replay state: the streaming trace, the deployed predictor, the resolved
+// radios and channel segmentation.
+func newFleetRuntime(cfg FleetConfig) (*fleetRuntime, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -394,6 +437,16 @@ func Fleet(cfg FleetConfig) (*FleetResult, error) {
 	}
 	rt.predVisitJ = rt.device.PredictionEnergyJ(pred.NumTrees())
 	rt.acfg = policy.DefaultAdaptiveConfig(rt.params)
+	// The folded replay assumes a session-break drain always completes an
+	// in-flight forced release (true for every registered backend: the drain
+	// spans the whole tail plus a second). A backend violating that falls
+	// back to the per-visit engine rather than folding incorrectly.
+	rt.folded = !rt.traced && !rt.adaptive && !fleetFoldOff
+	for i := range radios {
+		if radios[i].tail.ReleaseDelay > radios[i].drain {
+			rt.folded = false
+		}
+	}
 	if sched != nil {
 		// One constant schedule per segment: a load replayed from a template
 		// sees the conditions of the segment its user's channel clock is in
@@ -408,23 +461,40 @@ func Fleet(cfg FleetConfig) (*FleetResult, error) {
 			rt.segScheds[i] = cs
 		}
 	}
+	return rt, nil
+}
 
-	shards := fleetShards
-	if cfg.Users < shards {
-		shards = cfg.Users
+// runShards replays shards [lo, hi) on the runner pool, one task per shard.
+// Each task owns one rng and one visit buffer, reused across its users.
+func (rt *fleetRuntime) runShards(cfg FleetConfig, lo, hi int) ([]FleetShardResult, error) {
+	total := FleetShardCount(cfg)
+	if lo < 0 || hi > total || lo >= hi {
+		return nil, fmt.Errorf("fleet: shard range [%d, %d) outside [0, %d)", lo, hi, total)
 	}
-	outs, err := runner.Collect(shards, func(sh int) (fleetShard, error) {
-		var out fleetShard
-		lo := sh * cfg.Users / shards
-		hi := (sh + 1) * cfg.Users / shards
+	var progressMu sync.Mutex
+	done := 0
+	outs, err := runner.Collect(hi-lo, func(i int) (FleetShardResult, error) {
+		sh := lo + i
+		out := FleetShardResult{
+			Shard:      sh,
+			OrigTrans:  stats.NewSketch(fleetSketchBudget),
+			AwareTrans: stats.NewSketch(fleetSketchBudget),
+		}
+		shLo := sh * cfg.Users / total
+		shHi := (sh + 1) * cfg.Users / total
+		rng := rand.New(rand.NewSource(1)) // reseeded per user
 		var visitBuf []trace.Visit
-		for u := lo; u < hi; u++ {
-			visitBuf = rt.stream.UserVisits(u, visitBuf[:0])
+		var fs foldState
+		for u := shLo; u < shHi; u++ {
+			visitBuf = rt.stream.UserVisitsRand(rng, u, visitBuf[:0])
 			var o userOutcome
 			var err error
-			if rt.traced {
+			switch {
+			case rt.traced:
 				o, err = rt.replayUserTraced(u, visitBuf, &out)
-			} else {
+			case rt.folded:
+				err = rt.replayUserFolded(u, visitBuf, &fs, &out)
+			default:
 				o, err = rt.replayUserTemplated(u, visitBuf, &out)
 			}
 			if err != nil {
@@ -432,8 +502,38 @@ func Fleet(cfg FleetConfig) (*FleetResult, error) {
 			}
 			out.fold(o)
 		}
+		if rt.folded {
+			fs.flush(rt, &out)
+		}
+		if cfg.Progress != nil {
+			progressMu.Lock()
+			done++
+			cfg.Progress(done, hi-lo)
+			progressMu.Unlock()
+		}
 		return out, nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// FleetFromShards merges a complete, shard-ordered set of shard accumulators
+// into the fleet result. Counters and energies fold in shard order; the
+// per-shard sketches merge in shard order into one summary per pipeline,
+// whose centroids (ascending) feed the capacity model. The merge is the same
+// whether the shards came from this process, from runner workers, or over
+// the multi-process wire — the byte-identity contract of the fleet.
+func FleetFromShards(cfg FleetConfig, outs []FleetShardResult) (*FleetResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	total := FleetShardCount(cfg)
+	if len(outs) != total {
+		return nil, fmt.Errorf("fleet: got %d shards, want %d", len(outs), total)
+	}
+	radios, err := cfg.fleetRadios()
 	if err != nil {
 		return nil, err
 	}
@@ -447,25 +547,21 @@ func Fleet(cfg FleetConfig) (*FleetResult, error) {
 	}
 	res.Original.Mode = browser.ModeOriginal
 	res.Aware.Mode = browser.ModeEnergyAware
-	var origDist, awareDist capacity.Dist
+	origTrans := stats.NewSketch(fleetSketchBudget)
+	awareTrans := stats.NewSketch(fleetSketchBudget)
 	for i := range outs {
 		o := &outs[i]
-		res.Visits += o.visits
-		res.Original.EnergyJ += o.origJ
-		res.Aware.EnergyJ += o.awareJ
-		res.Aware.Switches += o.switches
-		res.Aware.Predictions += o.predictions
-		res.Aware.PredictionEnergyJ += o.predJ
-		for _, v := range o.origTrans.order {
-			if err := origDist.Add(v, o.origTrans.count[v]); err != nil {
-				return nil, err
-			}
+		if o.Shard != i {
+			return nil, fmt.Errorf("fleet: shard %d out of order at position %d", o.Shard, i)
 		}
-		for _, v := range o.awareTrans.order {
-			if err := awareDist.Add(v, o.awareTrans.count[v]); err != nil {
-				return nil, err
-			}
-		}
+		res.Visits += int(o.Visits)
+		res.Original.EnergyJ += o.OrigJ
+		res.Aware.EnergyJ += o.AwareJ
+		res.Aware.Switches += int(o.Switches)
+		res.Aware.Predictions += int(o.Predictions)
+		res.Aware.PredictionEnergyJ += o.PredJ
+		origTrans.Merge(o.OrigTrans)
+		awareTrans.Merge(o.AwareTrans)
 	}
 	res.Original.MeanEnergyPerUserJ = res.Original.EnergyJ / float64(cfg.Users)
 	res.Aware.MeanEnergyPerUserJ = res.Aware.EnergyJ / float64(cfg.Users)
@@ -476,20 +572,28 @@ func Fleet(cfg FleetConfig) (*FleetResult, error) {
 
 	ccfg := capacity.DefaultConfig()
 	for _, side := range []struct {
-		stats *FleetModeStats
-		dist  *capacity.Dist
-	}{{&res.Original, &origDist}, {&res.Aware, &awareDist}} {
-		side.stats.MeanTransmissionS = side.dist.Mean()
-		supported, err := capacity.SupportedUsersDist(side.dist, 2, ccfg)
+		stats  *FleetModeStats
+		sketch *stats.Sketch
+	}{{&res.Original, origTrans}, {&res.Aware, awareTrans}} {
+		var dist capacity.Dist
+		for _, c := range side.sketch.Centroids() {
+			if err := dist.Add(c.V, c.N); err != nil {
+				return nil, err
+			}
+		}
+		// The sketch's mean is exact (compression never touches the running
+		// sum), so the reported hold time carries no sketch error.
+		side.stats.MeanTransmissionS = side.sketch.Mean()
+		supported, err := capacity.SupportedUsersDist(&dist, 2, ccfg)
 		if err != nil {
 			return nil, err
 		}
 		side.stats.SupportedAt2Pct = supported
-		atFleet, err := capacity.SimulateDist(cfg.Users, side.dist, ccfg)
+		atFleet, err := capacity.DropPercentAt(cfg.Users, &dist, ccfg)
 		if err != nil {
 			return nil, err
 		}
-		side.stats.DropPctAtFleet = atFleet.DropPercent
+		side.stats.DropPctAtFleet = atFleet
 	}
 	if res.Original.SupportedAt2Pct > 0 {
 		res.CapacityGainPct = float64(res.Aware.SupportedAt2Pct-res.Original.SupportedAt2Pct) /
@@ -497,6 +601,10 @@ func Fleet(cfg FleetConfig) (*FleetResult, error) {
 	}
 	return res, nil
 }
+
+// fleetFoldOff disables the counted-multiplicity fold (tests compare the
+// folded and per-visit engines through it).
+var fleetFoldOff bool
 
 // fleetRuntime is the read-only state shared by every shard.
 type fleetRuntime struct {
@@ -509,6 +617,10 @@ type fleetRuntime struct {
 	mixSeed    int64
 	predVisitJ float64
 	traced     bool
+	// folded selects the counted-multiplicity replay (fleet_fold.go): static
+	// policy, untraced, and every radio's release completes within a
+	// session-break drain.
+	folded bool
 
 	// sched is the fleet's channel scenario (nil for a fixed link);
 	// segScheds holds one constant schedule per segment for template builds.
@@ -573,6 +685,9 @@ type visitTemplate struct {
 	vec      features.Vector
 	predS    float64
 	switchOn bool
+	// fold is the precomputed piecewise-linear reading-walk table the
+	// counted-multiplicity replay folds visits through (fleet_fold.go).
+	fold *foldPlan
 }
 
 func (rt *fleetRuntime) template(fr *fleetRadio, key tmplKey) (*visitTemplate, error) {
@@ -671,6 +786,7 @@ func (rt *fleetRuntime) buildTemplate(fr *fleetRadio, key tmplKey) (*visitTempla
 		t.predS = predS
 		t.switchOn = policy.Evaluate(time.Duration(predS*float64(time.Second)), rt.params).Switch
 	}
+	t.fold = buildFoldPlan(t, key.mode, fr, rt.params.Alpha)
 	return t, nil
 }
 
@@ -777,7 +893,7 @@ func sessionCursor(s *Session, tp *rrc.TailProfile) phoneCursor {
 // advances by the original pipeline's load duration plus the reading window
 // — decision-independent, so both pipelines browse the same channel and the
 // energy-aware policy cannot shift its own conditions by releasing.
-func (rt *fleetRuntime) replayUserTemplated(u int, visits []trace.Visit, shard *fleetShard) (userOutcome, error) {
+func (rt *fleetRuntime) replayUserTemplated(u int, visits []trace.Visit, shard *FleetShardResult) (userOutcome, error) {
 	var out userOutcome
 	if len(visits) == 0 {
 		return out, nil
@@ -814,7 +930,7 @@ func (rt *fleetRuntime) replayUserTemplated(u int, visits []trace.Visit, shard *
 		// Original pipeline: load, then sit through the reading window on
 		// operator timers. A RELEASING start never happens here (the stock
 		// pipeline never forces dormancy), but the shift handles it anyway.
-		loadS, err := rt.playLoad(fr, &orig, browser.ModeOriginal, v.Page, seg, &out.origJ, &shard.origTrans, nil)
+		loadS, err := rt.playLoad(fr, &orig, browser.ModeOriginal, v.Page, seg, &out.origJ, shard.OrigTrans, nil)
 		if err != nil {
 			return out, err
 		}
@@ -823,7 +939,7 @@ func (rt *fleetRuntime) replayUserTemplated(u int, visits []trace.Visit, shard *
 		// Energy-aware pipeline: Algorithm 2.
 		var predS float64
 		havePred := false
-		if _, err := rt.playLoad(fr, &aware, browser.ModeEnergyAware, v.Page, seg, &out.awareJ, &shard.awareTrans, func(t *visitTemplate, delta time.Duration) error {
+		if _, err := rt.playLoad(fr, &aware, browser.ModeEnergyAware, v.Page, seg, &out.awareJ, shard.AwareTrans, func(t *visitTemplate, delta time.Duration) error {
 			if delta == 0 {
 				predS = t.predS
 				havePred = true
@@ -894,7 +1010,7 @@ func (rt *fleetRuntime) replayUserTemplated(u int, visits []trace.Visit, shard *
 // onPredict (aware loads) receives the template and the shift. The return is
 // the load's wall-clock duration in seconds, shift included.
 func (rt *fleetRuntime) playLoad(fr *fleetRadio, pc *phoneCursor, mode browser.Mode, page string,
-	seg int, energyJ *float64, hist *transHist,
+	seg int, energyJ *float64, hist *stats.Sketch,
 	onPredict func(*visitTemplate, time.Duration) error) (float64, error) {
 
 	tp := &fr.tail
@@ -914,7 +1030,7 @@ func (rt *fleetRuntime) playLoad(fr *fleetRadio, pc *phoneCursor, mode browser.M
 		*energyJ += tp.ReleasePowerW * delta.Seconds()
 		transS += delta.Seconds()
 	}
-	hist.add(transS)
+	hist.Observe(transS, 1)
 	pc.stage = t.endStage
 	pc.rem = t.endRem
 	if onPredict != nil {
@@ -931,7 +1047,7 @@ func (rt *fleetRuntime) playLoad(fr *fleetRadio, pc *phoneCursor, mode browser.M
 // transition, transfer and policy decision lands in the trace. Used when
 // obs tracing is enabled; agrees with the template engine to floating-point
 // tolerance.
-func (rt *fleetRuntime) replayUserTraced(user int, visits []trace.Visit, shard *fleetShard) (userOutcome, error) {
+func (rt *fleetRuntime) replayUserTraced(user int, visits []trace.Visit, shard *FleetShardResult) (userOutcome, error) {
 	out := userOutcome{}
 	if len(visits) == 0 {
 		return out, nil
@@ -987,7 +1103,7 @@ func (rt *fleetRuntime) replayUserTraced(user int, visits []trace.Visit, shard *
 			return out, fmt.Errorf("original %s: %w", v.Page, err)
 		}
 		origCPUJ += origRes.CPUEnergyJ
-		shard.origTrans.add(origRes.TransmissionTime.Seconds())
+		shard.OrigTrans.Observe(origRes.TransmissionTime.Seconds(), 1)
 		orig.Clock.RunFor(reading)
 
 		awareRes, err := aware.LoadToEnd(page)
@@ -995,7 +1111,7 @@ func (rt *fleetRuntime) replayUserTraced(user int, visits []trace.Visit, shard *
 			return out, fmt.Errorf("aware %s: %w", v.Page, err)
 		}
 		awareCPUJ += awareRes.CPUEnergyJ
-		shard.awareTrans.add(awareRes.TransmissionTime.Seconds())
+		shard.AwareTrans.Observe(awareRes.TransmissionTime.Seconds(), 1)
 		if reading <= alpha {
 			aware.Clock.RunFor(reading)
 		} else {

@@ -1,0 +1,79 @@
+//go:build fleetheavy
+
+package experiments
+
+import (
+	"bufio"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// vmHWM reads the process peak resident set (kB) from /proc/self/status.
+// The high-water mark is monotone, so the 100k measurement must be taken
+// before the million-user run in the same process.
+func vmHWM(t *testing.T) int64 {
+	t.Helper()
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		t.Skipf("no /proc/self/status: %v", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			break
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			break
+		}
+		return kb
+	}
+	t.Fatal("VmHWM not found in /proc/self/status")
+	return 0
+}
+
+// TestFleetMillionUsersBoundedMemory is the headline scaling smoke: a
+// million-user fleet must complete with a peak RSS within 2x of a 100k-user
+// run (the streaming shard design keeps memory independent of population)
+// and under an absolute 1 GiB budget. Build with -tags fleetheavy; the run
+// takes on the order of half a minute on one core.
+func TestFleetMillionUsersBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy fleet smoke")
+	}
+	small := FleetConfig{Users: 100_000, HoursPerUser: 0.25, Seed: 20130709}
+	if _, err := Fleet(small); err != nil {
+		t.Fatalf("100k fleet: %v", err)
+	}
+	h1 := vmHWM(t)
+
+	big := FleetConfig{Users: 1_000_000, HoursPerUser: 0.25, Seed: 20130709}
+	start := time.Now()
+	res, err := Fleet(big)
+	if err != nil {
+		t.Fatalf("1M fleet: %v", err)
+	}
+	elapsed := time.Since(start)
+	h2 := vmHWM(t)
+
+	t.Logf("100k peak RSS %d kB; 1M peak RSS %d kB; 1M run %.1fs (%.0f users/sec, %d visits)",
+		h1, h2, elapsed.Seconds(), float64(big.Users)/elapsed.Seconds(), res.Visits)
+	if h2 > 2*h1 {
+		t.Errorf("1M-user peak RSS %d kB exceeds 2x the 100k-user run's %d kB", h2, h1)
+	}
+	if limit := int64(1 << 20); h2 > limit { // 1 GiB in kB
+		t.Errorf("1M-user peak RSS %d kB exceeds the absolute budget %d kB", h2, limit)
+	}
+	if res.Visits == 0 || res.Aware.Predictions == 0 {
+		t.Error("million-user fleet replayed no work")
+	}
+}

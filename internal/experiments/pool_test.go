@@ -194,9 +194,9 @@ func TestFleetConfigBounds(t *testing.T) {
 		cfg  FleetConfig
 		want string
 	}{
-		{FleetConfig{Users: 0, HoursPerUser: 1}, "[1, 200000]"},
-		{FleetConfig{Users: -5, HoursPerUser: 1}, "[1, 200000]"},
-		{FleetConfig{Users: 200001, HoursPerUser: 1}, "[1, 200000]"},
+		{FleetConfig{Users: 0, HoursPerUser: 1}, "[1, 2000000]"},
+		{FleetConfig{Users: -5, HoursPerUser: 1}, "[1, 2000000]"},
+		{FleetConfig{Users: 2000001, HoursPerUser: 1}, "[1, 2000000]"},
 		{FleetConfig{Users: 10, HoursPerUser: 0}, "(0, 24]"},
 		{FleetConfig{Users: 10, HoursPerUser: -1}, "(0, 24]"},
 		{FleetConfig{Users: 10, HoursPerUser: 25}, "(0, 24]"},
@@ -214,7 +214,7 @@ func TestFleetConfigBounds(t *testing.T) {
 	}
 	for _, cfg := range []FleetConfig{
 		{Users: 1, HoursPerUser: 0.01, Seed: 1},
-		{Users: 200000, HoursPerUser: 24, Seed: 1},
+		{Users: 2000000, HoursPerUser: 24, Seed: 1},
 	} {
 		if err := cfg.Validate(); err != nil {
 			t.Errorf("Validate rejected in-range %+v: %v", cfg, err)

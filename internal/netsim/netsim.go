@@ -163,7 +163,16 @@ func NewLink(clock *simtime.Clock, radio rrc.RadioModel, cfg Config) (*Link, err
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	l := &Link{clock: clock, radio: radio, cfg: cfg, maxAttempts: DefaultTransferAttempts}
+	// Queue and record capacity cover a typical page load outright, so a
+	// fresh link never grows them mid-visit.
+	l := &Link{
+		clock:       clock,
+		radio:       radio,
+		cfg:         cfg,
+		maxAttempts: DefaultTransferAttempts,
+		queue:       make([]Transfer, 0, 8),
+		records:     make([]Record, 0, 16),
+	}
 	l.startDCHFn = l.startDCHCur
 	l.dchEndFn = l.dchEnd
 	l.fachEndFn = l.fachEnd

@@ -79,7 +79,9 @@ type Ledger struct {
 // NewLedger builds a ledger over the given probe; names labels the probe's
 // vector slots and must outlive the ledger.
 func NewLedger(probe EnergyProbe, names *StateNames) *Ledger {
-	return &Ledger{probe: probe, names: names}
+	// A load marks transmission, layout, tail and the closing seal; capacity
+	// for eight keeps every normal load free of mark-slice growth.
+	return &Ledger{probe: probe, names: names, marks: make([]ledgerMark, 0, 8)}
 }
 
 // Reopen resets a sealed ledger for a new load, keeping the probe, the name

@@ -48,8 +48,17 @@ func (s *Stream) Pool() []PoolPage { return s.pool }
 // The sequence is deterministic in (Config, u) and independent of any other
 // user's. Safe for concurrent use with distinct buffers.
 func (s *Stream) UserVisits(u int, buf []Visit) []Visit {
+	return s.UserVisitsRand(rand.New(rand.NewSource(userSeed(s.cfg.Seed, u))), u, buf)
+}
+
+// UserVisitsRand is UserVisits with a caller-owned rng, reseeded in place:
+// Seed resets a rand.Rand to exactly the state rand.New(rand.NewSource(seed))
+// constructs, so the sequence is identical while the per-user source+rng
+// allocations (several kB each at fleet scale) disappear. The rng must not
+// be shared across concurrent calls.
+func (s *Stream) UserVisitsRand(rng *rand.Rand, u int, buf []Visit) []Visit {
 	cfg := s.cfg
-	rng := rand.New(rand.NewSource(userSeed(cfg.Seed, u)))
+	rng.Seed(userSeed(cfg.Seed, u))
 	liked := pickLiked(rng, cfg.Categories, cfg.LikedCategories)
 	userFactor := math.Exp(rng.NormFloat64() * 0.2)
 	budget := cfg.HoursPerUser * 3600

@@ -1,0 +1,32 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestUserVisitsRandMatchesUserVisits pins the rng-reuse fast path: one
+// reseeded rand.Rand walked across many users must reproduce exactly the
+// visit sequences that per-user freshly constructed rngs produce.
+func TestUserVisitsRandMatchesUserVisits(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Users = 10
+	cfg.HoursPerUser = 0.5
+	s, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1)) // state is overwritten by each Seed
+	var reused []Visit
+	for u := 0; u < cfg.Users; u++ {
+		fresh := s.UserVisits(u, nil)
+		reused = s.UserVisitsRand(rng, u, reused[:0])
+		if !reflect.DeepEqual(fresh, reused) {
+			t.Fatalf("user %d: reused-rng visits diverge from fresh-rng visits", u)
+		}
+		if len(fresh) == 0 {
+			t.Fatalf("user %d: empty visit sequence", u)
+		}
+	}
+}

@@ -3,14 +3,19 @@
 # future PRs diff against.
 #
 # Usage:
-#   scripts/bench.sh [suite] [output.json]
+#   scripts/bench.sh [-f] [suite] [output.json]
 #
 # Suites:
 #   gbrt  (default)  GBRT training/prediction        -> BENCH_GBRT.json
 #   sim              simulation core (visit + fleet) -> BENCH_SIM.json
+#   fleet            fleet-at-scale throughput       -> BENCH_FLEET.json
 #
 # For backwards compatibility a single .json argument selects the gbrt suite
 # with that output path.
+#
+# Overwriting a git-tracked snapshot while the working tree is dirty is
+# refused (a half-finished change would silently become the committed
+# baseline); pass -f to override.
 #
 # The JSON is an object with run metadata plus one record per benchmark:
 #   {"go": "...", "commit": "...", "benchmarks": [
@@ -21,6 +26,11 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+force=0
+if [ "${1:-}" = "-f" ]; then
+	force=1
+	shift
+fi
 suite="${1:-gbrt}"
 case "$suite" in
 *.json)
@@ -32,12 +42,30 @@ case "$suite" in
 	;;
 esac
 
+case "$suite" in
+gbrt) out="${out:-BENCH_GBRT.json}" ;;
+sim) out="${out:-BENCH_SIM.json}" ;;
+fleet) out="${out:-BENCH_FLEET.json}" ;;
+*)
+	echo "unknown suite: $suite (want gbrt, sim or fleet)" >&2
+	exit 2
+	;;
+esac
+
+# Refuse to overwrite a committed snapshot from a dirty tree: the snapshot
+# records the perf of a commit, and a dirty tree is not one.
+if [ "$force" -ne 1 ] && [ -e "$out" ] &&
+	git ls-files --error-unmatch "$out" > /dev/null 2>&1 &&
+	[ -n "$(git status --porcelain 2>/dev/null)" ]; then
+	echo "refusing to overwrite committed snapshot $out on a dirty tree (use -f to override)" >&2
+	exit 3
+fi
+
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 case "$suite" in
 gbrt)
-	out="${out:-BENCH_GBRT.json}"
 	# Root-package GBRT benchmarks (train shapes + batch prediction) and the
 	# in-package fleet-shape pair, which includes the preserved pre-refactor
 	# reference engine so old-vs-new is always measured on the same machine.
@@ -45,7 +73,6 @@ gbrt)
 	go test -run '^$' -bench 'FleetShape' -benchmem -count=1 ./internal/gbrt | tee -a "$raw"
 	;;
 sim)
-	out="${out:-BENCH_SIM.json}"
 	# Steady-state pooled visit (the zero-alloc target CI gates on), its
 	# fresh-session baseline, and the fleet experiment end to end.
 	go test -run '^$' -bench '^(BenchmarkVisit|BenchmarkVisitFresh)$' \
@@ -53,9 +80,12 @@ sim)
 	go test -run '^$' -bench '^BenchmarkFleetReplay$' -benchtime 3x \
 		-benchmem -count=1 ./internal/experiments | tee -a "$raw"
 	;;
-*)
-	echo "unknown suite: $suite (want gbrt or sim)" >&2
-	exit 2
+fleet)
+	# Fleet throughput at a fold-dominated population: users_per_sec, visit
+	# count and process peak RSS ride along as custom metrics, and CI gates
+	# on allocs-per-visit (allocs_per_op / visits).
+	go test -run '^$' -bench '^BenchmarkFleetScale$' -benchtime 2x \
+		-benchmem -count=1 ./internal/experiments | tee -a "$raw"
 	;;
 esac
 
