@@ -832,11 +832,12 @@ func runFleet(p *printer, opts benchOptions) error {
 		fmt.Fprintf(p.w, "channel: %s, policy: %s\n", ch, res.Policy)
 	}
 	p.table(func(w *tabwriter.Writer) {
-		fmt.Fprintln(w, "pipeline\ttotal energy (J)\tper phone (J)\tmean trans (s)\tdrop% at fleet\tusers at 2% drop")
+		fmt.Fprintln(w, "pipeline\ttotal energy (J)\tper phone (J)\tvisit J p50\tp95\tp99\tmean trans (s)\tdrop% at fleet\tusers at 2% drop")
 		for _, s := range []*experiments.FleetModeStats{&res.Original, &res.Aware} {
-			fmt.Fprintf(w, "%v\t%.0f\t%.1f\t%.2f\t%.2f\t%d\n",
-				s.Mode, s.EnergyJ, s.MeanEnergyPerUserJ, s.MeanTransmissionS,
-				s.DropPctAtFleet, s.SupportedAt2Pct)
+			fmt.Fprintf(w, "%v\t%.0f\t%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%d\n",
+				s.Mode, s.EnergyJ, s.MeanEnergyPerUserJ,
+				s.VisitEnergyP50J, s.VisitEnergyP95J, s.VisitEnergyP99J,
+				s.MeanTransmissionS, s.DropPctAtFleet, s.SupportedAt2Pct)
 		}
 	})
 	fmt.Fprintf(p.w, "energy-aware: %d forced releases, %d predictions (%.2f J prediction cost)\n",

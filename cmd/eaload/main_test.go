@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRequestBodyShapes(t *testing.T) {
+	var pr struct {
+		Features []float64 `json:"features"`
+	}
+	if err := json.Unmarshal([]byte(requestBody("predict", 1)), &pr); err != nil {
+		t.Fatalf("predict body: %v", err)
+	}
+	if len(pr.Features) != 10 {
+		t.Fatalf("predict features = %d, want 10", len(pr.Features))
+	}
+
+	var dr struct {
+		Features []float64 `json:"features"`
+		Mode     string    `json:"mode"`
+	}
+	if err := json.Unmarshal([]byte(requestBody("decide", 1)), &dr); err != nil {
+		t.Fatalf("decide body: %v", err)
+	}
+	if dr.Mode != "power" || len(dr.Features) != 10 {
+		t.Fatalf("decide body = mode %q, %d features", dr.Mode, len(dr.Features))
+	}
+
+	var br struct {
+		Features [][]float64 `json:"features"`
+	}
+	if err := json.Unmarshal([]byte(requestBody("predict_batch", 7)), &br); err != nil {
+		t.Fatalf("batch body: %v", err)
+	}
+	if len(br.Features) != 7 {
+		t.Fatalf("batch vectors = %d, want 7", len(br.Features))
+	}
+	// Vectors must differ so the forest walk isn't trivially cached.
+	if br.Features[0][1] == br.Features[6][1] {
+		t.Fatalf("batch vectors not perturbed: %v vs %v", br.Features[0], br.Features[6])
+	}
+}
+
+func TestReadResponse(t *testing.T) {
+	cases := []struct {
+		name       string
+		raw        string
+		status     int
+		closeAfter bool
+		wantErr    bool
+	}{
+		{
+			name:   "ok",
+			raw:    "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 5\r\n\r\nhello",
+			status: 200,
+		},
+		{
+			name:   "status with reason and folded casing",
+			raw:    "HTTP/1.1 429 Too Many Requests\r\ncontent-length: 2\r\n\r\n{}",
+			status: 429,
+		},
+		{
+			name:       "connection close honored",
+			raw:        "HTTP/1.1 200 OK\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+			status:     200,
+			closeAfter: true,
+		},
+		{
+			name:    "chunked unsupported",
+			raw:     "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+			wantErr: true,
+		},
+		{
+			name:    "no framing",
+			raw:     "HTTP/1.1 200 OK\r\n\r\n",
+			wantErr: true,
+		},
+		{
+			name:    "garbage",
+			raw:     "ICY 200 OK\r\n\r\n",
+			wantErr: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, closeAfter, err := readResponse(bufio.NewReader(strings.NewReader(tc.raw)))
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("want error, got status %d", status)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("readResponse: %v", err)
+			}
+			if status != tc.status || closeAfter != tc.closeAfter {
+				t.Fatalf("got status %d closeAfter %v, want %d %v", status, closeAfter, tc.status, tc.closeAfter)
+			}
+		})
+	}
+}
+
+// TestReadResponseKeepAlive feeds two back-to-back responses through one
+// reader — the keep-alive case the load loop depends on.
+func TestReadResponseKeepAlive(t *testing.T) {
+	raw := "HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nabc" +
+		"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 4\r\n\r\nbusy"
+	br := bufio.NewReader(strings.NewReader(raw))
+	for i, want := range []int{200, 503} {
+		status, _, err := readResponse(br)
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if status != want {
+			t.Fatalf("response %d status = %d, want %d", i, status, want)
+		}
+	}
+}
+
+func TestFormatRequest(t *testing.T) {
+	cfg := loadConfig{addr: "127.0.0.1:9", path: "/v1/predict", body: []byte(`{"features":[1]}`)}
+	req := string(formatRequest(&cfg))
+	for _, want := range []string{
+		"POST /v1/predict HTTP/1.1\r\n",
+		"Host: 127.0.0.1:9\r\n",
+		"Content-Length: 16\r\n",
+		"\r\n\r\n", // header terminator
+		`{"features":[1]}`,
+	} {
+		if !strings.Contains(req, want) {
+			t.Fatalf("request %q missing %q", req, want)
+		}
+	}
+}
+
+// TestOpenLoopSchedulePartition checks that the round-robin arrival split
+// covers every arrival index exactly once across connections.
+func TestOpenLoopSchedulePartition(t *testing.T) {
+	const conns, total = 4, 41
+	seen := make([]int, total)
+	for id := 0; id < conns; id++ {
+		for i := int64(id); i < total; i += int64(conns) {
+			seen[i]++
+		}
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("arrival %d covered %d times", i, n)
+		}
+	}
+}
+
+func TestReportJSONStable(t *testing.T) {
+	rep := &Report{
+		Endpoint: "/v1/predict", Mode: "open", TargetRPS: 1000, Conns: 4,
+		DurationS: 2, WarmupS: 1, Requests: 2000, AchievedRPS: 999.5,
+		Latency: LatencyUS{P50: 10, P95: 20, P99: 30, P999: 40, Mean: 12.5, ErrorBound: 0.5},
+	}
+	var buf bytes.Buffer
+	if err := rep.writeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if back != *rep {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, *rep)
+	}
+	// Stable field order for line-oriented consumers.
+	if !strings.Contains(buf.String(), `"endpoint": "/v1/predict"`) {
+		t.Fatalf("unexpected formatting:\n%s", buf.String())
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-endpoint", "nope", "-addr", "x"},
+		{"-conns", "0", "-addr", "x"},
+		{"-batch", "0", "-addr", "x"},
+		{"-duration", "0s", "-addr", "x"},
+		{}, // no addr, no -inprocess
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestEndToEndInprocess boots the in-process server and runs a tiny
+// closed-loop and open-loop measurement against each endpoint.
+func TestEndToEndInprocess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped in -short")
+	}
+	stop, addr, err := startInprocess()
+	if err != nil {
+		t.Fatalf("startInprocess: %v", err)
+	}
+	defer stop()
+
+	for _, tc := range []struct {
+		endpoint string
+		rate     float64
+	}{
+		{"predict", 0},
+		{"decide", 200},
+		{"predict_batch", 0},
+	} {
+		cfg := loadConfig{
+			addr:     addr,
+			path:     endpointPath[tc.endpoint],
+			body:     []byte(requestBody(tc.endpoint, 4)),
+			rate:     tc.rate,
+			duration: 300 * time.Millisecond,
+			warmup:   100 * time.Millisecond,
+			conns:    2,
+			timeout:  5 * time.Second,
+			budget:   256,
+		}
+		rep, err := runLoad(cfg)
+		if err != nil {
+			t.Fatalf("%s: runLoad: %v", tc.endpoint, err)
+		}
+		if rep.Requests == 0 {
+			t.Fatalf("%s: no requests recorded", tc.endpoint)
+		}
+		if rep.Errors != 0 || rep.Non2xx != 0 {
+			t.Fatalf("%s: errors=%d non2xx=%d", tc.endpoint, rep.Errors, rep.Non2xx)
+		}
+		if rep.Latency.P50 <= 0 || rep.Latency.P99 < rep.Latency.P50 {
+			t.Fatalf("%s: implausible latency %+v", tc.endpoint, rep.Latency)
+		}
+		wantMode := "closed"
+		if tc.rate > 0 {
+			wantMode = "open"
+		}
+		if rep.Mode != wantMode {
+			t.Fatalf("%s: mode = %q, want %q", tc.endpoint, rep.Mode, wantMode)
+		}
+	}
+}

@@ -244,6 +244,15 @@ type FleetModeStats struct {
 	SupportedAt2Pct int
 	// DropPctAtFleet is the dropping probability at the fleet's own size.
 	DropPctAtFleet float64
+	// VisitEnergyP50J/P95J/P99J are percentiles of the per-visit energy
+	// distribution, estimated from the merged shard sketches (so they carry
+	// the sketch's quantile error bound, not association-exact values). A
+	// visit's energy is its load plus the reading-window radio walk, with the
+	// prediction cost included when a prediction ran; session-break drains are
+	// excluded — they belong to the idle gap between sessions, not to a visit.
+	VisitEnergyP50J float64
+	VisitEnergyP95J float64
+	VisitEnergyP99J float64
 	// Switches counts Algorithm 2's forced releases; Predictions counts GBRT
 	// evaluations; PredictionEnergyJ is their Table 7 cost (already included
 	// in EnergyJ). All zero for the original pipeline.
@@ -296,9 +305,10 @@ func FleetShardCount(cfg FleetConfig) int {
 }
 
 // FleetShardResult is one shard's accumulated replay outcome: counters,
-// energies, and the two transmission-time sketches. Shards are pure
-// functions of (config, shard index), so any process can compute any shard
-// and a coordinator can merge them in shard order with FleetFromShards.
+// energies, the two transmission-time sketches and the two per-visit energy
+// sketches. Shards are pure functions of (config, shard index), so any
+// process can compute any shard and a coordinator can merge them in shard
+// order with FleetFromShards.
 type FleetShardResult struct {
 	Shard       int
 	Visits      int64
@@ -309,6 +319,12 @@ type FleetShardResult struct {
 	PredJ       float64
 	OrigTrans   *stats.Sketch
 	AwareTrans  *stats.Sketch
+	// OrigVisitJ/AwareVisitJ hold one observation per visit: the visit's
+	// energy (load + reading-window walk + prediction cost when one ran,
+	// session-break drains excluded). They feed the fleet-wide per-visit
+	// energy percentiles.
+	OrigVisitJ  *stats.Sketch
+	AwareVisitJ *stats.Sketch
 }
 
 func (s *FleetShardResult) fold(o userOutcome) {
@@ -476,9 +492,11 @@ func (rt *fleetRuntime) runShards(cfg FleetConfig, lo, hi int) ([]FleetShardResu
 	outs, err := runner.Collect(hi-lo, func(i int) (FleetShardResult, error) {
 		sh := lo + i
 		out := FleetShardResult{
-			Shard:      sh,
-			OrigTrans:  stats.NewSketch(fleetSketchBudget),
-			AwareTrans: stats.NewSketch(fleetSketchBudget),
+			Shard:       sh,
+			OrigTrans:   stats.NewSketch(fleetSketchBudget),
+			AwareTrans:  stats.NewSketch(fleetSketchBudget),
+			OrigVisitJ:  stats.NewSketch(fleetSketchBudget),
+			AwareVisitJ: stats.NewSketch(fleetSketchBudget),
 		}
 		shLo := sh * cfg.Users / total
 		shHi := (sh + 1) * cfg.Users / total
@@ -549,6 +567,8 @@ func FleetFromShards(cfg FleetConfig, outs []FleetShardResult) (*FleetResult, er
 	res.Aware.Mode = browser.ModeEnergyAware
 	origTrans := stats.NewSketch(fleetSketchBudget)
 	awareTrans := stats.NewSketch(fleetSketchBudget)
+	origVisit := stats.NewSketch(fleetSketchBudget)
+	awareVisit := stats.NewSketch(fleetSketchBudget)
 	for i := range outs {
 		o := &outs[i]
 		if o.Shard != i {
@@ -562,6 +582,8 @@ func FleetFromShards(cfg FleetConfig, outs []FleetShardResult) (*FleetResult, er
 		res.Aware.PredictionEnergyJ += o.PredJ
 		origTrans.Merge(o.OrigTrans)
 		awareTrans.Merge(o.AwareTrans)
+		origVisit.Merge(o.OrigVisitJ)
+		awareVisit.Merge(o.AwareVisitJ)
 	}
 	res.Original.MeanEnergyPerUserJ = res.Original.EnergyJ / float64(cfg.Users)
 	res.Aware.MeanEnergyPerUserJ = res.Aware.EnergyJ / float64(cfg.Users)
@@ -574,7 +596,8 @@ func FleetFromShards(cfg FleetConfig, outs []FleetShardResult) (*FleetResult, er
 	for _, side := range []struct {
 		stats  *FleetModeStats
 		sketch *stats.Sketch
-	}{{&res.Original, origTrans}, {&res.Aware, awareTrans}} {
+		visit  *stats.Sketch
+	}{{&res.Original, origTrans, origVisit}, {&res.Aware, awareTrans, awareVisit}} {
 		var dist capacity.Dist
 		for _, c := range side.sketch.Centroids() {
 			if err := dist.Add(c.V, c.N); err != nil {
@@ -594,6 +617,9 @@ func FleetFromShards(cfg FleetConfig, outs []FleetShardResult) (*FleetResult, er
 			return nil, err
 		}
 		side.stats.DropPctAtFleet = atFleet
+		side.stats.VisitEnergyP50J = side.visit.Quantile(0.50)
+		side.stats.VisitEnergyP95J = side.visit.Quantile(0.95)
+		side.stats.VisitEnergyP99J = side.visit.Quantile(0.99)
 	}
 	if res.Original.SupportedAt2Pct > 0 {
 		res.CapacityGainPct = float64(res.Aware.SupportedAt2Pct-res.Original.SupportedAt2Pct) /
@@ -930,13 +956,16 @@ func (rt *fleetRuntime) replayUserTemplated(u int, visits []trace.Visit, shard *
 		// Original pipeline: load, then sit through the reading window on
 		// operator timers. A RELEASING start never happens here (the stock
 		// pipeline never forces dormancy), but the shift handles it anyway.
+		origFrom := out.origJ
 		loadS, err := rt.playLoad(fr, &orig, browser.ModeOriginal, v.Page, seg, &out.origJ, shard.OrigTrans, nil)
 		if err != nil {
 			return out, err
 		}
 		out.origJ += orig.advance(reading, tp)
+		shard.OrigVisitJ.Observe(out.origJ-origFrom, 1)
 
 		// Energy-aware pipeline: Algorithm 2.
+		awareFrom := out.awareJ
 		var predS float64
 		havePred := false
 		if _, err := rt.playLoad(fr, &aware, browser.ModeEnergyAware, v.Page, seg, &out.awareJ, shard.AwareTrans, func(t *visitTemplate, delta time.Duration) error {
@@ -994,6 +1023,13 @@ func (rt *fleetRuntime) replayUserTemplated(u int, visits []trace.Visit, shard *
 				}
 			}
 		}
+		visitJ := out.awareJ - awareFrom
+		if reading > alpha {
+			// out.predJ joins out.awareJ once per user; per visit the
+			// prediction cost belongs to the visit that ran the predictor.
+			visitJ += rt.predVisitJ
+		}
+		shard.AwareVisitJ.Observe(visitJ, 1)
 		chT += time.Duration(loadS*float64(time.Second)) + reading
 		out.visits++
 	}
@@ -1098,6 +1134,7 @@ func (rt *fleetRuntime) replayUserTraced(user int, visits []trace.Visit, shard *
 		}
 		reading := time.Duration(v.ReadingSeconds * float64(time.Second))
 
+		origFromJ := orig.Radio.EnergyJ()
 		origRes, err := orig.LoadToEnd(page)
 		if err != nil {
 			return out, fmt.Errorf("original %s: %w", v.Page, err)
@@ -1105,7 +1142,9 @@ func (rt *fleetRuntime) replayUserTraced(user int, visits []trace.Visit, shard *
 		origCPUJ += origRes.CPUEnergyJ
 		shard.OrigTrans.Observe(origRes.TransmissionTime.Seconds(), 1)
 		orig.Clock.RunFor(reading)
+		shard.OrigVisitJ.Observe(orig.Radio.EnergyJ()-origFromJ+origRes.CPUEnergyJ, 1)
 
+		awareFromJ := aware.Radio.EnergyJ()
 		awareRes, err := aware.LoadToEnd(page)
 		if err != nil {
 			return out, fmt.Errorf("aware %s: %w", v.Page, err)
@@ -1164,6 +1203,11 @@ func (rt *fleetRuntime) replayUserTraced(user int, visits []trace.Visit, shard *
 				}
 			}
 		}
+		awareVisitJ := aware.Radio.EnergyJ() - awareFromJ + awareRes.CPUEnergyJ
+		if reading > alpha {
+			awareVisitJ += rt.predVisitJ
+		}
+		shard.AwareVisitJ.Observe(awareVisitJ, 1)
 		out.visits++
 	}
 	out.origJ = orig.Radio.EnergyJ() + origCPUJ

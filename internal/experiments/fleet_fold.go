@@ -7,6 +7,7 @@ import (
 	"eabrowse/internal/browser"
 	"eabrowse/internal/features"
 	"eabrowse/internal/policy"
+	"eabrowse/internal/stats"
 	"eabrowse/internal/trace"
 )
 
@@ -304,6 +305,7 @@ func (rt *fleetRuntime) replayUserFolded(u int, visits []trace.Visit, fs *foldSt
 		oa.n[ci]++
 		oa.sumR[ci] += rs
 		origStage = ot.fold.cells[ci].endStage
+		observeVisitJ(shard.OrigVisitJ, ot, ci, rs, 0)
 
 		// Energy-aware pipeline.
 		if awareRel > 0 {
@@ -323,12 +325,27 @@ func (rt *fleetRuntime) replayUserFolded(u int, visits []trace.Visit, fs *foldSt
 			aa.sumR[ci] += rs
 			awareStage = at.fold.cells[ci].endStage
 			awareRel = rel
+			observeVisitJ(shard.AwareVisitJ, at, ci, rs, rt.predVisitJ)
 		}
 
 		chT += time.Duration(ot.loadS*float64(time.Second)) + reading
 		shard.Visits++
 	}
 	return nil
+}
+
+// observeVisitJ files one folded visit's energy into the per-visit sketch.
+// The drain-exclusive definition means the break bit never participates:
+// cells come in (no-break, break) pairs, so ci&^1 is always the visit's own
+// load + reading-window linear form without the appended session drain. The
+// prediction cost joins here per visit (it is not in any cell's constJ).
+func observeVisitJ(sk *stats.Sketch, t *visitTemplate, ci int, rs, predVisitJ float64) {
+	c := &t.fold.cells[ci&^1]
+	e := c.constJ + c.slopeW*rs
+	if c.pred {
+		e += predVisitJ
+	}
+	sk.Observe(e, 1)
 }
 
 // replayExceptional replays one delayed-release energy-aware visit
@@ -369,6 +386,9 @@ func (rt *fleetRuntime) replayExceptional(fr *fleetRadio, page string, delta, re
 		}
 		e += pc.advance(window, tp)
 	}
+	// The visit's own energy excludes the session-break drain appended below,
+	// matching the per-visit engine's drain-exclusive observation.
+	shard.AwareVisitJ.Observe(e, 1)
 	if brk {
 		e += pc.advance(fr.drain, tp)
 	}

@@ -23,13 +23,18 @@ import (
 //	per shard:  u32 frame length, then within the frame:
 //	            u32 shard  i64 visits  i64 switches  i64 predictions
 //	            f64 origJ  f64 awareJ  f64 predJ
-//	            sketch origTrans  sketch awareTrans   (stats codec)
+//	            sketch origTrans  sketch awareTrans     (stats codec)
+//	            sketch origVisitJ  sketch awareVisitJ   (v2)
+//
+// Version 2 appended the two per-visit energy sketches. Workers are re-execs
+// of the coordinator binary, so the version check is strict — there is no
+// cross-version negotiation to support.
 
 const (
 	fleetWireMagic   = "EAFL"
-	fleetWireVersion = 1
+	fleetWireVersion = 2
 	// fleetWireMaxFrame bounds one shard frame so a corrupt length field
-	// cannot drive an unbounded allocation: two max-size sketches plus the
+	// cannot drive an unbounded allocation: four max-size sketches plus the
 	// fixed fields fit comfortably.
 	fleetWireMaxFrame = 1 << 28
 )
@@ -56,6 +61,8 @@ func WriteFleetShards(w io.Writer, outs []FleetShardResult) error {
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(o.PredJ))
 		buf = o.OrigTrans.AppendBinary(buf)
 		buf = o.AwareTrans.AppendBinary(buf)
+		buf = o.OrigVisitJ.AppendBinary(buf)
+		buf = o.AwareVisitJ.AppendBinary(buf)
 		var frame [4]byte
 		binary.LittleEndian.PutUint32(frame[:], uint32(len(buf)))
 		if _, err := w.Write(frame[:]); err != nil {
@@ -118,6 +125,12 @@ func ReadFleetShards(r io.Reader) ([]FleetShardResult, error) {
 		}
 		if o.AwareTrans, rest, err = stats.DecodeSketch(rest); err != nil {
 			return nil, fmt.Errorf("fleet wire: shard %d aware sketch: %w", i, err)
+		}
+		if o.OrigVisitJ, rest, err = stats.DecodeSketch(rest); err != nil {
+			return nil, fmt.Errorf("fleet wire: shard %d orig visit sketch: %w", i, err)
+		}
+		if o.AwareVisitJ, rest, err = stats.DecodeSketch(rest); err != nil {
+			return nil, fmt.Errorf("fleet wire: shard %d aware visit sketch: %w", i, err)
 		}
 		if len(rest) != 0 {
 			return nil, fmt.Errorf("fleet wire: shard %d frame has %d trailing bytes", i, len(rest))

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// AtomicHist is the concurrent sibling of the single-threaded histogram:
+// the same fixed millisecond bucket layout (so snapshots merge bucket-wise
+// with Recorder histograms), but every field is an atomic, making Observe
+// safe — and lock-free — from any number of goroutines. The resident
+// service stripes these per CPU on its request path; the simulation side
+// keeps the plain histogram, which is cheaper when single-threaded.
+type AtomicHist struct {
+	buckets [len14]atomic.Int64
+	count   atomic.Int64
+	sumNS   atomic.Int64
+}
+
+// Observe records one duration.
+func (h *AtomicHist) Observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	idx := sort.SearchFloat64s(histogramBucketsMS, ms)
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// Count returns the number of observations so far.
+func (h *AtomicHist) Count() int64 {
+	return h.count.Load()
+}
+
+// Snapshot returns the histogram in the shared snapshot form. Concurrent
+// Observe calls may land between field loads; each bucket is internally
+// consistent and the snapshot is exact once writers quiesce.
+func (h *AtomicHist) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		SumMS:   Round6(float64(h.sumNS.Load()) / float64(time.Millisecond)),
+		Buckets: make([]HistogramBucket, 0, len14),
+	}
+	for i := range h.buckets {
+		le := float64(-1) // overflow
+		if i < len(histogramBucketsMS) {
+			le = histogramBucketsMS[i]
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{LeMS: le, N: h.buckets[i].Load()})
+	}
+	return s
+}
+
+// Merge adds o's counts into s bucket-wise; both sides must use the fixed
+// bucket layout. Exported so callers striping AtomicHists can fold the
+// per-stripe snapshots into one.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	s.merge(o)
+}

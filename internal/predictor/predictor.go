@@ -147,6 +147,19 @@ func (p *Predictor) PredictBatchSeconds(vs []features.Vector, out []float64) err
 	return p.model.PredictBatch(xs, out)
 }
 
+// PredictBatchVecSeconds is PredictBatchSeconds without the per-call row
+// allocation: rows are read in place from vs and the row-pointer table is
+// built in scratch, which the caller reuses across calls (grow it once,
+// then every batch is allocation-free). It returns the possibly regrown
+// scratch; per-vector results are bit-identical to PredictSeconds.
+func (p *Predictor) PredictBatchVecSeconds(vs []features.Vector, out []float64, scratch [][]float64) ([][]float64, error) {
+	scratch = scratch[:0]
+	for i := range vs {
+		scratch = append(scratch, vs[i][:])
+	}
+	return scratch, p.model.PredictBatch(scratch, out)
+}
+
 // NumTrees exposes the fitted forest size (Table 7 cost accounting).
 func (p *Predictor) NumTrees() int {
 	return p.model.NumTrees()

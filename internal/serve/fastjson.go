@@ -1,0 +1,586 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"strconv"
+	"unicode/utf8"
+
+	"eabrowse/internal/features"
+)
+
+// The fast JSON layer hand-rolls encoding and decoding for the fixed v1
+// request/response schemas so the steady-state request path allocates
+// nothing. The contract that keeps it honest:
+//
+//   - Decoding: the fast parser accepts exactly the canonical shapes —
+//     known fields, plain strings, standard numbers. ANY deviation (unknown
+//     field, escape sequence, null, syntax error, out-of-range number,
+//     trailing data) returns errFallback and the handler re-runs the
+//     encoding/json path on the same buffered body, so error statuses and
+//     messages are byte-identical to the pre-fast-path service.
+//   - Encoding: the appenders reproduce encoding/json's output bytes
+//     exactly (float formatting including the e-0X exponent cleanup,
+//     HTML-escaped strings, the Encoder's trailing newline); tests pin
+//     bit-identity over a golden corpus. Non-finite floats — which
+//     encoding/json cannot encode — make the appenders report failure and
+//     the handler falls back as well.
+var errFallback = errors.New("serve: fast parser fallback")
+
+// --- decoding ---------------------------------------------------------------
+
+type fastParser struct {
+	b []byte
+	i int
+}
+
+func (p *fastParser) ws() {
+	for p.i < len(p.b) {
+		switch p.b[p.i] {
+		case ' ', '\t', '\r', '\n':
+			p.i++
+		default:
+			return
+		}
+	}
+}
+
+func (p *fastParser) eat(c byte) bool {
+	if p.i < len(p.b) && p.b[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *fastParser) done() bool {
+	return p.i >= len(p.b)
+}
+
+// simpleString parses a string with no escapes or control characters,
+// returning the raw bytes between the quotes.
+func (p *fastParser) simpleString() ([]byte, bool) {
+	p.ws()
+	if !p.eat('"') {
+		return nil, false
+	}
+	start := p.i
+	for p.i < len(p.b) {
+		c := p.b[p.i]
+		if c == '"' {
+			s := p.b[start:p.i]
+			p.i++
+			return s, true
+		}
+		if c == '\\' || c < 0x20 {
+			return nil, false
+		}
+		p.i++
+	}
+	return nil, false
+}
+
+// key parses `"name":` and returns the raw name bytes.
+func (p *fastParser) key() ([]byte, bool) {
+	s, ok := p.simpleString()
+	if !ok {
+		return nil, false
+	}
+	p.ws()
+	if !p.eat(':') {
+		return nil, false
+	}
+	return s, true
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// pow10tab holds the powers of ten exactly representable as float64.
+var pow10tab = [...]float64{
+	1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11,
+	1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+// number parses one JSON number. Typical values (≤19 significant digits,
+// decimal exponent within ±22, mantissa ≤ 2^53) take the exact
+// single-rounding fast path — provably identical to strconv.ParseFloat —
+// and everything else routes through strconv on the raw bytes. A false
+// return means invalid syntax or out-of-range, both of which the caller
+// turns into an encoding/json fallback.
+func (p *fastParser) number() (float64, bool) {
+	start := p.i
+	neg := p.eat('-')
+	if p.done() {
+		return 0, false
+	}
+	var mant uint64
+	digits, exp10 := 0, 0
+	huge := false
+	switch c := p.b[p.i]; {
+	case c == '0':
+		p.i++
+		digits = 1
+		if !p.done() && isDigit(p.b[p.i]) {
+			return 0, false // JSON forbids leading zeros
+		}
+	case c >= '1' && c <= '9':
+		for !p.done() && isDigit(p.b[p.i]) {
+			if digits < 19 {
+				mant = mant*10 + uint64(p.b[p.i]-'0')
+				digits++
+			} else {
+				huge = true
+				exp10++
+			}
+			p.i++
+		}
+	default:
+		return 0, false
+	}
+	if !p.done() && p.b[p.i] == '.' {
+		p.i++
+		if p.done() || !isDigit(p.b[p.i]) {
+			return 0, false
+		}
+		for !p.done() && isDigit(p.b[p.i]) {
+			if digits < 19 && !huge {
+				mant = mant*10 + uint64(p.b[p.i]-'0')
+				digits++
+				exp10--
+			} else {
+				huge = true
+			}
+			p.i++
+		}
+	}
+	if !p.done() && (p.b[p.i] == 'e' || p.b[p.i] == 'E') {
+		p.i++
+		esign := 1
+		if !p.done() && (p.b[p.i] == '+' || p.b[p.i] == '-') {
+			if p.b[p.i] == '-' {
+				esign = -1
+			}
+			p.i++
+		}
+		if p.done() || !isDigit(p.b[p.i]) {
+			return 0, false
+		}
+		e := 0
+		for !p.done() && isDigit(p.b[p.i]) {
+			if e < 10000 {
+				e = e*10 + int(p.b[p.i]-'0')
+			}
+			p.i++
+		}
+		exp10 += esign * e
+	}
+	if !huge && mant <= 1<<53 && exp10 >= -22 && exp10 <= 22 {
+		f := float64(mant)
+		if exp10 > 0 {
+			f *= pow10tab[exp10]
+		} else if exp10 < 0 {
+			f /= pow10tab[-exp10]
+		}
+		if neg {
+			f = -f
+		}
+		return f, true
+	}
+	f, err := strconv.ParseFloat(string(p.b[start:p.i]), 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+// floatArray parses `[f, f, ...]` appending into out.
+func (p *fastParser) floatArray(out []float64) ([]float64, bool) {
+	p.ws()
+	if !p.eat('[') {
+		return out, false
+	}
+	p.ws()
+	if p.eat(']') {
+		return out, true
+	}
+	for {
+		f, ok := p.number()
+		if !ok {
+			return out, false
+		}
+		out = append(out, f)
+		p.ws()
+		if p.eat(',') {
+			p.ws()
+			continue
+		}
+		if p.eat(']') {
+			return out, true
+		}
+		return out, false
+	}
+}
+
+// matchName resolves raw string bytes against a fixed name set without
+// allocating (string(b) == n compiles to an alloc-free comparison). The
+// empty string resolves to itself — callers apply their own default.
+func matchName(b []byte, names []string) (string, bool) {
+	if len(b) == 0 {
+		return "", true
+	}
+	for _, n := range names {
+		if string(b) == n {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// parseFastPredict parses {"features":[...], "radio":"..."} into feats
+// (reused storage) and a canonical radio name from names.
+func parseFastPredict(b []byte, feats []float64, names []string) ([]float64, string, error) {
+	p := fastParser{b: b}
+	radio := ""
+	p.ws()
+	if !p.eat('{') {
+		return feats, "", errFallback
+	}
+	p.ws()
+	if p.eat('}') {
+		return p.end(feats, radio)
+	}
+	for {
+		key, ok := p.key()
+		if !ok {
+			return feats, "", errFallback
+		}
+		switch {
+		case string(key) == "features":
+			p.ws()
+			if feats, ok = p.floatArray(feats[:0]); !ok {
+				return feats, "", errFallback
+			}
+		case string(key) == "radio":
+			rb, sok := p.simpleString()
+			if !sok {
+				return feats, "", errFallback
+			}
+			if radio, sok = matchName(rb, names); !sok {
+				return feats, "", errFallback
+			}
+		default:
+			return feats, "", errFallback
+		}
+		p.ws()
+		if p.eat(',') {
+			p.ws()
+			continue
+		}
+		if p.eat('}') {
+			return p.end(feats, radio)
+		}
+		return feats, "", errFallback
+	}
+}
+
+// end verifies nothing but whitespace trails the document (the legacy
+// decoder 400s on trailing data; the fallback reproduces that).
+func (p *fastParser) end(feats []float64, radio string) ([]float64, string, error) {
+	p.ws()
+	if p.i != len(p.b) {
+		return feats, "", errFallback
+	}
+	return feats, radio, nil
+}
+
+// parseFastDecide parses {"features":[...], "mode":"..."} returning the
+// canonical mode wire name ("" means default).
+func parseFastDecide(b []byte, feats []float64, modes []string) ([]float64, string, error) {
+	p := fastParser{b: b}
+	mode := ""
+	p.ws()
+	if !p.eat('{') {
+		return feats, "", errFallback
+	}
+	p.ws()
+	if p.eat('}') {
+		return p.end(feats, mode)
+	}
+	for {
+		key, ok := p.key()
+		if !ok {
+			return feats, "", errFallback
+		}
+		switch {
+		case string(key) == "features":
+			p.ws()
+			if feats, ok = p.floatArray(feats[:0]); !ok {
+				return feats, "", errFallback
+			}
+		case string(key) == "mode":
+			mb, sok := p.simpleString()
+			if !sok {
+				return feats, "", errFallback
+			}
+			if mode, sok = matchName(mb, modes); !sok {
+				return feats, "", errFallback
+			}
+		default:
+			return feats, "", errFallback
+		}
+		p.ws()
+		if p.eat(',') {
+			p.ws()
+			continue
+		}
+		if p.eat('}') {
+			return p.end(feats, mode)
+		}
+		return feats, "", errFallback
+	}
+}
+
+// parseFastBatch parses {"features":[[...],[...],...]} into sc.vecs (rows
+// beyond maxBatchRows are syntax-checked but not stored) and sc.rowLens
+// (every row's arity, for validation). Returns the row count.
+func parseFastBatch(b []byte, sc *scratch) (int, error) {
+	p := fastParser{b: b}
+	rows := -1 // -1: no features key seen (legacy decodes that to a nil slice)
+	p.ws()
+	if !p.eat('{') {
+		return 0, errFallback
+	}
+	p.ws()
+	if p.eat('}') {
+		return p.endBatch(rows)
+	}
+	for {
+		key, ok := p.key()
+		if !ok {
+			return 0, errFallback
+		}
+		if string(key) != "features" {
+			return 0, errFallback
+		}
+		sc.rowLens = sc.rowLens[:0]
+		rows = 0
+		p.ws()
+		if !p.eat('[') {
+			return 0, errFallback
+		}
+		p.ws()
+		if !p.eat(']') {
+			for {
+				n, rok := p.row(sc, rows)
+				if !rok {
+					return 0, errFallback
+				}
+				sc.rowLens = append(sc.rowLens, n)
+				rows++
+				p.ws()
+				if p.eat(',') {
+					p.ws()
+					continue
+				}
+				if p.eat(']') {
+					break
+				}
+				return 0, errFallback
+			}
+		}
+		p.ws()
+		if p.eat(',') {
+			p.ws()
+			continue
+		}
+		if p.eat('}') {
+			return p.endBatch(rows)
+		}
+		return 0, errFallback
+	}
+}
+
+func (p *fastParser) endBatch(rows int) (int, error) {
+	p.ws()
+	if p.i != len(p.b) {
+		return 0, errFallback
+	}
+	if rows < 0 {
+		rows = 0
+	}
+	return rows, nil
+}
+
+// row parses one inner feature array into sc.vecs[idx] (when idx is under
+// the row cap), returning the row's arity.
+func (p *fastParser) row(sc *scratch, idx int) (int, bool) {
+	if !p.eat('[') {
+		return 0, false
+	}
+	store := idx < maxBatchRows
+	if store {
+		for idx >= len(sc.vecs) {
+			sc.vecs = append(sc.vecs, features.Vector{})
+		}
+	}
+	n := 0
+	p.ws()
+	if p.eat(']') {
+		return 0, true
+	}
+	for {
+		f, ok := p.number()
+		if !ok {
+			return 0, false
+		}
+		if store && n < features.Num {
+			sc.vecs[idx][n] = f
+		}
+		n++
+		p.ws()
+		if p.eat(',') {
+			p.ws()
+			continue
+		}
+		if p.eat(']') {
+			return n, true
+		}
+		return 0, false
+	}
+}
+
+// --- encoding ---------------------------------------------------------------
+
+// appendJSONFloat appends f exactly as encoding/json encodes a float64
+// (shortest representation; 'e' form outside [1e-6, 1e21) with the e-0X
+// exponent shortened). Returns false for non-finite values, which
+// encoding/json refuses to encode — the caller falls back.
+func appendJSONFloat(b []byte, f float64) ([]byte, bool) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return b, false
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b, true
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as encoding/json's default (HTML-escaping)
+// encoder would: ", \ and control characters escaped, plus <, > and & as
+// \u00XX, invalid UTF-8 as �, and U+2028/U+2029 as \u202X.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
+// appendPredictResponse renders predictResponse exactly as
+// writeJSON/json.Encoder would, trailing newline included.
+func appendPredictResponse(b []byte, seconds float64, gen uint64, radio string) ([]byte, bool) {
+	b = append(b, `{"reading_seconds":`...)
+	b, ok := appendJSONFloat(b, seconds)
+	if !ok {
+		return b, false
+	}
+	b = append(b, `,"model_generation":`...)
+	b = strconv.AppendUint(b, gen, 10)
+	b = append(b, `,"radio":`...)
+	b = appendJSONString(b, radio)
+	return append(b, '}', '\n'), true
+}
+
+// appendDecideResponse renders decideResponse (field order matches the
+// struct, which is what encoding/json emits).
+func appendDecideResponse(b []byte, r *decideResponse) ([]byte, bool) {
+	b = append(b, `{"reading_seconds":`...)
+	b, ok := appendJSONFloat(b, r.ReadingSeconds)
+	if !ok {
+		return b, false
+	}
+	b = append(b, `,"switch":`...)
+	b = strconv.AppendBool(b, r.Switch)
+	b = append(b, `,"reason":`...)
+	b = appendJSONString(b, r.Reason)
+	b = append(b, `,"mode":`...)
+	b = appendJSONString(b, r.Mode)
+	b = append(b, `,"tp_s":`...)
+	if b, ok = appendJSONFloat(b, r.TpSeconds); !ok {
+		return b, false
+	}
+	b = append(b, `,"td_s":`...)
+	if b, ok = appendJSONFloat(b, r.TdSeconds); !ok {
+		return b, false
+	}
+	b = append(b, `,"model_generation":`...)
+	b = strconv.AppendUint(b, r.ModelGeneration, 10)
+	return append(b, '}', '\n'), true
+}
+
+// appendBatchResponse renders batchResponse.
+func appendBatchResponse(b []byte, preds []float64, gen uint64) ([]byte, bool) {
+	b = append(b, `{"reading_seconds":[`...)
+	for i, f := range preds {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		var ok bool
+		if b, ok = appendJSONFloat(b, f); !ok {
+			return b, false
+		}
+	}
+	b = append(b, `],"model_generation":`...)
+	b = strconv.AppendUint(b, gen, 10)
+	return append(b, '}', '\n'), true
+}

@@ -24,31 +24,22 @@ import (
 // Counter and histogram names are prebuilt constants so the hot path never
 // concatenates strings.
 const (
-	counterPredict  = "serve.predict"
-	counterDecide   = "serve.decide"
-	counterSimulate = "serve.simulate"
-	counterSwitch   = "serve.decide.switch"
-	latencyPredict  = "serve.latency.predict"
-	latencyDecide   = "serve.latency.decide"
-	latencySimulate = "serve.latency.simulate"
+	counterPredict    = "serve.predict"
+	counterDecide     = "serve.decide"
+	counterSimulate   = "serve.simulate"
+	counterSwitch     = "serve.decide.switch"
+	counterBatch      = "serve.predict_batch"
+	counterBatchItems = "serve.predict_batch.items"
+	latencyPredict    = "serve.latency.predict"
+	latencyDecide     = "serve.latency.decide"
+	latencySimulate   = "serve.latency.simulate"
+	latencyBatch      = "serve.latency.predict_batch"
 )
 
-// Handler returns the service's HTTP surface.
+// Handler returns the service's HTTP surface: a direct path switch (the
+// Go 1.22+ ServeMux allocates per request; the fast lane cannot afford
+// that) inside the request-counting, panic-recovering middleware.
 func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/predict", s.handlePredict)
-	mux.HandleFunc("/v1/decide", s.handleDecide)
-	mux.HandleFunc("/v1/simulate", s.handleSimulate)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/readyz", s.handleReadyz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/admin/reload", s.handleReload)
-	return s.recovered(mux)
-}
-
-// recovered is the outermost middleware: it counts requests and turns a
-// panic anywhere in the handler chain into a 500 for that request alone.
-func (s *Server) recovered(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		defer func() {
@@ -57,7 +48,26 @@ func (s *Server) recovered(next http.Handler) http.Handler {
 				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
 			}
 		}()
-		next.ServeHTTP(w, r)
+		switch r.URL.Path {
+		case "/v1/predict":
+			s.handlePredictFast(w, r)
+		case "/v1/decide":
+			s.handleDecideFast(w, r)
+		case "/v1/predict_batch":
+			s.handlePredictBatch(w, r)
+		case "/v1/simulate":
+			s.handleSimulate(w, r)
+		case "/healthz":
+			s.handleHealthz(w, r)
+		case "/readyz":
+			s.handleReadyz(w, r)
+		case "/metrics":
+			s.handleMetrics(w, r)
+		case "/admin/reload":
+			s.handleReload(w, r)
+		default:
+			http.NotFound(w, r)
+		}
 	})
 }
 
@@ -194,10 +204,10 @@ type predictResult struct {
 	gen     uint64
 }
 
-// predictCore is the steady-state hot path: one atomic model snapshot, one
-// in-place forest walk, one counter bump. Zero allocations per op — the soak
-// harness and BenchmarkPredictCore pin that.
-func (s *Server) predictCore(vec *features.Vector) (predictResult, error) {
+// predictCoreStripe is the steady-state hot path: one atomic model snapshot,
+// one in-place forest walk, one counter bump into the caller's stripe. Zero
+// allocations per op — the soak harness and BenchmarkPredictCore pin that.
+func (s *Server) predictCoreStripe(vec *features.Vector, st *stripe) (predictResult, error) {
 	lm := s.model.current()
 	if lm == nil {
 		return predictResult{}, errNoModel
@@ -206,42 +216,14 @@ func (s *Server) predictCore(vec *features.Vector) (predictResult, error) {
 	if err != nil {
 		return predictResult{}, err
 	}
-	s.count(counterPredict)
+	st.count(cPredict)
 	return predictResult{seconds: sec, gen: lm.gen}, nil
 }
 
-func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	var req predictRequest
-	if !s.decodeBody(w, r, &req) {
-		return
-	}
-	var vec features.Vector
-	if !parseFeatures(w, req.Features, &vec) {
-		return
-	}
-	radio, ok := parseRadio(w, req.Radio)
-	if !ok {
-		return
-	}
-	ctx, cancel := s.requestCtx(r)
-	defer cancel()
-	var res predictResult
-	var coreErr error
-	if err := s.submit(ctx, func() { res, coreErr = s.predictCore(&vec) }); err != nil {
-		s.writeWorkError(w, err)
-		return
-	}
-	if coreErr != nil {
-		s.writeWorkError(w, coreErr)
-		return
-	}
-	s.observe(latencyPredict, start)
-	writeJSON(w, http.StatusOK, predictResponse{
-		ReadingSeconds:  res.seconds,
-		ModelGeneration: res.gen,
-		Radio:           radio,
-	})
+// predictCore keeps the pre-sharding signature for the soak harness and
+// benchmarks; callers without a scratch count into stripe 0.
+func (s *Server) predictCore(vec *features.Vector) (predictResult, error) {
+	return s.predictCoreStripe(vec, &s.stripes[0])
 }
 
 // --- /v1/decide ------------------------------------------------------------
@@ -270,9 +252,9 @@ type decideResult struct {
 	gen     uint64
 }
 
-// decideCore runs Algorithm 2's decision rule on a fresh prediction, using
-// the thresholds that travel with the model file.
-func (s *Server) decideCore(vec *features.Vector, mode policy.Mode) (decideResult, error) {
+// decideCoreStripe runs Algorithm 2's decision rule on a fresh prediction,
+// using the thresholds that travel with the model file.
+func (s *Server) decideCoreStripe(vec *features.Vector, mode policy.Mode, st *stripe) (decideResult, error) {
 	lm := s.model.current()
 	if lm == nil {
 		return decideResult{}, errNoModel
@@ -288,9 +270,9 @@ func (s *Server) decideCore(vec *features.Vector, mode policy.Mode) (decideResul
 		Td:    th.Td,
 		Mode:  mode,
 	})
-	s.count(counterDecide)
+	st.count(cDecide)
 	if d.Switch {
-		s.count(counterSwitch)
+		st.count(cSwitch)
 	}
 	return decideResult{seconds: sec, d: d, tp: th.Tp, td: th.Td, gen: lm.gen}, nil
 }
@@ -307,44 +289,6 @@ func parsePolicyMode(w http.ResponseWriter, name string) (policy.Mode, bool) {
 			fmt.Sprintf("unknown mode %q (want \"delay\" or \"power\")", name))
 		return 0, false
 	}
-}
-
-func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	var req decideRequest
-	if !s.decodeBody(w, r, &req) {
-		return
-	}
-	var vec features.Vector
-	if !parseFeatures(w, req.Features, &vec) {
-		return
-	}
-	mode, ok := parsePolicyMode(w, req.Mode)
-	if !ok {
-		return
-	}
-	ctx, cancel := s.requestCtx(r)
-	defer cancel()
-	var res decideResult
-	var coreErr error
-	if err := s.submit(ctx, func() { res, coreErr = s.decideCore(&vec, mode) }); err != nil {
-		s.writeWorkError(w, err)
-		return
-	}
-	if coreErr != nil {
-		s.writeWorkError(w, coreErr)
-		return
-	}
-	s.observe(latencyDecide, start)
-	writeJSON(w, http.StatusOK, decideResponse{
-		ReadingSeconds:  res.seconds,
-		Switch:          res.d.Switch,
-		Reason:          res.d.Reason,
-		Mode:            mode.String(),
-		TpSeconds:       res.tp.Seconds(),
-		TdSeconds:       res.td.Seconds(),
-		ModelGeneration: res.gen,
-	})
 }
 
 // --- /v1/simulate ----------------------------------------------------------
@@ -434,7 +378,7 @@ func (s *Server) simulateCore(page *webpage.Page, mode browser.Mode, radio strin
 	if sched != nil {
 		out.Channel = sched.Name()
 	}
-	s.count(counterSimulate)
+	s.stripes[0].count(cSimulate)
 	if pool != nil {
 		pool.Put(sess)
 	}
@@ -470,18 +414,29 @@ func parseBrowserMode(w http.ResponseWriter, name string) (browser.Mode, bool) {
 }
 
 // pageByName resolves and caches a benchmark page (generation is pure CPU;
-// the cache makes repeated requests cheap).
+// the cache makes repeated requests cheap). The cache is copy-on-write: a
+// lookup is one atomic load, and only a miss takes the writer lock to swap
+// in a grown copy of the map.
 func (s *Server) pageByName(name string) (*webpage.Page, error) {
+	if p, ok := (*s.pages.Load())[name]; ok {
+		return p, nil
+	}
 	s.pagesMu.Lock()
 	defer s.pagesMu.Unlock()
-	if p, ok := s.pages[name]; ok {
+	cur := *s.pages.Load()
+	if p, ok := cur[name]; ok {
 		return p, nil
 	}
 	p, err := experiments.PageByName(name)
 	if err != nil {
 		return nil, err
 	}
-	s.pages[name] = p
+	next := make(map[string]*webpage.Page, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[name] = p
+	s.pages.Store(&next)
 	return p, nil
 }
 
@@ -526,7 +481,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.writeWorkError(w, coreErr)
 		return
 	}
-	s.observe(latencySimulate, start)
+	s.stripes[0].observe(hSimulate, start)
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -612,10 +567,7 @@ func (s *Server) MetricsSnapshot() Metrics {
 		m.Model.LoadedAtUnixMS = lm.loadedAt.UnixMilli()
 		m.Model.Reloads = lm.gen - 1
 	}
-	// The obs recorder is written under obsMu; snapshotting must hold it too.
-	s.obsMu.Lock()
-	m.Obs = s.col.Snapshot()
-	s.obsMu.Unlock()
+	m.Obs = s.obsSnapshot()
 	return m
 }
 

@@ -57,16 +57,29 @@ func (h *modelHolder) generation() uint64 {
 	return 0
 }
 
+// modelReadHook, when non-nil (tests only), runs after a candidate model has
+// been read and validated but before it is published — a seam for holding a
+// reload mid-flight to prove the read path never blocks behind it.
+var modelReadHook func()
+
 // load reads, validates and publishes the model at path. On any error the
 // previously served model stays published untouched.
+//
+// The expensive part — file I/O, parse, probe evaluation — happens before
+// the lock: a slow disk never serializes concurrent loaders, and readers
+// (who never take mu at all, just one atomic pointer load) keep predicting
+// on the old snapshot for the whole duration of a reload.
 func (h *modelHolder) load(path string) (*loadedModel, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	pred, err := readModel(path)
 	if err != nil {
 		h.failures.Add(1)
 		return nil, err
 	}
+	if modelReadHook != nil {
+		modelReadHook()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	old := h.cur.Load()
 	lm := &loadedModel{
 		pred:     pred,

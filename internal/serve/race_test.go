@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports the race detector is on: it randomizes sync.Pool
+// (deliberately dropping items to expose races), so the steady-state
+// zero-allocation gates do not hold and are skipped.
+const raceEnabled = true

@@ -3,14 +3,25 @@
 // — predict reading time, decide fast dormancy per page visit — over HTTP,
 // staying up for days while models are retrained and swapped underneath it.
 //
+// The request path has two lanes. Prediction endpoints (/v1/predict,
+// /v1/decide, /v1/predict_batch) run inline in the connection goroutine —
+// each prediction is microseconds of pure CPU, so a queue hop would cost
+// more than the work — over a zero-allocation fast path: pooled scratch
+// buffers, a hand-rolled JSON encoder/decoder for the fixed v1 schemas
+// (bit-identical to encoding/json, with a fallback to the real decoder for
+// anything the fast parser does not recognize), and per-CPU striped metrics.
+// Simulation (/v1/simulate) is milliseconds of work per request and keeps
+// the bounded worker-pool queue with its 429/504 backpressure contract.
+//
 // The robustness contracts, in one place:
 //
-//   - Bounded work. Every request body is size-capped, carries a deadline
-//     propagated via context, and runs on a fixed worker pool behind a
-//     bounded queue. A full queue answers 429 with Retry-After instead of
-//     growing goroutines or memory.
-//   - Fail one request, not the process. A panic on the work path is
-//     recovered per request (500), counted, and the worker lives on.
+//   - Bounded work. Every request body is size-capped and carries a
+//     deadline. Simulations run on a fixed worker pool behind a bounded
+//     queue; a full queue answers 429 with Retry-After instead of growing
+//     goroutines or memory. Prediction bodies are read into pooled buffers
+//     with the same size cap, and batch requests bound their row count.
+//   - Fail one request, not the process. A panic anywhere in a handler is
+//     recovered per request (500), counted, and the process lives on.
 //   - Hot reload by validate-then-swap. A candidate model file is parsed,
 //     validated and probe-evaluated before an atomic pointer swap publishes
 //     it; a bad file leaves the old model serving (rollback is the default,
@@ -37,7 +48,6 @@ import (
 
 	"eabrowse/internal/browser"
 	"eabrowse/internal/experiments"
-	"eabrowse/internal/obs"
 	"eabrowse/internal/retry"
 	"eabrowse/internal/rrc"
 	"eabrowse/internal/webpage"
@@ -127,18 +137,25 @@ type Server struct {
 	rejects  atomic.Uint64
 	panics   atomic.Uint64
 
-	// Service-level counters and latency histograms ride the obs layer; the
-	// recorder is single-threaded by contract, so a mutex serializes it.
-	obsMu sync.Mutex
-	col   *obs.Collector
-	rec   *obs.Recorder
+	// Request-path counters and latency histograms live in per-CPU stripes
+	// of atomics (see stripes.go); /metrics folds them into the obs.Metrics
+	// shape the old mutex-guarded recorder produced. The scratch pool hands
+	// each request its reusable buffers plus the stripe it counts into.
+	stripes     []stripe
+	stripeRotor atomic.Int64
+	scratch     sync.Pool
+	// radioNames caches rrc.Profiles() so the fast parser can resolve radio
+	// bytes to canonical strings without allocating.
+	radioNames []string
 
 	// Per-request simulation machinery: benchmark pages cached by name,
-	// pooled zero-alloc sessions per (browser mode, radio profile).
+	// pooled zero-alloc sessions per (browser mode, radio profile). Both
+	// maps are copy-on-write — readers follow the atomic pointer lock-free,
+	// the mutexes only serialize the (rare) writers.
 	pagesMu sync.Mutex
-	pages   map[string]*webpage.Page
+	pages   atomic.Pointer[map[string]*webpage.Page]
 	poolsMu sync.Mutex
-	pools   map[poolKey]*experiments.SessionPool
+	pools   atomic.Pointer[map[poolKey]*experiments.SessionPool]
 }
 
 // poolKey identifies one session pool: pooled sessions are homogeneous in
@@ -149,12 +166,18 @@ type poolKey struct {
 }
 
 // pool returns the session pool for (mode, radio), building non-UMTS pools
-// lazily on first use. The radio name must already be validated.
+// lazily on first use. The radio name must already be validated. The read
+// side is one atomic load; a miss takes the writer lock, re-checks, and
+// publishes a copied map so concurrent readers never see a partial write.
 func (s *Server) pool(mode browser.Mode, radio string) (*experiments.SessionPool, error) {
 	key := poolKey{mode: mode, radio: radio}
+	if p, ok := (*s.pools.Load())[key]; ok {
+		return p, nil
+	}
 	s.poolsMu.Lock()
 	defer s.poolsMu.Unlock()
-	if p, ok := s.pools[key]; ok {
+	cur := *s.pools.Load()
+	if p, ok := cur[key]; ok {
 		return p, nil
 	}
 	spec, err := rrc.ProfileSpec(radio)
@@ -162,7 +185,12 @@ func (s *Server) pool(mode browser.Mode, radio string) (*experiments.SessionPool
 		return nil, err
 	}
 	p := experiments.NewSessionPool(mode, experiments.WithRadioModel(spec))
-	s.pools[key] = p
+	next := make(map[poolKey]*experiments.SessionPool, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[key] = p
+	s.pools.Store(&next)
 	return p, nil
 }
 
@@ -172,30 +200,37 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.Retry.Validate(); err != nil {
 		return nil, err
 	}
-	col := obs.NewCollector()
-	rec, err := col.NewRecorder("easerd")
-	if err != nil {
-		return nil, err
-	}
 	s := &Server{
-		cfg:   cfg,
-		queue: make(chan *job, cfg.QueueDepth),
-		stop:  make(chan struct{}),
-		col:   col,
-		rec:   rec,
-		pages: make(map[string]*webpage.Page),
-		pools: map[poolKey]*experiments.SessionPool{
-			{browser.ModeOriginal, "umts"}: experiments.NewSessionPool(
-				browser.ModeOriginal, experiments.WithRadioModel(rrc.DefaultConfig())),
-			{browser.ModeEnergyAware, "umts"}: experiments.NewSessionPool(
-				browser.ModeEnergyAware, experiments.WithRadioModel(rrc.DefaultConfig())),
-		},
+		cfg:        cfg,
+		queue:      make(chan *job, cfg.QueueDepth),
+		stop:       make(chan struct{}),
+		stripes:    make([]stripe, nextPow2(runtime.GOMAXPROCS(0))),
+		radioNames: rrc.Profiles(),
 	}
+	s.scratch = s.newScratchPool()
+	pages := make(map[string]*webpage.Page)
+	s.pages.Store(&pages)
+	pools := map[poolKey]*experiments.SessionPool{
+		{browser.ModeOriginal, "umts"}: experiments.NewSessionPool(
+			browser.ModeOriginal, experiments.WithRadioModel(rrc.DefaultConfig())),
+		{browser.ModeEnergyAware, "umts"}: experiments.NewSessionPool(
+			browser.ModeEnergyAware, experiments.WithRadioModel(rrc.DefaultConfig())),
+	}
+	s.pools.Store(&pools)
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	return s, nil
+}
+
+// nextPow2 rounds n up to a power of two.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // Start loads the configured model (retrying transient I/O), binds the
@@ -364,20 +399,4 @@ func (s *Server) runJob(j *job) {
 		}
 	}()
 	j.fn()
-}
-
-// count bumps a service-level obs counter.
-func (s *Server) count(name string) {
-	s.obsMu.Lock()
-	s.rec.Count(name, 1)
-	s.obsMu.Unlock()
-}
-
-// observe records one completed request's wall latency under a prebuilt
-// histogram name (the callers pass constants so the hot path never builds
-// strings).
-func (s *Server) observe(name string, start time.Time) {
-	s.obsMu.Lock()
-	s.rec.ObserveDur(name, time.Since(start))
-	s.obsMu.Unlock()
 }

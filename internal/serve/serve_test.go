@@ -376,8 +376,9 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 }
 
 // TestBackpressure wedges the single worker, fills the one-slot queue, and
-// requires the next request to bounce with 429 + Retry-After instead of
-// queueing unboundedly.
+// requires the next simulate request to bounce with 429 + Retry-After
+// instead of queueing unboundedly. (Prediction endpoints run inline, off the
+// queue; the backpressure contract belongs to /v1/simulate now.)
 func TestBackpressure(t *testing.T) {
 	s, base := startServer(t, Config{ModelPath: goldenModelPath, Workers: 1, QueueDepth: 1})
 
@@ -397,15 +398,15 @@ func TestBackpressure(t *testing.T) {
 	go func() { _ = s.submit(context.Background(), func() {}) }()
 	waitFor(t, "queue full", func() bool { return len(s.queue) == 1 })
 
-	raw, _ := json.Marshal(predictRequest{Features: probeVec[:]})
-	resp, err := http.Post(base+"/v1/predict", "application/json", bytes.NewReader(raw))
+	raw, _ := json.Marshal(simulateRequest{Page: "m.cnn.com", ReadingS: 1})
+	resp, err := http.Post(base+"/v1/simulate", "application/json", bytes.NewReader(raw))
 	if err != nil {
 		t.Fatal(err)
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("saturated predict: status %d (%s)", resp.StatusCode, body)
+		t.Fatalf("saturated simulate: status %d (%s)", resp.StatusCode, body)
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("429 without Retry-After")
@@ -414,32 +415,23 @@ func TestBackpressure(t *testing.T) {
 		t.Fatal("reject not counted")
 	}
 
-	// A deadline-bearing request stuck behind the wedge times out as 504.
-	req, _ := http.NewRequest(http.MethodPost, base+"/v1/predict", bytes.NewReader(raw))
-	req.Header.Set("X-Request-Timeout-Ms", "50")
-	// Free one queue slot so this request enqueues rather than bounces: let
-	// the queued no-op through by releasing the worker momentarily? No — the
-	// worker is wedged on block. Instead aim the deadline test at the full
-	// path once unwedged below; here the queue is full so expect 429 again.
-	resp, err = http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("saturated predict with deadline: status %d", resp.StatusCode)
+	// The inline prediction lane does not queue, so a wedged worker pool
+	// cannot starve it: predict answers 200 while simulate bounces.
+	if code := postJSON(t, base+"/v1/predict", predictRequest{Features: probeVec[:]}, nil); code != http.StatusOK {
+		t.Fatalf("predict while simulate saturated: %d", code)
 	}
 
 	// Unwedge: service recovers by itself.
 	release()
 	waitFor(t, "drain", func() bool { return s.inFlight.Load() == 0 && len(s.queue) == 0 })
-	if code := postJSON(t, base+"/v1/predict", predictRequest{Features: probeVec[:]}, nil); code != http.StatusOK {
-		t.Fatalf("predict after drain: %d", code)
+	if code := postJSON(t, base+"/v1/simulate", simulateRequest{Page: "m.cnn.com", ReadingS: 1}, nil); code != http.StatusOK {
+		t.Fatalf("simulate after drain: %d", code)
 	}
 }
 
-// TestRequestDeadline wedges the worker and checks a short-deadline request
-// queued behind it answers 504 without waiting for the wedge to clear.
+// TestRequestDeadline wedges the worker and checks a short-deadline simulate
+// request queued behind it answers 504 without waiting for the wedge to
+// clear.
 func TestRequestDeadline(t *testing.T) {
 	s, base := startServer(t, Config{ModelPath: goldenModelPath, Workers: 1, QueueDepth: 8})
 
@@ -454,8 +446,8 @@ func TestRequestDeadline(t *testing.T) {
 	go func() { _ = s.submit(context.Background(), func() { <-block }) }()
 	waitFor(t, "worker busy", func() bool { return s.inFlight.Load() == 1 })
 
-	raw, _ := json.Marshal(predictRequest{Features: probeVec[:]})
-	req, _ := http.NewRequest(http.MethodPost, base+"/v1/predict", bytes.NewReader(raw))
+	raw, _ := json.Marshal(simulateRequest{Page: "m.cnn.com", ReadingS: 1})
+	req, _ := http.NewRequest(http.MethodPost, base+"/v1/simulate", bytes.NewReader(raw))
 	req.Header.Set("X-Request-Timeout-Ms", "50")
 	start := time.Now()
 	resp, err := http.DefaultClient.Do(req)

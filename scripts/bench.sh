@@ -9,6 +9,12 @@
 #   gbrt  (default)  GBRT training/prediction        -> BENCH_GBRT.json
 #   sim              simulation core (visit + fleet) -> BENCH_SIM.json
 #   fleet            fleet-at-scale throughput       -> BENCH_FLEET.json
+#   serve            easerd request path + eaload    -> BENCH_SERVE.json
+#
+# The serve suite additionally drives an in-process easerd with cmd/eaload
+# (closed-loop saturation on each endpoint plus one open-loop run) and
+# appends the reports under a "load" key, so the snapshot records both the
+# handler's ns/op+allocs/op and the whole-server req/s at saturation.
 #
 # For backwards compatibility a single .json argument selects the gbrt suite
 # with that output path.
@@ -46,8 +52,9 @@ case "$suite" in
 gbrt) out="${out:-BENCH_GBRT.json}" ;;
 sim) out="${out:-BENCH_SIM.json}" ;;
 fleet) out="${out:-BENCH_FLEET.json}" ;;
+serve) out="${out:-BENCH_SERVE.json}" ;;
 *)
-	echo "unknown suite: $suite (want gbrt, sim or fleet)" >&2
+	echo "unknown suite: $suite (want gbrt, sim, fleet or serve)" >&2
 	exit 2
 	;;
 esac
@@ -87,6 +94,13 @@ fleet)
 	go test -run '^$' -bench '^BenchmarkFleetScale$' -benchtime 2x \
 		-benchmem -count=1 ./internal/experiments | tee -a "$raw"
 	;;
+serve)
+	# End-to-end handler benchmarks (HTTP request bytes in, response bytes
+	# out, through the pooled fast path — the 0 allocs/op CI gate) plus the
+	# bare predictor core.
+	go test -run '^$' -bench '^(BenchmarkServePredict|BenchmarkServeDecide|BenchmarkServePredictBatch64|BenchmarkPredictCore)$' \
+		-benchmem -count=1 ./internal/serve | tee -a "$raw"
+	;;
 esac
 
 gover="$(go version | awk '{print $3}')"
@@ -123,5 +137,34 @@ awk -v gover="$gover" -v commit="$commit" '
     printf "  ]\n}\n"
   }
 ' "$raw" > "$out"
+
+if [ "$suite" = "serve" ]; then
+	# Whole-server measurements: eaload drives an in-process easerd (fresh
+	# demo model per run) over real sockets. Closed-loop saturation on each
+	# endpoint answers "req/s this box serves"; one open-loop run at a fixed
+	# arrival rate reports coordinated-omission-safe tail latency. Record
+	# order is fixed — CI's threshold diff addresses records by position.
+	bin="$(mktemp)"
+	ldir="$(mktemp -d)"
+	trap 'rm -f "$raw" "$bin"; rm -rf "$ldir"' EXIT
+	go build -o "$bin" ./cmd/eaload
+	"$bin" -inprocess -json -endpoint predict -conns 16 -duration 6s -warmup 2s > "$ldir/1_predict_closed.json"
+	"$bin" -inprocess -json -endpoint decide -conns 16 -duration 6s -warmup 2s > "$ldir/2_decide_closed.json"
+	"$bin" -inprocess -json -endpoint predict_batch -batch 16 -conns 16 -duration 6s -warmup 2s > "$ldir/3_batch16_closed.json"
+	"$bin" -inprocess -json -endpoint predict -rate 20000 -conns 64 -duration 6s -warmup 2s > "$ldir/4_predict_open20k.json"
+	tmp="$(mktemp "$out.XXXXXX")"
+	{
+		sed '$d' "$out" # the closing brace moves below the load array
+		printf '  ,"load": [\n'
+		first=1
+		for f in "$ldir"/*.json; do
+			[ "$first" -eq 1 ] || printf '    ,\n'
+			first=0
+			sed 's/^/    /' "$f"
+		done
+		printf '  ]\n}\n'
+	} > "$tmp"
+	mv "$tmp" "$out"
+fi
 
 echo "wrote $out"
